@@ -1,0 +1,96 @@
+//! Criterion benches for the Section-7 extension engines: direct-RS,
+//! all-to-all, AG→consumer fusion, and the explicit multi-GPU
+//! validator. As with the ablations, the interesting quantity is the
+//! simulated cycle count (printed once); Criterion's wall-clock only
+//! measures the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use t3_core::agfuse::{run_fused_ag_gemm, AgFuseOptions};
+use t3_core::engine::{
+    run_fused_gemm_all_to_all, run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions,
+};
+use t3_core::multigpu::run_multi_gpu_fused_rs;
+use t3_gpu::gemm::{GemmGrid, GemmShape};
+use t3_sim::config::SystemConfig;
+
+fn grid(sys: &SystemConfig) -> GemmGrid {
+    GemmGrid::new(&sys.gpu, GemmShape::new(1024, 2048, 512))
+}
+
+fn bench_fusion_topologies(c: &mut Criterion) {
+    let sys = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("fusion_topologies");
+    group.sample_size(10);
+    group.bench_function("ring_rs", |b| {
+        b.iter(|| black_box(run_fused_gemm_rs(&sys, grid(&sys), &FusedOptions::default())).cycles)
+    });
+    group.bench_function("direct_rs", |b| {
+        b.iter(|| {
+            black_box(run_fused_gemm_direct_rs(
+                &sys,
+                grid(&sys),
+                &FusedOptions::default(),
+            ))
+            .cycles
+        })
+    });
+    group.bench_function("all_to_all", |b| {
+        b.iter(|| {
+            black_box(run_fused_gemm_all_to_all(
+                &sys,
+                grid(&sys),
+                &FusedOptions::default(),
+            ))
+            .cycles
+        })
+    });
+    group.finish();
+}
+
+fn bench_ag_fusion(c: &mut Criterion) {
+    let sys = SystemConfig::paper_default();
+    let ag_grid = GemmGrid::new(&sys.gpu, GemmShape::new(2048, 1024, 512));
+    let mut group = c.benchmark_group("ag_consumer_fusion");
+    group.sample_size(10);
+    for (label, aligned) in [("aligned", true), ("unaligned", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_fused_ag_gemm(
+                    &sys,
+                    ag_grid.clone(),
+                    &AgFuseOptions {
+                        arrival_aligned: aligned,
+                    },
+                ))
+                .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_explicit_multigpu(c: &mut Criterion) {
+    let sys = SystemConfig::paper_default();
+    let mut group = c.benchmark_group("explicit_multigpu");
+    group.sample_size(10);
+    group.bench_function("8_gpus", |b| {
+        b.iter(|| {
+            black_box(run_multi_gpu_fused_rs(
+                &sys,
+                grid(&sys),
+                &FusedOptions::default(),
+            ))
+            .cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion_topologies,
+    bench_ag_fusion,
+    bench_explicit_multigpu
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p t3-bench --bin figures -- <target> [--fast]
+//! ```
+//!
+//! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
+//! fig18 fig19 fig20 all`. `--fast` shrinks workloads 8x in the token
+//! dimension for smoke runs.
+
+use std::env;
+use std::process::ExitCode;
+
+use t3_bench::experiments::{self, ExperimentScale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let scale = if fast {
+        ExperimentScale::FAST
+    } else {
+        ExperimentScale::FULL
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        eprintln!(
+            "usage: figures <table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|extensions|sweep|all> [--fast]"
+        );
+        return ExitCode::FAILURE;
+    }
+    for target in targets {
+        if !run_target(target, scale) {
+            eprintln!("unknown target: {target}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_target(target: &str, scale: ExperimentScale) -> bool {
+    match target {
+        "table1" => println!("{}", experiments::table1()),
+        "table2" => println!("{}", experiments::table2()),
+        "table3" => println!("{}", experiments::table3()),
+        "fig4" => println!("{}", experiments::fig4()),
+        "fig6" => println!("{}", experiments::fig6(scale)),
+        "fig14" => println!("{}", experiments::fig14()),
+        "fig15" | "fig16" | "fig18" => {
+            let cases =
+                experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
+            match target {
+                "fig15" => println!("{}", experiments::fig15(&cases)),
+                "fig16" => println!("{}", experiments::fig16(&cases)),
+                _ => println!("{}", experiments::fig18(&cases)),
+            }
+        }
+        "fig17" => println!("{}", experiments::fig17(scale)),
+        "extensions" => println!("{}", experiments::extensions(scale)),
+        "sweep" => println!("{}", experiments::sweep()),
+        "fig19" => println!("{}", experiments::fig19(scale)),
+        "fig20" => println!("{}", experiments::fig20(scale)),
+        "all" => {
+            println!("{}", experiments::table1());
+            println!("{}", experiments::table2());
+            println!("{}", experiments::table3());
+            println!("{}", experiments::fig4());
+            println!("{}", experiments::fig6(scale));
+            println!("{}", experiments::fig14());
+            let cases =
+                experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
+            println!("{}", experiments::fig15(&cases));
+            println!("{}", experiments::fig16(&cases));
+            println!("{}", experiments::fig17(scale));
+            println!("{}", experiments::fig18(&cases));
+            println!("{}", experiments::fig19(scale));
+            println!("{}", experiments::fig20(scale));
+            println!("{}", experiments::extensions(scale));
+            println!("{}", experiments::sweep());
+        }
+        _ => return false,
+    }
+    true
+}

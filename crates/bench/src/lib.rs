@@ -1,0 +1,9 @@
+//! Benchmark harness for the T3 reproduction.
+//!
+//! [`experiments`] contains one regeneration function per paper table
+//! and figure; the `figures` binary (`cargo run --release -p t3-bench
+//! --bin figures -- <target>`) prints them, and the Criterion benches
+//! reuse the same entry points on scaled workloads.
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,142 @@
+//! Plain-text table rendering for the regeneration targets.
+//!
+//! Every figure/table function in [`crate::experiments`] produces a
+//! [`Table`]; the `figures` binary prints them so the output can be
+//! diffed against EXPERIMENTS.md.
+
+use std::fmt;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a free-form note printed under the table.
+    pub fn note<S: Into<String>>(&mut self, note: S) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor for tests.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))
+        };
+        print_row(f, &self.header)?;
+        let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        print_row(f, &underline)?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats cycles as microseconds at the given clock.
+pub fn us(cycles: u64, clock_ghz: f64) -> String {
+    format!("{:.1}", t3_sim::cycles_to_us(cycles, clock_ghz))
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn x(ratio: f64) -> String {
+    format!("{ratio:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats bytes as MB.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "bbbb"]);
+        t.row(vec!["x".into(), "y".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("note: hello"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 1), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(us(1_400_000, 1.4), "1000.0");
+        assert_eq!(x(1.234), "1.23x");
+        assert_eq!(pct(0.305), "30.5%");
+        assert_eq!(mb(2_000_000), "2.0");
+    }
+}

@@ -1,0 +1,147 @@
+//! A cluster of simulated device memories.
+//!
+//! Each device holds one [`NmcBuffer`] of the collective's array.
+//! Remote writes and DMA transfers in the functional layer are plain
+//! slice copies/updates into another device's buffer — the same
+//! peer-to-peer store and DMA-update capabilities T3's address-space
+//! configuration relies on (Section 4.4).
+
+use t3_mem::nmc::NmcBuffer;
+use t3_net::ring::Ring;
+
+/// `N` devices, each with an `len`-element array buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    devices: Vec<NmcBuffer>,
+}
+
+impl Cluster {
+    /// Creates `n` devices with zeroed `len`-element buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize, len: usize) -> Self {
+        assert!(n >= 2, "a cluster needs at least two devices");
+        Cluster {
+            devices: (0..n).map(|_| NmcBuffer::new(len)).collect(),
+        }
+    }
+
+    /// Builds a cluster from per-device initial contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two devices are given or lengths differ.
+    pub fn from_buffers(buffers: Vec<Vec<f32>>) -> Self {
+        assert!(buffers.len() >= 2, "a cluster needs at least two devices");
+        let len = buffers[0].len();
+        assert!(
+            buffers.iter().all(|b| b.len() == len),
+            "all device buffers must have equal length"
+        );
+        Cluster {
+            devices: buffers.into_iter().map(NmcBuffer::from_vec).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Array length per device.
+    pub fn array_len(&self) -> usize {
+        self.devices[0].len()
+    }
+
+    /// The ring over this cluster's devices.
+    pub fn ring(&self) -> Ring {
+        Ring::new(self.num_devices())
+    }
+
+    /// Immutable view of one device's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn device(&self, device: usize) -> &NmcBuffer {
+        &self.devices[device]
+    }
+
+    /// Mutable view of one device's buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn device_mut(&mut self, device: usize) -> &mut NmcBuffer {
+        &mut self.devices[device]
+    }
+
+    /// Copies `range` from `src` device and *stores* it into the same
+    /// range on `dst` (peer-to-peer remote write).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range devices/ranges or `src == dst`.
+    pub fn remote_store(&mut self, src: usize, dst: usize, range: core::ops::Range<usize>) {
+        let data = self.read_slice(src, range.clone());
+        self.devices[dst].store_slice(range.start, &data);
+    }
+
+    /// Copies `range` from `src` device and *updates* (op-and-store
+    /// reduces) it into the same range on `dst` — a DMA update landing
+    /// in NMC-enhanced memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range devices/ranges or `src == dst`.
+    pub fn remote_update(&mut self, src: usize, dst: usize, range: core::ops::Range<usize>) {
+        let data = self.read_slice(src, range.clone());
+        self.devices[dst].update_slice(range.start, &data);
+    }
+
+    fn read_slice(&self, src: usize, range: core::ops::Range<usize>) -> Vec<f32> {
+        self.devices[src].as_slice()[range].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_geometry() {
+        let c = Cluster::new(4, 10);
+        assert_eq!(c.num_devices(), 4);
+        assert_eq!(c.array_len(), 10);
+        assert_eq!(c.ring().len(), 4);
+    }
+
+    #[test]
+    fn remote_store_overwrites() {
+        let mut c = Cluster::from_buffers(vec![vec![1.0, 2.0, 3.0], vec![9.0, 9.0, 9.0]]);
+        c.remote_store(0, 1, 1..3);
+        assert_eq!(c.device(1).as_slice(), &[9.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn remote_update_reduces() {
+        let mut c = Cluster::from_buffers(vec![vec![1.0, 2.0], vec![10.0, 20.0]]);
+        c.remote_update(0, 1, 0..2);
+        assert_eq!(c.device(1).as_slice(), &[11.0, 22.0]);
+        assert_eq!(c.device(1).update_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_buffers_rejected() {
+        let _ = Cluster::from_buffers(vec![vec![0.0], vec![0.0, 1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_device_rejected() {
+        let _ = Cluster::new(1, 4);
+    }
+}

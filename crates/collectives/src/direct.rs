@@ -1,0 +1,135 @@
+//! Fully-connected-topology collectives (Section 7.1) and all-to-all
+//! (Section 7.2, expert parallelism).
+//!
+//! With dedicated links between all device pairs, reduce-scatter needs
+//! no ring: every device scatters each chunk directly to its owner,
+//! which reduces in (near-)memory. T3 supports this by `remote_map`ing
+//! each GEMM-stage output slice to its destination device — the
+//! collective then has *zero* dedicated memory accesses.
+
+use crate::cluster::Cluster;
+use t3_net::ring::chunk_bounds;
+
+/// Direct reduce-scatter: device `d` ends up owning chunk `d`, the
+/// element-wise sum of every device's copy of chunk `d`.
+///
+/// (Chunk ownership differs from the ring schedule, which rotates
+/// ownership by one; callers pick the collective and use its
+/// placement, as collective libraries do.)
+pub fn direct_reduce_scatter(cluster: &mut Cluster) {
+    let n = cluster.num_devices();
+    let len = cluster.array_len();
+    for owner in 0..n {
+        let (s, e) = chunk_bounds(len, n, owner);
+        if s == e {
+            continue;
+        }
+        for src in 0..n {
+            if src != owner {
+                cluster.remote_update(src, owner, s..e);
+            }
+        }
+    }
+}
+
+/// All-to-all chunk exchange: afterwards device `d`'s chunk `j` holds
+/// device `j`'s original chunk `d`.
+///
+/// # Panics
+///
+/// Panics if the array length is not divisible by the device count
+/// (all-to-all requires an even split).
+pub fn all_to_all(cluster: &mut Cluster) {
+    let n = cluster.num_devices();
+    let len = cluster.array_len();
+    assert!(len.is_multiple_of(n), "all-to-all needs len divisible by devices");
+    let c = len / n;
+    // Snapshot sources: unlike reduce-scatter, destinations here
+    // overwrite regions other devices still need to send.
+    let snapshots: Vec<Vec<f32>> = (0..n)
+        .map(|d| cluster.device(d).as_slice().to_vec())
+        .collect();
+    for (dst, _) in snapshots.iter().enumerate() {
+        for (src, snap) in snapshots.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let data = &snap[dst * c..(dst + 1) * c];
+            cluster.device_mut(dst).store_slice(src * c, data);
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{all_to_all_expected, assert_close, elementwise_sum};
+
+    fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|d| (0..len).map(|i| (d * 100 + i) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn direct_rs_owned_chunks_hold_sums() {
+        for n in [2usize, 4, 8] {
+            let len = 33;
+            let bufs = inputs(n, len);
+            let expected = elementwise_sum(&bufs);
+            let mut cluster = Cluster::from_buffers(bufs);
+            direct_reduce_scatter(&mut cluster);
+            for d in 0..n {
+                let (s, e) = chunk_bounds(len, n, d);
+                assert_close(&cluster.device(d).as_slice()[s..e], &expected[s..e], 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn direct_rs_update_counts() {
+        let n = 4;
+        let len = 40;
+        let mut cluster = Cluster::from_buffers(inputs(n, len));
+        direct_reduce_scatter(&mut cluster);
+        for d in 0..n {
+            // Each owner receives n-1 updates of its 10-element chunk.
+            assert_eq!(cluster.device(d).update_count(), 30);
+        }
+    }
+
+    #[test]
+    fn all_to_all_matches_reference() {
+        for n in [2usize, 4, 8] {
+            let len = n * 6;
+            let bufs = inputs(n, len);
+            let mut cluster = Cluster::from_buffers(bufs.clone());
+            all_to_all(&mut cluster);
+            for d in 0..n {
+                let expected = all_to_all_expected(&bufs, d);
+                // Own chunk keeps original data: expected already
+                // encodes that (chunk d of device d).
+                assert_close(cluster.device(d).as_slice(), &expected, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_is_an_involution_for_two_devices() {
+        let bufs = inputs(2, 8);
+        let mut cluster = Cluster::from_buffers(bufs.clone());
+        all_to_all(&mut cluster);
+        all_to_all(&mut cluster);
+        for d in 0..2 {
+            assert_close(cluster.device(d).as_slice(), &bufs[d], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn all_to_all_rejects_uneven_split() {
+        let mut cluster = Cluster::new(3, 10);
+        all_to_all(&mut cluster);
+    }
+}

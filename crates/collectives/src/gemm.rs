@@ -1,0 +1,250 @@
+//! Functional matrix multiplication — the "producer kernel" of the
+//! functional layer.
+//!
+//! Row-major `C[M,N] = A[M,K] * B[K,N]` in `f32`, whole or one output
+//! tile at a time. The per-tile entry point matters: T3's fused engine
+//! executes the GEMM workgroup-by-workgroup and routes each tile's
+//! stores through the address-space configuration, so it needs to
+//! produce exactly one WG tile at a time (Section 4.2.1's tiled-GEMM
+//! assumption).
+
+/// Computes the full `m x n` product of row-major `a` (`m x k`) and
+/// `b` (`k x n`).
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn matmul(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimension mismatch");
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Computes one output tile: rows `[row0, row0+height)` by columns
+/// `[col0, col0+width)`, returned row-major (`height x width`).
+///
+/// # Panics
+///
+/// Panics if the tile exceeds the output bounds or slice lengths
+/// mismatch the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_tile(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    col0: usize,
+    height: usize,
+    width: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimension mismatch");
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    assert!(row0 + height <= m && col0 + width <= n, "tile out of bounds");
+    let mut tile = vec![0.0f32; height * width];
+    for r in 0..height {
+        let i = row0 + r;
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n + col0..kk * n + col0 + width];
+            let t_row = &mut tile[r * width..(r + 1) * width];
+            for (tv, bv) in t_row.iter_mut().zip(b_row) {
+                *tv += aik * bv;
+            }
+        }
+    }
+    tile
+}
+
+/// Computes one output tile's *partial* product over the K range
+/// `[k0, k1)` — a split-K workgroup's contribution (Section 7.7).
+/// Summing the partials over a partition of `0..k` equals
+/// [`matmul_tile`].
+///
+/// # Panics
+///
+/// Panics if the tile or K range exceeds bounds.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_tile_krange(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    row0: usize,
+    col0: usize,
+    height: usize,
+    width: usize,
+    k0: usize,
+    k1: usize,
+) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A dimension mismatch");
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    assert!(row0 + height <= m && col0 + width <= n, "tile out of bounds");
+    assert!(k0 <= k1 && k1 <= k, "K range out of bounds");
+    let mut tile = vec![0.0f32; height * width];
+    for r in 0..height {
+        let i = row0 + r;
+        for kk in k0..k1 {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n + col0..kk * n + col0 + width];
+            let t_row = &mut tile[r * width..(r + 1) * width];
+            for (tv, bv) in t_row.iter_mut().zip(b_row) {
+                *tv += aik * bv;
+            }
+        }
+    }
+    tile
+}
+
+/// Scatters a row-major tile into a row-major `m x n` output buffer via
+/// a store callback — the seam where the fused engine swaps plain
+/// stores for remote stores or NMC updates.
+pub fn scatter_tile<F: FnMut(usize, f32)>(
+    tile: &[f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    height: usize,
+    width: usize,
+    mut store: F,
+) {
+    assert_eq!(tile.len(), height * width, "tile shape mismatch");
+    for r in 0..height {
+        for c in 0..width {
+            store((row0 + r) * n + col0 + c, tile[r * width + c]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::assert_close;
+
+    fn deterministic(len: usize, seed: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| (((i * 31 + seed * 17) % 23) as f32 - 11.0) / 7.0)
+            .collect()
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let k = 4;
+        let mut eye = vec![0.0f32; k * k];
+        for i in 0..k {
+            eye[i * k + i] = 1.0;
+        }
+        let b = deterministic(k * 3, 1);
+        let c = matmul(&eye, &b, k, 3, k);
+        assert_close(&c, &b, 0.0);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let c = matmul(&a, &b, 2, 2, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn tiles_reassemble_to_full_product() {
+        let (m, n, k) = (7, 9, 5);
+        let a = deterministic(m * k, 2);
+        let b = deterministic(k * n, 3);
+        let full = matmul(&a, &b, m, n, k);
+        let mut assembled = vec![0.0f32; m * n];
+        let tile_dim = 4;
+        for row0 in (0..m).step_by(tile_dim) {
+            for col0 in (0..n).step_by(tile_dim) {
+                let h = tile_dim.min(m - row0);
+                let w = tile_dim.min(n - col0);
+                let tile = matmul_tile(&a, &b, m, n, k, row0, col0, h, w);
+                scatter_tile(&tile, n, row0, col0, h, w, |idx, v| assembled[idx] = v);
+            }
+        }
+        assert_close(&assembled, &full, 1e-5);
+    }
+
+    #[test]
+    fn scatter_tile_visits_each_cell_once() {
+        let mut count = [0u32; 12];
+        let tile = vec![1.0f32; 6];
+        scatter_tile(&tile, 4, 1, 1, 2, 3, |idx, _| count[idx] += 1);
+        assert_eq!(count.iter().sum::<u32>(), 6);
+        assert!(count.iter().all(|&c| c <= 1));
+        assert_eq!(count[5], 1); // row 1, col 1
+    }
+
+    #[test]
+    fn split_k_partials_sum_to_full_tile() {
+        let (m, n, k) = (6, 7, 9);
+        let a = deterministic(m * k, 4);
+        let b = deterministic(k * n, 5);
+        let full = matmul_tile(&a, &b, m, n, k, 1, 2, 4, 5);
+        for split in [2usize, 3, 4] {
+            let mut sum = vec![0.0f32; 4 * 5];
+            for s in 0..split {
+                let k0 = k * s / split;
+                let k1 = k * (s + 1) / split;
+                let part = matmul_tile_krange(&a, &b, m, n, k, 1, 2, 4, 5, k0, k1);
+                for (acc, v) in sum.iter_mut().zip(part) {
+                    *acc += v;
+                }
+            }
+            assert_close(&sum, &full, 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_k_range_is_zero() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let t = matmul_tile_krange(&a, &b, 2, 2, 2, 0, 0, 2, 2, 1, 1);
+        assert_eq!(t, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "K range out of bounds")]
+    fn k_range_bounds_checked() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        let _ = matmul_tile_krange(&a, &b, 2, 2, 2, 0, 0, 2, 2, 1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile out of bounds")]
+    fn tile_bounds_checked() {
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        let _ = matmul_tile(&a, &b, 2, 2, 2, 1, 1, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "A dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let _ = matmul(&[0.0; 3], &[0.0; 4], 2, 2, 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! Functional multi-device collectives over real `f32` data.
+//!
+//! The timing simulator (in `t3-gpu`/`t3-core`) answers *how fast*;
+//! this crate answers *is it correct*. Every collective here actually
+//! moves and reduces data across a [`cluster::Cluster`] of simulated
+//! device memories ([`t3_mem::nmc::NmcBuffer`]s), using the exact ring
+//! schedule of [`t3_net::ring::Ring`]. The fused T3 engine in
+//! `t3-core` is verified against these implementations: a fused
+//! GEMM-reduce-scatter must produce bit-comparable results to a GEMM
+//! followed by [`ring::ring_reduce_scatter`].
+//!
+//! Implemented collectives (Sections 2.3 and 7.1):
+//!
+//! * [`ring::ring_reduce_scatter`], [`ring::ring_all_gather`],
+//!   [`ring::ring_all_reduce`] — the ring implementations the paper
+//!   focuses on;
+//! * [`direct::direct_reduce_scatter`] — the fully-connected-topology
+//!   variant T3 also supports;
+//! * [`direct::all_to_all`] — the exchange used by expert parallelism.
+//!
+//! [`gemm`] provides the functional matrix multiply (whole and
+//! per-tile) that the fused engine uses as its "producer kernel".
+
+pub mod cluster;
+pub mod direct;
+pub mod gemm;
+pub mod reference;
+pub mod ring;

@@ -1,0 +1,89 @@
+//! Naive reference results for collective verification.
+//!
+//! These are the mathematical definitions the optimised (ring/direct)
+//! implementations are tested against. They never move data "across
+//! devices"; they just compute what the final buffers must contain.
+
+/// Element-wise sum across all device buffers: the all-reduce result.
+///
+/// # Panics
+///
+/// Panics if buffers have differing lengths or `inputs` is empty.
+pub fn elementwise_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!inputs.is_empty(), "need at least one input buffer");
+    let len = inputs[0].len();
+    assert!(
+        inputs.iter().all(|b| b.len() == len),
+        "all inputs must have equal length"
+    );
+    let mut out = vec![0.0f32; len];
+    for buf in inputs {
+        for (o, v) in out.iter_mut().zip(buf) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// The all-to-all result for device `dst`: its chunk `j` is device
+/// `j`'s chunk `dst`. All-to-all requires an even split.
+///
+/// # Panics
+///
+/// Panics if the array length is not a multiple of the device count.
+pub fn all_to_all_expected(inputs: &[Vec<f32>], dst: usize) -> Vec<f32> {
+    let n = inputs.len();
+    let len = inputs[0].len();
+    assert!(len.is_multiple_of(n), "all-to-all needs len divisible by devices");
+    let c = len / n;
+    let mut out = vec![0.0f32; len];
+    for (j, src) in inputs.iter().enumerate() {
+        out[j * c..(j + 1) * c].copy_from_slice(&src[dst * c..(dst + 1) * c]);
+    }
+    out
+}
+
+/// Asserts two buffers match within `tol` absolute/relative error.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic) if any element differs by more than the
+/// tolerance.
+pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
+    assert_eq!(actual.len(), expected.len(), "length mismatch");
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        let scale = 1.0f32.max(e.abs());
+        assert!(
+            (a - e).abs() <= tol * scale,
+            "mismatch at {i}: actual {a}, expected {e}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_of_two() {
+        let s = elementwise_sum(&[vec![1.0, 2.0], vec![3.0, -1.0]]);
+        assert_eq!(s, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn assert_close_accepts_small_error() {
+        assert_close(&[1.0 + 1e-7], &[1.0], 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at 1")]
+    fn assert_close_rejects_large_error() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn sum_rejects_ragged() {
+        let _ = elementwise_sum(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Functional ring collectives (Section 2.3, Figure 3).
+//!
+//! The schedule comes from [`t3_net::ring::Ring`]; data movement is
+//! performed on a [`Cluster`]. Reduce-scatter sends are *updates*
+//! (op-and-store reductions at the receiver, as T3's NMC performs
+//! them); all-gather sends are plain stores.
+//!
+//! After [`ring_reduce_scatter`], device `d`'s chunk
+//! `ring.rs_owned_chunk(d)` holds the element-wise sum of every
+//! device's original copy of that chunk; other chunks hold partial
+//! sums (as in NCCL/RCCL, their contents are unspecified outputs).
+//! After [`ring_all_gather`], every device holds every owned chunk.
+
+use crate::cluster::Cluster;
+use t3_net::ring::chunk_bounds;
+
+/// Runs ring reduce-scatter in place. See the module docs for the
+/// output contract.
+pub fn ring_reduce_scatter(cluster: &mut Cluster) {
+    let ring = cluster.ring();
+    let n = ring.len();
+    let len = cluster.array_len();
+    for step in 0..ring.steps() {
+        // All devices send simultaneously; each device's send chunk at
+        // a given step is distinct, so applying updates sequentially
+        // after computing the send set is equivalent.
+        for d in 0..n {
+            let chunk = ring.rs_send_chunk(d, step);
+            let (s, e) = chunk_bounds(len, n, chunk);
+            if s == e {
+                continue;
+            }
+            cluster.remote_update(d, ring.next(d), s..e);
+        }
+    }
+}
+
+/// Runs ring all-gather in place: every device's *owned* chunk (the
+/// reduce-scatter output placement) is propagated to all devices.
+pub fn ring_all_gather(cluster: &mut Cluster) {
+    let ring = cluster.ring();
+    let n = ring.len();
+    let len = cluster.array_len();
+    for step in 0..ring.steps() {
+        for d in 0..n {
+            let chunk = ring.ag_send_chunk(d, step);
+            let (s, e) = chunk_bounds(len, n, chunk);
+            if s == e {
+                continue;
+            }
+            cluster.remote_store(d, ring.next(d), s..e);
+        }
+    }
+}
+
+/// Ring all-reduce: reduce-scatter followed by all-gather. Afterwards
+/// every device's full array equals the element-wise sum of all
+/// devices' original arrays.
+///
+/// # Examples
+///
+/// ```
+/// use t3_collectives::cluster::Cluster;
+/// use t3_collectives::ring::ring_all_reduce;
+///
+/// let mut cluster = Cluster::from_buffers(vec![
+///     vec![1.0, 2.0, 3.0, 4.0],
+///     vec![10.0, 20.0, 30.0, 40.0],
+/// ]);
+/// ring_all_reduce(&mut cluster);
+/// assert_eq!(cluster.device(0).as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+/// assert_eq!(cluster.device(1).as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+/// ```
+pub fn ring_all_reduce(cluster: &mut Cluster) {
+    ring_reduce_scatter(cluster);
+    ring_all_gather(cluster);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{assert_close, elementwise_sum};
+
+    fn random_inputs(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        // Small deterministic LCG so tests don't need rand here.
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = || {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        (0..n).map(|_| (0..len).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn rs_owned_chunks_hold_full_sums() {
+        for n in [2usize, 3, 4, 8] {
+            let len = 64;
+            let inputs = random_inputs(n, len, n as u64);
+            let expected = elementwise_sum(&inputs);
+            let mut cluster = Cluster::from_buffers(inputs);
+            ring_reduce_scatter(&mut cluster);
+            let ring = cluster.ring();
+            for d in 0..n {
+                let c = ring.rs_owned_chunk(d);
+                let (s, e) = chunk_bounds(len, n, c);
+                assert_close(
+                    &cluster.device(d).as_slice()[s..e],
+                    &expected[s..e],
+                    1e-4,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_reference_everywhere() {
+        for n in [2usize, 4, 5, 16] {
+            let len = 50; // deliberately not divisible by n
+            let inputs = random_inputs(n, len, 7 + n as u64);
+            let expected = elementwise_sum(&inputs);
+            let mut cluster = Cluster::from_buffers(inputs);
+            ring_all_reduce(&mut cluster);
+            for d in 0..n {
+                assert_close(cluster.device(d).as_slice(), &expected, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rs_update_traffic_matches_algorithm() {
+        // Each device receives one chunk update per step.
+        let n = 4;
+        let len = 40; // chunks of 10
+        let inputs = random_inputs(n, len, 3);
+        let mut cluster = Cluster::from_buffers(inputs);
+        ring_reduce_scatter(&mut cluster);
+        for d in 0..n {
+            assert_eq!(cluster.device(d).update_count(), (n as u64 - 1) * 10);
+            assert_eq!(cluster.device(d).store_count(), 0);
+        }
+    }
+
+    #[test]
+    fn ag_store_traffic_matches_algorithm() {
+        let n = 4;
+        let len = 40;
+        let inputs = random_inputs(n, len, 4);
+        let mut cluster = Cluster::from_buffers(inputs);
+        ring_all_reduce(&mut cluster);
+        for d in 0..n {
+            // AG: one chunk stored per step.
+            assert_eq!(cluster.device(d).store_count(), (n as u64 - 1) * 10);
+        }
+    }
+
+    #[test]
+    fn tiny_array_with_empty_chunks_still_correct() {
+        // len < n: some chunks are empty.
+        let n = 8;
+        let len = 5;
+        let inputs = random_inputs(n, len, 9);
+        let expected = elementwise_sum(&inputs);
+        let mut cluster = Cluster::from_buffers(inputs);
+        ring_all_reduce(&mut cluster);
+        for d in 0..n {
+            assert_close(cluster.device(d).as_slice(), &expected, 1e-4);
+        }
+    }
+
+    #[test]
+    fn two_device_ring_is_a_swap_reduce() {
+        let inputs = vec![vec![1.0f32, 2.0], vec![10.0, 20.0]];
+        let mut cluster = Cluster::from_buffers(inputs);
+        ring_all_reduce(&mut cluster);
+        for d in 0..2 {
+            assert_eq!(cluster.device(d).as_slice(), &[11.0, 22.0]);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Producer output address-space configuration (Section 4.4).
+//!
+//! T3 never modifies GEMM kernels. Instead, the collective library
+//! configures how the producer's *output address space* maps onto the
+//! node — exactly the `remote_map` / `dma_map` pseudo-code of
+//! Figure 12 — and that configuration programs both the Tracker's
+//! trigger thresholds and the pre-queued DMA commands.
+//!
+//! An [`OutputConfig`] lists, in the device's (staggered) computation
+//! order, where each chunk of the producer's output goes. Canned
+//! configurations are provided for the collectives the paper covers:
+//! ring reduce-scatter (Section 4), direct reduce-scatter on a
+//! fully-connected topology, and all-to-all (Section 7.1). The
+//! [`ConfigBuilder`] mirrors the paper's API for custom collectives.
+
+use t3_net::ring::Ring;
+
+/// Where one chunk of the producer's output is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkRoute {
+    /// Written locally only; this device will own the chunk. Tracked
+    /// so completion (local + incoming updates) is observable.
+    LocalOnly {
+        /// Expected updates per element (2 for ring-RS).
+        updates_per_element: u32,
+    },
+    /// Producer stores go straight to `device`'s memory as fine-grained
+    /// peer-to-peer updates (`remote_map` with reduce semantics); no
+    /// local copy, not tracked locally.
+    RemoteUpdate {
+        /// Destination device.
+        device: usize,
+    },
+    /// Producer stores go straight to `device`'s memory as plain
+    /// stores, no local copy (all-to-all chunks).
+    RemoteStore {
+        /// Destination device.
+        device: usize,
+    },
+    /// Written locally (as NMC updates); once the Tracker counts
+    /// `updates_per_element` updates per element, the pre-programmed
+    /// DMA *updates* the chunk into `device`'s memory (`dma_map` with
+    /// reduce semantics — the ring-RS steady state).
+    LocalThenDmaUpdate {
+        /// Destination device.
+        device: usize,
+        /// Expected updates per element before the DMA fires.
+        updates_per_element: u32,
+    },
+    /// As above, but the DMA performs plain stores (all-gather).
+    LocalThenDmaStore {
+        /// Destination device.
+        device: usize,
+    },
+}
+
+impl ChunkRoute {
+    /// Whether this chunk's local memory region is tracked.
+    pub fn tracked(self) -> bool {
+        !matches!(self, ChunkRoute::RemoteUpdate { .. } | ChunkRoute::RemoteStore { .. })
+    }
+
+    /// Expected updates per element for tracked chunks (1 where only
+    /// the producer writes).
+    pub fn updates_per_element(self) -> u32 {
+        match self {
+            ChunkRoute::LocalOnly {
+                updates_per_element,
+            }
+            | ChunkRoute::LocalThenDmaUpdate {
+                updates_per_element,
+                ..
+            } => updates_per_element,
+            ChunkRoute::LocalThenDmaStore { .. } => 1,
+            ChunkRoute::RemoteUpdate { .. } | ChunkRoute::RemoteStore { .. } => 0,
+        }
+    }
+
+    /// Destination device for outgoing data, if any.
+    pub fn destination(self) -> Option<usize> {
+        match self {
+            ChunkRoute::LocalOnly { .. } => None,
+            ChunkRoute::RemoteUpdate { device }
+            | ChunkRoute::RemoteStore { device }
+            | ChunkRoute::LocalThenDmaUpdate { device, .. }
+            | ChunkRoute::LocalThenDmaStore { device } => Some(device),
+        }
+    }
+
+    /// Whether outgoing data leaves via a Tracker-triggered DMA.
+    pub fn uses_dma(self) -> bool {
+        matches!(
+            self,
+            ChunkRoute::LocalThenDmaUpdate { .. } | ChunkRoute::LocalThenDmaStore { .. }
+        )
+    }
+}
+
+/// One device's producer-output configuration: chunk routes in local
+/// computation order (position 0 is computed first — the stagger of
+/// Section 4.4 is encoded in which collective chunk sits at which
+/// position).
+///
+/// # Examples
+///
+/// Figure 12's configuration, built with the paper's API:
+///
+/// ```
+/// use t3_core::addrmap::{ChunkRoute, ConfigBuilder};
+///
+/// let cfg = ConfigBuilder::new(4)
+///     .remote_map_update(0, 3) // warm-up chunk straight to GPU 3
+///     .dma_map_update(1, 3, 2) // steady state: DMA after 2 updates
+///     .dma_map_update(2, 3, 2)
+///     .local(3, 2)             // the owned chunk
+///     .build();
+/// assert!(cfg.route(1).uses_dma());
+/// assert_eq!(cfg.route(0).destination(), Some(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputConfig {
+    routes: Vec<ChunkRoute>,
+    chunk_ids: Vec<usize>,
+}
+
+impl OutputConfig {
+    /// Number of chunks the producer's output is divided into.
+    pub fn num_chunks(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Route of the chunk computed at local position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn route(&self, p: usize) -> ChunkRoute {
+        self.routes[p]
+    }
+
+    /// Collective chunk id computed at local position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn chunk_id(&self, p: usize) -> usize {
+        self.chunk_ids[p]
+    }
+
+    /// Local position at which collective chunk `chunk` is computed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is not in the configuration.
+    pub fn position_of_chunk(&self, chunk: usize) -> usize {
+        self.chunk_ids
+            .iter()
+            .position(|&c| c == chunk)
+            .expect("chunk not present in configuration")
+    }
+
+    /// The fused ring reduce-scatter configuration of Figures 7/11/12
+    /// for `device` in `ring`:
+    ///
+    /// * position 0 (chunk `device`): fine-grained remote updates into
+    ///   the next device (the warm-up `remote_map` step);
+    /// * positions `1..=N-2`: local NMC stores, then a Tracker-fired
+    ///   DMA update to the next device after 2 updates/element — the
+    ///   N−2 steady-state steps;
+    /// * position `N-1`: the chunk this device owns; local only.
+    pub fn ring_reduce_scatter(ring: Ring, device: usize) -> Self {
+        Self::ring_reduce_scatter_split_k(ring, device, 1)
+    }
+
+    /// As [`OutputConfig::ring_reduce_scatter`], for a split-K producer
+    /// (Section 7.7): each element receives `split_k` local partial
+    /// updates, so the Tracker thresholds become
+    ///
+    /// * position 1 (fed by the neighbour's warm-up remote stores,
+    ///   themselves `split_k` partials): `2 x split_k`;
+    /// * later positions (fed by one reduced DMA update):
+    ///   `split_k + 1`.
+    ///
+    /// With `split_k = 1` this is exactly the plain configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_k` is zero or `device` is out of range.
+    pub fn ring_reduce_scatter_split_k(ring: Ring, device: usize, split_k: u32) -> Self {
+        let n = ring.len();
+        assert!(device < n, "device out of range");
+        assert!(split_k >= 1, "split_k must be at least 1");
+        let next = ring.next(device);
+        let mut b = ConfigBuilder::new(n);
+        for p in 0..n {
+            let chunk = (device + n - p) % n;
+            let updates = if p == 1 {
+                2 * split_k
+            } else {
+                split_k + 1
+            };
+            if p == 0 {
+                b = b.remote_map_update(chunk, next);
+            } else if p < n - 1 {
+                b = b.dma_map_update(chunk, next, updates);
+            } else {
+                b = b.local(chunk, updates);
+            }
+        }
+        b.build()
+    }
+
+    /// Direct reduce-scatter on a fully-connected topology
+    /// (Section 7.1): every non-owned chunk is remote-updated straight
+    /// to its owner as the GEMM stores it; the owned chunk expects one
+    /// local plus N−1 remote updates. The collective itself performs
+    /// zero dedicated memory accesses.
+    pub fn direct_reduce_scatter(num_devices: usize, device: usize) -> Self {
+        assert!(device < num_devices, "device out of range");
+        let mut b = ConfigBuilder::new(num_devices);
+        for chunk in 0..num_devices {
+            if chunk == device {
+                b = b.local(chunk, num_devices as u32);
+            } else {
+                b = b.remote_map_update(chunk, chunk);
+            }
+        }
+        b.build()
+    }
+
+    /// All-to-all (Section 7.1): chunk `j` of this device's output is
+    /// remote-stored to device `j`; only the own chunk stays local.
+    pub fn all_to_all(num_devices: usize, device: usize) -> Self {
+        assert!(device < num_devices, "device out of range");
+        let mut b = ConfigBuilder::new(num_devices);
+        for chunk in 0..num_devices {
+            if chunk == device {
+                b = b.local(chunk, 1);
+            } else {
+                b = b.remote_map_store(chunk, chunk);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Builder mirroring the paper's `remote_map` / `dma_map` API
+/// (Figure 12). Chunks are declared in the device's computation order.
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    num_chunks: usize,
+    routes: Vec<ChunkRoute>,
+    chunk_ids: Vec<usize>,
+}
+
+impl ConfigBuilder {
+    /// Starts a configuration over `num_chunks` chunks.
+    pub fn new(num_chunks: usize) -> Self {
+        assert!(num_chunks >= 2, "need at least two chunks");
+        ConfigBuilder {
+            num_chunks,
+            routes: Vec::new(),
+            chunk_ids: Vec::new(),
+        }
+    }
+
+    /// `remote_map` with reduce semantics: producer stores update
+    /// `device`'s memory directly.
+    pub fn remote_map_update(self, chunk: usize, device: usize) -> Self {
+        self.push(chunk, ChunkRoute::RemoteUpdate { device })
+    }
+
+    /// `remote_map` with store semantics.
+    pub fn remote_map_store(self, chunk: usize, device: usize) -> Self {
+        self.push(chunk, ChunkRoute::RemoteStore { device })
+    }
+
+    /// `dma_map` with update semantics and a trigger threshold.
+    pub fn dma_map_update(self, chunk: usize, device: usize, updates_per_element: u32) -> Self {
+        assert!(updates_per_element >= 1, "threshold must be positive");
+        self.push(
+            chunk,
+            ChunkRoute::LocalThenDmaUpdate {
+                device,
+                updates_per_element,
+            },
+        )
+    }
+
+    /// `dma_map` with store semantics (all-gather style).
+    pub fn dma_map_store(self, chunk: usize, device: usize) -> Self {
+        self.push(chunk, ChunkRoute::LocalThenDmaStore { device })
+    }
+
+    /// A chunk kept local (typically the one this device owns).
+    pub fn local(self, chunk: usize, updates_per_element: u32) -> Self {
+        assert!(updates_per_element >= 1, "threshold must be positive");
+        self.push(
+            chunk,
+            ChunkRoute::LocalOnly {
+                updates_per_element,
+            },
+        )
+    }
+
+    fn push(mut self, chunk: usize, route: ChunkRoute) -> Self {
+        assert!(chunk < self.num_chunks, "chunk id out of range");
+        assert!(
+            !self.chunk_ids.contains(&chunk),
+            "chunk {chunk} configured twice"
+        );
+        self.chunk_ids.push(chunk);
+        self.routes.push(route);
+        self
+    }
+
+    /// Finalises the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every chunk has exactly one route.
+    pub fn build(self) -> OutputConfig {
+        assert_eq!(
+            self.chunk_ids.len(),
+            self.num_chunks,
+            "every chunk needs a route"
+        );
+        OutputConfig {
+            routes: self.routes,
+            chunk_ids: self.chunk_ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_rs_structure_matches_figure_7() {
+        let ring = Ring::new(4);
+        let cfg = OutputConfig::ring_reduce_scatter(ring, 0);
+        assert_eq!(cfg.num_chunks(), 4);
+        // Position 0: remote update of chunk 0 to device 1.
+        assert_eq!(cfg.chunk_id(0), 0);
+        assert_eq!(cfg.route(0), ChunkRoute::RemoteUpdate { device: 1 });
+        // Steady state: N-2 = 2 DMA-update chunks.
+        let dma_chunks = (0..4).filter(|&p| cfg.route(p).uses_dma()).count();
+        assert_eq!(dma_chunks, 2);
+        // Final position: the owned chunk, local only, 2 updates.
+        assert_eq!(cfg.chunk_id(3), ring.rs_owned_chunk(0));
+        assert_eq!(
+            cfg.route(3),
+            ChunkRoute::LocalOnly {
+                updates_per_element: 2
+            }
+        );
+    }
+
+    #[test]
+    fn ring_rs_chunks_follow_send_schedule() {
+        let ring = Ring::new(8);
+        for d in 0..8 {
+            let cfg = OutputConfig::ring_reduce_scatter(ring, d);
+            for p in 0..7 {
+                // The chunk computed at position p is the chunk the
+                // device sends at ring step p.
+                assert_eq!(cfg.chunk_id(p), ring.rs_send_chunk(d, p));
+            }
+        }
+    }
+
+    #[test]
+    fn two_device_ring_has_no_dma_steps() {
+        let cfg = OutputConfig::ring_reduce_scatter(Ring::new(2), 1);
+        assert_eq!(cfg.route(0), ChunkRoute::RemoteUpdate { device: 0 });
+        assert!(cfg.route(1).tracked());
+        assert!(!cfg.route(1).uses_dma());
+    }
+
+    #[test]
+    fn direct_rs_targets_owners() {
+        let cfg = OutputConfig::direct_reduce_scatter(4, 2);
+        for p in 0..4 {
+            let chunk = cfg.chunk_id(p);
+            if chunk == 2 {
+                assert_eq!(cfg.route(p).updates_per_element(), 4);
+            } else {
+                assert_eq!(cfg.route(p).destination(), Some(chunk));
+                assert!(!cfg.route(p).tracked());
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_keeps_only_own_chunk() {
+        let cfg = OutputConfig::all_to_all(4, 1);
+        let local = (0..4).filter(|&p| cfg.route(p).tracked()).count();
+        assert_eq!(local, 1);
+        assert_eq!(cfg.route(cfg.position_of_chunk(3)).destination(), Some(3));
+    }
+
+    #[test]
+    fn position_of_chunk_round_trips() {
+        let cfg = OutputConfig::ring_reduce_scatter(Ring::new(8), 3);
+        for p in 0..8 {
+            assert_eq!(cfg.position_of_chunk(cfg.chunk_id(p)), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "configured twice")]
+    fn duplicate_chunk_rejected() {
+        let _ = ConfigBuilder::new(2).local(0, 1).local(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "every chunk needs a route")]
+    fn incomplete_config_rejected() {
+        let _ = ConfigBuilder::new(3).local(0, 1).build();
+    }
+
+    #[test]
+    fn route_predicates() {
+        let r = ChunkRoute::LocalThenDmaUpdate {
+            device: 2,
+            updates_per_element: 2,
+        };
+        assert!(r.tracked());
+        assert!(r.uses_dma());
+        assert_eq!(r.destination(), Some(2));
+        assert_eq!(r.updates_per_element(), 2);
+        let s = ChunkRoute::RemoteStore { device: 1 };
+        assert!(!s.tracked());
+        assert_eq!(s.updates_per_element(), 0);
+    }
+}

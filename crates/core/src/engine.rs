@@ -1,0 +1,1178 @@
+//! Timing simulation of T3's fused GEMM + ring reduce-scatter.
+//!
+//! Follows the paper's multi-GPU methodology (Section 5.1.1, Figure
+//! 13): in a tensor-parallel node all GPUs execute homogeneously, so
+//! one GPU is simulated in full and remote traffic is *mirrored* — the
+//! incoming update stream for a chunk arrives with the timing of this
+//! GPU's own outgoing transfers for the previous chunk (which
+//! implicitly carries the neighbour's compute/communication
+//! interference, exactly as the paper argues).
+//!
+//! Per the fused schedule (Figure 7) for an `N`-GPU ring:
+//!
+//! * the first chunk's stores leave as fine-grained remote updates on
+//!   the link and never touch local DRAM;
+//! * steady-state chunks are written locally as uncached near-memory
+//!   updates; the [`Tracker`] counts the local stores (at
+//!   memory-controller enqueue, Section 4.2.1) and the incoming
+//!   mirrored updates (as DRAM services them), and fires the
+//!   pre-programmed DMA when every wavefront region of a chunk is
+//!   complete;
+//! * the DMA reads the partially-reduced chunk once and sends it; its
+//!   delivery mirrors the arrival of the *next* chunk's incoming copy;
+//! * the last chunk is the one this GPU owns: local + incoming updates
+//!   complete it in memory, with no further transfer.
+//!
+//! All DRAM traffic flows through one [`MemoryController`] under the
+//! configured arbitration policy — this is where T3 and T3-MCA differ
+//! (Sections 4.5, 6.1.2, 6.1.3).
+
+use std::collections::VecDeque;
+
+use crate::addrmap::{ChunkRoute, OutputConfig};
+use crate::tracker::{Tracker, TrackerConfig, WfId};
+use t3_gpu::engine::{GemmEngine, GemmEvent};
+use t3_gpu::gemm::GemmGrid;
+use t3_mem::arbiter::{ArbitrationPolicy, ComputeFirstPolicy, McaPolicy, RoundRobinPolicy};
+use t3_mem::controller::{MemoryController, StreamId};
+use t3_mem::llc::Llc;
+use t3_mem::nmc::ReductionSubstrate;
+use t3_net::dma::{DmaCommand, DmaEngine};
+use t3_net::ring::Ring;
+use t3_sim::config::SystemConfig;
+use t3_sim::stats::{TrafficClass, TrafficStats};
+use t3_sim::timeseries::TimeSeries;
+use t3_sim::{Bytes, Cycle};
+
+/// Arbitration policy selection for a fused run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Naive round-robin (plain T3).
+    RoundRobin,
+    /// Static compute priority (intermediate point, for ablations).
+    ComputeFirst,
+    /// T3-MCA with the dynamic first-stage intensity probe.
+    McaDynamic,
+    /// T3-MCA with a fixed occupancy threshold (threshold ablation).
+    McaFixed(usize),
+}
+
+impl PolicyChoice {
+    fn build(self, sys: &SystemConfig) -> Box<dyn ArbitrationPolicy> {
+        match self {
+            PolicyChoice::RoundRobin => Box::new(RoundRobinPolicy::new()),
+            PolicyChoice::ComputeFirst => Box::new(ComputeFirstPolicy::new()),
+            PolicyChoice::McaDynamic => Box::new(McaPolicy::new(&sys.mem)),
+            PolicyChoice::McaFixed(t) => Box::new(McaPolicy::with_fixed_threshold(t)),
+        }
+    }
+}
+
+/// Options for a fused GEMM-RS timing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusedOptions {
+    /// Memory-controller arbitration policy.
+    pub policy: PolicyChoice,
+    /// Where communication reductions execute.
+    pub substrate: ReductionSubstrate,
+    /// Staggered WG scheduling across GPUs (Section 4.4). Disabling it
+    /// delays each chunk's incoming copy by the un-overlapped ring
+    /// depth (ablation; see DESIGN.md).
+    pub stagger: bool,
+    /// Record a DRAM-traffic time series with this bucket width.
+    pub timeseries_bucket: Option<Cycle>,
+}
+
+impl Default for FusedOptions {
+    fn default() -> Self {
+        FusedOptions {
+            policy: PolicyChoice::RoundRobin,
+            substrate: ReductionSubstrate::NearMemory,
+            stagger: true,
+            timeseries_bucket: None,
+        }
+    }
+}
+
+/// Outcome of a fused GEMM-RS timing run.
+#[derive(Debug, Clone)]
+pub struct FusedRunResult {
+    /// End-to-end cycles for the fused GEMM + reduce-scatter.
+    pub cycles: Cycle,
+    /// Per-GPU DRAM traffic.
+    pub stats: TrafficStats,
+    /// Optional traffic timeline (Figure 17).
+    pub timeseries: Option<TimeSeries>,
+    /// DMA chunk transfers performed (`N-2` per GPU for ring-RS).
+    pub dma_transfers: u64,
+    /// Tracker high-water mark (hardware sizing check).
+    pub peak_tracker_entries: usize,
+    /// Bytes sent on the outbound link (remote stores + DMA payloads).
+    pub link_bytes_sent: Bytes,
+}
+
+/// Tag space: link messages tagged `>= TAG_REMOTE` are warm-up remote
+/// stores; below that, the tag is the DMA'd chunk's position.
+const TAG_REMOTE: u64 = 1 << 32;
+
+#[derive(Debug)]
+struct ChunkState {
+    wg_bounds: (u64, u64),
+    bytes: Bytes,
+    route: ChunkRoute,
+    triggered_wfs: usize,
+    expected_wfs: usize,
+    dma_fired: bool,
+    incoming_announced: Bytes,
+    feed_built: bool,
+}
+
+/// Mirror traffic scheduled to enter the comm stream at `at`.
+#[derive(Debug, Clone, Copy)]
+struct PendingIncoming {
+    at: Cycle,
+    position: usize,
+    bytes: Bytes,
+}
+
+/// A wavefront region in the incoming-update attribution FIFO.
+#[derive(Debug, Clone, Copy)]
+struct FeedEntry {
+    position: usize,
+    wf: WfId,
+    addr: u64,
+    region_bytes: Bytes,
+    consumed_bytes: Bytes,
+}
+
+/// Runs the fused GEMM + ring reduce-scatter on one (mirrored) GPU.
+///
+/// The all-gather completing the all-reduce is sequential in T3
+/// (Section 5.3) and is accounted by the configuration layer.
+///
+/// # Examples
+///
+/// ```
+/// use t3_core::engine::{run_fused_gemm_rs, FusedOptions};
+/// use t3_gpu::gemm::{GemmGrid, GemmShape};
+/// use t3_sim::config::SystemConfig;
+///
+/// let sys = SystemConfig::paper_default(); // 8-GPU ring
+/// let grid = GemmGrid::new(&sys.gpu, GemmShape::new(1024, 1024, 256));
+/// let run = run_fused_gemm_rs(&sys, grid, &FusedOptions::default());
+/// // N-2 steady-state chunks leave via Tracker-triggered DMAs.
+/// assert_eq!(run.dma_transfers, 6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `opts.substrate` cannot reduce in memory, or if the
+/// simulation fails to converge (an internal error).
+pub fn run_fused_gemm_rs(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+) -> FusedRunResult {
+    assert!(
+        opts.substrate.reduces_in_memory(),
+        "fused T3 requires an in-memory reduction substrate"
+    );
+    let n = sys.num_gpus;
+    let ring = Ring::new(n);
+    let config = OutputConfig::ring_reduce_scatter(ring, 0);
+    let elem_bytes = grid.shape().elem_bytes;
+    let update_cost = opts.substrate.update_cost_multiplier(&sys.mem);
+
+    // Position p is the p-th chunk this GPU computes. Ring-RS has two
+    // mirror-image schedules (send-to-next with descending chunk order,
+    // or send-to-prev with ascending); we simulate the ascending one so
+    // that the staggered schedule of the simulated GPU coincides with
+    // the GEMM's natural WG order — the routes per position (warm-up
+    // remote, N-2 DMA steps, owned last) are identical either way.
+    let mut chunks: Vec<ChunkState> = (0..n)
+        .map(|p| {
+            let (w0, w1) = grid.chunk_wg_bounds(n as u64, p as u64);
+            let route = config.route(p);
+            ChunkState {
+                wg_bounds: (w0, w1),
+                bytes: grid.wg_range_output_bytes(w0, w1),
+                route,
+                triggered_wfs: 0,
+                expected_wfs: if route.tracked() {
+                    count_nonempty_wfs(&grid, w0, w1)
+                } else {
+                    0
+                },
+                dma_fired: false,
+                incoming_announced: 0,
+                feed_built: false,
+            }
+        })
+        .collect();
+    let bounds: Vec<(u64, u64)> = chunks.iter().map(|c| c.wg_bounds).collect();
+
+    let mut mc = MemoryController::new(&sys.mem, opts.policy.build(sys));
+    let mut llc = Llc::new(&sys.mem);
+    let mut gemm = GemmEngine::new(&sys.gpu, grid.clone());
+    let mut dma = DmaEngine::new(&sys.link);
+    let mut tracker = Tracker::new(TrackerConfig::paper(grid.wf_tile_elems()));
+    let mut ts = opts.timeseries_bucket.map(TimeSeries::new);
+
+    let mut pending_incoming: Vec<PendingIncoming> = Vec::new();
+    let mut feed: VecDeque<FeedEntry> = VecDeque::new();
+    let mut rs_update_seen: Bytes = 0;
+    let mut remote_delivered: Bytes = 0;
+
+    // Extra delay applied to incoming announcements when stagger is
+    // disabled: the ring pipeline depth that fine-grained overlap can
+    // no longer hide (see DESIGN.md).
+    let no_stagger_delay: Cycle = if opts.stagger {
+        0
+    } else {
+        let avg_chunk = chunks.iter().map(|c| c.bytes).sum::<Bytes>() / n as u64;
+        (n as u64).saturating_sub(2)
+            * ((avg_chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
+                + sys.link.latency_cycles())
+    };
+
+    let mut remote_seq: u64 = 0;
+    let mut first_stage_done = false;
+    let mut gemm_done = false;
+    let mut dma_transfers = 0u64;
+    let mut now: Cycle = 0;
+
+    mc.reset_occupancy_window();
+
+    loop {
+        mc.step(now, ts.as_mut());
+
+        // 1. Attribute newly serviced incoming updates to the tracker.
+        let serviced = mc.stats().bytes(TrafficClass::RsUpdate);
+        if serviced > rs_update_seen {
+            let mut delta = serviced - rs_update_seen;
+            rs_update_seen = serviced;
+            while delta > 0 {
+                let entry = feed.front_mut().expect("serviced more than announced");
+                let take = delta.min(entry.region_bytes - entry.consumed_bytes);
+                entry.consumed_bytes += take;
+                delta -= take;
+                if entry.consumed_bytes == entry.region_bytes {
+                    let e = *entry;
+                    feed.pop_front();
+                    let region_elems = e.region_bytes / elem_bytes;
+                    let updates = chunks[e.position].route.updates_per_element();
+                    if tracker
+                        .record_update(e.wf, e.addr, region_elems, region_elems, updates)
+                        .is_some()
+                    {
+                        chunks[e.position].triggered_wfs += 1;
+                    }
+                }
+            }
+        }
+
+        // 2. Release due incoming announcements into the comm stream.
+        let mut i = 0;
+        while i < pending_incoming.len() {
+            if pending_incoming[i].at <= now {
+                let p = pending_incoming.swap_remove(i);
+                if !chunks[p.position].feed_built {
+                    build_feed(&grid, &chunks, &mut feed, p.position, elem_bytes);
+                    chunks[p.position].feed_built = true;
+                }
+                mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, p.bytes, update_cost);
+            } else {
+                i += 1;
+            }
+        }
+
+        // 3. Advance the producer GEMM.
+        match gemm.step(now, &mut mc, &mut llc) {
+            GemmEvent::Idle => {}
+            GemmEvent::Finished => gemm_done = true,
+            GemmEvent::StageStoresIssued {
+                wg_start, wg_end, ..
+            } => {
+                if std::env::var("T3_TRACE").is_ok() {
+                    eprintln!("[{now}] stage stores {wg_start}..{wg_end}");
+                }
+                if !first_stage_done {
+                    // T3-MCA's first-stage memory-intensity probe
+                    // (Section 4.5): the first stage ran before any
+                    // communication traffic existed.
+                    mc.observe_compute_intensity(mc.avg_occupancy_fraction());
+                    first_stage_done = true;
+                }
+                // Split the stage's WGs across chunk boundaries.
+                let mut wg = wg_start;
+                while wg < wg_end {
+                    let pos = position_of_wg(&bounds, wg);
+                    let upper = chunks[pos].wg_bounds.1.min(wg_end);
+                    let bytes = grid.wg_range_output_bytes(wg, upper);
+                    match chunks[pos].route {
+                        ChunkRoute::RemoteUpdate { .. } => {
+                            // Warm-up chunk: stores go straight onto the
+                            // link; the mirrored incoming copy for the
+                            // next chunk arrives at delivery time.
+                            dma.send_direct(now, TAG_REMOTE + remote_seq, bytes);
+                            remote_seq += 1;
+                        }
+                        ChunkRoute::LocalOnly { .. }
+                        | ChunkRoute::LocalThenDmaUpdate { .. } => {
+                            // Uncached NMC update stores on the compute
+                            // stream; tracked at MCQ enqueue.
+                            mc.enqueue(
+                                StreamId::Compute,
+                                TrafficClass::GemmWrite,
+                                bytes,
+                                update_cost,
+                            );
+                            record_local_updates(
+                                &grid,
+                                &mut tracker,
+                                &mut chunks,
+                                pos,
+                                wg,
+                                upper,
+                                elem_bytes,
+                            );
+                        }
+                        _ => unreachable!("ring-RS uses no other routes"),
+                    }
+                    wg = upper;
+                }
+            }
+        }
+
+        // 4. DMA engine: our deliveries mirror incoming traffic.
+        for delivery in dma.step(now, &mut mc) {
+            if std::env::var("T3_TRACE").is_ok() {
+                eprintln!("[{now}] delivery tag {} bytes {}", delivery.tag, delivery.bytes);
+            }
+            if delivery.tag >= TAG_REMOTE {
+                // A warm-up portion reached the neighbour; announce the
+                // proportional mirrored portion of our position-1 chunk.
+                remote_delivered += delivery.bytes;
+                let src_total = chunks[0].bytes;
+                let dst_total = chunks[1].bytes;
+                let target =
+                    (remote_delivered.saturating_mul(dst_total) / src_total).min(dst_total);
+                let incoming = target.saturating_sub(chunks[1].incoming_announced);
+                if incoming > 0 {
+                    chunks[1].incoming_announced += incoming;
+                    pending_incoming.push(PendingIncoming {
+                        at: now + no_stagger_delay,
+                        position: 1,
+                        bytes: incoming,
+                    });
+                }
+            } else {
+                // Our chunk at position `tag` was delivered; the
+                // mirrored copy for position `tag + 1` arrives now.
+                let next = delivery.tag as usize + 1;
+                assert!(next < chunks.len(), "owned chunk is never DMA'd");
+                let bytes = chunks[next].bytes - chunks[next].incoming_announced;
+                if bytes > 0 {
+                    chunks[next].incoming_announced += bytes;
+                    pending_incoming.push(PendingIncoming {
+                        at: now + no_stagger_delay,
+                        position: next,
+                        bytes,
+                    });
+                }
+            }
+        }
+
+        // 5. Fire DMAs for completed steady-state chunks.
+        for (pos, chunk) in chunks.iter_mut().enumerate() {
+            if chunk.route.uses_dma()
+                && !chunk.dma_fired
+                && chunk.triggered_wfs == chunk.expected_wfs
+            {
+                chunk.dma_fired = true;
+                dma_transfers += 1;
+                if std::env::var("T3_TRACE").is_ok() {
+                    eprintln!("[{now}] DMA fire pos {pos}");
+                }
+                dma.trigger(DmaCommand {
+                    id: pos as u64,
+                    bytes: chunk.bytes,
+                    read_class: TrafficClass::RsRead,
+                });
+            }
+        }
+
+        // Completion: producer done, every tracked chunk complete, all
+        // queues and wires drained.
+        let chunks_done = chunks
+            .iter()
+            .all(|c| !c.route.tracked() || c.triggered_wfs == c.expected_wfs);
+        if gemm_done
+            && chunks_done
+            && pending_incoming.is_empty()
+            && feed.is_empty()
+            && dma.is_idle(now)
+            && mc.is_idle()
+        {
+            break;
+        }
+
+        now += 1;
+        assert!(now < 4_000_000_000, "fused run failed to converge");
+    }
+
+    FusedRunResult {
+        cycles: now,
+        stats: mc.stats().clone(),
+        timeseries: ts,
+        dma_transfers,
+        peak_tracker_entries: tracker.peak_entries(),
+        link_bytes_sent: dma.bytes_sent(),
+    }
+}
+
+/// Runs the fused GEMM + *direct* reduce-scatter of Section 7.1 on a
+/// fully-connected topology: every non-owned chunk leaves as
+/// fine-grained remote updates on a dedicated link while the GEMM
+/// stores it, and the owned chunk is completed in memory by the
+/// mirrored incoming updates of the `N-1` peers. The collective has
+/// **zero** dedicated DRAM accesses — no DMA reads, no staging writes.
+///
+/// # Panics
+///
+/// Panics if `opts.substrate` cannot reduce in memory or the
+/// simulation fails to converge.
+pub fn run_fused_gemm_direct_rs(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+) -> FusedRunResult {
+    assert!(
+        opts.substrate.reduces_in_memory(),
+        "fused T3 requires an in-memory reduction substrate"
+    );
+    let n = sys.num_gpus;
+    let update_cost = opts.substrate.update_cost_multiplier(&sys.mem);
+    // Simulated device 0 owns chunk 0; all other chunks are
+    // remote-mapped to their owners over dedicated links.
+    let config = OutputConfig::direct_reduce_scatter(n, 0);
+    let owned_updates = config.route(0).updates_per_element();
+    let (w0, w1) = grid.chunk_wg_bounds(n as u64, 0);
+    let owned_bytes = grid.wg_range_output_bytes(w0, w1);
+    let elem_bytes = grid.shape().elem_bytes;
+
+    let mut mc = MemoryController::new(&sys.mem, opts.policy.build(sys));
+    let mut llc = Llc::new(&sys.mem);
+    let mut gemm = GemmEngine::new(&sys.gpu, grid.clone());
+    // One outbound link per peer on the fully-connected topology; all
+    // carry fine-grained remote stores.
+    let mut links: Vec<t3_net::link::Link> =
+        (0..n - 1).map(|_| t3_net::link::Link::new(&sys.link)).collect();
+    let mut tracker = Tracker::new(TrackerConfig::paper(grid.wf_tile_elems()));
+    let mut ts = opts.timeseries_bucket.map(TimeSeries::new);
+
+    // Incoming mirror: each peer streams updates for our owned chunk
+    // as it computes the corresponding region; by homogeneity, peer p
+    // produces our chunk's updates at the same time we produce chunk
+    // p's stores. Deliveries (after link latency) enter the comm
+    // stream; the tracker's feed consumes them in WF order, N-1 full
+    // passes over the owned chunk.
+    let mut feed: VecDeque<FeedEntry> = VecDeque::new();
+    for _pass in 0..(n - 1) {
+        build_direct_feed(&grid, w0, w1, &mut feed, elem_bytes);
+    }
+    let mut rs_update_seen: Bytes = 0;
+    let mut pending_incoming: Vec<(Cycle, Bytes)> = Vec::new();
+    // Exact proportional mirroring per peer chunk: bytes sent so far
+    // and incoming bytes announced so far (avoids rounding loss).
+    let mut sent_per_chunk: Vec<Bytes> = vec![0; n];
+    let mut announced_per_chunk: Vec<Bytes> = vec![0; n];
+    let mut triggered_wfs = 0usize;
+    let expected_wfs = count_nonempty_wfs(&grid, w0, w1);
+    let mut first_stage_done = false;
+    let mut gemm_done = false;
+    let mut now: Cycle = 0;
+    mc.reset_occupancy_window();
+
+    loop {
+        mc.step(now, ts.as_mut());
+
+        // Attribute serviced incoming updates to the tracker.
+        let serviced = mc.stats().bytes(TrafficClass::RsUpdate);
+        if serviced > rs_update_seen {
+            let mut delta = serviced - rs_update_seen;
+            rs_update_seen = serviced;
+            while delta > 0 {
+                let entry = feed.front_mut().expect("serviced more than announced");
+                let take = delta.min(entry.region_bytes - entry.consumed_bytes);
+                entry.consumed_bytes += take;
+                delta -= take;
+                if entry.consumed_bytes == entry.region_bytes {
+                    let e = *entry;
+                    feed.pop_front();
+                    let region_elems = e.region_bytes / elem_bytes;
+                    if tracker
+                        .record_update(e.wf, e.addr, region_elems, region_elems, owned_updates)
+                        .is_some()
+                    {
+                        triggered_wfs += 1;
+                    }
+                }
+            }
+        }
+        // Release due incoming announcements.
+        let mut i = 0;
+        while i < pending_incoming.len() {
+            if pending_incoming[i].0 <= now {
+                let (_, bytes) = pending_incoming.swap_remove(i);
+                mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, bytes, update_cost);
+            } else {
+                i += 1;
+            }
+        }
+
+        match gemm.step(now, &mut mc, &mut llc) {
+            GemmEvent::Idle => {}
+            GemmEvent::Finished => gemm_done = true,
+            GemmEvent::StageStoresIssued {
+                wg_start, wg_end, ..
+            } => {
+                if !first_stage_done {
+                    mc.observe_compute_intensity(mc.avg_occupancy_fraction());
+                    first_stage_done = true;
+                }
+                let mut wg = wg_start;
+                while wg < wg_end {
+                    // Split by chunk: chunk 0 is ours (local NMC
+                    // updates); everything else leaves on a link.
+                    let chunk = {
+                        let mut c = 0;
+                        for p in 0..n as u64 {
+                            let (a, b) = grid.chunk_wg_bounds(n as u64, p);
+                            if wg >= a && wg < b {
+                                c = p;
+                                break;
+                            }
+                        }
+                        c
+                    };
+                    let (_, cb_end) = grid.chunk_wg_bounds(n as u64, chunk);
+                    let upper = cb_end.min(wg_end);
+                    let bytes = grid.wg_range_output_bytes(wg, upper);
+                    if chunk == 0 {
+                        mc.enqueue(
+                            StreamId::Compute,
+                            TrafficClass::GemmWrite,
+                            bytes,
+                            update_cost,
+                        );
+                        record_direct_local(
+                            &grid,
+                            &mut tracker,
+                            &mut triggered_wfs,
+                            wg,
+                            upper,
+                            elem_bytes,
+                            owned_updates,
+                        );
+                    } else {
+                        // Remote stores on the dedicated link to the
+                        // chunk's owner (each peer has its own wire).
+                        let idx = (chunk as usize - 1) % links.len();
+                        let arrival = links[idx].send(now, chunk, bytes);
+                        // Mirror: a peer's remote stores for our owned
+                        // chunk arrive with the same timing,
+                        // proportionally sized to our owned chunk (an
+                        // exact cursor, so the full owned chunk is
+                        // announced once the peer chunk completes).
+                        let (ca, cb) = grid.chunk_wg_bounds(n as u64, chunk);
+                        let chunk_total = grid.wg_range_output_bytes(ca, cb);
+                        let c = chunk as usize;
+                        sent_per_chunk[c] += bytes;
+                        let target = if sent_per_chunk[c] >= chunk_total {
+                            owned_bytes
+                        } else {
+                            sent_per_chunk[c] * owned_bytes / chunk_total
+                        };
+                        let mirrored = target.saturating_sub(announced_per_chunk[c]);
+                        if mirrored > 0 {
+                            announced_per_chunk[c] = target;
+                            pending_incoming.push((arrival, mirrored));
+                        }
+                    }
+                    wg = upper;
+                }
+            }
+        }
+
+        // Drain link deliveries (arrival times were captured at send).
+        for l in &mut links {
+            let _ = l.deliveries_until(now);
+        }
+        let links_idle = links.iter().all(|l| l.is_idle(now));
+        if gemm_done
+            && triggered_wfs == expected_wfs
+            && pending_incoming.is_empty()
+            && links_idle
+            && mc.is_idle()
+        {
+            break;
+        }
+        now += 1;
+        if std::env::var("T3_TRACE").is_ok() && now.is_multiple_of(500_000) {
+            eprintln!(
+                "[{now}] direct: gemm_done={gemm_done} trig={triggered_wfs}/{expected_wfs} pend={} feed={} mc_idle={} links_idle={}",
+                pending_incoming.len(),
+                feed.len(),
+                mc.is_idle(),
+                links.iter().all(|l| l.is_idle(now))
+            );
+        }
+        assert!(now < 4_000_000_000, "direct-RS fusion failed to converge");
+    }
+
+    FusedRunResult {
+        cycles: now,
+        stats: mc.stats().clone(),
+        timeseries: ts,
+        dma_transfers: 0,
+        peak_tracker_entries: tracker.peak_entries(),
+        link_bytes_sent: links.iter().map(|l| l.total_sent()).sum(),
+    }
+}
+
+/// Runs a fused GEMM + all-to-all (Sections 7.1/7.2, expert
+/// parallelism): chunk `j` of the output is remote-*stored* to device
+/// `j` as the GEMM produces it (no local copy, no reduction), and the
+/// mirrored incoming chunks land in this device's slots as plain
+/// writes. Like direct-RS, the collective itself performs no dedicated
+/// DRAM reads.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to converge.
+pub fn run_fused_gemm_all_to_all(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+) -> FusedRunResult {
+    let n = sys.num_gpus;
+    let (w0, w1) = grid.chunk_wg_bounds(n as u64, 0);
+    let own_bytes = grid.wg_range_output_bytes(w0, w1);
+
+    let mut mc = MemoryController::new(&sys.mem, opts.policy.build(sys));
+    let mut llc = Llc::new(&sys.mem);
+    let mut gemm = GemmEngine::new(&sys.gpu, grid.clone());
+    let mut links: Vec<t3_net::link::Link> =
+        (0..n - 1).map(|_| t3_net::link::Link::new(&sys.link)).collect();
+    let mut ts = opts.timeseries_bucket.map(TimeSeries::new);
+
+    let mut pending_incoming: Vec<(Cycle, Bytes)> = Vec::new();
+    let mut sent_per_chunk: Vec<Bytes> = vec![0; n];
+    let mut announced_per_chunk: Vec<Bytes> = vec![0; n];
+    let mut incoming_enqueued: Bytes = 0;
+    let mut first_stage_done = false;
+    let mut gemm_done = false;
+    let mut now: Cycle = 0;
+    mc.reset_occupancy_window();
+
+    loop {
+        mc.step(now, ts.as_mut());
+        let mut i = 0;
+        while i < pending_incoming.len() {
+            if pending_incoming[i].0 <= now {
+                let (_, bytes) = pending_incoming.swap_remove(i);
+                incoming_enqueued += bytes;
+                mc.enqueue(StreamId::Comm, TrafficClass::AgWrite, bytes, 1.0);
+            } else {
+                i += 1;
+            }
+        }
+        match gemm.step(now, &mut mc, &mut llc) {
+            GemmEvent::Idle => {}
+            GemmEvent::Finished => gemm_done = true,
+            GemmEvent::StageStoresIssued {
+                wg_start, wg_end, ..
+            } => {
+                if !first_stage_done {
+                    mc.observe_compute_intensity(mc.avg_occupancy_fraction());
+                    first_stage_done = true;
+                }
+                let mut wg = wg_start;
+                while wg < wg_end {
+                    let mut chunk = 0u64;
+                    for p in 0..n as u64 {
+                        let (a, b) = grid.chunk_wg_bounds(n as u64, p);
+                        if wg >= a && wg < b {
+                            chunk = p;
+                            break;
+                        }
+                    }
+                    let (ca, cb) = grid.chunk_wg_bounds(n as u64, chunk);
+                    let upper = cb.min(wg_end);
+                    let bytes = grid.wg_range_output_bytes(wg, upper);
+                    if chunk == 0 {
+                        // Own slot: stays local (uncached store).
+                        mc.enqueue(StreamId::Compute, TrafficClass::GemmWrite, bytes, 1.0);
+                    } else {
+                        let idx = (chunk as usize - 1) % links.len();
+                        let arrival = links[idx].send(now, chunk, bytes);
+                        let chunk_total = grid.wg_range_output_bytes(ca, cb);
+                        let c = chunk as usize;
+                        sent_per_chunk[c] += bytes;
+                        let target = if sent_per_chunk[c] >= chunk_total {
+                            own_bytes
+                        } else {
+                            sent_per_chunk[c] * own_bytes / chunk_total
+                        };
+                        let mirrored = target.saturating_sub(announced_per_chunk[c]);
+                        if mirrored > 0 {
+                            announced_per_chunk[c] = target;
+                            pending_incoming.push((arrival, mirrored));
+                        }
+                    }
+                    wg = upper;
+                }
+            }
+        }
+        for l in &mut links {
+            let _ = l.deliveries_until(now);
+        }
+        let links_idle = links.iter().all(|l| l.is_idle(now));
+        if gemm_done && pending_incoming.is_empty() && links_idle && mc.is_idle() {
+            break;
+        }
+        now += 1;
+        assert!(now < 4_000_000_000, "all-to-all fusion failed to converge");
+    }
+    let _ = incoming_enqueued;
+    FusedRunResult {
+        cycles: now,
+        stats: mc.stats().clone(),
+        timeseries: ts,
+        dma_transfers: 0,
+        peak_tracker_entries: 0,
+        link_bytes_sent: links.iter().map(|l| l.total_sent()).sum(),
+    }
+}
+
+/// Appends the owned chunk's WF regions to the attribution FIFO (one/// Appends the owned chunk's WF regions to the attribution FIFO (one
+/// pass; the direct-RS feed is `N-1` passes).
+fn build_direct_feed(
+    grid: &GemmGrid,
+    w0: u64,
+    w1: u64,
+    feed: &mut VecDeque<FeedEntry>,
+    elem_bytes: u64,
+) {
+    let wfs = grid.wfs_per_wg();
+    for wg in w0..w1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let region_bytes = ((r1 - r0) as u64) * t.width * elem_bytes;
+            if region_bytes == 0 {
+                continue;
+            }
+            feed.push_back(FeedEntry {
+                position: 0,
+                wf: WfId { wg, wf },
+                addr: region_addr + (r0 as u64) * t.width * elem_bytes,
+                region_bytes,
+                consumed_bytes: 0,
+            });
+        }
+    }
+}
+
+/// Records the owned chunk's local NMC stores at MCQ enqueue.
+fn record_direct_local(
+    grid: &GemmGrid,
+    tracker: &mut Tracker,
+    triggered_wfs: &mut usize,
+    w0: u64,
+    w1: u64,
+    elem_bytes: u64,
+    updates: u32,
+) {
+    let wfs = grid.wfs_per_wg();
+    for wg in w0..w1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let elems = ((r1 - r0) as u64) * t.width;
+            if elems == 0 {
+                continue;
+            }
+            let addr = region_addr + (r0 as u64) * t.width * elem_bytes;
+            if tracker
+                .record_update(WfId { wg, wf }, addr, elems, elems, updates)
+                .is_some()
+            {
+                *triggered_wfs += 1;
+            }
+        }
+    }
+}
+
+fn position_of_wg(bounds: &[(u64, u64)], wg: u64) -> usize {
+    bounds
+        .iter()
+        .position(|&(w0, w1)| wg >= w0 && wg < w1)
+        .expect("wg outside chunk space")
+}
+
+/// Counts WFs with non-empty output regions in a WG range.
+fn count_nonempty_wfs(grid: &GemmGrid, w0: u64, w1: u64) -> usize {
+    let wfs = grid.wfs_per_wg();
+    (w0..w1)
+        .map(|wg| {
+            let h = grid.wg_tile(wg).height as usize;
+            (0..wfs)
+                .filter(|&wf| {
+                    let (r0, r1) = crate::fused::wf_rows(h, wfs, wf);
+                    r1 > r0
+                })
+                .count()
+        })
+        .sum()
+}
+
+/// Records local NMC-update stores for WGs `[w0, w1)` of the chunk at
+/// `pos` in the tracker (one full region per WF, counted when the
+/// stores enter the memory-controller queue).
+fn record_local_updates(
+    grid: &GemmGrid,
+    tracker: &mut Tracker,
+    chunks: &mut [ChunkState],
+    pos: usize,
+    w0: u64,
+    w1: u64,
+    elem_bytes: u64,
+) {
+    let wfs = grid.wfs_per_wg();
+    let updates = chunks[pos].route.updates_per_element();
+    for wg in w0..w1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let elems = ((r1 - r0) as u64) * t.width;
+            if elems == 0 {
+                continue;
+            }
+            let addr = region_addr + (r0 as u64) * t.width * elem_bytes;
+            if tracker
+                .record_update(WfId { wg, wf }, addr, elems, elems, updates)
+                .is_some()
+            {
+                chunks[pos].triggered_wfs += 1;
+            }
+        }
+    }
+}
+
+/// Appends all WF regions of `position`'s chunk to the attribution
+/// FIFO, in WG/WF order. Attribution advances only as the memory
+/// controller actually services announced bytes, so building the full
+/// feed up front is safe.
+fn build_feed(
+    grid: &GemmGrid,
+    chunks: &[ChunkState],
+    feed: &mut VecDeque<FeedEntry>,
+    position: usize,
+    elem_bytes: u64,
+) {
+    let wfs = grid.wfs_per_wg();
+    let (w0, w1) = chunks[position].wg_bounds;
+    for wg in w0..w1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let region_bytes = ((r1 - r0) as u64) * t.width * elem_bytes;
+            if region_bytes == 0 {
+                continue;
+            }
+            feed.push_back(FeedEntry {
+                position,
+                wf: WfId { wg, wf },
+                addr: region_addr + (r0 as u64) * t.width * elem_bytes,
+                region_bytes,
+                consumed_bytes: 0,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_gpu::collective::{CollectiveKind, RingCollective};
+    use t3_gpu::engine::{run_gemm_isolated, WritePolicy};
+    use t3_gpu::gemm::GemmShape;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    /// A mid-size sliced GEMM: more stages than chunks, several WGs per
+    /// chunk, still fast enough for debug-mode tests.
+    fn test_grid(sys: &SystemConfig) -> GemmGrid {
+        GemmGrid::new(&sys.gpu, GemmShape::new(4096, 4096, 512))
+    }
+
+    fn fused(sys: &SystemConfig, opts: &FusedOptions) -> FusedRunResult {
+        run_fused_gemm_rs(sys, test_grid(sys), opts)
+    }
+
+    #[test]
+    fn fused_run_completes_and_counts_dmas() {
+        let s = sys();
+        let r = fused(&s, &FusedOptions::default());
+        assert_eq!(r.dma_transfers, (s.num_gpus - 2) as u64);
+        assert!(r.cycles > 0);
+        assert!(r.peak_tracker_entries > 0);
+    }
+
+    #[test]
+    fn fused_traffic_accounting_matches_schedule() {
+        let s = sys();
+        let grid = test_grid(&s);
+        let out = grid.shape().output_bytes();
+        let n = s.num_gpus as u64;
+        let r = fused(&s, &FusedOptions::default());
+        let chunk = out / n;
+        let near = |got: Bytes, want: Bytes, what: &str| {
+            let tol = 64 * 1024;
+            assert!(
+                got + tol > want && got < want + tol,
+                "{what}: got {got}, want ~{want}"
+            );
+        };
+        // Local GEMM writes: all chunks except the warm-up one.
+        near(
+            r.stats.bytes(TrafficClass::GemmWrite),
+            out - chunk,
+            "GEMM writes",
+        );
+        // Incoming updates: chunks at positions 1..N.
+        near(r.stats.bytes(TrafficClass::RsUpdate), out - chunk, "updates");
+        // DMA source reads: the N-2 steady-state chunks.
+        near(
+            r.stats.bytes(TrafficClass::RsRead),
+            out - 2 * chunk,
+            "DMA reads",
+        );
+        // Link carried the warm-up chunk + N-2 DMA chunks.
+        near(r.link_bytes_sent, out - chunk, "link bytes");
+    }
+
+    #[test]
+    fn fused_beats_sequential() {
+        let s = sys();
+        let grid = test_grid(&s);
+        let gemm = run_gemm_isolated(&s, grid.clone(), WritePolicy::CachedLocal);
+        let rs = RingCollective::baseline(
+            CollectiveKind::ReduceScatter,
+            grid.shape().output_bytes(),
+            &s,
+        )
+        .simulate(&s);
+        let sequential = gemm.cycles + rs.cycles;
+        let r = fused(&s, &FusedOptions::default());
+        assert!(
+            r.cycles < sequential,
+            "fused {} must beat sequential {}",
+            r.cycles,
+            sequential
+        );
+    }
+
+    #[test]
+    fn fused_cannot_beat_the_gemm_itself() {
+        let s = sys();
+        let grid = test_grid(&s);
+        let gemm = run_gemm_isolated(&s, grid.clone(), WritePolicy::BypassLocal);
+        let r = fused(&s, &FusedOptions::default());
+        assert!(
+            r.cycles as f64 > gemm.cycles as f64 * 0.95,
+            "fused {} impossibly fast vs GEMM-only {}",
+            r.cycles,
+            gemm.cycles
+        );
+    }
+
+    #[test]
+    fn mca_is_at_least_as_good_as_round_robin() {
+        let s = sys();
+        let rr = fused(
+            &s,
+            &FusedOptions {
+                policy: PolicyChoice::RoundRobin,
+                ..FusedOptions::default()
+            },
+        );
+        let mca = fused(
+            &s,
+            &FusedOptions {
+                policy: PolicyChoice::McaDynamic,
+                ..FusedOptions::default()
+            },
+        );
+        assert!(
+            mca.cycles as f64 <= rr.cycles as f64 * 1.02,
+            "MCA {} should not lose to round-robin {}",
+            mca.cycles,
+            rr.cycles
+        );
+    }
+
+    #[test]
+    fn no_stagger_is_slower() {
+        let s = sys();
+        let st = fused(&s, &FusedOptions::default());
+        let no = fused(
+            &s,
+            &FusedOptions {
+                stagger: false,
+                ..FusedOptions::default()
+            },
+        );
+        assert!(
+            no.cycles > st.cycles,
+            "no-stagger {} must exceed staggered {}",
+            no.cycles,
+            st.cycles
+        );
+    }
+
+    #[test]
+    fn timeseries_records_overlapped_traffic() {
+        let s = sys();
+        let r = fused(
+            &s,
+            &FusedOptions {
+                timeseries_bucket: Some(4096),
+                ..FusedOptions::default()
+            },
+        );
+        let ts = r.timeseries.expect("requested");
+        assert_eq!(
+            ts.total(TrafficClass::RsUpdate),
+            r.stats.bytes(TrafficClass::RsUpdate)
+        );
+        // Somewhere, GEMM and RS traffic must share a bucket — that is
+        // the whole point of fine-grained overlap.
+        let overlapped = ts.rows().any(|(_, b)| {
+            b[TrafficClass::GemmRead.index()] > 0 && b[TrafficClass::RsUpdate.index()] > 0
+        });
+        assert!(overlapped, "no bucket shows overlapped traffic");
+    }
+
+    #[test]
+    fn atomics_substrate_is_no_faster_than_nmc() {
+        let s = sys();
+        let nmc = fused(&s, &FusedOptions::default());
+        let atomics = fused(
+            &s,
+            &FusedOptions {
+                substrate: ReductionSubstrate::SystemAtomics,
+                ..FusedOptions::default()
+            },
+        );
+        assert!(atomics.cycles >= nmc.cycles);
+    }
+
+    #[test]
+    fn two_gpu_ring_works_without_dma() {
+        let mut s = sys();
+        s.num_gpus = 2;
+        let r = fused(&s, &FusedOptions::default());
+        assert_eq!(r.dma_transfers, 0);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn direct_rs_fusion_eliminates_collective_memory_traffic() {
+        let s = sys();
+        let grid = test_grid(&s);
+        let r = run_fused_gemm_direct_rs(&s, grid.clone(), &FusedOptions::default());
+        // Section 7.1: no DMA source reads, no staging writes — the
+        // only RS traffic is the incoming updates for the owned chunk.
+        assert_eq!(r.stats.bytes(TrafficClass::RsRead), 0);
+        assert_eq!(r.dma_transfers, 0);
+        let n = s.num_gpus as u64;
+        let chunk = grid.shape().output_bytes() / n;
+        let upd = r.stats.bytes(TrafficClass::RsUpdate);
+        let want = chunk * (n - 1);
+        assert!(
+            upd + 65536 > want && upd < want + 65536,
+            "incoming updates {upd} vs expected {want}"
+        );
+        // Local writes: only the owned chunk.
+        let w = r.stats.bytes(TrafficClass::GemmWrite);
+        assert!(w + 65536 > chunk && w < chunk + 65536, "local writes {w}");
+    }
+
+    #[test]
+    fn direct_rs_beats_ring_rs_fusion() {
+        // With dedicated links and no DMA chain, direct-RS should not
+        // lose to the ring schedule.
+        let s = sys();
+        let grid = test_grid(&s);
+        let ring = run_fused_gemm_rs(&s, grid.clone(), &FusedOptions::default());
+        let direct = run_fused_gemm_direct_rs(&s, grid, &FusedOptions::default());
+        assert!(
+            direct.cycles <= ring.cycles,
+            "direct {} vs ring {}",
+            direct.cycles,
+            ring.cycles
+        );
+    }
+
+    #[test]
+    fn all_to_all_fusion_overlaps_exchange() {
+        let s = sys();
+        let grid = test_grid(&s);
+        let fused = run_fused_gemm_all_to_all(&s, grid.clone(), &FusedOptions::default());
+        // Sequential: GEMM + an all-to-all exchanging (N-1)/N of the
+        // output each way (the exchange is link-bound and pipelined
+        // across dedicated links, so one chunk serialisation + writes).
+        let gemm = t3_gpu::engine::run_gemm_isolated(
+            &s,
+            grid.clone(),
+            t3_gpu::engine::WritePolicy::BypassLocal,
+        );
+        let chunk = grid.shape().output_bytes() / s.num_gpus as u64;
+        let exchange = (chunk as f64 / s.link.bytes_per_cycle()).ceil() as u64
+            + s.link.latency_cycles();
+        assert!(
+            fused.cycles < gemm.cycles + exchange * 2,
+            "fused {} should hide most of the exchange ({} + {})",
+            fused.cycles,
+            gemm.cycles,
+            exchange
+        );
+        // Incoming slots: N-1 chunks of plain writes.
+        let incoming = fused.stats.bytes(TrafficClass::AgWrite);
+        let want = chunk * (s.num_gpus as u64 - 1);
+        assert!(incoming + 65536 > want && incoming < want + 65536);
+        assert_eq!(fused.stats.bytes(TrafficClass::RsRead), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-memory reduction substrate")]
+    fn cu_substrate_rejected() {
+        let s = sys();
+        let _ = fused(
+            &s,
+            &FusedOptions {
+                substrate: ReductionSubstrate::ComputeUnits,
+                ..FusedOptions::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! Explicit multi-GPU simulation of the fused GEMM + ring
+//! reduce-scatter — every GPU simulated, real cross-GPU traffic.
+//!
+//! The paper (and [`crate::engine`]) exploit the homogeneity of
+//! tensor-parallel execution to simulate one GPU and mirror its
+//! outgoing traffic as the incoming stream (Section 5.1.1). This
+//! module drops that assumption: all `N` GPUs run their own GEMM
+//! engine, memory controller, LLC, Tracker and DMA engine, and every
+//! chunk travels on a real link from its producer to its consumer.
+//!
+//! Its purpose is to *validate the mirrored methodology*: for
+//! homogeneous GPUs, [`run_multi_gpu_fused_rs`] and
+//! [`crate::engine::run_fused_gemm_rs`] must agree closely (the
+//! `mirrored_methodology_validation` test and the `figures extensions`
+//! target check this), and the per-GPU finish-time skew must be small.
+//!
+//! Schedule (the ascending mirror-image ring, as in the single-GPU
+//! engine): device `d` computes global chunk `(d + p) mod N` at local
+//! position `p` and sends to `prev(d)`; it receives position `p+1`'s
+//! chunk from `next(d)`. Position 0 leaves as fine-grained remote
+//! stores; positions `1..=N-2` as Tracker-triggered DMA updates; the
+//! last position is the owned chunk.
+
+use std::collections::VecDeque;
+
+use crate::addrmap::{ChunkRoute, OutputConfig};
+use crate::engine::{FusedOptions, FusedRunResult};
+use crate::tracker::{Tracker, TrackerConfig, WfId};
+use t3_gpu::engine::{GemmEngine, GemmEvent};
+use t3_gpu::gemm::GemmGrid;
+use t3_mem::controller::{MemoryController, StreamId};
+use t3_mem::llc::Llc;
+use t3_net::link::Link;
+use t3_net::ring::Ring;
+use t3_sim::config::SystemConfig;
+use t3_sim::stats::{TrafficClass, TrafficStats};
+use t3_sim::{Bytes, Cycle};
+
+/// Result of an explicit multi-GPU fused run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult {
+    /// Cycle at which the slowest GPU finished.
+    pub cycles: Cycle,
+    /// Per-GPU completion times.
+    pub per_gpu_cycles: Vec<Cycle>,
+    /// Per-GPU DRAM traffic.
+    pub per_gpu_stats: Vec<TrafficStats>,
+    /// Max minus min completion time (homogeneity check).
+    pub skew: Cycle,
+    /// Total DMA chunk transfers across GPUs.
+    pub dma_transfers: u64,
+}
+
+impl MultiGpuResult {
+    /// The mean per-GPU completion time.
+    pub fn mean_cycles(&self) -> f64 {
+        self.per_gpu_cycles.iter().sum::<Cycle>() as f64 / self.per_gpu_cycles.len() as f64
+    }
+
+    /// Relative difference between this run and a mirrored
+    /// single-GPU result.
+    pub fn mirror_error(&self, mirrored: &FusedRunResult) -> f64 {
+        let a = self.cycles as f64;
+        let b = mirrored.cycles as f64;
+        (a - b).abs() / b
+    }
+}
+
+/// One wavefront region awaiting incoming-update attribution.
+#[derive(Debug, Clone, Copy)]
+struct FeedEntry {
+    position: usize,
+    wf: WfId,
+    addr: u64,
+    region_bytes: Bytes,
+    consumed_bytes: Bytes,
+}
+
+/// Per-position bookkeeping.
+#[derive(Debug)]
+struct ChunkState {
+    /// Local WG bounds of this position in the device's execution
+    /// order.
+    wg_bounds: (u64, u64),
+    /// Global chunk id this position computes.
+    global_chunk: usize,
+    bytes: Bytes,
+    route: ChunkRoute,
+    triggered_wfs: usize,
+    expected_wfs: usize,
+    dma_fired: bool,
+    feed_built: bool,
+}
+
+/// One simulated GPU.
+struct Gpu {
+    mc: MemoryController,
+    llc: Llc,
+    gemm: GemmEngine,
+    tracker: Tracker,
+    /// Outbound link to `prev(d)` (the ascending schedule sends
+    /// backwards around the ring).
+    link: Link,
+    chunks: Vec<ChunkState>,
+    feed: VecDeque<FeedEntry>,
+    rs_update_seen: Bytes,
+    /// Pending DMA source reads: (position, serviced-read target).
+    dma_reading: Option<(usize, Bytes)>,
+    dma_queue: VecDeque<usize>,
+    first_stage_done: bool,
+    gemm_done: bool,
+    finished_at: Option<Cycle>,
+    dma_transfers: u64,
+}
+
+/// Message payload on a link: which global chunk and how many bytes.
+#[derive(Debug, Clone, Copy)]
+struct Incoming {
+    global_chunk: usize,
+    bytes: Bytes,
+}
+
+/// Runs the fused GEMM-RS with every GPU simulated explicitly.
+///
+/// # Panics
+///
+/// Panics if the substrate cannot reduce in memory, or on
+/// non-convergence (internal error).
+pub fn run_multi_gpu_fused_rs(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+) -> MultiGpuResult {
+    assert!(
+        opts.substrate.reduces_in_memory(),
+        "fused T3 requires an in-memory reduction substrate"
+    );
+    assert!(opts.stagger, "the explicit model always staggers");
+    let n = sys.num_gpus;
+    let ring = Ring::new(n);
+    let config = OutputConfig::ring_reduce_scatter(ring, 0);
+    let elem_bytes = grid.shape().elem_bytes;
+    let update_cost = opts.substrate.update_cost_multiplier(&sys.mem);
+
+    // Global chunk geometry.
+    let global_bounds: Vec<(u64, u64)> = (0..n)
+        .map(|c| grid.chunk_wg_bounds(n as u64, c as u64))
+        .collect();
+
+    let mut gpus: Vec<Gpu> = (0..n)
+        .map(|d| {
+            // Local execution order: positions 0..n, position p being
+            // global chunk (d + p) % n. Local WG bounds accumulate the
+            // global chunk sizes in that rotated order.
+            let mut chunks = Vec::with_capacity(n);
+            let mut cursor = 0u64;
+            for p in 0..n {
+                let global_chunk = (d + p) % n;
+                let (g0, g1) = global_bounds[global_chunk];
+                let size = g1 - g0;
+                let route = config.route(p);
+                chunks.push(ChunkState {
+                    wg_bounds: (cursor, cursor + size),
+                    global_chunk,
+                    bytes: grid.wg_range_output_bytes(g0, g1),
+                    route,
+                    triggered_wfs: 0,
+                    expected_wfs: if route.tracked() {
+                        count_nonempty_wfs(&grid, g0, g1)
+                    } else {
+                        0
+                    },
+                    dma_fired: false,
+                    feed_built: false,
+                });
+                cursor += size;
+            }
+            Gpu {
+                mc: MemoryController::new(&sys.mem, build_policy(opts, sys)),
+                llc: Llc::new(&sys.mem),
+                gemm: GemmEngine::new(&sys.gpu, grid.clone()),
+                tracker: Tracker::new(TrackerConfig::paper(grid.wf_tile_elems())),
+                link: Link::new(&sys.link),
+                chunks,
+                feed: VecDeque::new(),
+                rs_update_seen: 0,
+                dma_reading: None,
+                dma_queue: VecDeque::new(),
+                first_stage_done: false,
+                gemm_done: false,
+                finished_at: None,
+                dma_transfers: 0,
+            }
+        })
+        .collect();
+
+    let mut now: Cycle = 0;
+    loop {
+        // Phase A: per-GPU local work; collect outbound sends.
+        let mut arrivals: Vec<Vec<Incoming>> = vec![Vec::new(); n];
+        for d in 0..n {
+            // Drain this GPU's link deliveries: they arrive at prev(d).
+            let dst = ring.prev(d);
+            for delivery in gpus[d].link.deliveries_until(now) {
+                arrivals[dst].push(Incoming {
+                    global_chunk: delivery.tag as usize,
+                    bytes: delivery.bytes,
+                });
+            }
+        }
+        for (d, incoming_list) in arrivals.into_iter().enumerate() {
+            let gpu = &mut gpus[d];
+            for incoming in incoming_list {
+                let pos = gpu
+                    .chunks
+                    .iter()
+                    .position(|c| c.global_chunk == incoming.global_chunk)
+                    .expect("chunk routed to wrong GPU");
+                if !gpu.chunks[pos].feed_built {
+                    build_feed(&grid, global_bounds[incoming.global_chunk], pos, &mut gpu.feed, elem_bytes);
+                    gpu.chunks[pos].feed_built = true;
+                }
+                gpu.mc.enqueue(
+                    StreamId::Comm,
+                    TrafficClass::RsUpdate,
+                    incoming.bytes,
+                    update_cost,
+                );
+            }
+        }
+
+        for d in 0..n {
+            let gpu = &mut gpus[d];
+            gpu.mc.step(now, None);
+
+            // Attribute serviced incoming updates.
+            let serviced = gpu.mc.stats().bytes(TrafficClass::RsUpdate);
+            if serviced > gpu.rs_update_seen {
+                let mut delta = serviced - gpu.rs_update_seen;
+                gpu.rs_update_seen = serviced;
+                while delta > 0 {
+                    let entry = gpu.feed.front_mut().expect("serviced more than announced");
+                    let take = delta.min(entry.region_bytes - entry.consumed_bytes);
+                    entry.consumed_bytes += take;
+                    delta -= take;
+                    if entry.consumed_bytes == entry.region_bytes {
+                        let e = *entry;
+                        gpu.feed.pop_front();
+                        let region_elems = e.region_bytes / elem_bytes;
+                        let updates = gpu.chunks[e.position].route.updates_per_element();
+                        if gpu
+                            .tracker
+                            .record_update(e.wf, e.addr, region_elems, region_elems, updates)
+                            .is_some()
+                        {
+                            gpu.chunks[e.position].triggered_wfs += 1;
+                        }
+                    }
+                }
+            }
+
+            // GEMM progress.
+            match gpu.gemm.step(now, &mut gpu.mc, &mut gpu.llc) {
+                GemmEvent::Idle => {}
+                GemmEvent::Finished => gpu.gemm_done = true,
+                GemmEvent::StageStoresIssued {
+                    wg_start, wg_end, ..
+                } => {
+                    if !gpu.first_stage_done {
+                        let frac = gpu.mc.avg_occupancy_fraction();
+                        gpu.mc.observe_compute_intensity(frac);
+                        gpu.first_stage_done = true;
+                    }
+                    let mut wg = wg_start;
+                    while wg < wg_end {
+                        let pos = gpu
+                            .chunks
+                            .iter()
+                            .position(|c| wg >= c.wg_bounds.0 && wg < c.wg_bounds.1)
+                            .expect("wg outside chunk space");
+                        let upper = gpu.chunks[pos].wg_bounds.1.min(wg_end);
+                        // Bytes via the *global* chunk's tiles: local WG
+                        // index offsets map 1:1 onto the rotated global
+                        // range.
+                        let (g0, _) = global_bounds[gpu.chunks[pos].global_chunk];
+                        let local0 = gpu.chunks[pos].wg_bounds.0;
+                        let bytes = grid
+                            .wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
+                        match gpu.chunks[pos].route {
+                            ChunkRoute::RemoteUpdate { .. } => {
+                                gpu.link.send(
+                                    now,
+                                    gpu.chunks[pos].global_chunk as u64,
+                                    bytes,
+                                );
+                            }
+                            ChunkRoute::LocalOnly { .. }
+                            | ChunkRoute::LocalThenDmaUpdate { .. } => {
+                                gpu.mc.enqueue(
+                                    StreamId::Compute,
+                                    TrafficClass::GemmWrite,
+                                    bytes,
+                                    update_cost,
+                                );
+                                record_local(
+                                    &grid,
+                                    gpu,
+                                    pos,
+                                    g0 + (wg - local0),
+                                    g0 + (upper - local0),
+                                    elem_bytes,
+                                );
+                            }
+                            _ => unreachable!("ring-RS uses no other routes"),
+                        }
+                        wg = upper;
+                    }
+                }
+            }
+
+            // DMA engine: one source read in flight, then the link.
+            if let Some((pos, target)) = gpu.dma_reading {
+                if gpu.mc.stats().bytes(TrafficClass::RsRead) >= target {
+                    gpu.link
+                        .send(now, gpu.chunks[pos].global_chunk as u64, gpu.chunks[pos].bytes);
+                    gpu.dma_transfers += 1;
+                    gpu.dma_reading = None;
+                }
+            }
+            if gpu.dma_reading.is_none() {
+                if let Some(pos) = gpu.dma_queue.pop_front() {
+                    let target =
+                        gpu.mc.stats().bytes(TrafficClass::RsRead) + gpu.chunks[pos].bytes;
+                    gpu.mc.enqueue(
+                        StreamId::Comm,
+                        TrafficClass::RsRead,
+                        gpu.chunks[pos].bytes,
+                        1.0,
+                    );
+                    gpu.dma_reading = Some((pos, target));
+                }
+            }
+            // Fire DMAs for completed steady-state chunks.
+            for pos in 0..gpu.chunks.len() {
+                let c = &mut gpu.chunks[pos];
+                if c.route.uses_dma() && !c.dma_fired && c.triggered_wfs == c.expected_wfs {
+                    c.dma_fired = true;
+                    gpu.dma_queue.push_back(pos);
+                }
+            }
+
+            // Completion bookkeeping (link payloads may still be in
+            // flight toward the neighbour; that time belongs to the
+            // receiver, which cannot finish before consuming them).
+            let chunks_done = gpu
+                .chunks
+                .iter()
+                .all(|c| !c.route.tracked() || c.triggered_wfs == c.expected_wfs);
+            if gpu.finished_at.is_none()
+                && gpu.gemm_done
+                && chunks_done
+                && gpu.feed.is_empty()
+                && gpu.dma_reading.is_none()
+                && gpu.dma_queue.is_empty()
+                && gpu.mc.is_idle()
+            {
+                gpu.finished_at = Some(now);
+            }
+        }
+
+        let all_done = gpus.iter().all(|g| g.finished_at.is_some())
+            && gpus
+                .iter()
+                .all(|g| g.link.is_idle(now) || g.link.busy_until() <= now);
+        if all_done {
+            break;
+        }
+        now += 1;
+        assert!(now < 4_000_000_000, "multi-GPU run failed to converge");
+    }
+
+    let per_gpu_cycles: Vec<Cycle> = gpus
+        .iter()
+        .map(|g| g.finished_at.expect("all finished"))
+        .collect();
+    let max = *per_gpu_cycles.iter().max().expect("non-empty");
+    let min = *per_gpu_cycles.iter().min().expect("non-empty");
+    MultiGpuResult {
+        cycles: max,
+        skew: max - min,
+        per_gpu_stats: gpus.iter().map(|g| g.mc.stats().clone()).collect(),
+        dma_transfers: gpus.iter().map(|g| g.dma_transfers).sum(),
+        per_gpu_cycles,
+    }
+}
+
+fn build_policy(
+    opts: &FusedOptions,
+    sys: &SystemConfig,
+) -> Box<dyn t3_mem::arbiter::ArbitrationPolicy> {
+    use crate::engine::PolicyChoice;
+    use t3_mem::arbiter::{ComputeFirstPolicy, McaPolicy, RoundRobinPolicy};
+    match opts.policy {
+        PolicyChoice::RoundRobin => Box::new(RoundRobinPolicy::new()),
+        PolicyChoice::ComputeFirst => Box::new(ComputeFirstPolicy::new()),
+        PolicyChoice::McaDynamic => Box::new(McaPolicy::new(&sys.mem)),
+        PolicyChoice::McaFixed(t) => Box::new(McaPolicy::with_fixed_threshold(t)),
+    }
+}
+
+fn count_nonempty_wfs(grid: &GemmGrid, w0: u64, w1: u64) -> usize {
+    let wfs = grid.wfs_per_wg();
+    (w0..w1)
+        .map(|wg| {
+            let h = grid.wg_tile(wg).height as usize;
+            (0..wfs)
+                .filter(|&wf| {
+                    let (r0, r1) = crate::fused::wf_rows(h, wfs, wf);
+                    r1 > r0
+                })
+                .count()
+        })
+        .sum()
+}
+
+fn build_feed(
+    grid: &GemmGrid,
+    global_bounds: (u64, u64),
+    position: usize,
+    feed: &mut VecDeque<FeedEntry>,
+    elem_bytes: u64,
+) {
+    let wfs = grid.wfs_per_wg();
+    for wg in global_bounds.0..global_bounds.1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let region_bytes = ((r1 - r0) as u64) * t.width * elem_bytes;
+            if region_bytes == 0 {
+                continue;
+            }
+            feed.push_back(FeedEntry {
+                position,
+                wf: WfId { wg, wf },
+                addr: region_addr + (r0 as u64) * t.width * elem_bytes,
+                region_bytes,
+                consumed_bytes: 0,
+            });
+        }
+    }
+}
+
+fn record_local(grid: &GemmGrid, gpu: &mut Gpu, pos: usize, w0: u64, w1: u64, elem_bytes: u64) {
+    let wfs = grid.wfs_per_wg();
+    let updates = gpu.chunks[pos].route.updates_per_element();
+    for wg in w0..w1 {
+        let t = grid.wg_tile(wg);
+        let (region_addr, _) = grid.wg_output_region(wg);
+        for wf in 0..wfs {
+            let (r0, r1) = crate::fused::wf_rows(t.height as usize, wfs, wf);
+            let elems = ((r1 - r0) as u64) * t.width;
+            if elems == 0 {
+                continue;
+            }
+            let addr = region_addr + (r0 as u64) * t.width * elem_bytes;
+            if gpu
+                .tracker
+                .record_update(WfId { wg, wf }, addr, elems, elems, updates)
+                .is_some()
+            {
+                gpu.chunks[pos].triggered_wfs += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_fused_gemm_rs;
+    use t3_gpu::gemm::GemmShape;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    fn grid_of(sys: &SystemConfig) -> GemmGrid {
+        GemmGrid::new(&sys.gpu, GemmShape::new(4096, 4096, 512))
+    }
+
+    #[test]
+    fn all_gpus_complete_with_zero_skew() {
+        // Fully homogeneous inputs: every GPU must finish at the same
+        // cycle (this is the paper's homogeneity argument made exact).
+        let s = sys();
+        let r = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
+        assert_eq!(r.skew, 0, "homogeneous GPUs must not skew");
+        assert_eq!(r.per_gpu_cycles.len(), s.num_gpus);
+        assert_eq!(r.dma_transfers, (s.num_gpus * (s.num_gpus - 2)) as u64);
+    }
+
+    #[test]
+    fn mirrored_methodology_validation() {
+        // The explicit N-GPU run and the mirrored single-GPU run must
+        // agree closely (paper Section 5.1.1's justification).
+        let s = sys();
+        let explicit = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
+        let mirrored = run_fused_gemm_rs(&s, grid_of(&s), &FusedOptions::default());
+        let err = explicit.mirror_error(&mirrored);
+        assert!(
+            err < 0.05,
+            "mirrored methodology off by {:.1}% ({} vs {})",
+            err * 100.0,
+            explicit.cycles,
+            mirrored.cycles
+        );
+    }
+
+    #[test]
+    fn per_gpu_traffic_is_homogeneous() {
+        let s = sys();
+        let r = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
+        let first = r.per_gpu_stats[0].total();
+        for (d, stats) in r.per_gpu_stats.iter().enumerate() {
+            let diff = (stats.total() as i64 - first as i64).unsigned_abs();
+            assert!(
+                diff < 1 << 20,
+                "GPU {d} traffic {} deviates from GPU 0 {}",
+                stats.total(),
+                first
+            );
+        }
+    }
+
+    #[test]
+    fn two_gpu_explicit_ring() {
+        let mut s = sys();
+        s.num_gpus = 2;
+        let r = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
+        assert_eq!(r.dma_transfers, 0);
+        assert_eq!(r.skew, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! The T3 Tracker (Section 4.2.1, Figure 9).
+//!
+//! A small structure at the memory controller that counts memory
+//! updates to each wavefront's output region and *triggers* the
+//! pre-programmed DMA for that region once the expected number of
+//! updates (local stores plus remote/DMA updates) has arrived.
+//!
+//! Faithful to the paper's geometry:
+//!
+//! * 256 sets, indexed by the workgroup id's 8 low bits (`wg_lsb`);
+//! * set-associative entries tagged with `(wg_msb, wf_id)`;
+//! * each entry holds the smallest virtual address seen (the DMA needs
+//!   it) and an update counter;
+//! * the trigger threshold is `wf_tile_size x updates_per_element`,
+//!   where `wf_tile_size = (M*N) / #WF` is computed by the driver and
+//!   `updates_per_element` comes from the address-space configuration
+//!   (2 for ring reduce-scatter; `split_k + 1` for split-K producers,
+//!   Section 7.7).
+//!
+//! Updates are counted in *elements*; the memory-controller integration
+//! converts transaction bytes to elements.
+
+use std::fmt;
+
+/// Geometry of one Tracker instance.
+///
+/// The *threshold* of each entry is not global: it is programmed per
+/// chunk by the address-space configuration (`updates_per_element` in
+/// each `dma_map`/`local` route — Section 4.4) and passed with each
+/// recorded update, because different chunks of one producer can
+/// expect different update counts (e.g. split-K producers, Section
+/// 7.7, or the warm-up chunk of a fused ring-RS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerConfig {
+    /// Number of sets (paper: 256).
+    pub sets: usize,
+    /// Maximum entries per set before the structure overflows
+    /// (sized for the maximum WGs in flight per producer stage).
+    pub ways: usize,
+    /// Output elements per wavefront (`wf_tile_size`), as the driver
+    /// computes it; used for sizing/reporting.
+    pub wf_tile_elems: u64,
+}
+
+impl TrackerConfig {
+    /// The paper's geometry for a producer with the given WF tile
+    /// size.
+    pub fn paper(wf_tile_elems: u64) -> Self {
+        TrackerConfig {
+            sets: 256,
+            ways: 64,
+            wf_tile_elems,
+        }
+    }
+}
+
+/// Identifies one wavefront's output region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WfId {
+    /// Workgroup id.
+    pub wg: u64,
+    /// Wavefront index within the workgroup (0..8).
+    pub wf: u32,
+}
+
+/// A fired trigger: this WF's region has seen all expected updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trigger {
+    /// The completed wavefront region.
+    pub wf_id: WfId,
+    /// Smallest virtual address updated in the region (DMA source).
+    pub start_addr: u64,
+    /// Total element-updates counted (== threshold).
+    pub updates: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    tag: (u64, u32), // (wg_msb, wf_id)
+    counter: u64,
+    start_addr: u64,
+    region_elems: u64,
+    threshold: u64,
+}
+
+/// The Tracker. One per GPU memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use t3_core::tracker::{Tracker, TrackerConfig, WfId};
+///
+/// // Ring-RS: two updates per element (local store + incoming copy).
+/// let mut tracker = Tracker::new(TrackerConfig::paper(64));
+/// let wf = WfId { wg: 7, wf: 0 };
+/// // The local store covers the whole 64-element region once...
+/// assert!(tracker.record_update(wf, 0x1000, 64, 64, 2).is_none());
+/// // ...and the incoming DMA update completes it: the trigger fires.
+/// let trigger = tracker.record_update(wf, 0x1000, 64, 64, 2).unwrap();
+/// assert_eq!(trigger.start_addr, 0x1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    cfg: TrackerConfig,
+    sets: Vec<Vec<Entry>>,
+    live_entries: usize,
+    peak_entries: usize,
+    triggers_fired: u64,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero sets/ways or a zero
+    /// threshold.
+    pub fn new(cfg: TrackerConfig) -> Self {
+        assert!(cfg.sets > 0 && cfg.ways > 0, "tracker needs capacity");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two (wg_lsb indexing)"
+        );
+        Tracker {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets],
+            live_entries: 0,
+            peak_entries: 0,
+            triggers_fired: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.cfg
+    }
+
+    /// Records `elems` element-updates to `wf_id`'s region (whose full
+    /// size is `region_elems` elements) starting at `addr`, with the
+    /// chunk's programmed `updates_per_element`. Returns the trigger
+    /// when the entry reaches its threshold
+    /// (`region_elems x updates_per_element`); the entry is then freed
+    /// for reuse.
+    ///
+    /// `region_elems` is normally [`TrackerConfig::wf_tile_elems`]; it
+    /// is passed explicitly because edge tiles produce smaller regions
+    /// and the driver derives the per-WG extent from the kernel's tile
+    /// metadata (Section 4.2.1). `updates_per_element` comes from the
+    /// address-space configuration route covering the region (2 for
+    /// plain ring-RS; `split_k + 1` and friends for split-K producers,
+    /// Section 7.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set overflows its associativity (the hardware is
+    /// sized so this cannot happen for tiled producers), if an entry
+    /// is updated past its threshold (an address-space configuration
+    /// bug: more updates arrived than were programmed), or if
+    /// `region_elems`/`updates_per_element` disagree between updates
+    /// to the same entry.
+    pub fn record_update(
+        &mut self,
+        wf_id: WfId,
+        addr: u64,
+        elems: u64,
+        region_elems: u64,
+        updates_per_element: u32,
+    ) -> Option<Trigger> {
+        if elems == 0 {
+            return None;
+        }
+        assert!(region_elems > 0, "region must be non-empty");
+        assert!(updates_per_element > 0, "threshold must be positive");
+        let set_idx = (wf_id.wg as usize) & (self.cfg.sets - 1);
+        let tag = (wf_id.wg >> 8, wf_id.wf);
+        let threshold = region_elems * updates_per_element as u64;
+        let ways = self.cfg.ways;
+        let set = &mut self.sets[set_idx];
+        let entry_pos = match set.iter().position(|e| e.tag == tag) {
+            Some(pos) => pos,
+            None => {
+                assert!(
+                    set.len() < ways,
+                    "tracker set {set_idx} overflowed {ways} ways"
+                );
+                set.push(Entry {
+                    tag,
+                    counter: 0,
+                    start_addr: addr,
+                    region_elems,
+                    threshold,
+                });
+                self.live_entries += 1;
+                self.peak_entries = self.peak_entries.max(self.live_entries);
+                set.len() - 1
+            }
+        };
+        let entry = &mut set[entry_pos];
+        assert_eq!(
+            entry.region_elems, region_elems,
+            "WF {wf_id:?}: inconsistent region size"
+        );
+        assert_eq!(
+            entry.threshold, threshold,
+            "WF {wf_id:?}: inconsistent programmed threshold"
+        );
+        entry.counter += elems;
+        entry.start_addr = entry.start_addr.min(addr);
+        assert!(
+            entry.counter <= threshold,
+            "WF {:?} over-updated: {} > threshold {}",
+            wf_id,
+            entry.counter,
+            threshold
+        );
+        if entry.counter == threshold {
+            let trigger = Trigger {
+                wf_id,
+                start_addr: entry.start_addr,
+                updates: entry.counter,
+            };
+            set.swap_remove(entry_pos);
+            self.live_entries -= 1;
+            self.triggers_fired += 1;
+            Some(trigger)
+        } else {
+            None
+        }
+    }
+
+    /// Entries currently being tracked.
+    pub fn live_entries(&self) -> usize {
+        self.live_entries
+    }
+
+    /// High-water mark of simultaneous entries (hardware sizing check).
+    pub fn peak_entries(&self) -> usize {
+        self.peak_entries
+    }
+
+    /// Total triggers fired.
+    pub fn triggers_fired(&self) -> u64 {
+        self.triggers_fired
+    }
+
+    /// Pending (untriggered) updates for diagnostics: the counter for
+    /// `wf_id`, if tracked.
+    pub fn pending(&self, wf_id: WfId) -> Option<u64> {
+        let set_idx = (wf_id.wg as usize) & (self.cfg.sets - 1);
+        let tag = (wf_id.wg >> 8, wf_id.wf);
+        self.sets[set_idx]
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| e.counter)
+    }
+
+    /// Approximate hardware size in bytes: per entry a 48-bit address,
+    /// a counter, and a tag (the paper reports 19 KB for 256 sets).
+    pub fn size_bytes(&self) -> usize {
+        // addr (6B) + counter (4B) + tag (2B) per way, per set header.
+        self.cfg.sets * self.cfg.ways.min(8) * 9 + self.cfg.sets * 4
+    }
+}
+
+impl fmt::Display for Tracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tracker[{} sets, {} live, {} peak, {} fired]",
+            self.cfg.sets, self.live_entries, self.peak_entries, self.triggers_fired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(wf_tile: u64) -> TrackerConfig {
+        TrackerConfig::paper(wf_tile)
+    }
+
+    #[test]
+    fn triggers_at_exact_threshold() {
+        let mut t = Tracker::new(cfg(4)); // threshold 8 element-updates
+        let wf = WfId { wg: 3, wf: 1 };
+        assert!(t.record_update(wf, 100, 4, 4, 2).is_none()); // local stores
+        let trig = t.record_update(wf, 80, 4, 4, 2).expect("must fire");
+        assert_eq!(trig.wf_id, wf);
+        assert_eq!(trig.start_addr, 80); // smallest address wins
+        assert_eq!(trig.updates, 8);
+        assert_eq!(t.live_entries(), 0);
+        assert_eq!(t.triggers_fired(), 1);
+    }
+
+    #[test]
+    fn partial_updates_accumulate() {
+        let mut t = Tracker::new(cfg(16)); // threshold 32
+        let wf = WfId { wg: 0, wf: 0 };
+        for i in 0..31 {
+            assert!(t.record_update(wf, 1000 + i, 1, 16, 2).is_none());
+        }
+        assert_eq!(t.pending(wf), Some(31));
+        assert!(t.record_update(wf, 999, 1, 16, 2).is_some());
+        assert_eq!(t.pending(wf), None);
+    }
+
+    #[test]
+    fn distinct_wfs_tracked_independently() {
+        let mut t = Tracker::new(cfg(2));
+        let a = WfId { wg: 5, wf: 0 };
+        let b = WfId { wg: 5, wf: 1 };
+        assert!(t.record_update(a, 0, 2, 2, 2).is_none());
+        assert!(t.record_update(b, 64, 2, 2, 2).is_none());
+        assert_eq!(t.live_entries(), 2);
+        assert!(t.record_update(a, 0, 2, 2, 2).is_some());
+        assert!(t.record_update(b, 64, 2, 2, 2).is_some());
+    }
+
+    #[test]
+    fn wg_lsb_collisions_disambiguated_by_tag() {
+        // WGs 1 and 257 share wg_lsb (set) but differ in wg_msb (tag).
+        let mut t = Tracker::new(cfg(2));
+        let low = WfId { wg: 1, wf: 0 };
+        let high = WfId { wg: 257, wf: 0 };
+        assert!(t.record_update(low, 0, 1, 2, 1).is_none());
+        assert!(t.record_update(high, 0, 1, 2, 1).is_none());
+        assert_eq!(t.live_entries(), 2);
+        assert!(t.record_update(high, 0, 1, 2, 1).is_some());
+        assert_eq!(t.pending(low), Some(1));
+    }
+
+    #[test]
+    fn entry_reuse_after_trigger() {
+        let mut t = Tracker::new(cfg(1));
+        let wf = WfId { wg: 9, wf: 2 };
+        assert!(t.record_update(wf, 0, 1, 1, 1).is_some());
+        // Same WF id can be re-tracked (e.g. next kernel invocation).
+        assert!(t.record_update(wf, 4, 1, 1, 1).is_some());
+        assert_eq!(t.triggers_fired(), 2);
+    }
+
+    #[test]
+    fn peak_entries_reflects_concurrency() {
+        let mut t = Tracker::new(cfg(1));
+        for wg in 0..10 {
+            let _ = t.record_update(WfId { wg, wf: 0 }, wg * 8, 1, 1, 2);
+        }
+        assert_eq!(t.peak_entries(), 10);
+        for wg in 0..10 {
+            let _ = t.record_update(WfId { wg, wf: 0 }, wg * 8, 1, 1, 2);
+        }
+        assert_eq!(t.live_entries(), 0);
+        assert_eq!(t.peak_entries(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-updated")]
+    fn over_update_is_a_configuration_bug() {
+        let mut t = Tracker::new(cfg(1));
+        let wf = WfId { wg: 0, wf: 0 };
+        let _ = t.record_update(wf, 0, 2, 1, 1);
+    }
+
+    #[test]
+    fn zero_element_update_is_noop() {
+        let mut t = Tracker::new(cfg(1));
+        assert!(t.record_update(WfId { wg: 0, wf: 0 }, 0, 0, 1, 1).is_none());
+        assert_eq!(t.live_entries(), 0);
+    }
+
+    #[test]
+    fn size_is_around_19kb_for_paper_geometry() {
+        let t = Tracker::new(TrackerConfig::paper(2048));
+        let kb = t.size_bytes() as f64 / 1024.0;
+        assert!(kb > 10.0 && kb < 30.0, "got {kb} KB");
+    }
+
+    #[test]
+    fn split_k_threshold_follows_section_7_7() {
+        // Split-K of 4 plus one incoming DMA update: 5 updates per
+        // element, programmed per chunk via the address map.
+        let mut t = Tracker::new(cfg(64));
+        let wf = WfId { wg: 0, wf: 0 };
+        for _ in 0..4 {
+            assert!(t.record_update(wf, 0, 64, 64, 5).is_none());
+        }
+        assert!(t.record_update(wf, 0, 64, 64, 5).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent programmed threshold")]
+    fn mixed_thresholds_for_one_entry_rejected() {
+        let mut t = Tracker::new(cfg(8));
+        let wf = WfId { wg: 0, wf: 0 };
+        let _ = t.record_update(wf, 0, 2, 8, 2);
+        let _ = t.record_update(wf, 0, 2, 8, 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Timing model of baseline, CU-executed ring collectives.
+//!
+//! In current systems the collective runs as GPU kernels after the
+//! producer GEMM (Section 3): each ring step reads the chunk(s) from
+//! DRAM, reduces on CUs, and pushes the result to the neighbour. Each
+//! step is therefore bound by the slowest of three rates —
+//! link serialisation, CU processing, or DRAM service — plus the link
+//! latency and a per-step software overhead. Restricting `cu_count`
+//! reproduces the CU-sharing study of Figure 6 (8 CUs slow the
+//! all-reduce ~40%; 16 CUs nearly keep up with the link).
+//!
+//! The per-GPU DRAM traffic follows Figure 10(a): in the steady state a
+//! reduce-scatter step reads two copies (local + received) and writes
+//! the incoming chunk; the first step reads only the local copy; the
+//! final arrival performs the last reduction locally.
+
+use t3_sim::config::SystemConfig;
+use t3_sim::stats::{TrafficClass, TrafficStats};
+use t3_sim::{Bytes, Cycle};
+
+/// Which collective to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Ring reduce-scatter.
+    ReduceScatter,
+    /// Ring all-gather.
+    AllGather,
+    /// Ring all-reduce = reduce-scatter followed by all-gather.
+    AllReduce,
+}
+
+/// Timing + traffic outcome of one collective execution.
+#[derive(Debug, Clone)]
+pub struct CollectiveOutcome {
+    /// End-to-end cycles.
+    pub cycles: Cycle,
+    /// Per-GPU DRAM traffic.
+    pub stats: TrafficStats,
+}
+
+/// A CU-executed ring collective over a `payload_bytes` array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingCollective {
+    /// Collective type.
+    pub kind: CollectiveKind,
+    /// Full (un-chunked) array size in bytes per GPU.
+    pub payload_bytes: Bytes,
+    /// CUs allocated to the collective kernel (80 when run alone;
+    /// 8 or 16 in the CU-sharing study).
+    pub cu_count: u32,
+    /// Whether reductions use near-memory compute instead of CUs
+    /// (the Ideal-RS+NMC configuration): updates replace
+    /// read-modify-write, and the final local reduction disappears.
+    pub nmc: bool,
+    /// NMC op-and-store service-cost multiplier (ignored unless `nmc`).
+    pub nmc_cost: f64,
+}
+
+impl RingCollective {
+    /// A baseline collective using every CU and no NMC.
+    pub fn baseline(kind: CollectiveKind, payload_bytes: Bytes, sys: &SystemConfig) -> Self {
+        RingCollective {
+            kind,
+            payload_bytes,
+            cu_count: sys.gpu.num_cus,
+            nmc: false,
+            nmc_cost: sys.mem.nmc_cost_multiplier,
+        }
+    }
+
+    /// Same collective restricted to `cu_count` CUs.
+    pub fn with_cu_count(mut self, cu_count: u32) -> Self {
+        assert!(cu_count > 0, "collective needs at least one CU");
+        self.cu_count = cu_count;
+        self
+    }
+
+    /// Enables near-memory reductions.
+    pub fn with_nmc(mut self, nmc: bool) -> Self {
+        self.nmc = nmc;
+        self
+    }
+
+    /// Simulates the collective on `sys` and returns timing + traffic.
+    pub fn simulate(&self, sys: &SystemConfig) -> CollectiveOutcome {
+        match self.kind {
+            CollectiveKind::ReduceScatter => self.simulate_rs(sys),
+            CollectiveKind::AllGather => self.simulate_ag(sys),
+            CollectiveKind::AllReduce => {
+                let rs = self.simulate_rs(sys);
+                let ag = self.simulate_ag(sys);
+                let mut stats = rs.stats;
+                stats.merge(&ag.stats);
+                CollectiveOutcome {
+                    cycles: rs.cycles + ag.cycles,
+                    stats,
+                }
+            }
+        }
+    }
+
+    fn rates(&self, sys: &SystemConfig) -> (f64, f64, f64) {
+        let link = sys.link.bytes_per_cycle();
+        let cu = self.cu_count as f64 * sys.gpu.collective_bytes_per_cu_cycle;
+        let dram = sys.mem.bytes_per_cycle();
+        (link, cu, dram)
+    }
+
+    fn chunk_bytes(&self, sys: &SystemConfig) -> f64 {
+        self.payload_bytes as f64 / sys.num_gpus as f64
+    }
+
+    fn simulate_rs(&self, sys: &SystemConfig) -> CollectiveOutcome {
+        let n = sys.num_gpus as u64;
+        let (link, cu, dram) = self.rates(sys);
+        let c = self.chunk_bytes(sys);
+        let latency = sys.link.latency_cycles() as f64;
+        let overhead = sys.gpu.coll_step_overhead_cycles as f64;
+        let mut stats = TrafficStats::new();
+        let mut cycles = 0.0;
+        for step in 0..(n - 1) {
+            // Bytes the local GPU reads this step: its copy of the
+            // outgoing chunk, plus (steady state) the chunk received
+            // last step that must be reduced into it.
+            let (read, write_cost) = if self.nmc {
+                // NMC: the incoming chunk updated memory in place; the
+                // kernel only reads the partially-reduced chunk to send.
+                (c, self.nmc_cost)
+            } else if step == 0 {
+                (c, 1.0)
+            } else {
+                (2.0 * c, 1.0)
+            };
+            let write = c; // incoming chunk from the previous neighbour
+            let dram_bytes = read + write * write_cost;
+            let cu_bytes = if self.nmc { c } else { read + write };
+            let step_cycles = (c / link).max(cu_bytes / cu).max(dram_bytes / dram);
+            cycles += step_cycles + latency + overhead;
+            stats.record(TrafficClass::RsRead, read as Bytes);
+            if self.nmc {
+                stats.record(TrafficClass::RsUpdate, write as Bytes);
+            } else {
+                stats.record(TrafficClass::RsWrite, write as Bytes);
+            }
+        }
+        if !self.nmc {
+            // Final arrival: reduce the last received chunk with the
+            // local copy and write the owned result.
+            let read = 2.0 * c;
+            let write = c;
+            let tail = ((read + write) / cu).max((read + write) / dram);
+            cycles += tail + overhead;
+            stats.record(TrafficClass::RsRead, read as Bytes);
+            stats.record(TrafficClass::RsWrite, write as Bytes);
+        }
+        CollectiveOutcome {
+            cycles: cycles.ceil() as Cycle,
+            stats,
+        }
+    }
+
+    fn simulate_ag(&self, sys: &SystemConfig) -> CollectiveOutcome {
+        let n = sys.num_gpus as u64;
+        let (link, cu, dram) = self.rates(sys);
+        let c = self.chunk_bytes(sys);
+        let latency = sys.link.latency_cycles() as f64;
+        let overhead = sys.gpu.coll_step_overhead_cycles as f64;
+        let mut stats = TrafficStats::new();
+        let mut cycles = 0.0;
+        for _step in 0..(n - 1) {
+            let read = c;
+            let write = c;
+            let step_cycles = (c / link)
+                .max((read + write) / cu)
+                .max((read + write) / dram);
+            cycles += step_cycles + latency + overhead;
+            stats.record(TrafficClass::AgRead, read as Bytes);
+            stats.record(TrafficClass::AgWrite, write as Bytes);
+        }
+        CollectiveOutcome {
+            cycles: cycles.ceil() as Cycle,
+            stats,
+        }
+    }
+}
+
+/// First-principles "hardware" reference for ring reduce-scatter time:
+/// `(N-1) x (chunk/link_bw + latency + per-step overhead)` plus the
+/// final local reduction at DRAM rate. Figure 14 validates the event
+/// simulator against exactly this kind of bandwidth model.
+pub fn reference_ring_rs_cycles(sys: &SystemConfig, payload_bytes: Bytes) -> Cycle {
+    let n = sys.num_gpus as f64;
+    let c = payload_bytes as f64 / n;
+    let steps = n - 1.0;
+    let per_step = c / sys.link.bytes_per_cycle()
+        + sys.link.latency_cycles() as f64
+        + sys.gpu.coll_step_overhead_cycles as f64;
+    let tail = 3.0 * c / sys.mem.bytes_per_cycle();
+    (steps * per_step + tail).ceil() as Cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_sim::config::SystemConfig;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    const MB: Bytes = 1 << 20;
+
+    #[test]
+    fn full_cu_rs_is_link_bound() {
+        let s = sys();
+        let payload = 64 * MB;
+        let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s);
+        let out = rs.simulate(&s);
+        // Link-bound lower bound: (N-1) chunk serialisations.
+        let c = payload as f64 / s.num_gpus as f64;
+        let link_cycles = (s.num_gpus - 1) as f64 * c / s.link.bytes_per_cycle();
+        let ratio = out.cycles as f64 / link_cycles;
+        assert!(
+            ratio > 1.0 && ratio < 1.25,
+            "full-CU RS should be near link bound, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn eight_cus_slow_rs_like_figure_6() {
+        let s = sys();
+        let payload = 64 * MB;
+        let full = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .simulate(&s)
+            .cycles;
+        let eight = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .with_cu_count(8)
+            .simulate(&s)
+            .cycles;
+        let sixteen = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .with_cu_count(16)
+            .simulate(&s)
+            .cycles;
+        let slow8 = eight as f64 / full as f64 - 1.0;
+        let slow16 = sixteen as f64 / full as f64 - 1.0;
+        // Paper: ~41% geomean slowdown with 8 CUs, ~7% with 16.
+        assert!(
+            slow8 > 0.25 && slow8 < 0.60,
+            "8-CU slowdown {slow8:.2} out of range"
+        );
+        assert!(slow16 < 0.12, "16-CU slowdown {slow16:.2} too high");
+    }
+
+    #[test]
+    fn rs_traffic_matches_figure_10a() {
+        let s = sys();
+        let payload = 80 * MB;
+        let out = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .simulate(&s);
+        let n = s.num_gpus as u64;
+        let c = payload / n;
+        // Reads: c (first step) + 2c x (N-2) + 2c (final reduce).
+        assert_eq!(
+            out.stats.bytes(TrafficClass::RsRead),
+            c + 2 * c * (n - 2) + 2 * c
+        );
+        // Writes: incoming chunk per step + final owned chunk.
+        assert_eq!(out.stats.bytes(TrafficClass::RsWrite), c * (n - 1) + c);
+    }
+
+    #[test]
+    fn ag_traffic_is_symmetric() {
+        let s = sys();
+        let payload = 80 * MB;
+        let out = RingCollective::baseline(CollectiveKind::AllGather, payload, &s).simulate(&s);
+        let c = payload / s.num_gpus as u64;
+        let per = c * (s.num_gpus as u64 - 1);
+        assert_eq!(out.stats.bytes(TrafficClass::AgRead), per);
+        assert_eq!(out.stats.bytes(TrafficClass::AgWrite), per);
+    }
+
+    #[test]
+    fn all_reduce_is_rs_plus_ag() {
+        let s = sys();
+        let payload = 48 * MB;
+        let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .simulate(&s);
+        let ag = RingCollective::baseline(CollectiveKind::AllGather, payload, &s).simulate(&s);
+        let ar = RingCollective::baseline(CollectiveKind::AllReduce, payload, &s).simulate(&s);
+        assert_eq!(ar.cycles, rs.cycles + ag.cycles);
+        assert_eq!(ar.stats.total(), rs.stats.total() + ag.stats.total());
+    }
+
+    #[test]
+    fn nmc_rs_is_faster_and_moves_less_data() {
+        let s = sys();
+        let payload = 64 * MB;
+        let base = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .simulate(&s);
+        let nmc = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+            .with_nmc(true)
+            .simulate(&s);
+        assert!(nmc.cycles < base.cycles);
+        assert!(nmc.stats.total() < base.stats.total());
+        // Paper (Section 6.1.1): NMC speeds RS up by a few percent at
+        // TP=8 (only the final step benefits; links dominate the rest).
+        let gain = base.cycles as f64 / nmc.cycles as f64 - 1.0;
+        assert!(gain > 0.01 && gain < 0.20, "NMC RS gain {gain:.3}");
+    }
+
+    #[test]
+    fn nmc_benefit_shrinks_with_more_gpus() {
+        let payload = 64 * MB;
+        let gain = |gpus: usize| {
+            let s = sys().with_num_gpus(gpus);
+            let base = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+                .simulate(&s)
+                .cycles as f64;
+            let nmc = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
+                .with_nmc(true)
+                .simulate(&s)
+                .cycles as f64;
+            base / nmc - 1.0
+        };
+        assert!(
+            gain(8) > gain(16),
+            "NMC gain must shrink as ring steps grow"
+        );
+    }
+
+    #[test]
+    fn reference_model_tracks_simulation() {
+        // The Figure 14 validation: simulator vs bandwidth model over
+        // 6..192 MB on 4 GPUs, geomean error small.
+        let s = sys().with_num_gpus(4);
+        let mut errors = Vec::new();
+        for mb in [6u64, 12, 24, 48, 96, 192] {
+            let bytes = mb * MB;
+            let sim = RingCollective::baseline(CollectiveKind::ReduceScatter, bytes, &s)
+                .simulate(&s)
+                .cycles as f64;
+            let reference = reference_ring_rs_cycles(&s, bytes) as f64;
+            errors.push((sim / reference).max(reference / sim));
+        }
+        let geo = t3_sim::geomean(&errors) - 1.0;
+        assert!(geo < 0.10, "geomean error {geo:.3} should be <10%");
+    }
+
+    #[test]
+    fn rs_scales_linearly_with_payload() {
+        let s = sys();
+        let t1 = RingCollective::baseline(CollectiveKind::ReduceScatter, 32 * MB, &s)
+            .simulate(&s)
+            .cycles as f64;
+        let t2 = RingCollective::baseline(CollectiveKind::ReduceScatter, 64 * MB, &s)
+            .simulate(&s)
+            .cycles as f64;
+        let ratio = t2 / t1;
+        assert!(ratio > 1.7 && ratio < 2.1, "payload scaling ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CU")]
+    fn zero_cus_rejected() {
+        let s = sys();
+        let _ = RingCollective::baseline(CollectiveKind::ReduceScatter, MB, &s).with_cu_count(0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Memory-controller arbitration policies (Section 4.5).
+//!
+//! Three policies are modelled, matching the paper's discussion:
+//!
+//! * [`RoundRobinPolicy`] — the naive baseline: alternate between
+//!   compute and communication streams, falling back to whichever has
+//!   work. The paper shows this lets bursty communication traffic fill
+//!   the DRAM queues and stall the producer GEMM.
+//! * [`ComputeFirstPolicy`] — static compute priority; insufficient
+//!   because previously-issued communication accesses already occupy
+//!   the DRAM queues.
+//! * [`McaPolicy`] — T3-MCA: compute first, communication admitted
+//!   only while DRAM-queue occupancy is below a threshold chosen from
+//!   the compute kernel's memory intensity (probed during its first,
+//!   isolated stage), plus a starvation guard for the communication
+//!   stream.
+
+use std::fmt;
+
+use t3_sim::config::MemConfig;
+
+/// Identifies which request stream a transaction belongs to: the
+/// producer compute kernel or communication (collective/DMA) traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// Producer kernel (GEMM) reads and writes.
+    Compute,
+    /// Communication traffic: collective kernel accesses, incoming
+    /// remote/DMA updates, DMA source reads.
+    Comm,
+}
+
+/// Snapshot of controller state given to a policy for each issue slot.
+#[derive(Debug, Clone, Copy)]
+pub struct ArbiterState {
+    /// Compute stream has at least one transaction waiting.
+    pub compute_pending: bool,
+    /// Communication stream has at least one transaction waiting.
+    pub comm_pending: bool,
+    /// Transactions currently sitting in the DRAM queue.
+    pub dram_occupancy: usize,
+    /// DRAM queue capacity in transactions.
+    pub dram_capacity: usize,
+}
+
+/// An arbitration policy deciding, per issue slot, which stream may
+/// place a transaction into the DRAM queue.
+pub trait ArbitrationPolicy: fmt::Debug {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called once per controller cycle (before any issue slots), so
+    /// policies can advance starvation counters.
+    fn tick(&mut self) {}
+
+    /// Chooses a stream for the next issue slot, or `None` to leave the
+    /// slot idle this cycle.
+    fn choose(&mut self, state: &ArbiterState) -> Option<StreamId>;
+
+    /// Notifies the policy that a transaction from `stream` was issued.
+    fn on_issue(&mut self, _stream: StreamId) {}
+
+    /// Feeds the policy the compute kernel's memory intensity, measured
+    /// as the average DRAM-queue occupancy fraction during the kernel's
+    /// first (isolated) stage — Section 4.5. Only T3-MCA reacts.
+    fn observe_compute_intensity(&mut self, _avg_occupancy_fraction: f64) {}
+}
+
+/// Naive policy: round-robin between streams, falling back to the
+/// other stream when the preferred one is empty.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinPolicy {
+    last: Option<StreamId>,
+}
+
+impl RoundRobinPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ArbitrationPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn choose(&mut self, state: &ArbiterState) -> Option<StreamId> {
+        let preferred = match self.last {
+            Some(StreamId::Compute) => StreamId::Comm,
+            _ => StreamId::Compute,
+        };
+        let pick = |s: StreamId| match s {
+            StreamId::Compute if state.compute_pending => Some(StreamId::Compute),
+            StreamId::Comm if state.comm_pending => Some(StreamId::Comm),
+            _ => None,
+        };
+        pick(preferred).or_else(|| {
+            pick(match preferred {
+                StreamId::Compute => StreamId::Comm,
+                StreamId::Comm => StreamId::Compute,
+            })
+        })
+    }
+
+    fn on_issue(&mut self, stream: StreamId) {
+        self.last = Some(stream);
+    }
+}
+
+/// Static priority: compute always first, communication only when the
+/// compute stream is empty. No occupancy gating.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeFirstPolicy;
+
+impl ComputeFirstPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ArbitrationPolicy for ComputeFirstPolicy {
+    fn name(&self) -> &'static str {
+        "compute-first"
+    }
+
+    fn choose(&mut self, state: &ArbiterState) -> Option<StreamId> {
+        if state.compute_pending {
+            Some(StreamId::Compute)
+        } else if state.comm_pending {
+            Some(StreamId::Comm)
+        } else {
+            None
+        }
+    }
+}
+
+/// The occupancy thresholds T3-MCA selects between (Section 6.1.3:
+/// "5, 10, 30, or no limit", chosen by the kernel's memory intensity).
+pub const MCA_THRESHOLDS: [usize; 4] = [5, 10, 30, usize::MAX];
+
+/// T3's communication-aware memory-controller arbitration policy.
+#[derive(Debug, Clone)]
+pub struct McaPolicy {
+    /// Communication admitted only while DRAM occupancy < threshold.
+    threshold: usize,
+    /// Cycles the comm stream may wait (with work pending) before it is
+    /// prioritised once, preventing starvation.
+    starvation_limit: u64,
+    comm_wait_cycles: u64,
+    intensity_observed: bool,
+}
+
+impl McaPolicy {
+    /// Default starvation limit in cycles.
+    pub const DEFAULT_STARVATION_LIMIT: u64 = 2_000;
+
+    /// Creates the policy with the most permissive threshold; callers
+    /// (or the fused engine's first-stage probe) tighten it via
+    /// [`ArbitrationPolicy::observe_compute_intensity`].
+    pub fn new(_cfg: &MemConfig) -> Self {
+        McaPolicy {
+            threshold: MCA_THRESHOLDS[2],
+            starvation_limit: Self::DEFAULT_STARVATION_LIMIT,
+            comm_wait_cycles: 0,
+            intensity_observed: false,
+        }
+    }
+
+    /// Creates the policy with a fixed occupancy threshold (used by the
+    /// MCA-threshold ablation bench).
+    pub fn with_fixed_threshold(threshold: usize) -> Self {
+        McaPolicy {
+            threshold,
+            starvation_limit: Self::DEFAULT_STARVATION_LIMIT,
+            comm_wait_cycles: 0,
+            intensity_observed: true,
+        }
+    }
+
+    /// Overrides the starvation limit.
+    pub fn with_starvation_limit(mut self, limit: u64) -> Self {
+        self.starvation_limit = limit;
+        self
+    }
+
+    /// Currently active occupancy threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+}
+
+impl ArbitrationPolicy for McaPolicy {
+    fn name(&self) -> &'static str {
+        "t3-mca"
+    }
+
+    fn tick(&mut self) {
+        // Counter saturates; reset happens on comm issue.
+        self.comm_wait_cycles = self.comm_wait_cycles.saturating_add(1);
+    }
+
+    fn choose(&mut self, state: &ArbiterState) -> Option<StreamId> {
+        let starved = state.comm_pending && self.comm_wait_cycles > self.starvation_limit;
+        if starved {
+            return Some(StreamId::Comm);
+        }
+        if state.compute_pending {
+            return Some(StreamId::Compute);
+        }
+        if state.comm_pending && state.dram_occupancy < self.threshold {
+            return Some(StreamId::Comm);
+        }
+        None
+    }
+
+    fn on_issue(&mut self, stream: StreamId) {
+        if stream == StreamId::Comm {
+            self.comm_wait_cycles = 0;
+        }
+    }
+
+    fn observe_compute_intensity(&mut self, avg_occupancy_fraction: f64) {
+        // Memory-intensive kernels keep the DRAM queue fuller during
+        // their isolated first stage; give communication less headroom
+        // for them (Section 4.5).
+        self.threshold = if avg_occupancy_fraction > 0.50 {
+            MCA_THRESHOLDS[0]
+        } else if avg_occupancy_fraction > 0.25 {
+            MCA_THRESHOLDS[1]
+        } else if avg_occupancy_fraction > 0.05 {
+            MCA_THRESHOLDS[2]
+        } else {
+            MCA_THRESHOLDS[3]
+        };
+        self.intensity_observed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_sim::config::SystemConfig;
+
+    fn state(compute: bool, comm: bool, occ: usize) -> ArbiterState {
+        ArbiterState {
+            compute_pending: compute,
+            comm_pending: comm,
+            dram_occupancy: occ,
+            dram_capacity: 64,
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut p = RoundRobinPolicy::new();
+        let s = state(true, true, 0);
+        let first = p.choose(&s).unwrap();
+        p.on_issue(first);
+        let second = p.choose(&s).unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn round_robin_falls_back_when_one_empty() {
+        let mut p = RoundRobinPolicy::new();
+        p.on_issue(StreamId::Compute); // next preference is Comm
+        assert_eq!(p.choose(&state(true, false, 0)), Some(StreamId::Compute));
+        assert_eq!(p.choose(&state(false, false, 0)), None);
+    }
+
+    #[test]
+    fn compute_first_prefers_compute() {
+        let mut p = ComputeFirstPolicy::new();
+        assert_eq!(p.choose(&state(true, true, 63)), Some(StreamId::Compute));
+        assert_eq!(p.choose(&state(false, true, 63)), Some(StreamId::Comm));
+        assert_eq!(p.choose(&state(false, false, 0)), None);
+    }
+
+    #[test]
+    fn mca_gates_comm_on_occupancy() {
+        let cfg = SystemConfig::paper_default().mem;
+        let mut p = McaPolicy::new(&cfg);
+        p.observe_compute_intensity(0.6); // memory intensive -> threshold 5
+        assert_eq!(p.threshold(), 5);
+        assert_eq!(p.choose(&state(false, true, 4)), Some(StreamId::Comm));
+        assert_eq!(p.choose(&state(false, true, 5)), None);
+    }
+
+    #[test]
+    fn mca_prefers_compute_even_at_low_occupancy() {
+        let cfg = SystemConfig::paper_default().mem;
+        let mut p = McaPolicy::new(&cfg);
+        assert_eq!(p.choose(&state(true, true, 0)), Some(StreamId::Compute));
+    }
+
+    #[test]
+    fn mca_starvation_guard_fires() {
+        let cfg = SystemConfig::paper_default().mem;
+        let mut p = McaPolicy::new(&cfg).with_starvation_limit(3);
+        let s = state(true, true, 60);
+        for _ in 0..4 {
+            p.tick();
+        }
+        assert_eq!(p.choose(&s), Some(StreamId::Comm));
+        p.on_issue(StreamId::Comm);
+        // Counter reset: compute wins again.
+        assert_eq!(p.choose(&s), Some(StreamId::Compute));
+    }
+
+    #[test]
+    fn mca_threshold_selection_covers_all_bands() {
+        let cfg = SystemConfig::paper_default().mem;
+        let mut p = McaPolicy::new(&cfg);
+        p.observe_compute_intensity(0.8);
+        assert_eq!(p.threshold(), 5);
+        p.observe_compute_intensity(0.3);
+        assert_eq!(p.threshold(), 10);
+        p.observe_compute_intensity(0.1);
+        assert_eq!(p.threshold(), 30);
+        p.observe_compute_intensity(0.0);
+        assert_eq!(p.threshold(), usize::MAX);
+    }
+
+    #[test]
+    fn fixed_threshold_constructor() {
+        let p = McaPolicy::with_fixed_threshold(10);
+        assert_eq!(p.threshold(), 10);
+        assert_eq!(p.name(), "t3-mca");
+    }
+}

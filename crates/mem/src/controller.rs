@@ -1,0 +1,499 @@
+//! Cycle-stepped memory controller with compute/communication streams.
+//!
+//! This is the component where the paper's compute-vs-communication
+//! memory contention (Section 3.2.2) and its mitigation by T3-MCA
+//! (Section 4.5) play out. Two request streams — the producer kernel's
+//! and communication's — feed a bounded DRAM queue through an
+//! [`ArbitrationPolicy`]; the queue drains at the HBM service rate.
+//! Near-memory op-and-store updates carry a service-cost multiplier
+//! (CCDWL, Section 5.1.1).
+//!
+//! Traffic is moved in transactions of [`MemConfig::txn_bytes`] but
+//! enqueued in batches, so large phases stay cheap to simulate.
+
+use std::collections::VecDeque;
+
+use crate::arbiter::{ArbiterState, ArbitrationPolicy};
+pub use crate::arbiter::StreamId;
+use t3_sim::config::MemConfig;
+use t3_sim::stats::{TrafficClass, TrafficStats};
+use t3_sim::timeseries::TimeSeries;
+use t3_sim::{Bytes, Cycle};
+
+/// A batch of same-class transactions waiting in a stream FIFO.
+#[derive(Debug, Clone)]
+struct Batch {
+    class: TrafficClass,
+    remaining_txns: u64,
+    remaining_bytes: Bytes,
+    cost_each: f64,
+}
+
+/// One transaction resident in the DRAM queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedTxn {
+    stream: StreamId,
+    class: TrafficClass,
+    bytes: Bytes,
+    cost: f64,
+}
+
+/// The memory controller. See the module docs for the model.
+#[derive(Debug)]
+pub struct MemoryController {
+    txn_bytes: Bytes,
+    service_rate: f64,
+    issue_rate: f64,
+    dram_capacity: usize,
+    policy: Box<dyn ArbitrationPolicy>,
+    compute_q: VecDeque<Batch>,
+    comm_q: VecDeque<Batch>,
+    dram_q: VecDeque<QueuedTxn>,
+    issue_credit: f64,
+    service_credit: f64,
+    stream_switch_penalty: f64,
+    last_serviced_stream: Option<StreamId>,
+    serviced_compute: Bytes,
+    serviced_comm: Bytes,
+    pending_compute: Bytes,
+    pending_comm: Bytes,
+    enqueued_compute: Bytes,
+    enqueued_comm: Bytes,
+    stats: TrafficStats,
+    occupancy_accum: u64,
+    occupancy_samples: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller for the memory system in `cfg`, arbitrated
+    /// by `policy`.
+    pub fn new(cfg: &MemConfig, policy: Box<dyn ArbitrationPolicy>) -> Self {
+        let service_rate = cfg.txns_per_cycle();
+        MemoryController {
+            txn_bytes: cfg.txn_bytes,
+            service_rate,
+            // The controller frontend is faster than DRAM, so bursts
+            // can pile into the DRAM queue — that queueing is exactly
+            // what T3-MCA manages.
+            issue_rate: service_rate * 2.0,
+            dram_capacity: cfg.dram_queue_capacity,
+            policy,
+            compute_q: VecDeque::new(),
+            comm_q: VecDeque::new(),
+            dram_q: VecDeque::new(),
+            issue_credit: 0.0,
+            service_credit: 0.0,
+            stream_switch_penalty: cfg.stream_switch_penalty,
+            last_serviced_stream: None,
+            serviced_compute: 0,
+            serviced_comm: 0,
+            pending_compute: 0,
+            pending_comm: 0,
+            enqueued_compute: 0,
+            enqueued_comm: 0,
+            stats: TrafficStats::new(),
+            occupancy_accum: 0,
+            occupancy_samples: 0,
+        }
+    }
+
+    /// Enqueues `bytes` of `class` traffic on `stream`. `cost_multiplier`
+    /// scales DRAM service cost per transaction (1.0 for plain
+    /// reads/writes; the NMC/atomics multipliers for op-and-store
+    /// updates).
+    pub fn enqueue(
+        &mut self,
+        stream: StreamId,
+        class: TrafficClass,
+        bytes: Bytes,
+        cost_multiplier: f64,
+    ) {
+        assert!(cost_multiplier >= 1.0, "cost multiplier must be >= 1.0");
+        if bytes == 0 {
+            return;
+        }
+        let txns = bytes.div_ceil(self.txn_bytes);
+        let batch = Batch {
+            class,
+            remaining_txns: txns,
+            remaining_bytes: bytes,
+            cost_each: cost_multiplier,
+        };
+        match stream {
+            StreamId::Compute => {
+                self.pending_compute += bytes;
+                self.enqueued_compute += bytes;
+                self.compute_q.push_back(batch);
+            }
+            StreamId::Comm => {
+                self.pending_comm += bytes;
+                self.enqueued_comm += bytes;
+                self.comm_q.push_back(batch);
+            }
+        }
+    }
+
+    /// Cumulative bytes ever enqueued on `stream`. Because each stream
+    /// is serviced in FIFO order, a client that enqueues work can wait
+    /// for `serviced_bytes(stream)` to reach the pre-enqueue value of
+    /// `enqueued_bytes(stream)` plus its own request size.
+    pub fn enqueued_bytes(&self, stream: StreamId) -> Bytes {
+        match stream {
+            StreamId::Compute => self.enqueued_compute,
+            StreamId::Comm => self.enqueued_comm,
+        }
+    }
+
+    /// Advances the controller by one cycle at time `now`, optionally
+    /// recording serviced traffic into a time series.
+    pub fn step(&mut self, now: Cycle, mut timeseries: Option<&mut TimeSeries>) {
+        self.policy.tick();
+
+        // Frontend: move transactions from stream FIFOs into the DRAM
+        // queue, as arbitration allows.
+        self.issue_credit = (self.issue_credit + self.issue_rate).min(self.issue_rate * 2.0);
+        while self.issue_credit >= 1.0 && self.dram_q.len() < self.dram_capacity {
+            let state = ArbiterState {
+                compute_pending: !self.compute_q.is_empty(),
+                comm_pending: !self.comm_q.is_empty(),
+                dram_occupancy: self.dram_q.len(),
+                dram_capacity: self.dram_capacity,
+            };
+            let Some(stream) = self.policy.choose(&state) else {
+                break;
+            };
+            let txn = self.pop_txn(stream);
+            self.dram_q.push_back(txn);
+            self.policy.on_issue(stream);
+            self.issue_credit -= 1.0;
+        }
+
+        // DRAM: drain the queue at the service rate. Bandwidth cannot
+        // be banked while the queue is empty.
+        if self.dram_q.is_empty() {
+            self.service_credit = 0.0;
+        } else {
+            self.service_credit += self.service_rate;
+            while let Some(head) = self.dram_q.front() {
+                // Switching between unrelated access streams loses
+                // row-buffer locality: the first transaction after a
+                // switch costs extra (see MemConfig docs).
+                let switch = self
+                    .last_serviced_stream
+                    .is_some_and(|last| last != head.stream);
+                let cost = head.cost + if switch { self.stream_switch_penalty } else { 0.0 };
+                if self.service_credit < cost {
+                    break;
+                }
+                let txn = *head;
+                self.dram_q.pop_front();
+                self.service_credit -= cost;
+                self.last_serviced_stream = Some(txn.stream);
+                match txn.stream {
+                    StreamId::Compute => self.serviced_compute += txn.bytes,
+                    StreamId::Comm => self.serviced_comm += txn.bytes,
+                }
+                self.stats.record(txn.class, txn.bytes);
+                if let Some(ts) = timeseries.as_deref_mut() {
+                    ts.record(now, txn.class, txn.bytes);
+                }
+            }
+        }
+
+        self.occupancy_accum += self.dram_q.len() as u64;
+        self.occupancy_samples += 1;
+    }
+
+    fn pop_txn(&mut self, stream: StreamId) -> QueuedTxn {
+        let (queue, pending) = match stream {
+            StreamId::Compute => (&mut self.compute_q, &mut self.pending_compute),
+            StreamId::Comm => (&mut self.comm_q, &mut self.pending_comm),
+        };
+        let batch = queue.front_mut().expect("policy chose an empty stream");
+        let bytes = batch.remaining_bytes.min(self.txn_bytes);
+        batch.remaining_bytes -= bytes;
+        batch.remaining_txns -= 1;
+        *pending -= bytes;
+        let txn = QueuedTxn {
+            stream,
+            class: batch.class,
+            bytes,
+            cost: batch.cost_each,
+        };
+        if batch.remaining_txns == 0 {
+            debug_assert_eq!(batch.remaining_bytes, 0);
+            queue.pop_front();
+        }
+        txn
+    }
+
+    /// Bytes fully serviced by DRAM for `stream` so far.
+    pub fn serviced_bytes(&self, stream: StreamId) -> Bytes {
+        match stream {
+            StreamId::Compute => self.serviced_compute,
+            StreamId::Comm => self.serviced_comm,
+        }
+    }
+
+    /// Bytes enqueued but not yet issued to the DRAM queue for `stream`.
+    pub fn pending_bytes(&self, stream: StreamId) -> Bytes {
+        match stream {
+            StreamId::Compute => self.pending_compute,
+            StreamId::Comm => self.pending_comm,
+        }
+    }
+
+    /// True when both stream FIFOs and the DRAM queue are empty.
+    pub fn is_idle(&self) -> bool {
+        self.compute_q.is_empty() && self.comm_q.is_empty() && self.dram_q.is_empty()
+    }
+
+    /// Current DRAM queue occupancy in transactions.
+    pub fn dram_occupancy(&self) -> usize {
+        self.dram_q.len()
+    }
+
+    /// Per-class serviced traffic so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Average DRAM-queue occupancy as a fraction of capacity since the
+    /// last [`MemoryController::reset_occupancy_window`]; used for the
+    /// MCA first-stage memory-intensity probe.
+    pub fn avg_occupancy_fraction(&self) -> f64 {
+        if self.occupancy_samples == 0 {
+            return 0.0;
+        }
+        self.occupancy_accum as f64
+            / (self.occupancy_samples as f64 * self.dram_capacity as f64)
+    }
+
+    /// Starts a fresh occupancy-measurement window.
+    pub fn reset_occupancy_window(&mut self) {
+        self.occupancy_accum = 0;
+        self.occupancy_samples = 0;
+    }
+
+    /// Feeds the arbitration policy a measured compute-kernel memory
+    /// intensity (Section 4.5 probe).
+    pub fn observe_compute_intensity(&mut self, avg_occupancy_fraction: f64) {
+        self.policy.observe_compute_intensity(avg_occupancy_fraction);
+    }
+
+    /// Name of the active arbitration policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{ComputeFirstPolicy, McaPolicy, RoundRobinPolicy};
+    use t3_sim::config::SystemConfig;
+
+    fn mem_cfg() -> MemConfig {
+        SystemConfig::paper_default().mem
+    }
+
+    fn run_until_idle(mc: &mut MemoryController) -> Cycle {
+        let mut now = 0;
+        while !mc.is_idle() {
+            mc.step(now, None);
+            now += 1;
+            assert!(now < 100_000_000, "controller failed to drain");
+        }
+        now
+    }
+
+    #[test]
+    fn drains_single_stream_at_service_rate() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        let bytes: Bytes = 1_000_000;
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, bytes, 1.0);
+        let cycles = run_until_idle(&mut mc);
+        let ideal = bytes as f64 / cfg.bytes_per_cycle();
+        assert!(
+            (cycles as f64) < ideal * 1.1 && (cycles as f64) > ideal * 0.9,
+            "took {cycles} cycles, ideal {ideal:.0}"
+        );
+        assert_eq!(mc.serviced_bytes(StreamId::Compute), bytes);
+    }
+
+    #[test]
+    fn nmc_updates_cost_more_service_time() {
+        let cfg = mem_cfg();
+        let bytes: Bytes = 2_000_000;
+        let mut plain = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        plain.enqueue(StreamId::Comm, TrafficClass::RsWrite, bytes, 1.0);
+        let t_plain = run_until_idle(&mut plain);
+
+        let mut nmc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        nmc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, bytes, 1.5);
+        let t_nmc = run_until_idle(&mut nmc);
+        let ratio = t_nmc as f64 / t_plain as f64;
+        assert!(
+            (ratio - 1.5).abs() < 0.1,
+            "NMC cost ratio {ratio} should be ~1.5"
+        );
+    }
+
+    #[test]
+    fn compute_first_lets_compute_finish_sooner_than_round_robin() {
+        let cfg = mem_cfg();
+        let bytes: Bytes = 1_000_000;
+        let compute_done = |policy: Box<dyn ArbitrationPolicy>| {
+            let mut mc = MemoryController::new(&cfg, policy);
+            mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, bytes, 1.0);
+            mc.enqueue(StreamId::Comm, TrafficClass::RsRead, bytes, 1.0);
+            let mut now = 0;
+            while mc.serviced_bytes(StreamId::Compute) < bytes {
+                mc.step(now, None);
+                now += 1;
+            }
+            now
+        };
+        let rr = compute_done(Box::new(RoundRobinPolicy::new()));
+        let cf = compute_done(Box::new(ComputeFirstPolicy::new()));
+        assert!(
+            (cf as f64) < (rr as f64) * 0.7,
+            "compute-first {cf} should beat round-robin {rr} clearly"
+        );
+    }
+
+    #[test]
+    fn mca_throttles_comm_while_compute_is_active() {
+        let cfg = mem_cfg();
+        let bytes: Bytes = 500_000;
+        let mut mc = MemoryController::new(&cfg, Box::new(McaPolicy::with_fixed_threshold(5)));
+        // Comm arrives first (bursty RS traffic), compute follows.
+        mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, bytes, 1.0);
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, bytes, 1.0);
+        let mut now = 0;
+        while mc.serviced_bytes(StreamId::Compute) < bytes {
+            mc.step(now, None);
+            now += 1;
+            // DRAM queue must never fill with comm traffic beyond the
+            // threshold plus in-flight compute transactions.
+            assert!(mc.dram_occupancy() <= cfg.dram_queue_capacity);
+        }
+        // Comm is still mostly pending: compute got priority.
+        assert!(mc.pending_bytes(StreamId::Comm) > 0);
+        run_until_idle(&mut mc);
+        assert_eq!(mc.serviced_bytes(StreamId::Comm), bytes);
+    }
+
+    #[test]
+    fn stats_record_by_class() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmWrite, 10_000, 1.0);
+        mc.enqueue(StreamId::Comm, TrafficClass::AgRead, 20_000, 1.0);
+        run_until_idle(&mut mc);
+        assert_eq!(mc.stats().bytes(TrafficClass::GemmWrite), 10_000);
+        assert_eq!(mc.stats().bytes(TrafficClass::AgRead), 20_000);
+    }
+
+    #[test]
+    fn timeseries_receives_service_events() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        let mut ts = TimeSeries::new(16);
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 100_000, 1.0);
+        let mut now = 0;
+        while !mc.is_idle() {
+            mc.step(now, Some(&mut ts));
+            now += 1;
+        }
+        assert_eq!(ts.total(TrafficClass::GemmRead), 100_000);
+        assert!(ts.len() > 1, "traffic should span multiple buckets");
+    }
+
+    #[test]
+    fn occupancy_probe_reflects_load() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        // Idle controller: zero occupancy.
+        for now in 0..100 {
+            mc.step(now, None);
+        }
+        assert_eq!(mc.avg_occupancy_fraction(), 0.0);
+        mc.reset_occupancy_window();
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 10_000_000, 1.0);
+        for now in 100..2_000 {
+            mc.step(now, None);
+        }
+        assert!(mc.avg_occupancy_fraction() > 0.3, "queue should be busy");
+    }
+
+    #[test]
+    fn partial_final_transaction_preserves_byte_totals() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        // 1000 bytes is not a multiple of 256.
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 1000, 1.0);
+        run_until_idle(&mut mc);
+        assert_eq!(mc.serviced_bytes(StreamId::Compute), 1000);
+        assert_eq!(mc.stats().bytes(TrafficClass::GemmRead), 1000);
+    }
+
+    #[test]
+    fn zero_byte_enqueue_is_noop() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        mc.enqueue(StreamId::Comm, TrafficClass::RsRead, 0, 1.0);
+        assert!(mc.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "cost multiplier")]
+    fn sub_unit_cost_rejected() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        mc.enqueue(StreamId::Comm, TrafficClass::RsRead, 100, 0.5);
+    }
+
+    #[test]
+    fn round_robin_interleaving_loses_row_locality() {
+        // With two active streams, round-robin alternates per
+        // transaction and pays the stream-switch penalty on nearly
+        // every service; compute-first batches each stream and pays it
+        // only once.
+        let cfg = mem_cfg();
+        let bytes: Bytes = 1_000_000;
+        let run = |policy: Box<dyn ArbitrationPolicy>| {
+            let mut mc = MemoryController::new(&cfg, policy);
+            mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, bytes, 1.0);
+            mc.enqueue(StreamId::Comm, TrafficClass::RsRead, bytes, 1.0);
+            run_until_idle(&mut mc)
+        };
+        let rr = run(Box::new(RoundRobinPolicy::new()));
+        let cf = run(Box::new(ComputeFirstPolicy::new()));
+        let ideal = 2.0 * bytes as f64 / cfg.bytes_per_cycle();
+        assert!(
+            (cf as f64) < ideal * 1.05,
+            "batched streams should be near ideal: {cf} vs {ideal:.0}"
+        );
+        let expected_rr = ideal * (1.0 + cfg.stream_switch_penalty);
+        assert!(
+            (rr as f64) > expected_rr * 0.9 && (rr as f64) < expected_rr * 1.1,
+            "interleaved streams should pay the switch penalty: {rr} vs {expected_rr:.0}"
+        );
+    }
+
+    #[test]
+    fn switch_penalty_zero_restores_fair_sharing() {
+        let mut cfg = mem_cfg();
+        cfg.stream_switch_penalty = 0.0;
+        let bytes: Bytes = 1_000_000;
+        let mut mc = MemoryController::new(&cfg, Box::new(RoundRobinPolicy::new()));
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, bytes, 1.0);
+        mc.enqueue(StreamId::Comm, TrafficClass::RsRead, bytes, 1.0);
+        let cycles = run_until_idle(&mut mc);
+        let ideal = 2.0 * bytes as f64 / cfg.bytes_per_cycle();
+        assert!((cycles as f64) < ideal * 1.1, "no bandwidth should be lost");
+        assert!((cycles as f64) > ideal * 0.95, "no bandwidth can be created");
+    }
+}

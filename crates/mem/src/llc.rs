@@ -1,0 +1,396 @@
+//! Set-associative, LRU last-level cache model.
+//!
+//! The paper's contention results depend on whether a GEMM's inputs fit
+//! in the 16 MB LLC (Section 6.1.2: OP layers fit and are insensitive to
+//! overlapped RS traffic; FC layers do not and slow down), and on T3's
+//! LLC *bypass* of GEMM output writes, which frees capacity for input
+//! reads (Section 6.2's GEMM read reductions). This model captures both:
+//! it is simulated per line with true LRU replacement, and writes can be
+//! sent around the cache ("uncached" allocations, Section 4.3).
+
+use t3_sim::config::{LlcReplacement, MemConfig};
+use t3_sim::Bytes;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load; misses allocate the line.
+    Read,
+    /// A store; in this write-back, write-allocate LLC, misses allocate
+    /// (and dirty) the line unless bypassed.
+    Write,
+}
+
+/// Result of filtering an access stream through the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterResult {
+    /// Bytes that missed and must be fetched from DRAM (reads), or
+    /// written to DRAM (bypassed/written-back data).
+    pub dram_bytes: Bytes,
+    /// Bytes that hit in the LLC.
+    pub hit_bytes: Bytes,
+}
+
+impl FilterResult {
+    /// Merges another filter result into this one.
+    pub fn merge(&mut self, other: FilterResult) {
+        self.dram_bytes += other.dram_bytes;
+        self.hit_bytes += other.hit_bytes;
+    }
+}
+
+/// A set-associative, write-back, write-allocate LLC with LRU
+/// replacement, simulated at line granularity.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    line_bytes: Bytes,
+    sets: u64,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU stamp per way (larger = more recently used).
+    stamps: Vec<u64>,
+    /// Dirty bit per way.
+    dirty: Vec<bool>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    replacement: LlcReplacement,
+    /// Deterministic LCG state for random replacement.
+    rng: u64,
+}
+
+const INVALID_TAG: u64 = u64::MAX;
+
+impl Llc {
+    /// Builds the LLC described by `cfg` (16 MB, 16-way, 256 B lines in
+    /// the paper configuration).
+    pub fn new(cfg: &MemConfig) -> Self {
+        let sets = cfg.llc_sets();
+        let ways = cfg.llc_ways as usize;
+        let lines = (sets as usize) * ways;
+        Llc {
+            line_bytes: cfg.llc_line,
+            sets,
+            ways,
+            tags: vec![INVALID_TAG; lines],
+            stamps: vec![0; lines],
+            dirty: vec![false; lines],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            replacement: cfg.llc_replacement,
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> Bytes {
+        self.line_bytes
+    }
+
+    /// Total hits since construction or [`Llc::reset_counters`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses since construction or [`Llc::reset_counters`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty lines evicted since construction or [`Llc::reset_counters`].
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Clears hit/miss/writeback counters (cache contents persist).
+    pub fn reset_counters(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Invalidates the entire cache (e.g. between independent runs).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID_TAG);
+        self.dirty.fill(false);
+        self.stamps.fill(0);
+    }
+
+    /// Accesses one line-aligned address. Returns `true` on hit.
+    /// A miss allocates the line (possibly writing back a dirty victim,
+    /// counted in [`Llc::writebacks`]).
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> bool {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        if let Some(way) = ways.iter().position(|&t| t == tag) {
+            self.stamps[base + way] = self.tick;
+            if kind == AccessKind::Write {
+                self.dirty[base + way] = true;
+            }
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        // Choose victim: invalid way first, else per replacement policy.
+        let victim = match ways.iter().position(|&t| t == INVALID_TAG) {
+            Some(w) => w,
+            None => match self.replacement {
+                LlcReplacement::Lru => {
+                    let mut lru_way = 0;
+                    let mut lru_stamp = u64::MAX;
+                    for w in 0..self.ways {
+                        if self.stamps[base + w] < lru_stamp {
+                            lru_stamp = self.stamps[base + w];
+                            lru_way = w;
+                        }
+                    }
+                    lru_way
+                }
+                LlcReplacement::Random => {
+                    self.rng = self
+                        .rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((self.rng >> 33) as usize) % self.ways
+                }
+            },
+        };
+        if self.tags[base + victim] != INVALID_TAG && self.dirty[base + victim] {
+            self.writebacks += 1;
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.tick;
+        self.dirty[base + victim] = kind == AccessKind::Write;
+        false
+    }
+
+    /// Streams a contiguous `[start, start + bytes)` region through the
+    /// cache and reports DRAM traffic. Reads fetch missed lines from
+    /// DRAM; writes dirty lines in place (write-back: DRAM write traffic
+    /// appears later as writebacks, which the caller can drain with
+    /// [`Llc::take_writeback_bytes`]).
+    pub fn access_range(&mut self, start: u64, bytes: Bytes, kind: AccessKind) -> FilterResult {
+        let mut result = FilterResult::default();
+        if bytes == 0 {
+            return result;
+        }
+        let first = start / self.line_bytes;
+        let last = (start + bytes - 1) / self.line_bytes;
+        for line in first..=last {
+            let hit = self.access(line * self.line_bytes, kind);
+            if hit {
+                result.hit_bytes += self.line_bytes;
+            } else if kind == AccessKind::Read {
+                result.dram_bytes += self.line_bytes;
+            }
+            // Write misses allocate without fetching (no-write-allocate
+            // fill for full-line GEMM stores would also be valid; either
+            // way the store itself generates no immediate DRAM read).
+        }
+        result
+    }
+
+    /// Cleans every dirty line (kernel-boundary flush for inter-kernel
+    /// visibility) and returns the bytes written back to DRAM. Lines
+    /// stay valid (clean), so later readers can still hit.
+    pub fn flush_dirty(&mut self) -> Bytes {
+        let mut lines = 0u64;
+        for (tag, dirty) in self.tags.iter().zip(self.dirty.iter_mut()) {
+            if *tag != INVALID_TAG && *dirty {
+                lines += 1;
+                *dirty = false;
+            }
+        }
+        lines * self.line_bytes
+    }
+
+    /// Returns and resets accumulated write-back traffic in bytes.
+    pub fn take_writeback_bytes(&mut self) -> Bytes {
+        let bytes = self.writebacks * self.line_bytes;
+        self.writebacks = 0;
+        bytes
+    }
+
+    /// Number of currently valid lines (for occupancy assertions).
+    pub fn valid_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_sim::config::SystemConfig;
+
+    fn small_llc(capacity: Bytes) -> Llc {
+        let mut cfg = SystemConfig::paper_default().mem;
+        cfg.llc_capacity = capacity;
+        cfg.llc_ways = 4;
+        cfg.llc_line = 256;
+        // Most behavioural tests assume deterministic LRU eviction.
+        cfg.llc_replacement = t3_sim::config::LlcReplacement::Lru;
+        Llc::new(&cfg)
+    }
+
+    fn random_llc(capacity: Bytes) -> Llc {
+        let mut cfg = SystemConfig::paper_default().mem;
+        cfg.llc_capacity = capacity;
+        cfg.llc_ways = 4;
+        cfg.llc_line = 256;
+        cfg.llc_replacement = t3_sim::config::LlcReplacement::Random;
+        Llc::new(&cfg)
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut llc = small_llc(64 * 1024);
+        assert!(!llc.access(0, AccessKind::Read));
+        assert!(llc.access(0, AccessKind::Read));
+        assert!(llc.access(128, AccessKind::Read)); // same line
+        assert_eq!(llc.hits(), 2);
+        assert_eq!(llc.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        // 4 ways, 1 set if capacity == 4 lines.
+        let mut llc = small_llc(4 * 256);
+        for i in 0..4u64 {
+            llc.access(i * 256, AccessKind::Read);
+        }
+        // Touch line 0 so line 1 is LRU.
+        llc.access(0, AccessKind::Read);
+        // New line evicts line 1.
+        llc.access(4 * 256, AccessKind::Read);
+        assert!(llc.access(0, AccessKind::Read), "line 0 must survive");
+        assert!(!llc.access(256, AccessKind::Read), "line 1 was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut llc = small_llc(4 * 256);
+        llc.access(0, AccessKind::Write);
+        for i in 1..5u64 {
+            llc.access(i * 256, AccessKind::Read);
+        }
+        assert_eq!(llc.writebacks(), 1);
+        assert_eq!(llc.take_writeback_bytes(), 256);
+        assert_eq!(llc.take_writeback_bytes(), 0);
+    }
+
+    #[test]
+    fn access_range_counts_only_missed_reads() {
+        let mut llc = small_llc(64 * 1024);
+        let r1 = llc.access_range(0, 1024, AccessKind::Read);
+        assert_eq!(r1.dram_bytes, 1024);
+        assert_eq!(r1.hit_bytes, 0);
+        let r2 = llc.access_range(0, 1024, AccessKind::Read);
+        assert_eq!(r2.dram_bytes, 0);
+        assert_eq!(r2.hit_bytes, 1024);
+    }
+
+    #[test]
+    fn access_range_handles_unaligned_spans() {
+        let mut llc = small_llc(64 * 1024);
+        // 100 bytes starting at 200 spans lines 0 and 1.
+        let r = llc.access_range(200, 100, AccessKind::Read);
+        assert_eq!(r.dram_bytes, 512);
+    }
+
+    #[test]
+    fn zero_length_range_is_noop() {
+        let mut llc = small_llc(64 * 1024);
+        let r = llc.access_range(123, 0, AccessKind::Read);
+        assert_eq!(r, FilterResult::default());
+        assert_eq!(llc.misses(), 0);
+    }
+
+    #[test]
+    fn flush_invalidates_everything() {
+        let mut llc = small_llc(64 * 1024);
+        llc.access(0, AccessKind::Read);
+        assert_eq!(llc.valid_lines(), 1);
+        llc.flush();
+        assert_eq!(llc.valid_lines(), 0);
+        assert!(!llc.access(0, AccessKind::Read));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut llc = small_llc(16 * 1024); // 64 lines
+        // Stream 128 distinct lines twice: second pass still misses
+        // (LRU streaming pattern).
+        for pass in 0..2 {
+            for i in 0..128u64 {
+                let hit = llc.access(i * 256, AccessKind::Read);
+                if pass == 1 {
+                    assert!(!hit, "streaming working set 2x cache must thrash");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_cache_is_reused() {
+        let mut llc = small_llc(32 * 1024); // 128 lines
+        for i in 0..64u64 {
+            llc.access(i * 256, AccessKind::Read);
+        }
+        llc.reset_counters();
+        for i in 0..64u64 {
+            assert!(llc.access(i * 256, AccessKind::Read));
+        }
+        assert_eq!(llc.misses(), 0);
+    }
+
+    #[test]
+    fn random_replacement_survives_streaming_overflow() {
+        // A cyclic working set 25% over capacity should still hit most
+        // of the time under random replacement (LRU would hit never).
+        let lines = 64u64; // 16 KB cache
+        let mut llc = random_llc(lines * 256);
+        let wss = lines + lines / 4;
+        for _ in 0..3 {
+            for i in 0..wss {
+                llc.access(i * 256, AccessKind::Read);
+            }
+        }
+        llc.reset_counters();
+        for i in 0..wss {
+            llc.access(i * 256, AccessKind::Read);
+        }
+        let hit_rate = llc.hits() as f64 / (llc.hits() + llc.misses()) as f64;
+        assert!(
+            hit_rate > 0.4,
+            "random replacement should retain much of a near-capacity set, got {hit_rate:.2}"
+        );
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let run = || {
+            let mut llc = random_llc(16 * 1024);
+            for i in 0..1000u64 {
+                llc.access((i * 7919) % 4096 * 256, AccessKind::Read);
+            }
+            (llc.hits(), llc.misses())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn paper_llc_has_expected_geometry() {
+        let cfg = SystemConfig::paper_default().mem;
+        let llc = Llc::new(&cfg);
+        assert_eq!(llc.line_bytes(), 256);
+        assert_eq!(llc.tags.len(), 65536);
+    }
+}

@@ -1,0 +1,371 @@
+//! End-to-end analytical model (Sections 5.1.2, 6.3; Figures 4, 19).
+//!
+//! The paper derives end-to-end numbers by combining a profiled
+//! operator breakdown with analytical scaling, then multiplying the
+//! "sliced GEMM → AR" portions by the *simulated* sublayer speedups.
+//! We substitute an analytical operator model built on the same
+//! throughput/bandwidth parameters as the timing simulator:
+//!
+//! * GEMMs and attention batched-matmuls: a roofline of
+//!   compute (sustained FLOP rate) vs memory (operand bytes at HBM
+//!   bandwidth), plus launch overhead;
+//! * all-reduces: the ring collective model of `t3-gpu`;
+//! * element-wise work (softmax, dropout, residual, layer-norm):
+//!   memory passes at HBM bandwidth. The paper notes its MLPerf v1.1
+//!   baseline has *unfused* attention making those ops 40-45% of
+//!   runtime; [`E2eParams::attention_unfused_factor`] models that
+//!   (calibrated, see DESIGN.md).
+//!
+//! [`LayerTime::sliced_fraction`] regenerates Figure 4;
+//! [`LayerTime::speedup_with`] regenerates Figure 19 when fed the
+//! simulated per-sublayer speedups.
+
+use crate::zoo::{ModelConfig, Sublayer};
+use t3_gpu::collective::{CollectiveKind, RingCollective};
+use t3_sim::config::SystemConfig;
+
+/// Which execution phase is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// A training iteration (forward + backward).
+    Training,
+    /// The inference prompt phase (forward only, full sequence).
+    InferencePrompt,
+}
+
+impl Phase {
+    /// The sliced sublayers active in this phase.
+    pub fn sublayers(self) -> &'static [Sublayer] {
+        match self {
+            Phase::Training => &Sublayer::ALL,
+            Phase::InferencePrompt => &Sublayer::FORWARD,
+        }
+    }
+}
+
+/// Calibration parameters of the analytical operator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E2eParams {
+    /// Attention head dimension (used to size score matrices).
+    pub head_dim: u64,
+    /// Multiplier on attention element-wise passes modelling the
+    /// unfused MLPerf v1.1 attention the paper's baseline uses.
+    pub attention_unfused_factor: f64,
+    /// Memory passes for residual/dropout/layer-norm per layer.
+    pub elementwise_passes: f64,
+}
+
+impl Default for E2eParams {
+    fn default() -> Self {
+        E2eParams {
+            head_dim: 128,
+            attention_unfused_factor: 6.0,
+            elementwise_passes: 4.0,
+        }
+    }
+}
+
+/// Time of one sliced sublayer: its GEMM and its all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlicedTime {
+    /// GEMM cycles.
+    pub gemm_cycles: f64,
+    /// All-reduce (RS + AG) cycles.
+    pub ar_cycles: f64,
+}
+
+impl SlicedTime {
+    /// Total sublayer cycles.
+    pub fn total(&self) -> f64 {
+        self.gemm_cycles + self.ar_cycles
+    }
+}
+
+/// Analytical time breakdown of one Transformer layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTime {
+    /// Per sliced sublayer (GEMM + AR) times.
+    pub sliced: Vec<(Sublayer, SlicedTime)>,
+    /// Everything else: non-sliced GEMMs, attention, element-wise ops.
+    pub other_cycles: f64,
+}
+
+impl LayerTime {
+    /// Total layer cycles.
+    pub fn total(&self) -> f64 {
+        self.other_cycles + self.sliced.iter().map(|(_, t)| t.total()).sum::<f64>()
+    }
+
+    /// Fraction of the layer in "sliced GEMM → AR" (Figure 4's dark
+    /// portion).
+    pub fn sliced_fraction(&self) -> f64 {
+        self.sliced.iter().map(|(_, t)| t.total()).sum::<f64>() / self.total()
+    }
+
+    /// Fraction of the layer in collectives alone.
+    pub fn comm_fraction(&self) -> f64 {
+        self.sliced.iter().map(|(_, t)| t.ar_cycles).sum::<f64>() / self.total()
+    }
+
+    /// End-to-end speedup when each sliced sublayer's (GEMM + AR) time
+    /// is divided by `speedup(sublayer)` — the paper's methodology for
+    /// Figure 19: scale the baseline breakdown by simulated speedups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any speedup is not positive.
+    pub fn speedup_with<F: Fn(Sublayer) -> f64>(&self, speedup: F) -> f64 {
+        let mut new_total = self.other_cycles;
+        for (sub, t) in &self.sliced {
+            let s = speedup(*sub);
+            assert!(s > 0.0, "speedup for {sub:?} must be positive");
+            new_total += t.total() / s;
+        }
+        self.total() / new_total
+    }
+
+    /// What happens to the sliced fraction if compute gets `factor`x
+    /// faster while the network stays fixed (the Section 2.4 thought
+    /// experiment: 2x faster GEMMs push communication to 75%).
+    pub fn sliced_fraction_with_faster_compute(&self, factor: f64) -> f64 {
+        assert!(factor > 0.0);
+        let comm: f64 = self.sliced.iter().map(|(_, t)| t.ar_cycles).sum();
+        let sliced_gemm: f64 = self.sliced.iter().map(|(_, t)| t.gemm_cycles).sum();
+        let new_total = self.other_cycles / factor + sliced_gemm / factor + comm;
+        (sliced_gemm / factor + comm) / new_total
+    }
+}
+
+/// Roofline GEMM time in cycles: compute vs memory bound.
+fn gemm_cycles(sys: &SystemConfig, m: u64, n: u64, k: u64) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let bytes = 2.0 * (m * k + k * n + m * n) as f64;
+    let compute = flops / (sys.gpu.peak_flops_per_cycle() * sys.gpu.gemm_efficiency);
+    let memory = bytes / sys.mem.bytes_per_cycle();
+    compute.max(memory) + sys.gpu.kernel_launch_cycles as f64
+}
+
+/// Element-wise op time: `passes` memory sweeps over `bytes`.
+fn elementwise_cycles(sys: &SystemConfig, bytes: f64, passes: f64) -> f64 {
+    passes * bytes / sys.mem.bytes_per_cycle() + sys.gpu.kernel_launch_cycles as f64
+}
+
+/// Ring all-reduce time for a `bytes` payload.
+fn ar_cycles(sys: &SystemConfig, bytes: u64) -> f64 {
+    RingCollective::baseline(CollectiveKind::AllReduce, bytes, sys)
+        .simulate(sys)
+        .cycles as f64
+}
+
+/// Builds the analytical layer breakdown for `model` at TP degree `tp`
+/// in `phase`.
+///
+/// # Panics
+///
+/// Panics if `tp` does not divide the model's head count sensibly
+/// (i.e. `hidden / tp` must be positive).
+pub fn layer_time(
+    sys: &SystemConfig,
+    model: &ModelConfig,
+    tp: u64,
+    phase: Phase,
+    params: &E2eParams,
+) -> LayerTime {
+    assert!(tp >= 1 && model.hidden / tp > 0, "invalid TP degree");
+    let m = model.tokens();
+    let h = model.hidden;
+    let h_tp = h / tp;
+    let ar_bytes = m * h * 2;
+
+    // --- Forward, non-sliced ---------------------------------------
+    // QKV input projection (column-sliced, no AR).
+    let ip = gemm_cycles(sys, m, 3 * h_tp, h);
+    // Attention BMMs: scores (Q·K^T) and context (P·V).
+    let bmm_flops = 4.0 * model.batch as f64 * (model.seq_len as f64).powi(2) * h_tp as f64;
+    let bmm =
+        bmm_flops / (sys.gpu.peak_flops_per_cycle() * sys.gpu.gemm_efficiency)
+            + 2.0 * sys.gpu.kernel_launch_cycles as f64;
+    // Unfused attention element-wise work over the score matrices.
+    let heads_dev = (h_tp as f64 / params.head_dim as f64).max(1.0);
+    let score_bytes = model.batch as f64 * heads_dev * (model.seq_len as f64).powi(2) * 2.0;
+    let attn_elem = elementwise_cycles(
+        sys,
+        score_bytes,
+        params.attention_unfused_factor,
+    );
+    // FC-1 (column-sliced, no AR) + GELU.
+    let fc1 = gemm_cycles(sys, m, 4 * h_tp, h);
+    let gelu = elementwise_cycles(sys, (m * 4 * h_tp * 2) as f64, 1.0);
+    // Residual / dropout / layer-norm.
+    let elem = elementwise_cycles(sys, (m * h * 2) as f64, params.elementwise_passes);
+    let fwd_other = ip + bmm + attn_elem + fc1 + gelu + elem;
+
+    // --- Forward, sliced --------------------------------------------
+    let op_fwd = SlicedTime {
+        gemm_cycles: gemm_cycles(sys, m, h, h_tp),
+        ar_cycles: ar_cycles(sys, ar_bytes),
+    };
+    let fc2_fwd = SlicedTime {
+        gemm_cycles: gemm_cycles(sys, m, h, 4 * h_tp),
+        ar_cycles: ar_cycles(sys, ar_bytes),
+    };
+
+    match phase {
+        Phase::InferencePrompt => LayerTime {
+            sliced: vec![(Sublayer::Op, op_fwd), (Sublayer::Fc2, fc2_fwd)],
+            other_cycles: fwd_other,
+        },
+        Phase::Training => {
+            // Backward: data-grad + weight-grad GEMMs (2x the forward
+            // FLOPs for every forward GEMM), 2x attention, 2x
+            // element-wise. The sliced backward sublayers are the
+            // FC-1 and IP data gradients (their weight gradients and
+            // everything else land in `other`).
+            let fc1_bwd = SlicedTime {
+                gemm_cycles: gemm_cycles(sys, m, h, 4 * h_tp),
+                ar_cycles: ar_cycles(sys, ar_bytes),
+            };
+            let ip_bwd = SlicedTime {
+                gemm_cycles: gemm_cycles(sys, m, h, 3 * h_tp),
+                ar_cycles: ar_cycles(sys, ar_bytes),
+            };
+            // Weight gradients of all four sliced GEMMs + both
+            // passes of the non-sliced GEMMs + attention + element-wise.
+            let wgrads = gemm_cycles(sys, h, h_tp, m) // OP wgrad
+                + gemm_cycles(sys, 4 * h_tp, h, m)    // FC-2 wgrad
+                + gemm_cycles(sys, h, 4 * h_tp, m)    // FC-1 wgrad
+                + gemm_cycles(sys, h, 3 * h_tp, m); // IP wgrad
+            let bwd_nonsliced_dgrads = gemm_cycles(sys, m, h, h_tp) // OP dgrad feeds attention
+                + gemm_cycles(sys, m, 4 * h_tp, h); // FC-2 dgrad
+            let bwd_other =
+                bmm * 2.0 + attn_elem * 2.0 + elem * 2.0 + wgrads + bwd_nonsliced_dgrads;
+            LayerTime {
+                sliced: vec![
+                    (Sublayer::Op, op_fwd),
+                    (Sublayer::Fc2, fc2_fwd),
+                    (Sublayer::Fc1Bwd, fc1_bwd),
+                    (Sublayer::IpBwd, ip_bwd),
+                ],
+                other_cycles: fwd_other + bwd_other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn sys(gpus: usize) -> SystemConfig {
+        SystemConfig::paper_default().with_num_gpus(gpus)
+    }
+
+    #[test]
+    fn sliced_fraction_is_substantial_like_figure_4() {
+        // Paper: Mega-GPT-2 and T-NLG spend up to 34%/43% of time in
+        // sliced GEMM -> AR.
+        let p = E2eParams::default();
+        for (model, tp) in [(zoo::mega_gpt2(), 16u64), (zoo::t_nlg(), 16)] {
+            let lt = layer_time(&sys(tp as usize), &model, tp, Phase::Training, &p);
+            let f = lt.sliced_fraction();
+            assert!(
+                f > 0.20 && f < 0.55,
+                "{}: sliced fraction {f:.2} out of Figure-4 band",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_fraction_grows_with_tp() {
+        let p = E2eParams::default();
+        let model = zoo::t_nlg();
+        let f8 = layer_time(&sys(8), &model, 8, Phase::Training, &p).sliced_fraction();
+        let f16 = layer_time(&sys(16), &model, 16, Phase::Training, &p).sliced_fraction();
+        assert!(f16 > f8, "TP=16 fraction {f16:.2} should exceed TP=8 {f8:.2}");
+    }
+
+    #[test]
+    fn inference_prompt_has_higher_comm_share_than_training() {
+        // No backprop compute => sliced portion is relatively larger
+        // (Section 6.3's reasoning for higher inference speedups).
+        let p = E2eParams::default();
+        let model = zoo::t_nlg();
+        let tr = layer_time(&sys(8), &model, 8, Phase::Training, &p);
+        let inf = layer_time(&sys(8), &model, 8, Phase::InferencePrompt, &p);
+        assert!(inf.comm_fraction() > tr.comm_fraction());
+    }
+
+    #[test]
+    fn faster_compute_exposes_communication() {
+        // Section 2.4: with 2x faster GEMMs communication grows toward
+        // dominating the sliced portion.
+        let p = E2eParams::default();
+        let lt = layer_time(&sys(8), &zoo::t_nlg(), 8, Phase::Training, &p);
+        let now = lt.sliced_fraction();
+        let fut = lt.sliced_fraction_with_faster_compute(2.0);
+        assert!(fut > now * 0.8, "fraction should not collapse");
+        let comm_now = lt.comm_fraction();
+        // Communication share of the *sliced* portion grows.
+        let comm_share_now = comm_now / now;
+        let comm_fut: f64 = lt.sliced.iter().map(|(_, t)| t.ar_cycles).sum::<f64>()
+            / (lt.other_cycles / 2.0
+                + lt.sliced
+                    .iter()
+                    .map(|(_, t)| t.gemm_cycles / 2.0 + t.ar_cycles)
+                    .sum::<f64>());
+        assert!(comm_fut > comm_now, "comm {comm_fut:.2} vs {comm_now:.2}");
+        assert!(comm_share_now < 1.0);
+    }
+
+    #[test]
+    fn speedup_with_uniform_factor_bounded_by_amdahl() {
+        let p = E2eParams::default();
+        let lt = layer_time(&sys(8), &zoo::t_nlg(), 8, Phase::Training, &p);
+        let f = lt.sliced_fraction();
+        let s = lt.speedup_with(|_| 1.30);
+        let amdahl = 1.0 / (1.0 - f + f / 1.30);
+        assert!((s - amdahl).abs() / amdahl < 1e-9);
+        assert!(s > 1.0 && s < 1.30);
+    }
+
+    #[test]
+    fn training_speedups_land_in_papers_band() {
+        // Feeding the paper's ~30% sublayer speedup into the breakdown
+        // must give end-to-end training speedups in the ~5-15% band
+        // (paper: max 12%, geomean 10% for T3-MCA).
+        let p = E2eParams::default();
+        for (model, tp) in [(zoo::mega_gpt2(), 16u64), (zoo::t_nlg(), 16)] {
+            let lt = layer_time(&sys(tp as usize), &model, tp, Phase::Training, &p);
+            let s = lt.speedup_with(|_| 1.30);
+            assert!(
+                s > 1.04 && s < 1.18,
+                "{}: end-to-end speedup {s:.3} out of band",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    fn larger_models_keep_substantial_sliced_fractions() {
+        let p = E2eParams::default();
+        for model in [zoo::gpt3(), zoo::palm(), zoo::mt_nlg()] {
+            let lt = layer_time(&sys(32), &model, 32, Phase::Training, &p);
+            let f = lt.sliced_fraction();
+            assert!(
+                f > 0.25 && f < 0.60,
+                "{}: sliced fraction {f:.2}",
+                model.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_speedup_rejected() {
+        let p = E2eParams::default();
+        let lt = layer_time(&sys(8), &zoo::t_nlg(), 8, Phase::Training, &p);
+        let _ = lt.speedup_with(|_| 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Transformer model zoo and end-to-end analytics for the T3
+//! reproduction.
+//!
+//! * [`zoo`] — the models of Table 2 (Mega-GPT-2, T-NLG, GPT-3, PALM,
+//!   MT-NLG) plus the 1-trillion and 10-trillion parameter futuristic
+//!   configurations of Figure 4, with their tensor-parallel sublayer
+//!   GEMM shapes (OP and FC-2 in the forward pass; FC-1 and IP data
+//!   gradients in the backward pass — the four GEMMs whose outputs
+//!   need an all-reduce).
+//! * [`moe`] — mixture-of-experts layers under expert parallelism and
+//!   T3's fusion of the combine all-to-all (Section 7.2).
+//! * [`parallelism`] — pipeline parallelism and ZeRO/FSDP weight
+//!   sharding (Section 2.2): where their communication hides, and what
+//!   T3's AG fusion buys for sharded weights.
+//! * [`e2e`] — the analytical per-layer operation model used, like the
+//!   paper's Section 5.1.2 methodology, to (a) compute how much of a
+//!   training/prompt iteration sits in "sliced GEMM → AR" (Figure 4)
+//!   and (b) scale that portion by simulated sublayer speedups to get
+//!   end-to-end speedups (Figure 19).
+
+pub mod e2e;
+pub mod moe;
+pub mod parallelism;
+pub mod zoo;
+
+pub use zoo::{ModelConfig, Sublayer};

@@ -1,0 +1,139 @@
+//! Mixture-of-experts layers under expert parallelism (Section 7.2).
+//!
+//! Expert parallelism places one expert per device and exchanges
+//! tokens with two serialized all-to-alls per MoE layer (dispatch and
+//! combine). Like the tensor-parallel all-reduce, these sit on the
+//! critical path — and T3 fuses the *combine* all-to-all with the
+//! producing expert FFN GEMM through the same address-space
+//! configuration (`remote_map` with store semantics, Section 7.1).
+
+use t3_core::engine::{run_fused_gemm_all_to_all, FusedOptions};
+use t3_gpu::gemm::{GemmGrid, GemmShape};
+use t3_sim::config::SystemConfig;
+use t3_sim::Cycle;
+
+/// One MoE layer's configuration under expert parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoeConfig {
+    /// Model hidden dimension.
+    pub hidden: u64,
+    /// FFN expansion factor (4 in standard Transformers).
+    pub ffn_mult: u64,
+    /// Tokens per device after routing (assumes balanced experts,
+    /// capacity factor 1).
+    pub tokens_per_device: u64,
+}
+
+impl MoeConfig {
+    /// A Switch-Transformer-like MoE layer.
+    pub fn switch_like(hidden: u64, tokens_per_device: u64) -> Self {
+        MoeConfig {
+            hidden,
+            ffn_mult: 4,
+            tokens_per_device,
+        }
+    }
+
+    /// The expert's second FFN GEMM (the producer of the combine
+    /// all-to-all): `[tokens, H] = [tokens, f*H] x [f*H, H]`.
+    pub fn expert_fc2(&self) -> GemmShape {
+        GemmShape::new(
+            self.tokens_per_device,
+            self.hidden,
+            self.ffn_mult * self.hidden,
+        )
+    }
+
+    /// Bytes exchanged by one all-to-all (every device's activations).
+    pub fn a2a_payload_bytes(&self) -> u64 {
+        self.tokens_per_device * self.hidden * 2
+    }
+}
+
+/// Timing breakdown of one expert-parallel MoE layer half (the FC-2 +
+/// combine all-to-all that T3 fuses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoeOutcome {
+    /// Sequential: expert GEMM then the combine all-to-all.
+    pub sequential_cycles: Cycle,
+    /// T3: all-to-all fused into the GEMM's stores.
+    pub fused_cycles: Cycle,
+    /// Speedup of the fused execution.
+    pub speedup: f64,
+    /// Exposed all-to-all cycles in the sequential baseline.
+    pub a2a_cycles: Cycle,
+}
+
+/// All-to-all time on a fully-connected topology: each device streams
+/// `(N-1)/N` of its payload out on dedicated links concurrently, so
+/// the wire time is one chunk's serialisation plus latency, plus the
+/// DRAM cost of landing the incoming chunks.
+pub fn all_to_all_cycles(sys: &SystemConfig, payload_bytes: u64) -> Cycle {
+    let n = sys.num_gpus as u64;
+    let chunk = payload_bytes / n;
+    let wire = (chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
+        + sys.link.latency_cycles();
+    let dram = ((n - 1) * chunk) as f64 / sys.mem.bytes_per_cycle();
+    wire + dram.ceil() as Cycle + sys.gpu.kernel_launch_cycles
+}
+
+/// Runs the expert FC-2 + combine all-to-all under the sequential
+/// baseline and under T3's fused execution.
+pub fn moe_combine_study(sys: &SystemConfig, cfg: &MoeConfig) -> MoeOutcome {
+    let grid = GemmGrid::new(&sys.gpu, cfg.expert_fc2());
+    let gemm = t3_gpu::engine::run_gemm_isolated(
+        sys,
+        grid.clone(),
+        t3_gpu::engine::WritePolicy::CachedLocal,
+    );
+    let a2a = all_to_all_cycles(sys, cfg.a2a_payload_bytes());
+    let sequential = gemm.cycles + a2a;
+    let fused = run_fused_gemm_all_to_all(sys, grid, &FusedOptions::default());
+    MoeOutcome {
+        sequential_cycles: sequential,
+        fused_cycles: fused.cycles,
+        speedup: sequential as f64 / fused.cycles as f64,
+        a2a_cycles: a2a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    #[test]
+    fn fused_combine_beats_sequential() {
+        let s = sys();
+        let cfg = MoeConfig::switch_like(4096, 4096);
+        let out = moe_combine_study(&s, &cfg);
+        assert!(
+            out.speedup > 1.0,
+            "fused MoE combine must win: {:.3}",
+            out.speedup
+        );
+        assert!(out.fused_cycles < out.sequential_cycles);
+    }
+
+    #[test]
+    fn a2a_time_scales_with_payload_and_devices() {
+        let s8 = sys();
+        let s16 = sys().with_num_gpus(16);
+        let t_small = all_to_all_cycles(&s8, 8 << 20);
+        let t_big = all_to_all_cycles(&s8, 64 << 20);
+        assert!(t_big > t_small);
+        // More devices -> smaller chunks -> shorter wire time.
+        assert!(all_to_all_cycles(&s16, 64 << 20) < all_to_all_cycles(&s8, 64 << 20));
+    }
+
+    #[test]
+    fn expert_shapes_follow_config() {
+        let cfg = MoeConfig::switch_like(1024, 2048);
+        let g = cfg.expert_fc2();
+        assert_eq!((g.m, g.n, g.k), (2048, 1024, 4096));
+        assert_eq!(cfg.a2a_payload_bytes(), 2048 * 1024 * 2);
+    }
+}

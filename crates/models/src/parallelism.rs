@@ -1,0 +1,166 @@
+//! Other distributed techniques of Section 2.2: pipeline parallelism
+//! and ZeRO-style sharded weights (FSDP).
+//!
+//! The paper's focus is the *serialized* all-reduce of tensor
+//! parallelism; these techniques' communication largely overlaps with
+//! independent compute. They matter to T3 in two ways (Section 7.2):
+//! their overlapped traffic still *contends* for memory bandwidth
+//! (where MCA helps — see `t3_core::study::coarse_overlap_study`), and
+//! ZeRO's pre-layer weight all-gathers are exactly the AG→consumer
+//! pattern `t3_core::agfuse` fuses.
+
+use crate::zoo::ModelConfig;
+use t3_sim::config::SystemConfig;
+use t3_sim::Cycle;
+
+/// A GPipe-style pipeline-parallel schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Pipeline stages (devices).
+    pub stages: u64,
+    /// Micro-batches per iteration.
+    pub microbatches: u64,
+}
+
+impl PipelineConfig {
+    /// Creates a schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(stages: u64, microbatches: u64) -> Self {
+        assert!(stages >= 1 && microbatches >= 1, "parameters must be positive");
+        PipelineConfig {
+            stages,
+            microbatches,
+        }
+    }
+
+    /// The pipeline-bubble fraction `(S-1)/(M+S-1)` of GPipe.
+    pub fn bubble_fraction(&self) -> f64 {
+        (self.stages - 1) as f64 / (self.microbatches + self.stages - 1) as f64
+    }
+
+    /// Cycles to transfer one micro-batch's activations between
+    /// adjacent stages (a peer-to-peer send of
+    /// `tokens_mb x hidden x 2` bytes).
+    pub fn p2p_cycles(&self, sys: &SystemConfig, model: &ModelConfig) -> Cycle {
+        let tokens_mb = model.tokens().div_ceil(self.microbatches);
+        let bytes = tokens_mb * model.hidden * 2;
+        (bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
+            + sys.link.latency_cycles()
+    }
+
+    /// Whether the per-micro-batch P2P transfer hides under one
+    /// stage's compute (`stage_cycles`): if so, pipeline communication
+    /// is off the critical path (the usual case, and why the paper
+    /// focuses on TP instead).
+    pub fn p2p_hidden(&self, sys: &SystemConfig, model: &ModelConfig, stage_cycles: Cycle) -> bool {
+        self.p2p_cycles(sys, model) <= stage_cycles
+    }
+}
+
+/// ZeRO-3 / FSDP weight sharding: every layer's weights are
+/// all-gathered right before use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsdpConfig {
+    /// Sharding degree (devices holding one shard each).
+    pub shards: u64,
+}
+
+impl FsdpConfig {
+    /// Bytes of weights one Transformer layer must gather
+    /// (approximately `12 H^2` FP16 parameters).
+    pub fn layer_weight_bytes(&self, model: &ModelConfig) -> u64 {
+        12 * model.hidden * model.hidden * 2
+    }
+
+    /// Ring all-gather cycles for one layer's weights.
+    pub fn weight_ag_cycles(&self, sys: &SystemConfig, model: &ModelConfig) -> Cycle {
+        let bytes = self.layer_weight_bytes(model);
+        let chunk = bytes as f64 / self.shards as f64;
+        let per_step = chunk / sys.link.bytes_per_cycle()
+            + sys.link.latency_cycles() as f64
+            + sys.gpu.coll_step_overhead_cycles as f64;
+        ((self.shards - 1) as f64 * per_step).ceil() as Cycle
+    }
+
+    /// Fraction of the weight all-gather that T3's AG→consumer fusion
+    /// can hide under a consumer of `consumer_cycles` (Section 7.2):
+    /// the exposed remainder is whatever the consumer is too short to
+    /// cover.
+    pub fn hidden_fraction(
+        &self,
+        sys: &SystemConfig,
+        model: &ModelConfig,
+        consumer_cycles: Cycle,
+    ) -> f64 {
+        let ag = self.weight_ag_cycles(sys, model) as f64;
+        if ag <= 0.0 {
+            return 1.0;
+        }
+        (consumer_cycles as f64 / ag).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn sys() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+
+    #[test]
+    fn bubble_fraction_shrinks_with_more_microbatches() {
+        let few = PipelineConfig::new(8, 8).bubble_fraction();
+        let many = PipelineConfig::new(8, 64).bubble_fraction();
+        assert!(many < few);
+        assert!((PipelineConfig::new(1, 4).bubble_fraction()).abs() < 1e-12);
+        // GPipe's canonical numbers: S=4, M=12 -> 3/15.
+        assert!((PipelineConfig::new(4, 12).bubble_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p2p_usually_hides_under_stage_compute() {
+        let s = sys();
+        let model = zoo::t_nlg();
+        let pp = PipelineConfig::new(8, 16);
+        // A pipeline stage runs many layers; even one layer's GEMM time
+        // (hundreds of microseconds) dwarfs the P2P transfer.
+        let one_layer_cycles = 1_000_000;
+        assert!(pp.p2p_hidden(&s, &model, one_layer_cycles));
+        assert!(pp.p2p_cycles(&s, &model) > 0);
+    }
+
+    #[test]
+    fn fsdp_ag_scales_with_model_and_shards() {
+        let small = FsdpConfig { shards: 8 };
+        let tn = zoo::t_nlg();
+        let mg = zoo::mega_gpt2();
+        assert!(small.layer_weight_bytes(&tn) > small.layer_weight_bytes(&mg));
+        let s16 = FsdpConfig { shards: 16 };
+        let sys16 = sys().with_num_gpus(16);
+        // More shards, more steps, but smaller chunks: total wire time
+        // is similar; overheads grow.
+        assert!(s16.weight_ag_cycles(&sys16, &tn) > 0);
+    }
+
+    #[test]
+    fn hidden_fraction_saturates_at_one() {
+        let s = sys();
+        let model = zoo::t_nlg();
+        let f = FsdpConfig { shards: 8 };
+        let ag = f.weight_ag_cycles(&s, &model);
+        assert!((f.hidden_fraction(&s, &model, ag * 2) - 1.0).abs() < 1e-12);
+        let half = f.hidden_fraction(&s, &model, ag / 2);
+        assert!(half > 0.4 && half < 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_stages_rejected() {
+        let _ = PipelineConfig::new(0, 4);
+    }
+}

@@ -1,0 +1,299 @@
+//! The model zoo of Table 2 and the tensor-sliced sublayer GEMMs.
+//!
+//! Transformer layers have four GEMMs whose outputs require an
+//! all-reduce under tensor parallelism (Megatron-style slicing,
+//! Sections 2.4 and 6.1): the attention output projection (OP) and the
+//! second fully-connected layer (FC-2) in the forward pass, and the
+//! data-gradient GEMMs of FC-1 and the input projection (IP) in
+//! backpropagation. All four keep the full `tokens x hidden` output
+//! and shrink only the dot-product dimension as TP grows (Figure 5).
+
+use t3_gpu::gemm::GemmShape;
+
+/// A Transformer model configuration (Table 2 row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Model name as the paper reports it.
+    pub name: &'static str,
+    /// Hidden dimension `H`.
+    pub hidden: u64,
+    /// Number of layers `L`.
+    pub layers: u64,
+    /// Sequence length per input.
+    pub seq_len: u64,
+    /// Batch size.
+    pub batch: u64,
+    /// TP degrees the paper evaluates for this model.
+    pub tp_degrees: &'static [u64],
+    /// Approximate parameter count, for reporting.
+    pub approx_params: f64,
+}
+
+impl ModelConfig {
+    /// Input tokens per iteration (`seq_len x batch`).
+    pub fn tokens(&self) -> u64 {
+        self.seq_len * self.batch
+    }
+
+    /// The sliced GEMM of `sublayer` at TP degree `tp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero or exceeds the sublayer's K dimension.
+    pub fn sublayer_gemm(&self, sublayer: Sublayer, tp: u64) -> GemmShape {
+        let m = self.tokens();
+        let h = self.hidden;
+        let (full_k, transposed) = match sublayer {
+            // Forward GEMMs in MLPerf BERT use transposed inputs;
+            // backward GEMMs do not (Section 5.2).
+            Sublayer::Op => (h, true),
+            Sublayer::Fc2 => (4 * h, true),
+            Sublayer::Fc1Bwd => (4 * h, false),
+            Sublayer::IpBwd => (3 * h, false),
+        };
+        GemmShape::new(m, h, full_k)
+            .with_transposed(transposed)
+            .tp_sliced(tp)
+    }
+
+    /// Approximate parameter count from the standard 12·L·H² estimate.
+    pub fn estimated_params(&self) -> f64 {
+        12.0 * self.layers as f64 * (self.hidden as f64).powi(2)
+    }
+
+    /// Minimum tensor-parallel degree for the FP16 weights (plus an
+    /// `overhead` factor for activations/optimizer state) to fit in
+    /// `hbm_bytes` of per-GPU memory — the capacity argument of
+    /// Section 2.4 for why large models need ever-larger TP.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `hbm_bytes` is positive and `overhead >= 1.0`.
+    pub fn min_tp_for_capacity(&self, hbm_bytes: u64, overhead: f64) -> u64 {
+        assert!(hbm_bytes > 0, "memory capacity must be positive");
+        assert!(overhead >= 1.0, "overhead factor must be at least 1");
+        let bytes_needed = self.estimated_params() * 2.0 * overhead;
+        (bytes_needed / hbm_bytes as f64).ceil().max(1.0) as u64
+    }
+}
+
+/// The four tensor-sliced sublayer GEMMs requiring an all-reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sublayer {
+    /// Attention output projection, forward pass.
+    Op,
+    /// Second fully-connected layer, forward pass.
+    Fc2,
+    /// FC-1 data gradient, backward pass.
+    Fc1Bwd,
+    /// Input (QKV) projection data gradient, backward pass.
+    IpBwd,
+}
+
+impl Sublayer {
+    /// All sliced sublayers, in the paper's reporting order
+    /// (Figure 15: OP fwd, FC-2 fwd, FC-1 bwd, IP bwd).
+    pub const ALL: [Sublayer; 4] = [
+        Sublayer::Op,
+        Sublayer::Fc2,
+        Sublayer::Fc1Bwd,
+        Sublayer::IpBwd,
+    ];
+
+    /// The forward-pass sublayers (inference prompt phase).
+    pub const FORWARD: [Sublayer; 2] = [Sublayer::Op, Sublayer::Fc2];
+
+    /// Short label as in Figure 15/16.
+    pub fn label(self) -> &'static str {
+        match self {
+            Sublayer::Op => "OP (fwd)",
+            Sublayer::Fc2 => "FC-2 (fwd)",
+            Sublayer::Fc1Bwd => "FC-1 (bwd)",
+            Sublayer::IpBwd => "IP (bwd)",
+        }
+    }
+}
+
+/// Megatron-GPT-2 (Table 2: H=3072, L=74, SL=1K, B=16, TP 8/16).
+pub fn mega_gpt2() -> ModelConfig {
+    ModelConfig {
+        name: "Mega-GPT-2",
+        hidden: 3072,
+        layers: 74,
+        seq_len: 1024,
+        batch: 16,
+        tp_degrees: &[8, 16],
+        approx_params: 8.3e9,
+    }
+}
+
+/// T-NLG (Table 2: H=4256, L=78, SL=1K, B=8, TP 8/16).
+pub fn t_nlg() -> ModelConfig {
+    ModelConfig {
+        name: "T-NLG",
+        hidden: 4256,
+        layers: 78,
+        seq_len: 1024,
+        batch: 8,
+        tp_degrees: &[8, 16],
+        approx_params: 17e9,
+    }
+}
+
+/// GPT-3 (Table 2: H=12K, L=96, SL=1K, B=2, TP 32).
+pub fn gpt3() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-3",
+        hidden: 12 * 1024,
+        layers: 96,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[32],
+        approx_params: 175e9,
+    }
+}
+
+/// PALM (Table 2: H=18K, L=118, SL=1K, B=2, TP 32).
+pub fn palm() -> ModelConfig {
+    ModelConfig {
+        name: "PALM",
+        hidden: 18 * 1024,
+        layers: 118,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[32],
+        approx_params: 530e9,
+    }
+}
+
+/// MT-NLG (Table 2: H=20K, L=105, SL=1K, B=2, TP 32).
+pub fn mt_nlg() -> ModelConfig {
+    ModelConfig {
+        name: "MT-NLG",
+        hidden: 20 * 1024,
+        layers: 105,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[32],
+        approx_params: 540e9,
+    }
+}
+
+/// A futuristic ~1-trillion-parameter model (Figure 4's "1T", 64-way
+/// TP). Dimensions chosen so 12·L·H² ≈ 1e12.
+pub fn futuristic_1t() -> ModelConfig {
+    ModelConfig {
+        name: "1T",
+        hidden: 25 * 1024,
+        layers: 128,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[64],
+        approx_params: 1e12,
+    }
+}
+
+/// A futuristic ~10-trillion-parameter model (Figure 4's "10T",
+/// 64-way TP).
+pub fn futuristic_10t() -> ModelConfig {
+    ModelConfig {
+        name: "10T",
+        hidden: 72 * 1024,
+        layers: 160,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[64],
+        approx_params: 1e13,
+    }
+}
+
+/// The models of Table 2, in reporting order.
+pub fn table2_models() -> Vec<ModelConfig> {
+    vec![mega_gpt2(), t_nlg(), gpt3(), palm(), mt_nlg()]
+}
+
+/// Table 2 models plus Figure 4's futuristic configurations.
+pub fn all_models() -> Vec<ModelConfig> {
+    let mut models = table2_models();
+    models.push(futuristic_1t());
+    models.push(futuristic_10t());
+    models
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let m = mega_gpt2();
+        assert_eq!(m.hidden, 3072);
+        assert_eq!(m.tokens(), 16 * 1024);
+        let t = t_nlg();
+        assert_eq!(t.hidden, 4256);
+        assert_eq!(t.tokens(), 8 * 1024);
+        assert_eq!(gpt3().tp_degrees, &[32]);
+        assert_eq!(table2_models().len(), 5);
+        assert_eq!(all_models().len(), 7);
+    }
+
+    #[test]
+    fn parameter_estimates_are_in_the_right_ballpark() {
+        for m in all_models() {
+            let est = m.estimated_params();
+            let ratio = est / m.approx_params;
+            assert!(
+                ratio > 0.45 && ratio < 2.2,
+                "{}: estimate {est:.2e} vs reported {:.2e}",
+                m.name,
+                m.approx_params
+            );
+        }
+    }
+
+    #[test]
+    fn sublayer_shapes_follow_megatron_slicing() {
+        let m = t_nlg();
+        let op = m.sublayer_gemm(Sublayer::Op, 8);
+        assert_eq!((op.m, op.n, op.k), (8192, 4256, 4256 / 8));
+        assert!(op.transposed);
+        let fc2 = m.sublayer_gemm(Sublayer::Fc2, 8);
+        assert_eq!(fc2.k, 4 * 4256 / 8);
+        let fc1 = m.sublayer_gemm(Sublayer::Fc1Bwd, 16);
+        assert_eq!(fc1.k, 4 * 4256 / 16);
+        assert!(!fc1.transposed);
+        let ip = m.sublayer_gemm(Sublayer::IpBwd, 8);
+        assert_eq!(ip.k, 3 * 4256 / 8);
+    }
+
+    #[test]
+    fn tp_slicing_preserves_output() {
+        let m = mega_gpt2();
+        for tp in [8u64, 16] {
+            for sub in Sublayer::ALL {
+                let s = m.sublayer_gemm(sub, tp);
+                assert_eq!(s.m, m.tokens());
+                assert_eq!(s.n, m.hidden);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_argument_of_section_2_4() {
+        // 40 GB HBM per GPU, 1.5x overhead for activations: the large
+        // models need the larger TP degrees the paper assigns them.
+        let hbm = 40u64 << 30;
+        assert!(mega_gpt2().min_tp_for_capacity(hbm, 1.5) <= 8);
+        assert!(t_nlg().min_tp_for_capacity(hbm, 1.5) <= 8);
+        let mt = mt_nlg().min_tp_for_capacity(hbm, 1.5);
+        assert!(mt > 16 && mt <= 64, "MT-NLG needs ~32-way slicing, got {mt}");
+        assert!(futuristic_10t().min_tp_for_capacity(hbm, 1.5) > 32);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            Sublayer::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! DMA engine (Section 4.2.2).
+//!
+//! T3 pre-programs DMA commands at kernel launch (via the address-space
+//! configuration, Figure 12) and the Tracker marks them *ready* as the
+//! producer and incoming updates complete. The engine then reads the
+//! source region through the memory controller's communication stream
+//! and pushes it onto the link — no CUs involved.
+//!
+//! The engine is cycle-stepped and pipelined: while one command's
+//! payload serialises on the link, the next command's source read can
+//! already be in flight at the memory controller.
+
+use std::collections::VecDeque;
+
+use crate::link::{Delivery, Link};
+use t3_mem::controller::{MemoryController, StreamId};
+use t3_sim::config::LinkConfig;
+use t3_sim::stats::TrafficClass;
+use t3_sim::{Bytes, Cycle};
+
+/// A pre-programmed DMA command, marked ready by the Tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaCommand {
+    /// Caller-chosen identifier carried through to the delivery.
+    pub id: u64,
+    /// Payload size in bytes.
+    pub bytes: Bytes,
+    /// Traffic class of the source read at the local memory controller
+    /// (e.g. [`TrafficClass::RsRead`] for reduce-scatter chunks).
+    pub read_class: TrafficClass,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Reading {
+    cmd: DmaCommand,
+    /// Target value of the serviced-bytes counter for `read_class`
+    /// at which the source read is complete.
+    target: Bytes,
+}
+
+/// The DMA engine: a command queue, an in-flight source read, and the
+/// outbound link.
+#[derive(Debug)]
+pub struct DmaEngine {
+    queue: VecDeque<DmaCommand>,
+    reading: Option<Reading>,
+    link: Link,
+    sent_commands: u64,
+}
+
+impl DmaEngine {
+    /// Creates an engine sending over a link with configuration `cfg`.
+    pub fn new(cfg: &LinkConfig) -> Self {
+        DmaEngine {
+            queue: VecDeque::new(),
+            reading: None,
+            link: Link::new(cfg),
+            sent_commands: 0,
+        }
+    }
+
+    /// Queues a ready command (Tracker trigger). Zero-byte commands are
+    /// completed immediately and never touch memory or the link.
+    pub fn trigger(&mut self, cmd: DmaCommand) {
+        if cmd.bytes == 0 {
+            self.sent_commands += 1;
+            return;
+        }
+        self.queue.push_back(cmd);
+    }
+
+    /// Advances the engine one cycle: completes a finished source read
+    /// by starting its link transmission, and starts the next queued
+    /// command's source read. Returns messages fully delivered to the
+    /// neighbour by `now`.
+    pub fn step(&mut self, now: Cycle, mc: &mut MemoryController) -> Vec<Delivery> {
+        if let Some(reading) = self.reading {
+            if mc.stats().bytes(reading.cmd.read_class) >= reading.target {
+                self.link.send(now, reading.cmd.id, reading.cmd.bytes);
+                self.sent_commands += 1;
+                self.reading = None;
+            }
+        }
+        if self.reading.is_none() {
+            if let Some(cmd) = self.queue.pop_front() {
+                // The engine serialises its own reads (one in flight),
+                // so the completion target is simply "current serviced
+                // count + this command's bytes". The fused engine keeps
+                // the read class exclusive to DMA source reads.
+                let target = mc.stats().bytes(cmd.read_class) + cmd.bytes;
+                mc.enqueue(StreamId::Comm, cmd.read_class, cmd.bytes, 1.0);
+                self.reading = Some(Reading { cmd, target });
+            }
+        }
+        self.link.deliveries_until(now)
+    }
+
+    /// Sends `bytes` directly onto the engine's outbound link without a
+    /// local memory read, tagged `tag`. Models the fine-grained
+    /// peer-to-peer remote stores of T3's warm-up step (Section 4.1):
+    /// the producer's stores leave for the neighbour as they are made
+    /// and never touch local DRAM. Shares (and serialises with) the
+    /// link used by DMA payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn send_direct(&mut self, now: Cycle, tag: u64, bytes: Bytes) {
+        self.link.send(now, tag, bytes);
+    }
+
+    /// True when no command is queued, reading, or on the wire.
+    pub fn is_idle(&self, now: Cycle) -> bool {
+        self.queue.is_empty() && self.reading.is_none() && self.link.is_idle(now)
+    }
+
+    /// Commands whose payload has been handed to the link (plus
+    /// zero-byte commands completed eagerly).
+    pub fn sent_commands(&self) -> u64 {
+        self.sent_commands
+    }
+
+    /// Total bytes accepted by the link so far.
+    pub fn bytes_sent(&self) -> Bytes {
+        self.link.total_sent()
+    }
+
+    /// The underlying link (for latency/rate queries).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_mem::arbiter::ComputeFirstPolicy;
+    use t3_sim::config::SystemConfig;
+
+    fn setup() -> (DmaEngine, MemoryController) {
+        let sys = SystemConfig::paper_default();
+        let engine = DmaEngine::new(&sys.link);
+        let mc = MemoryController::new(&sys.mem, Box::new(ComputeFirstPolicy::new()));
+        (engine, mc)
+    }
+
+    fn run(engine: &mut DmaEngine, mc: &mut MemoryController, limit: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while now < limit && !(engine.is_idle(now) && mc.is_idle()) {
+            mc.step(now, None);
+            out.extend(engine.step(now, mc));
+            now += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn command_reads_then_sends_then_delivers() {
+        let (mut engine, mut mc) = setup();
+        engine.trigger(DmaCommand {
+            id: 42,
+            bytes: 100_000,
+            read_class: TrafficClass::RsRead,
+        });
+        let deliveries = run(&mut engine, &mut mc, 1_000_000);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].tag, 42);
+        assert_eq!(deliveries[0].bytes, 100_000);
+        // The source read went through the memory controller.
+        assert_eq!(mc.stats().bytes(TrafficClass::RsRead), 100_000);
+        assert_eq!(engine.bytes_sent(), 100_000);
+    }
+
+    #[test]
+    fn delivery_not_before_read_plus_wire_time() {
+        let (mut engine, mut mc) = setup();
+        let bytes = 1_000_000;
+        engine.trigger(DmaCommand {
+            id: 1,
+            bytes,
+            read_class: TrafficClass::RsRead,
+        });
+        let mut now = 0;
+        let arrival = loop {
+            mc.step(now, None);
+            let d = engine.step(now, &mut mc);
+            if !d.is_empty() {
+                break now;
+            }
+            now += 1;
+            assert!(now < 100_000_000);
+        };
+        let wire = engine.link().serialization_cycles(bytes) + engine.link().latency();
+        assert!(
+            arrival >= wire,
+            "arrival {arrival} cannot beat wire time {wire}"
+        );
+    }
+
+    #[test]
+    fn commands_pipeline_in_order() {
+        let (mut engine, mut mc) = setup();
+        for id in 0..3 {
+            engine.trigger(DmaCommand {
+                id,
+                bytes: 50_000,
+                read_class: TrafficClass::RsRead,
+            });
+        }
+        let deliveries = run(&mut engine, &mut mc, 10_000_000);
+        let tags: Vec<u64> = deliveries.iter().map(|d| d.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+        assert_eq!(engine.sent_commands(), 3);
+    }
+
+    #[test]
+    fn zero_byte_command_completes_eagerly() {
+        let (mut engine, _mc) = setup();
+        engine.trigger(DmaCommand {
+            id: 9,
+            bytes: 0,
+            read_class: TrafficClass::RsRead,
+        });
+        assert!(engine.is_idle(0));
+        assert_eq!(engine.sent_commands(), 1);
+    }
+
+    #[test]
+    fn back_to_back_commands_saturate_link() {
+        // With large commands the link, not the read path, must be the
+        // bottleneck: total time ~ sum of serialisation times.
+        let (mut engine, mut mc) = setup();
+        let n = 4;
+        let bytes = 2_000_000;
+        for id in 0..n {
+            engine.trigger(DmaCommand {
+                id,
+                bytes,
+                read_class: TrafficClass::RsRead,
+            });
+        }
+        let mut now = 0;
+        let mut seen = 0;
+        while seen < n as usize {
+            mc.step(now, None);
+            seen += engine.step(now, &mut mc).len();
+            now += 1;
+            assert!(now < 100_000_000);
+        }
+        let ideal =
+            engine.link().serialization_cycles(bytes) * n + engine.link().latency();
+        assert!(
+            (now as f64) < ideal as f64 * 1.15,
+            "link under-utilised: {now} vs ideal {ideal}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! A point-to-point link with finite bandwidth and fixed latency.
+//!
+//! Messages serialise onto the wire at the link's byte rate (one at a
+//! time, in order) and are delivered one link latency after their last
+//! byte leaves. This is the standard alpha-beta model the paper's
+//! multi-GPU extension of Accel-Sim uses for inter-GPU traffic
+//! (Section 5.1.1: "a simple link bandwidth and latency model").
+
+use std::collections::VecDeque;
+
+use t3_sim::config::LinkConfig;
+use t3_sim::{Bytes, Cycle};
+
+/// A message in flight, tagged with a caller-chosen identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Caller-chosen tag (e.g. DMA command id).
+    pub tag: u64,
+    /// Payload size.
+    pub bytes: Bytes,
+    /// Cycle at which the message is fully received.
+    pub arrival: Cycle,
+}
+
+/// A uni-directional link. A ring GPU uses one `Link` per direction;
+/// the paper's steady-state GEMM-RS only sends in one direction.
+#[derive(Debug, Clone)]
+pub struct Link {
+    bytes_per_cycle: f64,
+    latency: Cycle,
+    /// Cycle at which the serialiser becomes free.
+    free_at: Cycle,
+    in_flight: VecDeque<Delivery>,
+    total_sent: Bytes,
+}
+
+impl Link {
+    /// Creates a link from the system's link configuration.
+    pub fn new(cfg: &LinkConfig) -> Self {
+        Link {
+            bytes_per_cycle: cfg.bytes_per_cycle(),
+            latency: cfg.latency_cycles(),
+            free_at: 0,
+            in_flight: VecDeque::new(),
+            total_sent: 0,
+        }
+    }
+
+    /// Link payload rate in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// One-way latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Enqueues `bytes` for transmission at time `now`; returns the
+    /// delivery (arrival) cycle. Messages serialise in FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero — zero-byte messages have no wire
+    /// representation and would stall arrival ordering.
+    pub fn send(&mut self, now: Cycle, tag: u64, bytes: Bytes) -> Cycle {
+        assert!(bytes > 0, "cannot send an empty message");
+        let start = self.free_at.max(now);
+        let ser_cycles = (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle;
+        self.free_at = start + ser_cycles;
+        let arrival = self.free_at + self.latency;
+        self.in_flight.push_back(Delivery {
+            tag,
+            bytes,
+            arrival,
+        });
+        self.total_sent += bytes;
+        arrival
+    }
+
+    /// Pops every message that has fully arrived by `now`.
+    pub fn deliveries_until(&mut self, now: Cycle) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(head) = self.in_flight.front() {
+            if head.arrival > now {
+                break;
+            }
+            out.push(*head);
+            self.in_flight.pop_front();
+        }
+        out
+    }
+
+    /// Cycle at which the serialiser frees up (i.e. earliest start for
+    /// a new message).
+    pub fn busy_until(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// True when nothing is queued or in flight.
+    pub fn is_idle(&self, now: Cycle) -> bool {
+        self.in_flight.is_empty() && self.free_at <= now
+    }
+
+    /// Total bytes ever accepted for transmission.
+    pub fn total_sent(&self) -> Bytes {
+        self.total_sent
+    }
+
+    /// Pure helper: time to serialise `bytes` on this link, excluding
+    /// latency. Used by analytic models (e.g. Figure 14's reference).
+    pub fn serialization_cycles(&self, bytes: Bytes) -> Cycle {
+        (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_sim::config::SystemConfig;
+
+    fn link() -> Link {
+        Link::new(&SystemConfig::paper_default().link)
+    }
+
+    #[test]
+    fn arrival_is_serialization_plus_latency() {
+        let mut l = link();
+        let bytes = 1_070_000; // ~10k cycles at 107 B/cycle
+        let arrival = l.send(0, 1, bytes);
+        let expected = l.serialization_cycles(bytes) + l.latency();
+        assert_eq!(arrival, expected);
+    }
+
+    #[test]
+    fn messages_serialize_in_order() {
+        let mut l = link();
+        let a1 = l.send(0, 1, 107_000);
+        let a2 = l.send(0, 2, 107_000);
+        assert!(a2 > a1);
+        // Second message waits for the first to finish serialising.
+        assert_eq!(a2 - a1, l.serialization_cycles(107_000));
+    }
+
+    #[test]
+    fn deliveries_pop_in_arrival_order() {
+        let mut l = link();
+        l.send(0, 7, 1_000);
+        l.send(0, 8, 1_000);
+        assert!(l.deliveries_until(0).is_empty());
+        let all = l.deliveries_until(1_000_000);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].tag, 7);
+        assert_eq!(all[1].tag, 8);
+        assert!(l.deliveries_until(1_000_000).is_empty());
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut l = link();
+        assert!(l.is_idle(0));
+        let arrival = l.send(5, 1, 10_000);
+        assert!(!l.is_idle(5));
+        l.deliveries_until(arrival);
+        assert!(l.is_idle(arrival));
+    }
+
+    #[test]
+    fn send_after_idle_gap_starts_at_now() {
+        let mut l = link();
+        let a1 = l.send(0, 1, 107); // finishes quickly
+        let later = a1 + 10_000;
+        let a2 = l.send(later, 2, 107);
+        assert_eq!(a2, later + l.serialization_cycles(107) + l.latency());
+    }
+
+    #[test]
+    fn total_sent_accumulates() {
+        let mut l = link();
+        l.send(0, 1, 100);
+        l.send(0, 2, 200);
+        assert_eq!(l.total_sent(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty message")]
+    fn empty_send_panics() {
+        link().send(0, 0, 0);
+    }
+
+    #[test]
+    fn paper_link_rate_and_latency() {
+        let l = link();
+        assert!((l.bytes_per_cycle() - 107.14).abs() < 0.01);
+        assert_eq!(l.latency(), 700);
+    }
+}

@@ -1,0 +1,225 @@
+//! Ring-topology helpers (Section 2.3).
+//!
+//! Ring reduce-scatter chunks the array `N` ways and runs `N-1` steps;
+//! in step `s`, device `d` *sends* the chunk it received (and reduced)
+//! in step `s-1` and *receives* a new one. The chunk indexing below is
+//! the standard schedule: device `d` starts by sending chunk `d`, and
+//! after `N-1` steps owns the fully-reduced chunk `(d + 1) mod N`.
+//! Both the functional collectives and the timing engine derive their
+//! schedules from this one module so they cannot drift apart.
+
+/// A ring of `n` devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    n: usize,
+}
+
+impl Ring {
+    /// Creates a ring of `n` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "a ring needs at least two devices");
+        Ring { n }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Rings are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The device `device` sends to (next in the ring).
+    pub fn next(&self, device: usize) -> usize {
+        (device + 1) % self.n
+    }
+
+    /// The device `device` receives from (previous in the ring).
+    pub fn prev(&self, device: usize) -> usize {
+        (device + self.n - 1) % self.n
+    }
+
+    /// Number of steps in a ring reduce-scatter or all-gather.
+    pub fn steps(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Chunk that `device` sends in reduce-scatter step `step`
+    /// (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.steps()` or `device >= self.len()`.
+    pub fn rs_send_chunk(&self, device: usize, step: usize) -> usize {
+        self.check(device, step);
+        (device + self.n - step) % self.n
+    }
+
+    /// Chunk that `device` receives (and reduces) in reduce-scatter
+    /// step `step`. Equals what its predecessor sends.
+    pub fn rs_recv_chunk(&self, device: usize, step: usize) -> usize {
+        self.rs_send_chunk(self.prev(device), step)
+    }
+
+    /// Chunk that `device` owns fully reduced after reduce-scatter.
+    pub fn rs_owned_chunk(&self, device: usize) -> usize {
+        assert!(device < self.n, "device out of range");
+        (device + 1) % self.n
+    }
+
+    /// Chunk that `device` sends in all-gather step `step`: it starts
+    /// with its owned chunk and forwards what it last received.
+    pub fn ag_send_chunk(&self, device: usize, step: usize) -> usize {
+        self.check(device, step);
+        (self.rs_owned_chunk(device) + self.n - step) % self.n
+    }
+
+    /// Chunk that `device` receives in all-gather step `step`.
+    pub fn ag_recv_chunk(&self, device: usize, step: usize) -> usize {
+        self.ag_send_chunk(self.prev(device), step)
+    }
+
+    fn check(&self, device: usize, step: usize) {
+        assert!(device < self.n, "device out of range");
+        assert!(step < self.steps(), "step out of range");
+    }
+}
+
+/// Splits `len` elements into `n` chunks: chunk `i` is
+/// `[chunk_bounds(len, n, i).0, chunk_bounds(len, n, i).1)`. Chunks
+/// differ in size by at most one element (remainder spread over the
+/// first chunks), matching how collective libraries chunk arrays.
+pub fn chunk_bounds(len: usize, n: usize, i: usize) -> (usize, usize) {
+    assert!(i < n, "chunk index out of range");
+    let base = len / n;
+    let rem = len % n;
+    let start = i * base + i.min(rem);
+    let size = base + usize::from(i < rem);
+    (start, start + size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbours_wrap() {
+        let r = Ring::new(4);
+        assert_eq!(r.next(3), 0);
+        assert_eq!(r.prev(0), 3);
+        assert_eq!(r.steps(), 3);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn rs_schedule_covers_each_chunk_once_per_step() {
+        // In every step, the set of chunks sent across all devices is a
+        // permutation of all chunks.
+        for n in [2, 3, 4, 8, 16] {
+            let r = Ring::new(n);
+            for step in 0..r.steps() {
+                let mut seen = vec![false; n];
+                for d in 0..n {
+                    let c = r.rs_send_chunk(d, step);
+                    assert!(!seen[c], "chunk {c} sent twice in step {step}");
+                    seen[c] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rs_recv_matches_predecessor_send() {
+        let r = Ring::new(8);
+        for step in 0..r.steps() {
+            for d in 0..8 {
+                assert_eq!(r.rs_recv_chunk(d, step), r.rs_send_chunk(r.prev(d), step));
+            }
+        }
+    }
+
+    #[test]
+    fn rs_reduction_chain_ends_at_owner() {
+        // Follow chunk c around the ring: after N-1 hops it must land on
+        // the device that owns it.
+        for n in [2, 4, 8] {
+            let r = Ring::new(n);
+            for c in 0..n {
+                // The device that sends chunk c at step 0 is device c.
+                assert_eq!(r.rs_send_chunk(c, 0), c);
+                // The final receiver at the last step owns it.
+                let mut holder = c;
+                for step in 0..r.steps() {
+                    assert_eq!(r.rs_send_chunk(holder, step), c);
+                    holder = r.next(holder);
+                }
+                assert_eq!(r.rs_owned_chunk(holder), c);
+            }
+        }
+    }
+
+    #[test]
+    fn ag_starts_from_owned_chunk() {
+        let r = Ring::new(4);
+        for d in 0..4 {
+            assert_eq!(r.ag_send_chunk(d, 0), r.rs_owned_chunk(d));
+        }
+    }
+
+    #[test]
+    fn ag_recv_matches_predecessor_send() {
+        let r = Ring::new(6);
+        for step in 0..r.steps() {
+            for d in 0..6 {
+                assert_eq!(r.ag_recv_chunk(d, step), r.ag_send_chunk(r.prev(d), step));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for (len, n) in [(10, 3), (16, 4), (7, 8), (0, 2), (100, 7)] {
+            let mut covered = 0;
+            for i in 0..n {
+                let (s, e) = chunk_bounds(len, n, i);
+                assert_eq!(s, covered, "chunks must be contiguous");
+                assert!(e >= s);
+                covered = e;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..4)
+            .map(|i| {
+                let (s, e) = chunk_bounds(10, 4, i);
+                e - s
+            })
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn singleton_ring_panics() {
+        let _ = Ring::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "step out of range")]
+    fn step_bounds_checked() {
+        let r = Ring::new(2);
+        let _ = r.rs_send_chunk(0, 1);
+    }
+}

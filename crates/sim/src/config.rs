@@ -1,0 +1,382 @@
+//! Simulated system configuration (Table 1 of the paper).
+//!
+//! [`SystemConfig::paper_default`] reproduces the paper's setup: an
+//! 80-CU, 1.4 GHz GPU with a 16 MB LLC, 1 TB/s HBM2, and a 150 GB/s
+//! bi-directional ring with 500 ns link latency, in 8- or 16-GPU
+//! nodes. [`SystemConfig::future_2x_cu`] reproduces the "GPU-2X-CU"
+//! configuration of Section 7.5 (compute scaled 2x, network constant).
+
+use crate::{gb_s_to_bytes_per_cycle, ns_to_cycles, Bytes, Cycle};
+
+/// Number of bytes per FP16 element; the paper evaluates half-precision
+/// forward/backward passes and FP16 inference.
+pub const FP16_BYTES: u64 = 2;
+
+/// Compute-unit and kernel-execution parameters of one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of compute units (Table 1: 80).
+    pub num_cus: u32,
+    /// Core/L2/MC clock in GHz (Table 1: 1.4).
+    pub clock_ghz: f64,
+    /// Peak FP16 FLOPs retired per CU per cycle by GEMM kernels
+    /// (tensor-core-class; calibrated so compute:communication ratios
+    /// match Figures 4 and 15 — see DESIGN.md).
+    pub flops_per_cu_cycle: f64,
+    /// Sustained fraction of peak a well-tuned GEMM stage achieves for
+    /// its compute phase (library kernels do not hit 100% of peak).
+    pub gemm_efficiency: f64,
+    /// Bytes of collective payload one CU can process per cycle
+    /// (load two operands, reduce, store); bounds CU-limited collective
+    /// kernels, calibrated against Figure 6's 8-CU / 16-CU slowdowns.
+    pub collective_bytes_per_cu_cycle: f64,
+    /// Concurrent workgroups resident per CU (occupancy) for the tiled
+    /// GEMMs the paper evaluates.
+    pub wgs_per_cu: u32,
+    /// Output-tile edge produced by one workgroup (tiles are
+    /// `tile_dim x tile_dim` elements).
+    pub tile_dim: u32,
+    /// Wavefronts per workgroup (Section 4.2.1: at most eight).
+    pub wfs_per_wg: u32,
+    /// Whether GEMM kernels prefetch: a stage's input reads overlap
+    /// its compute phase (double-buffered operands), so stage time is
+    /// `max(read, compute)` instead of `read + compute`. Library
+    /// kernels are double-buffered; the serial model is kept as the
+    /// conservative default the calibration was done against.
+    pub gemm_prefetch: bool,
+    /// Fixed kernel-launch overhead in cycles, applied once per kernel.
+    pub kernel_launch_cycles: Cycle,
+    /// Per-step software overhead of CU-executed ring collectives
+    /// (launch/synchronisation between ring steps).
+    pub coll_step_overhead_cycles: Cycle,
+}
+
+impl GpuConfig {
+    /// Peak GEMM throughput of the whole GPU in FLOP per cycle.
+    pub fn peak_flops_per_cycle(&self) -> f64 {
+        self.num_cus as f64 * self.flops_per_cu_cycle
+    }
+
+    /// Number of workgroups that can execute concurrently (one GEMM
+    /// "stage" in the paper's terminology, Section 2.5).
+    pub fn concurrent_wgs(&self) -> u32 {
+        self.num_cus * self.wgs_per_cu
+    }
+
+    /// Peak GEMM throughput in TFLOP/s, for reporting.
+    pub fn peak_tflops(&self) -> f64 {
+        self.peak_flops_per_cycle() * self.clock_ghz / 1e3
+    }
+}
+
+/// Memory-system parameters: HBM bandwidth, controller queueing, LLC
+/// geometry and near-memory-compute costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// Aggregate HBM bandwidth in GB/s (Table 1: 1 TB/s).
+    pub hbm_gb_s: f64,
+    /// Core clock used to convert bandwidth into per-cycle service.
+    pub clock_ghz: f64,
+    /// Memory transaction granularity in bytes. The simulator moves
+    /// traffic in units of this size; 256 B keeps event counts tractable
+    /// while preserving queueing behaviour.
+    pub txn_bytes: Bytes,
+    /// DRAM queue capacity in transactions; the MCA policy's occupancy
+    /// thresholds are expressed against this queue (Section 4.5).
+    pub dram_queue_capacity: usize,
+    /// LLC capacity in bytes (Table 1: 16 MB).
+    pub llc_capacity: Bytes,
+    /// LLC associativity (ways).
+    pub llc_ways: u32,
+    /// LLC line size in bytes.
+    pub llc_line: Bytes,
+    /// LLC replacement policy. GPU L2s are not strictly LRU; random
+    /// replacement approximates their behaviour on streaming working
+    /// sets near the cache size (an LRU cache degenerates to a 0% hit
+    /// rate one byte past capacity, which real caches do not).
+    pub llc_replacement: LlcReplacement,
+    /// Service-cost multiplier for near-memory op-and-store updates
+    /// relative to plain writes (CCDWL = 2x CCDL amortised over four
+    /// bank groups — Section 5.1.1).
+    pub nmc_cost_multiplier: f64,
+    /// Service-cost multiplier when reductions use system-wide atomics
+    /// on uncached data instead of NMC (Section 7.4 substrate).
+    pub atomics_cost_multiplier: f64,
+    /// Extra service cost (fraction of a transaction) paid when DRAM
+    /// switches between the compute and communication streams —
+    /// row-buffer locality loss from interleaving unrelated access
+    /// streams. This is what makes naive round-robin arbitration hurt
+    /// the producer (Section 4.5) and T3-MCA's stream batching win.
+    pub stream_switch_penalty: f64,
+}
+
+impl MemConfig {
+    /// HBM service rate in bytes per core cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        gb_s_to_bytes_per_cycle(self.hbm_gb_s, self.clock_ghz)
+    }
+
+    /// HBM service rate in transactions per core cycle.
+    pub fn txns_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle() / self.txn_bytes as f64
+    }
+
+    /// Number of lines in the LLC.
+    pub fn llc_lines(&self) -> u64 {
+        self.llc_capacity / self.llc_line
+    }
+
+    /// Number of sets in the LLC.
+    pub fn llc_sets(&self) -> u64 {
+        (self.llc_lines() / self.llc_ways as u64).max(1)
+    }
+}
+
+/// LLC replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LlcReplacement {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict a (deterministically) random way — streaming-resistant,
+    /// the default for the paper configuration.
+    #[default]
+    Random,
+}
+
+/// Inter-GPU interconnect parameters (Table 1: ring, 150 GB/s
+/// bi-directional, 500 ns link latency).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Per-direction link bandwidth in GB/s.
+    pub link_gb_s: f64,
+    /// Core clock used to convert bandwidth into per-cycle payload.
+    pub clock_ghz: f64,
+    /// One-way link latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl LinkConfig {
+    /// Link payload rate in bytes per core cycle, per direction.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        gb_s_to_bytes_per_cycle(self.link_gb_s, self.clock_ghz)
+    }
+
+    /// One-way link latency in core cycles.
+    pub fn latency_cycles(&self) -> Cycle {
+        ns_to_cycles(self.latency_ns, self.clock_ghz)
+    }
+}
+
+/// Full simulated-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Per-GPU compute configuration.
+    pub gpu: GpuConfig,
+    /// Per-GPU memory-system configuration.
+    pub mem: MemConfig,
+    /// Inter-GPU link configuration.
+    pub link: LinkConfig,
+    /// Number of GPUs in the node (Table 1: 8 or 16; larger studies use
+    /// 32; the validation study uses 4).
+    pub num_gpus: usize,
+}
+
+impl SystemConfig {
+    /// The paper's simulated system (Table 1) with `num_gpus = 8`.
+    pub fn paper_default() -> Self {
+        let clock_ghz = 1.4;
+        SystemConfig {
+            gpu: GpuConfig {
+                num_cus: 80,
+                clock_ghz,
+                flops_per_cu_cycle: 1024.0,
+                gemm_efficiency: 0.85,
+                collective_bytes_per_cu_cycle: 28.0,
+                wgs_per_cu: 1,
+                tile_dim: 128,
+                wfs_per_wg: 8,
+                gemm_prefetch: false,
+                kernel_launch_cycles: 2_000,
+                coll_step_overhead_cycles: 1_400,
+            },
+            mem: MemConfig {
+                hbm_gb_s: 1000.0,
+                clock_ghz,
+                txn_bytes: 256,
+                dram_queue_capacity: 64,
+                llc_capacity: 16 * 1024 * 1024,
+                llc_ways: 16,
+                llc_line: 256,
+                llc_replacement: LlcReplacement::Random,
+                nmc_cost_multiplier: 1.15,
+                atomics_cost_multiplier: 1.4,
+                stream_switch_penalty: 0.75,
+            },
+            link: LinkConfig {
+                link_gb_s: 150.0,
+                clock_ghz,
+                latency_ns: 500.0,
+            },
+            num_gpus: 8,
+        }
+    }
+
+    /// Same system with a different GPU count.
+    pub fn with_num_gpus(mut self, num_gpus: usize) -> Self {
+        assert!(num_gpus >= 2, "a multi-GPU system needs at least 2 GPUs");
+        self.num_gpus = num_gpus;
+        self
+    }
+
+    /// The "GPU-2X-CU" future configuration of Section 7.5: twice the
+    /// CUs, identical memory and network.
+    pub fn future_2x_cu() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.gpu.num_cus *= 2;
+        cfg
+    }
+
+    /// Validates internal consistency; returns a human-readable message
+    /// for the first violated constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if any parameter is non-positive, the LLC geometry
+    /// does not divide evenly, or the node is too small for a ring.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_gpus < 2 {
+            return Err(format!("num_gpus must be >= 2, got {}", self.num_gpus));
+        }
+        if self.gpu.num_cus == 0 {
+            return Err("num_cus must be positive".to_string());
+        }
+        if self.gpu.clock_ghz <= 0.0 || self.mem.clock_ghz <= 0.0 || self.link.clock_ghz <= 0.0 {
+            return Err("clocks must be positive".to_string());
+        }
+        if self.gpu.tile_dim == 0 || self.gpu.wfs_per_wg == 0 || self.gpu.wfs_per_wg > 8 {
+            return Err(format!(
+                "tile_dim must be positive and wfs_per_wg in 1..=8, got {} and {}",
+                self.gpu.tile_dim, self.gpu.wfs_per_wg
+            ));
+        }
+        if self.gpu.gemm_efficiency <= 0.0 || self.gpu.gemm_efficiency > 1.0 {
+            return Err(format!(
+                "gemm_efficiency must be in (0, 1], got {}",
+                self.gpu.gemm_efficiency
+            ));
+        }
+        if self.mem.txn_bytes == 0 || self.mem.llc_line == 0 {
+            return Err("transaction and line sizes must be positive".to_string());
+        }
+        if !self.mem.llc_capacity.is_multiple_of(self.mem.llc_line * self.mem.llc_ways as u64) {
+            return Err("LLC capacity must be divisible by line size x ways".to_string());
+        }
+        if self.mem.nmc_cost_multiplier < 1.0 {
+            return Err("nmc_cost_multiplier must be >= 1.0".to_string());
+        }
+        if self.mem.stream_switch_penalty < 0.0 {
+            return Err("stream_switch_penalty must be non-negative".to_string());
+        }
+        if self.mem.dram_queue_capacity == 0 {
+            return Err("dram_queue_capacity must be positive".to_string());
+        }
+        if self.link.link_gb_s <= 0.0 || self.mem.hbm_gb_s <= 0.0 {
+            return Err("bandwidths must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        SystemConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_default_matches_table_1() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.gpu.num_cus, 80);
+        assert_eq!(cfg.gpu.clock_ghz, 1.4);
+        assert_eq!(cfg.mem.llc_capacity, 16 * 1024 * 1024);
+        assert_eq!(cfg.link.latency_cycles(), 700);
+        assert_eq!(cfg.num_gpus, 8);
+    }
+
+    #[test]
+    fn bandwidth_rates_are_consistent() {
+        let cfg = SystemConfig::paper_default();
+        assert!((cfg.mem.bytes_per_cycle() - 714.2857).abs() < 1e-3);
+        assert!((cfg.link.bytes_per_cycle() - 107.1428).abs() < 1e-3);
+        assert!(cfg.mem.txns_per_cycle() > 2.0);
+    }
+
+    #[test]
+    fn future_config_doubles_cus_only() {
+        let base = SystemConfig::paper_default();
+        let fut = SystemConfig::future_2x_cu();
+        assert_eq!(fut.gpu.num_cus, 2 * base.gpu.num_cus);
+        assert_eq!(fut.mem, base.mem);
+        assert_eq!(fut.link, base.link);
+        fut.validate().unwrap();
+    }
+
+    #[test]
+    fn with_num_gpus_updates_count() {
+        let cfg = SystemConfig::paper_default().with_num_gpus(16);
+        assert_eq!(cfg.num_gpus, 16);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn with_one_gpu_panics() {
+        let _ = SystemConfig::paper_default().with_num_gpus(1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_llc_geometry() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.mem.llc_capacity = 1000; // not divisible by 256 * 16
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_efficiency() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.gpu.gemm_efficiency = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.gpu.gemm_efficiency = 1.5;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_queue() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.mem.dram_queue_capacity = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn peak_tflops_is_tensor_core_class() {
+        let cfg = SystemConfig::paper_default();
+        let tflops = cfg.gpu.peak_tflops();
+        assert!(tflops > 100.0 && tflops < 130.0, "got {tflops}");
+    }
+
+    #[test]
+    fn llc_geometry() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.mem.llc_lines(), 65536);
+        assert_eq!(cfg.mem.llc_sets(), 4096);
+    }
+}

@@ -1,0 +1,220 @@
+//! DRAM traffic accounting, by the categories of Figure 18.
+//!
+//! Every memory transaction the timing simulator issues carries a
+//! [`TrafficClass`]; [`TrafficStats`] accumulates per-class byte counts
+//! so experiments can report the paper's per-sublayer access breakdowns
+//! and data-movement reductions.
+
+use crate::Bytes;
+use std::fmt;
+
+/// The DRAM-access categories the paper breaks Figure 18 into, plus the
+/// near-memory update category T3 introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Producer GEMM input reads (A and B operands missing in the LLC).
+    GemmRead,
+    /// Producer GEMM output writes reaching DRAM.
+    GemmWrite,
+    /// Reduce-scatter reads (local copy and received copy in the
+    /// baseline; single DMA-source read in T3).
+    RsRead,
+    /// Reduce-scatter plain writes (received chunks, reduced outputs).
+    RsWrite,
+    /// Reduce-scatter near-memory op-and-store updates (T3 only): a
+    /// write that also reduces in DRAM.
+    RsUpdate,
+    /// All-gather reads (chunks leaving for the neighbour).
+    AgRead,
+    /// All-gather writes (chunks arriving from the neighbour).
+    AgWrite,
+}
+
+impl TrafficClass {
+    /// All classes, in reporting order.
+    pub const ALL: [TrafficClass; 7] = [
+        TrafficClass::GemmRead,
+        TrafficClass::GemmWrite,
+        TrafficClass::RsRead,
+        TrafficClass::RsWrite,
+        TrafficClass::RsUpdate,
+        TrafficClass::AgRead,
+        TrafficClass::AgWrite,
+    ];
+
+    /// Dense index for table storage.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::GemmRead => 0,
+            TrafficClass::GemmWrite => 1,
+            TrafficClass::RsRead => 2,
+            TrafficClass::RsWrite => 3,
+            TrafficClass::RsUpdate => 4,
+            TrafficClass::AgRead => 5,
+            TrafficClass::AgWrite => 6,
+        }
+    }
+
+    /// Whether this class reads DRAM (vs. writing/updating it).
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            TrafficClass::GemmRead | TrafficClass::RsRead | TrafficClass::AgRead
+        )
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TrafficClass::GemmRead => "GEMM reads",
+            TrafficClass::GemmWrite => "GEMM writes",
+            TrafficClass::RsRead => "RS reads",
+            TrafficClass::RsWrite => "RS writes",
+            TrafficClass::RsUpdate => "RS updates",
+            TrafficClass::AgRead => "AG reads",
+            TrafficClass::AgWrite => "AG writes",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-class DRAM byte counters for one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    bytes: [Bytes; TrafficClass::ALL.len()],
+}
+
+impl TrafficStats {
+    /// Creates empty counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `bytes` of traffic of class `class`.
+    pub fn record(&mut self, class: TrafficClass, bytes: Bytes) {
+        self.bytes[class.index()] += bytes;
+    }
+
+    /// Bytes recorded for one class.
+    pub fn bytes(&self, class: TrafficClass) -> Bytes {
+        self.bytes[class.index()]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> Bytes {
+        self.bytes.iter().sum()
+    }
+
+    /// Total read bytes (Figure 18's read-side bars).
+    pub fn total_reads(&self) -> Bytes {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| c.is_read())
+            .map(|&c| self.bytes(c))
+            .sum()
+    }
+
+    /// Total write + update bytes (Figure 18's write-side bars).
+    pub fn total_writes(&self) -> Bytes {
+        self.total() - self.total_reads()
+    }
+
+    /// Merges another run's counters into this one (e.g. GEMM phase +
+    /// RS phase + AG phase of one sublayer).
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (dst, src) in self.bytes.iter_mut().zip(other.bytes.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Iterates `(class, bytes)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (TrafficClass, Bytes)> + '_ {
+        TrafficClass::ALL.iter().map(move |&c| (c, self.bytes(c)))
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (class, bytes) in self.iter() {
+            if bytes == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{class}: {:.1} MB", bytes as f64 / 1e6)?;
+            first = false;
+        }
+        if first {
+            write!(f, "no traffic")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::GemmRead, 100);
+        s.record(TrafficClass::GemmRead, 50);
+        s.record(TrafficClass::RsWrite, 30);
+        assert_eq!(s.bytes(TrafficClass::GemmRead), 150);
+        assert_eq!(s.bytes(TrafficClass::RsWrite), 30);
+        assert_eq!(s.total(), 180);
+    }
+
+    #[test]
+    fn read_write_split() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::GemmRead, 10);
+        s.record(TrafficClass::RsRead, 20);
+        s.record(TrafficClass::AgRead, 5);
+        s.record(TrafficClass::GemmWrite, 7);
+        s.record(TrafficClass::RsUpdate, 3);
+        assert_eq!(s.total_reads(), 35);
+        assert_eq!(s.total_writes(), 10);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = TrafficStats::new();
+        a.record(TrafficClass::AgWrite, 4);
+        let mut b = TrafficStats::new();
+        b.record(TrafficClass::AgWrite, 6);
+        b.record(TrafficClass::RsRead, 1);
+        a.merge(&b);
+        assert_eq!(a.bytes(TrafficClass::AgWrite), 10);
+        assert_eq!(a.bytes(TrafficClass::RsRead), 1);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; TrafficClass::ALL.len()];
+        for class in TrafficClass::ALL {
+            let i = class.index();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_skips_zero_classes() {
+        let mut s = TrafficStats::new();
+        s.record(TrafficClass::RsUpdate, 2_000_000);
+        let text = s.to_string();
+        assert!(text.contains("RS updates"));
+        assert!(!text.contains("GEMM"));
+    }
+
+    #[test]
+    fn display_nonempty_when_empty() {
+        assert_eq!(TrafficStats::new().to_string(), "no traffic");
+    }
+}

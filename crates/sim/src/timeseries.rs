@@ -1,0 +1,169 @@
+//! Bucketed traffic-over-time recording (Figure 17).
+//!
+//! The paper's Figure 17 plots DRAM traffic per unit time for a
+//! baseline GEMM and for T3's fused GEMM-RS, showing the GEMM's
+//! read/write phases and the overlapped RS reads/updates.
+//! [`TimeSeries`] accumulates per-class byte counts into fixed-width
+//! cycle buckets as the simulator issues transactions.
+
+use crate::stats::TrafficClass;
+use crate::{Bytes, Cycle};
+
+/// A per-class, bucketed record of DRAM traffic over time.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_cycles: Cycle,
+    buckets: Vec<[Bytes; TrafficClass::ALL.len()]>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_cycles` is zero.
+    pub fn new(bucket_cycles: Cycle) -> Self {
+        assert!(bucket_cycles > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_cycles,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width in cycles.
+    pub fn bucket_cycles(&self) -> Cycle {
+        self.bucket_cycles
+    }
+
+    /// Records `bytes` of `class` traffic at time `now`.
+    pub fn record(&mut self, now: Cycle, class: TrafficClass, bytes: Bytes) {
+        let idx = (now / self.bucket_cycles) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets
+                .resize(idx + 1, [0; TrafficClass::ALL.len()]);
+        }
+        self.buckets[idx][class.index()] += bytes;
+    }
+
+    /// Number of buckets recorded so far.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether any traffic has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Bytes of `class` traffic in bucket `idx` (zero past the end).
+    pub fn bytes_in_bucket(&self, idx: usize, class: TrafficClass) -> Bytes {
+        self.buckets
+            .get(idx)
+            .map_or(0, |bucket| bucket[class.index()])
+    }
+
+    /// Total bytes in bucket `idx` across all classes.
+    pub fn total_in_bucket(&self, idx: usize) -> Bytes {
+        self.buckets
+            .get(idx)
+            .map_or(0, |bucket| bucket.iter().sum())
+    }
+
+    /// Iterates `(bucket_start_cycle, per_class_bytes)` rows, for
+    /// printing Figure 17-style timelines.
+    pub fn rows(&self) -> impl Iterator<Item = (Cycle, &[Bytes; TrafficClass::ALL.len()])> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, b)| (i as Cycle * self.bucket_cycles, b))
+    }
+
+    /// Downsamples to at most `max_rows` rows by merging adjacent
+    /// buckets, preserving totals. Useful for terminal-width plots.
+    pub fn downsample(&self, max_rows: usize) -> TimeSeries {
+        assert!(max_rows > 0, "max_rows must be positive");
+        if self.buckets.len() <= max_rows {
+            return self.clone();
+        }
+        let group = self.buckets.len().div_ceil(max_rows);
+        let mut out = TimeSeries::new(self.bucket_cycles * group as Cycle);
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let idx = i / group;
+            if idx >= out.buckets.len() {
+                out.buckets.resize(idx + 1, [0; TrafficClass::ALL.len()]);
+            }
+            for (dst, src) in out.buckets[idx].iter_mut().zip(bucket.iter()) {
+                *dst += src;
+            }
+        }
+        out
+    }
+
+    /// Total bytes across the entire series for one class.
+    pub fn total(&self, class: TrafficClass) -> Bytes {
+        self.buckets.iter().map(|b| b[class.index()]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bucket() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(0, TrafficClass::GemmRead, 10);
+        ts.record(99, TrafficClass::GemmRead, 5);
+        ts.record(100, TrafficClass::GemmRead, 7);
+        assert_eq!(ts.bytes_in_bucket(0, TrafficClass::GemmRead), 15);
+        assert_eq!(ts.bytes_in_bucket(1, TrafficClass::GemmRead), 7);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn totals_per_bucket_and_series() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(5, TrafficClass::RsRead, 3);
+        ts.record(5, TrafficClass::RsUpdate, 4);
+        assert_eq!(ts.total_in_bucket(0), 7);
+        assert_eq!(ts.total(TrafficClass::RsRead), 3);
+        assert_eq!(ts.total_in_bucket(99), 0);
+    }
+
+    #[test]
+    fn downsample_preserves_totals() {
+        let mut ts = TimeSeries::new(1);
+        for t in 0..1000 {
+            ts.record(t, TrafficClass::GemmWrite, 2);
+        }
+        let small = ts.downsample(10);
+        assert!(small.len() <= 10);
+        assert_eq!(small.total(TrafficClass::GemmWrite), 2000);
+        assert_eq!(small.bucket_cycles(), 100);
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let mut ts = TimeSeries::new(10);
+        ts.record(0, TrafficClass::AgRead, 1);
+        let same = ts.downsample(100);
+        assert_eq!(same.len(), ts.len());
+        assert_eq!(same.bucket_cycles(), 10);
+    }
+
+    #[test]
+    fn rows_expose_start_cycles() {
+        let mut ts = TimeSeries::new(50);
+        ts.record(120, TrafficClass::AgWrite, 9);
+        let rows: Vec<_> = ts.rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].0, 100);
+        assert_eq!(rows[2].1[TrafficClass::AgWrite.index()], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_width_panics() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Fusing other collectives through the address-space configuration
+//! (Section 7.1): direct reduce-scatter on a fully-connected topology
+//! and the expert-parallel all-to-all — both executed functionally on
+//! real data, with the Tracker doing the bookkeeping.
+//!
+//! ```text
+//! cargo run --release --example custom_collective
+//! ```
+
+#![allow(clippy::needless_range_loop)]
+
+use t3::collectives::gemm::matmul;
+use t3::core::addrmap::{ChunkRoute, OutputConfig};
+use t3::core::fused::{
+    fused_gemm_all_to_all, fused_gemm_direct_rs, to_tile_order, FusedProducer,
+};
+use t3::gpu::gemm::{GemmGrid, GemmShape};
+use t3::sim::config::SystemConfig;
+
+fn producers(n_dev: usize, m: usize, n: usize, k: usize) -> Vec<FusedProducer> {
+    (0..n_dev)
+        .map(|d| FusedProducer {
+            a: (0..m * k).map(|i| ((i + d * 31) % 13) as f32 / 6.0 - 1.0).collect(),
+            b: (0..k * n).map(|i| ((i * 5 + d) % 11) as f32 / 5.0 - 1.0).collect(),
+        })
+        .collect()
+}
+
+fn main() {
+    let gpu = {
+        let mut g = SystemConfig::paper_default().gpu;
+        g.tile_dim = 32;
+        g
+    };
+    let n_dev = 4;
+    let (m, n, k) = (128usize, 128usize, 16usize);
+    let shape = GemmShape::new(m as u64, n as u64, k as u64);
+    let grid = GemmGrid::new(&gpu, shape);
+    let prods = producers(n_dev, m, n, k);
+
+    // Show what the address-space configuration looks like (Figure 12).
+    println!("direct-RS address-space configuration for device 0:");
+    let cfg = OutputConfig::direct_reduce_scatter(n_dev, 0);
+    for p in 0..cfg.num_chunks() {
+        let route = cfg.route(p);
+        let desc = match route {
+            ChunkRoute::LocalOnly { updates_per_element } => {
+                format!("local, {updates_per_element} updates/element expected")
+            }
+            ChunkRoute::RemoteUpdate { device } => {
+                format!("remote_map(update) -> GPU {device}")
+            }
+            other => format!("{other:?}"),
+        };
+        println!("  chunk {}: {desc}", cfg.chunk_id(p));
+    }
+
+    // Direct reduce-scatter: the collective disappears into the GEMM.
+    let outcome = fused_gemm_direct_rs(&gpu, shape, &prods);
+    let mut expected = vec![0.0f32; m * n];
+    for p in &prods {
+        for (e, v) in expected.iter_mut().zip(matmul(&p.a, &p.b, m, n, k)) {
+            *e += v;
+        }
+    }
+    let expected = to_tile_order(&grid, &expected);
+    let mut worst = 0.0f32;
+    for d in 0..n_dev {
+        let (s, e) = outcome.chunk_ranges[d];
+        for (a, b) in outcome.outputs[d].as_slice()[s..e].iter().zip(&expected[s..e]) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    println!(
+        "\ndirect-RS fused: owned chunks correct (max |err| {worst:.2e}), {} DMA transfers (zero by design), {} triggers",
+        outcome.dma_transfers, outcome.triggers_fired
+    );
+
+    // All-to-all: expert-parallel exchange.
+    let a2a = fused_gemm_all_to_all(&gpu, shape, &prods);
+    let chunk = a2a.chunk_ranges[0].1 - a2a.chunk_ranges[0].0;
+    let mut checked = 0usize;
+    let mut worst = 0.0f32;
+    for dst in 0..n_dev {
+        for src in 0..n_dev {
+            let got = &a2a.outputs[dst].as_slice()[src * chunk..(src + 1) * chunk];
+            let local = to_tile_order(&grid, &matmul(&prods[src].a, &prods[src].b, m, n, k));
+            let (cs, ce) = a2a.chunk_ranges[dst];
+            for (g, e) in got.iter().zip(&local[cs..ce]) {
+                worst = worst.max((g - e).abs());
+                checked += 1;
+            }
+        }
+    }
+    println!(
+        "all-to-all fused: {checked} elements exchanged correctly (max |err| {worst:.2e})"
+    );
+}

@@ -1,0 +1,57 @@
+//! End-to-end training and inference-prompt speedups (Figure 19's
+//! methodology) for Megatron-GPT-2: simulate the four sliced sublayers
+//! under T3-MCA, then scale the analytical layer breakdown.
+//!
+//! ```text
+//! cargo run --release --example megatron_training [-- --fast]
+//! ```
+
+use t3::core::configs::Configuration;
+use t3::models::e2e::{layer_time, E2eParams, Phase};
+use t3::models::zoo;
+use t3::models::Sublayer;
+use t3::sim::config::SystemConfig;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let model = zoo::mega_gpt2();
+    let params = E2eParams::default();
+    for tp in [8u64, 16] {
+        let system = SystemConfig::paper_default().with_num_gpus(tp as usize);
+        // Simulated speedups per sliced sublayer.
+        let mut speedups = Vec::new();
+        for sub in Sublayer::ALL {
+            let mut shape = model.sublayer_gemm(sub, tp);
+            if fast {
+                shape.m /= 8;
+            }
+            let seq = Configuration::Sequential.run(&system, &shape);
+            let mca = Configuration::T3Mca.run(&system, &shape);
+            speedups.push((sub, mca.speedup_over(&seq)));
+        }
+        let speedup_of = |sub: Sublayer| {
+            speedups
+                .iter()
+                .find(|(s, _)| *s == sub)
+                .map(|(_, v)| *v)
+                .expect("all sublayers simulated")
+        };
+        println!("{} at TP={tp}:", model.name);
+        for (sub, s) in &speedups {
+            println!("  {:<12} sublayer speedup {s:.2}x", sub.label());
+        }
+        for (phase, label) in [
+            (Phase::Training, "training iteration"),
+            (Phase::InferencePrompt, "inference prompt"),
+        ] {
+            let lt = layer_time(&system, &model, tp, phase, &params);
+            println!(
+                "  {label}: {:.1}% of a layer is sliced GEMM->AR; end-to-end speedup {:.2}x",
+                lt.sliced_fraction() * 100.0,
+                lt.speedup_with(speedup_of),
+            );
+        }
+        println!();
+    }
+    println!("paper bands: training <=12%, inference prompt <=15% end-to-end");
+}

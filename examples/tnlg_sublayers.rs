@@ -1,0 +1,60 @@
+//! The paper's T-NLG sublayer study (Figures 15 and 16) from the
+//! public API: all four tensor-sliced sublayers at TP = 8 and 16,
+//! under every evaluated configuration.
+//!
+//! ```text
+//! cargo run --release --example tnlg_sublayers [-- --fast]
+//! ```
+
+use t3::core::configs::Configuration;
+use t3::models::zoo;
+use t3::models::Sublayer;
+use t3::sim::config::SystemConfig;
+use t3::sim::{cycles_to_us, geomean};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let model = zoo::t_nlg();
+    println!(
+        "{} (H={}, {} tokens){}",
+        model.name,
+        model.hidden,
+        model.tokens(),
+        if fast { " [fast scale]" } else { "" }
+    );
+    let mut mca_speedups = Vec::new();
+    for tp in [8u64, 16] {
+        let system = SystemConfig::paper_default().with_num_gpus(tp as usize);
+        let clock = system.gpu.clock_ghz;
+        println!("\nTP = {tp}");
+        println!(
+            "  {:<12} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            "sublayer", "seq (us)", "GEMM%", "RS%", "AG%", "T3", "T3-MCA"
+        );
+        for sub in Sublayer::ALL {
+            let mut shape = model.sublayer_gemm(sub, tp);
+            if fast {
+                shape.m /= 8;
+            }
+            let seq = Configuration::Sequential.run(&system, &shape);
+            let t3 = Configuration::T3.run(&system, &shape);
+            let mca = Configuration::T3Mca.run(&system, &shape);
+            let total = seq.total_cycles as f64;
+            mca_speedups.push(mca.speedup_over(&seq));
+            println!(
+                "  {:<12} {:>10.1} {:>7.1}% {:>7.1}% {:>7.1}% {:>9.2}x {:>9.2}x",
+                sub.label(),
+                cycles_to_us(seq.total_cycles, clock),
+                seq.gemm_cycles as f64 / total * 100.0,
+                seq.rs_cycles as f64 / total * 100.0,
+                seq.ag_cycles as f64 / total * 100.0,
+                t3.speedup_over(&seq),
+                mca.speedup_over(&seq),
+            );
+        }
+    }
+    println!(
+        "\nT3-MCA geomean across sublayers: {:.2}x (paper band: ~1.3x geomean, 1.47x max)",
+        geomean(&mca_speedups)
+    );
+}

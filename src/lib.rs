@@ -1,0 +1,45 @@
+//! # T3: Transparent Tracking & Triggering — Rust reproduction
+//!
+//! This facade crate re-exports the whole workspace reproducing
+//! *T3: Transparent Tracking & Triggering for Fine-grained Overlap of
+//! Compute & Collectives* (ASPLOS 2024):
+//!
+//! * [`sim`] — cycles, system configuration (Table 1), traffic stats.
+//! * [`mem`] — HBM/memory-controller model, arbitration (incl. the
+//!   T3-MCA policy), LLC, near-memory compute.
+//! * [`gpu`] — compute units, tiled GEMM stage model, CU-executed
+//!   collective kernel timing.
+//! * [`net`] — ring links and DMA engines.
+//! * [`collectives`] — functional multi-device collectives over real
+//!   `f32` buffers.
+//! * [`core`] — the T3 mechanism: Tracker, address-space
+//!   configuration, fused GEMM-collective engines, and the evaluated
+//!   configurations (Sequential, T3, T3-MCA, ideals).
+//! * [`models`] — the Transformer model zoo (Table 2) and end-to-end
+//!   analytical model (Figures 4 and 19).
+//!
+//! # Quickstart
+//!
+//! Run a (scaled-down) tensor-sliced FC-2 sublayer under the baseline
+//! and under T3-MCA (see `examples/` for full paper-scale runs):
+//!
+//! ```
+//! use t3::core::configs::{Configuration, SublayerOutcome};
+//! use t3::gpu::gemm::GemmShape;
+//! use t3::sim::config::SystemConfig;
+//!
+//! let system = SystemConfig::paper_default();
+//! let gemm = GemmShape::new(1024, 4256, 2128);
+//! let seq = Configuration::Sequential.run(&system, &gemm);
+//! let t3mca = Configuration::T3Mca.run(&system, &gemm);
+//! assert!(t3mca.total_cycles < seq.total_cycles);
+//! let _: SublayerOutcome = seq;
+//! ```
+
+pub use t3_collectives as collectives;
+pub use t3_core as core;
+pub use t3_gpu as gpu;
+pub use t3_mem as mem;
+pub use t3_models as models;
+pub use t3_net as net;
+pub use t3_sim as sim;

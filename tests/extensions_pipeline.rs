@@ -1,0 +1,124 @@
+//! Cross-crate integration tests for the Section-7 extension engines:
+//! direct-RS, all-to-all, AG→consumer fusion, the explicit multi-GPU
+//! validator, MoE, and the parallelism analytics.
+
+use t3::core::agfuse::{run_fused_ag_gemm, sequential_ag_gemm, AgFuseOptions};
+use t3::core::engine::{
+    run_fused_gemm_all_to_all, run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions,
+    PolicyChoice,
+};
+use t3::core::multigpu::run_multi_gpu_fused_rs;
+use t3::core::study;
+use t3::gpu::gemm::{GemmGrid, GemmShape};
+use t3::models::moe::{moe_combine_study, MoeConfig};
+use t3::models::parallelism::{FsdpConfig, PipelineConfig};
+use t3::models::zoo;
+use t3::sim::config::SystemConfig;
+use t3::sim::stats::TrafficClass;
+
+fn sys() -> SystemConfig {
+    SystemConfig::paper_default()
+}
+
+fn grid(sys: &SystemConfig) -> GemmGrid {
+    GemmGrid::new(&sys.gpu, GemmShape::new(2048, 2048, 512))
+}
+
+#[test]
+fn topology_ordering_direct_beats_ring_beats_sequential() {
+    let s = sys();
+    let g = grid(&s);
+    let ring = run_fused_gemm_rs(&s, g.clone(), &FusedOptions::default());
+    let direct = run_fused_gemm_direct_rs(&s, g.clone(), &FusedOptions::default());
+    assert!(direct.cycles <= ring.cycles);
+    // Direct-RS: the collective adds zero DRAM reads.
+    assert_eq!(direct.stats.bytes(TrafficClass::RsRead), 0);
+    assert!(ring.stats.bytes(TrafficClass::RsRead) > 0);
+}
+
+#[test]
+fn explicit_multi_gpu_validates_every_policy() {
+    let s = sys();
+    for policy in [PolicyChoice::RoundRobin, PolicyChoice::McaDynamic] {
+        let opts = FusedOptions {
+            policy,
+            ..FusedOptions::default()
+        };
+        let explicit = run_multi_gpu_fused_rs(&s, grid(&s), &opts);
+        let mirrored = run_fused_gemm_rs(&s, grid(&s), &opts);
+        assert_eq!(explicit.skew, 0, "{policy:?}: homogeneous GPUs skewed");
+        assert!(
+            explicit.mirror_error(&mirrored) < 0.05,
+            "{policy:?}: methodology error {:.3}",
+            explicit.mirror_error(&mirrored)
+        );
+    }
+}
+
+#[test]
+fn agfuse_respects_bounds_and_hints() {
+    let s = sys();
+    let g = GemmGrid::new(&s.gpu, GemmShape::new(4096, 1024, 1024));
+    let seq = sequential_ag_gemm(&s, g.clone());
+    let aligned = run_fused_ag_gemm(&s, g.clone(), &AgFuseOptions::default());
+    let blind = run_fused_ag_gemm(
+        &s,
+        g,
+        &AgFuseOptions {
+            arrival_aligned: false,
+        },
+    );
+    assert!(aligned.cycles < seq.cycles);
+    assert!(blind.cycles >= aligned.cycles);
+    assert!(blind.cycles <= seq.cycles * 11 / 10);
+}
+
+#[test]
+fn all_to_all_fusion_has_no_collective_reads() {
+    let s = sys();
+    let r = run_fused_gemm_all_to_all(&s, grid(&s), &FusedOptions::default());
+    assert_eq!(r.stats.bytes(TrafficClass::RsRead), 0);
+    assert_eq!(r.dma_transfers, 0);
+    assert!(r.link_bytes_sent > 0);
+}
+
+#[test]
+fn moe_and_generation_never_regress() {
+    let s = sys();
+    let moe = moe_combine_study(&s, &MoeConfig::switch_like(2048, 1024));
+    assert!(moe.speedup >= 0.99, "MoE fusion regressed: {:.3}", moe.speedup);
+    for tokens in [16u64, 256] {
+        let row = study::generation_phase_study(&s, 3072, tokens, 8);
+        assert!(
+            row.speedup >= 0.98,
+            "{tokens}-token generation regressed: {:.3}",
+            row.speedup
+        );
+    }
+}
+
+#[test]
+fn coarse_overlap_mca_protects_the_producer() {
+    let s = sys();
+    let shape = GemmShape::new(1024, 4256, 2128);
+    let comm = 64 << 20;
+    let rr = study::coarse_overlap_study(&s, &shape, comm, PolicyChoice::RoundRobin);
+    let mca = study::coarse_overlap_study(&s, &shape, comm, PolicyChoice::McaDynamic);
+    assert!(rr.gemm_slowdown >= mca.gemm_slowdown);
+    assert!(mca.gemm_slowdown < 1.25, "MCA slowdown {:.3}", mca.gemm_slowdown);
+}
+
+#[test]
+fn parallelism_analytics_are_consistent() {
+    let s = sys();
+    let model = zoo::t_nlg();
+    let pp = PipelineConfig::new(8, 32);
+    assert!(pp.bubble_fraction() < 0.2);
+    let fsdp = FsdpConfig { shards: 8 };
+    let ag = fsdp.weight_ag_cycles(&s, &model);
+    assert!(ag > 0);
+    // A whole layer of compute comfortably hides the weight gather for
+    // T-NLG-scale layers at 8-way sharding.
+    let layer_cycles = 4_000_000;
+    assert!((fsdp.hidden_fraction(&s, &model, layer_cycles) - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,192 @@
+//! Property-based correctness of T3's fused execution.
+//!
+//! The central functional claim (Section 4): fusing a tiled GEMM with
+//! its collective through the address-space configuration, near-memory
+//! updates, and the Tracker produces the same data as running the GEMM
+//! and the collective back-to-back — for arbitrary shapes, tile edge
+//! effects, and device counts.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use t3::collectives::gemm::matmul;
+use t3::collectives::reference::assert_close;
+use t3::core::fused::{
+    fused_gemm_all_to_all, fused_gemm_direct_rs, fused_gemm_ring_rs, to_tile_order,
+    FusedProducer,
+};
+use t3::gpu::gemm::{GemmGrid, GemmShape};
+use t3::net::ring::Ring;
+use t3::sim::config::{GpuConfig, SystemConfig};
+
+fn gpu_with_tile(tile: u32) -> GpuConfig {
+    let mut gpu = SystemConfig::paper_default().gpu;
+    gpu.tile_dim = tile;
+    gpu
+}
+
+fn make_producers(
+    n_dev: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<FusedProducer> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    };
+    (0..n_dev)
+        .map(|_| FusedProducer {
+            a: (0..m * k).map(|_| next()).collect(),
+            b: (0..k * n).map(|_| next()).collect(),
+        })
+        .collect()
+}
+
+fn tile_ordered_sum(
+    gpu: &GpuConfig,
+    shape: GemmShape,
+    prods: &[FusedProducer],
+) -> Vec<f32> {
+    let grid = GemmGrid::new(gpu, shape);
+    let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
+    let mut sum = vec![0.0f32; m * n];
+    for p in prods {
+        for (s, v) in sum.iter_mut().zip(matmul(&p.a, &p.b, m, n, k)) {
+            *s += v;
+        }
+    }
+    to_tile_order(&grid, &sum)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused ring-RS == GEMM then reduce, on every owned chunk, for
+    /// arbitrary shapes (including edge tiles) and device counts.
+    #[test]
+    fn fused_ring_rs_equals_gemm_then_reduce(
+        n_dev in 2usize..7,
+        m in 17u64..80,
+        n in 17u64..80,
+        k in 1u64..24,
+        tile in prop::sample::select(vec![16u32, 32]),
+        seed in any::<u64>(),
+    ) {
+        let gpu = gpu_with_tile(tile);
+        let shape = GemmShape::new(m, n, k);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let expected = tile_ordered_sum(&gpu, shape, &prods);
+        let outcome = fused_gemm_ring_rs(&gpu, shape, &prods);
+        let ring = Ring::new(n_dev);
+        for d in 0..n_dev {
+            let chunk = ring.rs_owned_chunk(d);
+            let (s, e) = outcome.chunk_ranges[chunk];
+            assert_close(outcome.owned_chunk(ring, d), &expected[s..e], 1e-3);
+        }
+        // Structural invariants.
+        prop_assert_eq!(outcome.dma_transfers, (n_dev * n_dev.saturating_sub(2)) as u64);
+    }
+
+    /// Fused direct-RS == GEMM then reduce, with zero DMA transfers.
+    #[test]
+    fn fused_direct_rs_equals_gemm_then_reduce(
+        n_dev in 2usize..7,
+        m in 17u64..64,
+        n in 17u64..64,
+        k in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let gpu = gpu_with_tile(16);
+        let shape = GemmShape::new(m, n, k);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let expected = tile_ordered_sum(&gpu, shape, &prods);
+        let outcome = fused_gemm_direct_rs(&gpu, shape, &prods);
+        for d in 0..n_dev {
+            let (s, e) = outcome.chunk_ranges[d];
+            assert_close(&outcome.outputs[d].as_slice()[s..e], &expected[s..e], 1e-3);
+        }
+        prop_assert_eq!(outcome.dma_transfers, 0);
+    }
+
+    /// Fused all-to-all places every source chunk in the right slot.
+    #[test]
+    fn fused_all_to_all_exchanges_correctly(
+        n_dev in prop::sample::select(vec![2usize, 4]),
+        k in 1u64..12,
+        seed in any::<u64>(),
+    ) {
+        // WG count must divide by devices: 4x4 tiles of 16 with m=n=64.
+        let gpu = gpu_with_tile(16);
+        let (m, n) = (64u64, 64u64);
+        let shape = GemmShape::new(m, n, k);
+        let grid = GemmGrid::new(&gpu, shape);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let outcome = fused_gemm_all_to_all(&gpu, shape, &prods);
+        let chunk = outcome.chunk_ranges[0].1 - outcome.chunk_ranges[0].0;
+        for dst in 0..n_dev {
+            for src in 0..n_dev {
+                let local = to_tile_order(
+                    &grid,
+                    &matmul(&prods[src].a, &prods[src].b, m as usize, n as usize, k as usize),
+                );
+                let (cs, ce) = outcome.chunk_ranges[dst];
+                assert_close(
+                    &outcome.outputs[dst].as_slice()[src * chunk..(src + 1) * chunk],
+                    &local[cs..ce],
+                    1e-3,
+                );
+            }
+        }
+    }
+
+    /// Functional ring all-reduce (the baseline collective) matches the
+    /// element-wise sum for arbitrary sizes.
+    #[test]
+    fn ring_all_reduce_matches_sum(
+        n_dev in 2usize..9,
+        len in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let inputs: Vec<Vec<f32>> =
+            (0..n_dev).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let expected = t3::collectives::reference::elementwise_sum(&inputs);
+        let mut cluster = t3::collectives::cluster::Cluster::from_buffers(inputs);
+        t3::collectives::ring::ring_all_reduce(&mut cluster);
+        for d in 0..n_dev {
+            assert_close(cluster.device(d).as_slice(), &expected, 1e-3);
+        }
+    }
+}
+
+/// Deterministic regression: the exact configuration of Figure 7
+/// (4 GPUs) with a grid whose stage count exceeds the chunk count.
+#[test]
+fn figure_7_configuration_regression() {
+    let gpu = gpu_with_tile(16);
+    let shape = GemmShape::new(128, 128, 8);
+    let prods = make_producers(4, 128, 128, 8, 0xFEED);
+    let expected = tile_ordered_sum(&gpu, shape, &prods);
+    let outcome = fused_gemm_ring_rs(&gpu, shape, &prods);
+    let ring = Ring::new(4);
+    for d in 0..4 {
+        let chunk = ring.rs_owned_chunk(d);
+        let (s, e) = outcome.chunk_ranges[chunk];
+        assert_close(outcome.owned_chunk(ring, d), &expected[s..e], 1e-3);
+    }
+    // 4 GPUs: N-2 = 2 steady-state DMA steps per GPU (Figure 7).
+    assert_eq!(outcome.dma_transfers, 8);
+    // Every WF of every tracked chunk triggered exactly once: 3 tracked
+    // chunks per device x 16 WGs per chunk x 8 WFs... except WFs of
+    // 16-row tiles split 8 ways are 2 rows each (all non-empty).
+    assert_eq!(outcome.triggers_fired, 4 * 3 * (64 / 4) * 8);
+}

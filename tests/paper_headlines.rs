@@ -1,0 +1,126 @@
+//! The paper's headline numbers, at reduced (1/8-token) scale so the
+//! whole suite stays fast. Bands are deliberately loose: the absolute
+//! substrate differs from the authors' testbed, but who wins, by
+//! roughly what factor, and in which direction must hold.
+
+use t3::sim::geomean;
+use t3_bench::experiments::{
+    main_study_models, run_sublayer_matrix, ExperimentScale, SublayerCase,
+};
+use t3::core::configs::Configuration;
+use t3::models::e2e::{layer_time, E2eParams, Phase};
+use t3::models::zoo;
+use t3::models::Sublayer;
+use t3::sim::config::SystemConfig;
+use t3::sim::stats::TrafficClass;
+
+fn matrix() -> Vec<SublayerCase> {
+    run_sublayer_matrix(&main_study_models(), ExperimentScale::FAST)
+}
+
+#[test]
+fn sublayer_speedup_bands_figure_16() {
+    let cases = matrix();
+    let mca: Vec<f64> = cases
+        .iter()
+        .map(|c| c.speedup(Configuration::T3Mca))
+        .collect();
+    let t3: Vec<f64> = cases.iter().map(|c| c.speedup(Configuration::T3)).collect();
+    let g_mca = geomean(&mca);
+    let g_t3 = geomean(&t3);
+    // Paper: T3 20% geomean (max 39%); T3-MCA 30% geomean (max 47%).
+    assert!(
+        g_mca > 1.10 && g_mca < 1.45,
+        "T3-MCA geomean {g_mca:.3} out of band"
+    );
+    assert!(g_t3 > 1.05 && g_t3 < 1.40, "T3 geomean {g_t3:.3} out of band");
+    assert!(
+        g_mca >= g_t3 * 0.99,
+        "MCA geomean {g_mca:.3} must not trail T3 {g_t3:.3}"
+    );
+    let max_mca = mca.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max_mca > 1.25, "max T3-MCA speedup {max_mca:.3} too small");
+    // Every sublayer must improve.
+    for (c, s) in cases.iter().zip(&mca) {
+        assert!(*s > 1.0, "{} TP{} {:?} regressed", c.model, c.tp, c.sublayer);
+    }
+}
+
+#[test]
+fn data_movement_bands_figure_18() {
+    let cases = matrix();
+    let mut reductions = Vec::new();
+    let mut rs_read_ratios = Vec::new();
+    for c in &cases {
+        let seq = c.outcome(Configuration::Sequential);
+        let mca = c.outcome(Configuration::T3Mca);
+        reductions.push(1.0 - mca.stats.total() as f64 / seq.stats.total() as f64);
+        rs_read_ratios.push(
+            seq.stats.bytes(TrafficClass::RsRead) as f64
+                / mca.stats.bytes(TrafficClass::RsRead) as f64,
+        );
+    }
+    let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+    let max = reductions.iter().cloned().fold(f64::MIN, f64::max);
+    // Paper: 22% average, 36% max.
+    assert!(mean > 0.10 && mean < 0.40, "mean reduction {mean:.3}");
+    assert!(max > 0.18 && max < 0.50, "max reduction {max:.3}");
+    // Paper: RS reads shrink 2.4x geomean (2.5x TP=8, 2.2x TP=16).
+    let g = geomean(&rs_read_ratios);
+    assert!(g > 1.9 && g < 3.0, "RS read ratio {g:.2}");
+}
+
+#[test]
+fn ideal_overlap_band_figure_16() {
+    let cases = matrix();
+    let ideal: Vec<f64> = cases
+        .iter()
+        .map(|c| c.speedup(Configuration::IdealOverlap))
+        .collect();
+    let g = geomean(&ideal);
+    // Paper: 35% geomean, 50% max.
+    assert!(g > 1.15 && g < 1.55, "ideal geomean {g:.3}");
+    let max = ideal.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max < 1.70, "ideal max {max:.3} implausible");
+}
+
+#[test]
+fn end_to_end_bands_figure_19() {
+    // T-NLG TP=16, the paper's strongest end-to-end case.
+    let model = zoo::t_nlg();
+    let tp = 16u64;
+    let sys = SystemConfig::paper_default().with_num_gpus(tp as usize);
+    let cases = run_sublayer_matrix(&[(model.clone(), tp)], ExperimentScale::FAST);
+    let speedup_of = |sub: Sublayer| {
+        cases
+            .iter()
+            .find(|c| c.sublayer == sub)
+            .map(|c| c.speedup(Configuration::T3Mca))
+            .expect("present")
+    };
+    let params = E2eParams::default();
+    for (phase, lo, hi) in [
+        (Phase::Training, 1.03, 1.20),
+        (Phase::InferencePrompt, 1.04, 1.25),
+    ] {
+        let lt = layer_time(&sys, &model, tp, phase, &params);
+        let s = lt.speedup_with(speedup_of);
+        assert!(
+            s > lo && s < hi,
+            "{phase:?} end-to-end speedup {s:.3} out of [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn nmc_headroom_band_figure_16() {
+    // Ideal-RS+NMC adds a little on top of ideal overlap (paper: up to
+    // ~4% extra where RS is exposed).
+    let cases = matrix();
+    for c in &cases {
+        let a = c.speedup(Configuration::IdealOverlap);
+        let b = c.speedup(Configuration::IdealRsNmc);
+        assert!(b + 1e-9 >= a, "NMC cannot hurt the ideal");
+        assert!(b / a < 1.12, "NMC ideal bonus {:.3} implausible", b / a);
+    }
+}

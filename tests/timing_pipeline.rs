@@ -1,0 +1,152 @@
+//! Cross-crate invariants of the timing pipeline: the fused engine,
+//! the configuration layer, and the traffic accounting must agree
+//! with each other and with first principles.
+
+use t3::core::configs::Configuration;
+use t3::core::engine::{run_fused_gemm_rs, FusedOptions, PolicyChoice};
+use t3::gpu::collective::{CollectiveKind, RingCollective};
+use t3::gpu::engine::{run_gemm_isolated, WritePolicy};
+use t3::gpu::gemm::{GemmGrid, GemmShape};
+use t3::sim::config::SystemConfig;
+use t3::sim::stats::TrafficClass;
+
+fn sys() -> SystemConfig {
+    SystemConfig::paper_default()
+}
+
+/// A scaled T-NLG FC-2-like sublayer (tokens cut 4x).
+fn shape() -> GemmShape {
+    GemmShape::new(2048, 4256, 2128)
+}
+
+#[test]
+fn speedup_ordering_follows_the_paper() {
+    let s = sys();
+    let seq = Configuration::Sequential.run(&s, &shape());
+    let t3 = Configuration::T3.run(&s, &shape());
+    let mca = Configuration::T3Mca.run(&s, &shape());
+    assert!(t3.speedup_over(&seq) > 1.0, "T3 must beat Sequential");
+    assert!(
+        mca.speedup_over(&seq) >= t3.speedup_over(&seq) * 0.98,
+        "MCA must not lose to plain T3"
+    );
+}
+
+#[test]
+fn fused_traffic_identities() {
+    let s = sys();
+    let grid = GemmGrid::new(&s.gpu, shape());
+    let out = grid.shape().output_bytes();
+    let n = s.num_gpus as u64;
+    let chunk = out / n;
+    let r = run_fused_gemm_rs(&s, grid, &FusedOptions::default());
+    let tol = 128 * 1024;
+    // Local NMC stores: output minus the warm-up chunk.
+    let w = r.stats.bytes(TrafficClass::GemmWrite);
+    assert!(w + tol > out - chunk && w < out - chunk + tol, "writes {w}");
+    // Incoming updates equal local stores (mirrored ring symmetry).
+    let upd = r.stats.bytes(TrafficClass::RsUpdate);
+    assert!(upd + tol > w && upd < w + tol, "updates {upd} vs writes {w}");
+    // The link carried the warm-up chunk plus N-2 DMA chunks.
+    assert!(
+        r.link_bytes_sent + tol > out - chunk && r.link_bytes_sent < out - chunk + tol,
+        "link {}",
+        r.link_bytes_sent
+    );
+    // DMA source reads: one read per steady-state chunk.
+    let reads = r.stats.bytes(TrafficClass::RsRead);
+    assert!(
+        reads + tol > out - 2 * chunk && reads < out - 2 * chunk + tol,
+        "reads {reads}"
+    );
+}
+
+#[test]
+fn fused_time_bounded_by_components() {
+    let s = sys();
+    let grid = GemmGrid::new(&s.gpu, shape());
+    let gemm = run_gemm_isolated(&s, grid.clone(), WritePolicy::BypassLocal);
+    let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, shape().output_bytes(), &s)
+        .simulate(&s);
+    let fused = run_fused_gemm_rs(
+        &s,
+        grid,
+        &FusedOptions {
+            policy: PolicyChoice::McaDynamic,
+            ..FusedOptions::default()
+        },
+    );
+    // Lower bound: cannot finish before the producer GEMM alone.
+    assert!(fused.cycles as f64 >= gemm.cycles as f64 * 0.95);
+    // Upper bound: must beat strictly serial GEMM + RS.
+    assert!(fused.cycles < gemm.cycles + rs.cycles);
+}
+
+#[test]
+fn tracker_sizing_holds_at_scale() {
+    // The paper sizes the Tracker for the WGs of a producer stage
+    // (Section 4.2.1); the fused run's high-water mark must stay within
+    // a small number of stages' worth of WF entries.
+    let s = sys();
+    let grid = GemmGrid::new(&s.gpu, shape());
+    let per_stage = (s.gpu.concurrent_wgs() * s.gpu.wfs_per_wg) as usize;
+    let r = run_fused_gemm_rs(&s, grid, &FusedOptions::default());
+    assert!(
+        r.peak_tracker_entries <= 8 * per_stage,
+        "peak {} vs per-stage {}",
+        r.peak_tracker_entries,
+        per_stage
+    );
+}
+
+#[test]
+fn sequential_stats_cover_gemm_and_collectives() {
+    let s = sys();
+    let seq = Configuration::Sequential.run(&s, &shape());
+    let out = shape().output_bytes();
+    let n = s.num_gpus as u64;
+    let c = out / n;
+    // Baseline ring-RS traffic per Figure 10(a).
+    assert_eq!(
+        seq.stats.bytes(TrafficClass::RsRead),
+        c + 2 * c * (n - 2) + 2 * c
+    );
+    assert_eq!(seq.stats.bytes(TrafficClass::RsWrite), n * c);
+    // AG moves each non-owned chunk once in each direction.
+    assert_eq!(seq.stats.bytes(TrafficClass::AgRead), (n - 1) * c);
+    assert_eq!(seq.stats.bytes(TrafficClass::AgWrite), (n - 1) * c);
+    // The GEMM writes the full output (within line rounding).
+    let w = seq.stats.bytes(TrafficClass::GemmWrite);
+    assert!(w >= out && w < out + (1 << 20), "GEMM writes {w} vs {out}");
+}
+
+#[test]
+fn num_gpus_scaling_shrinks_chunks_not_totals() {
+    let s8 = sys();
+    let s16 = sys().with_num_gpus(16);
+    let grid8 = GemmGrid::new(&s8.gpu, shape());
+    let r8 = run_fused_gemm_rs(&s8, grid8.clone(), &FusedOptions::default());
+    let r16 = run_fused_gemm_rs(&s16, grid8, &FusedOptions::default());
+    assert_eq!(r8.dma_transfers, 6);
+    assert_eq!(r16.dma_transfers, 14);
+    // More GPUs -> smaller warm-up chunk -> more local write traffic.
+    assert!(
+        r16.stats.bytes(TrafficClass::GemmWrite) > r8.stats.bytes(TrafficClass::GemmWrite)
+    );
+}
+
+#[test]
+fn future_hardware_shortens_the_fused_run() {
+    let base = sys();
+    let fut = SystemConfig::future_2x_cu();
+    let gb = GemmGrid::new(&base.gpu, shape());
+    let gf = GemmGrid::new(&fut.gpu, shape());
+    let rb = run_fused_gemm_rs(&base, gb, &FusedOptions::default());
+    let rf = run_fused_gemm_rs(&fut, gf, &FusedOptions::default());
+    assert!(
+        rf.cycles < rb.cycles,
+        "2x CUs must shorten the fused run: {} vs {}",
+        rf.cycles,
+        rb.cycles
+    );
+}
