@@ -1,14 +1,13 @@
-//! Ablation benches for the design choices DESIGN.md calls out:
-//! MCA occupancy thresholds, the reduction substrate (NMC vs
+//! Ablation benches for the design choices DESIGN.md calls out: MCA
+//! occupancy thresholds, the reduction substrate (NMC vs
 //! system-atomics), staggered WG scheduling, and the stream-switch
 //! penalty that motivates MCA in the first place. Each bench's
 //! *measured value of interest* is the simulated cycle count — the
-//! wall-clock Criterion reports is just simulator overhead — so each
-//! run also prints the simulated cycles once.
+//! wall-clock the harness reports is just simulator overhead — so
+//! each group also prints the simulated cycles once.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::sync::Once;
+use t3_bench::harness::{bench, DEFAULT_ITERS};
 use t3_core::engine::{run_fused_gemm_rs, FusedOptions, PolicyChoice};
 use t3_gpu::gemm::{GemmGrid, GemmShape};
 use t3_mem::nmc::ReductionSubstrate;
@@ -25,77 +24,66 @@ fn run(sys: &SystemConfig, opts: &FusedOptions) -> u64 {
     run_fused_gemm_rs(sys, grid, opts).cycles
 }
 
-fn bench_mca_thresholds(c: &mut Criterion) {
-    static PRINT: Once = Once::new();
+fn bench_mca_thresholds() {
     let sys = SystemConfig::paper_default();
-    let mut group = c.benchmark_group("mca_threshold");
-    group.sample_size(10);
-    PRINT.call_once(|| {
-        for (label, policy) in [
-            ("rr", PolicyChoice::RoundRobin),
-            ("t5", PolicyChoice::McaFixed(5)),
-            ("t10", PolicyChoice::McaFixed(10)),
-            ("t30", PolicyChoice::McaFixed(30)),
-            ("tinf", PolicyChoice::McaFixed(usize::MAX)),
-            ("dynamic", PolicyChoice::McaDynamic),
-        ] {
-            let cycles = run(
-                &sys,
-                &FusedOptions {
-                    policy,
-                    ..FusedOptions::default()
-                },
-            );
-            println!("mca_threshold[{label}]: {cycles} simulated cycles");
-        }
-    });
+    for (label, policy) in [
+        ("rr", PolicyChoice::RoundRobin),
+        ("t5", PolicyChoice::McaFixed(5)),
+        ("t10", PolicyChoice::McaFixed(10)),
+        ("t30", PolicyChoice::McaFixed(30)),
+        ("tinf", PolicyChoice::McaFixed(usize::MAX)),
+        ("dynamic", PolicyChoice::McaDynamic),
+    ] {
+        let cycles = run(
+            &sys,
+            &FusedOptions {
+                policy,
+                ..FusedOptions::default()
+            },
+        );
+        println!("mca_threshold[{label}]: {cycles} simulated cycles");
+    }
     for (label, policy) in [
         ("threshold_5", PolicyChoice::McaFixed(5)),
         ("threshold_30", PolicyChoice::McaFixed(30)),
         ("dynamic", PolicyChoice::McaDynamic),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(run(
-                    &sys,
-                    &FusedOptions {
-                        policy,
-                        ..FusedOptions::default()
-                    },
-                ))
-            })
-        });
-    }
-    group.finish();
-}
-
-fn bench_substrate(c: &mut Criterion) {
-    static PRINT: Once = Once::new();
-    let sys = SystemConfig::paper_default();
-    PRINT.call_once(|| {
-        for (label, substrate) in [
-            ("nmc", ReductionSubstrate::NearMemory),
-            ("atomics", ReductionSubstrate::SystemAtomics),
-        ] {
-            let cycles = run(
+        bench(&format!("mca_threshold/{label}"), DEFAULT_ITERS, || {
+            black_box(run(
                 &sys,
                 &FusedOptions {
-                    substrate,
-                    policy: PolicyChoice::McaDynamic,
+                    policy,
                     ..FusedOptions::default()
                 },
-            );
-            println!("substrate[{label}]: {cycles} simulated cycles");
-        }
-    });
-    let mut group = c.benchmark_group("reduction_substrate");
-    group.sample_size(10);
+            ))
+        });
+    }
+}
+
+fn bench_substrate() {
+    let sys = SystemConfig::paper_default();
+    for (label, substrate) in [
+        ("nmc", ReductionSubstrate::NearMemory),
+        ("atomics", ReductionSubstrate::SystemAtomics),
+    ] {
+        let cycles = run(
+            &sys,
+            &FusedOptions {
+                substrate,
+                policy: PolicyChoice::McaDynamic,
+                ..FusedOptions::default()
+            },
+        );
+        println!("substrate[{label}]: {cycles} simulated cycles");
+    }
     for (label, substrate) in [
         ("near_memory", ReductionSubstrate::NearMemory),
         ("system_atomics", ReductionSubstrate::SystemAtomics),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
+        bench(
+            &format!("reduction_substrate/{label}"),
+            DEFAULT_ITERS,
+            || {
                 black_box(run(
                     &sys,
                     &FusedOptions {
@@ -104,70 +92,58 @@ fn bench_substrate(c: &mut Criterion) {
                         ..FusedOptions::default()
                     },
                 ))
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_stagger(c: &mut Criterion) {
-    static PRINT: Once = Once::new();
+fn bench_stagger() {
     let sys = SystemConfig::paper_default();
-    PRINT.call_once(|| {
-        for stagger in [true, false] {
-            let cycles = run(
+    for stagger in [true, false] {
+        let cycles = run(
+            &sys,
+            &FusedOptions {
+                stagger,
+                policy: PolicyChoice::McaDynamic,
+                ..FusedOptions::default()
+            },
+        );
+        println!("stagger[{stagger}]: {cycles} simulated cycles");
+    }
+    for (label, stagger) in [("staggered", true), ("unstaggered", false)] {
+        bench(&format!("stagger/{label}"), DEFAULT_ITERS, || {
+            black_box(run(
                 &sys,
                 &FusedOptions {
                     stagger,
                     policy: PolicyChoice::McaDynamic,
                     ..FusedOptions::default()
                 },
-            );
-            println!("stagger[{stagger}]: {cycles} simulated cycles");
-        }
-    });
-    let mut group = c.benchmark_group("stagger");
-    group.sample_size(10);
-    for (label, stagger) in [("staggered", true), ("unstaggered", false)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(run(
-                    &sys,
-                    &FusedOptions {
-                        stagger,
-                        policy: PolicyChoice::McaDynamic,
-                        ..FusedOptions::default()
-                    },
-                ))
-            })
+            ))
         });
     }
-    group.finish();
 }
 
-fn bench_switch_penalty(c: &mut Criterion) {
-    static PRINT: Once = Once::new();
-    PRINT.call_once(|| {
-        for penalty in [0.0, 0.75, 1.5] {
-            let mut sys = SystemConfig::paper_default();
-            sys.mem.stream_switch_penalty = penalty;
-            let cycles = run(
-                &sys,
-                &FusedOptions {
-                    policy: PolicyChoice::RoundRobin,
-                    ..FusedOptions::default()
-                },
-            );
-            println!("switch_penalty[{penalty}]: {cycles} simulated cycles (round-robin)");
-        }
-    });
-    let mut group = c.benchmark_group("stream_switch_penalty");
-    group.sample_size(10);
+fn bench_switch_penalty() {
+    for penalty in [0.0, 0.75, 1.5] {
+        let mut sys = SystemConfig::paper_default();
+        sys.mem.stream_switch_penalty = penalty;
+        let cycles = run(
+            &sys,
+            &FusedOptions {
+                policy: PolicyChoice::RoundRobin,
+                ..FusedOptions::default()
+            },
+        );
+        println!("switch_penalty[{penalty}]: {cycles} simulated cycles (round-robin)");
+    }
     for penalty in [0.0, 0.75] {
         let mut sys = SystemConfig::paper_default();
         sys.mem.stream_switch_penalty = penalty;
-        group.bench_function(format!("penalty_{penalty}"), |b| {
-            b.iter(|| {
+        bench(
+            &format!("stream_switch_penalty/penalty_{penalty}"),
+            DEFAULT_ITERS,
+            || {
                 black_box(run(
                     &sys,
                     &FusedOptions {
@@ -175,17 +151,14 @@ fn bench_switch_penalty(c: &mut Criterion) {
                         ..FusedOptions::default()
                     },
                 ))
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mca_thresholds,
-    bench_substrate,
-    bench_stagger,
-    bench_switch_penalty
-);
-criterion_main!(benches);
+fn main() {
+    bench_mca_thresholds();
+    bench_substrate();
+    bench_stagger();
+    bench_switch_penalty();
+}

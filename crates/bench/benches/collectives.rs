@@ -1,9 +1,9 @@
-//! Criterion benches of the collective substrates: the functional
-//! multi-device collectives (real data movement + reduction) and the
-//! timing models (the Figure 14 workload points).
+//! Benches of the collective substrates: the functional multi-device
+//! collectives (real data movement + reduction) and the timing models
+//! (the Figure 14 workload points).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use t3_bench::harness::{bench, DEFAULT_ITERS};
 use t3_collectives::cluster::Cluster;
 use t3_collectives::direct::direct_reduce_scatter;
 use t3_collectives::ring::{ring_all_gather, ring_all_reduce, ring_reduce_scatter};
@@ -14,65 +14,55 @@ use t3_sim::config::SystemConfig;
 
 fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
     (0..n)
-        .map(|d| (0..len).map(|i| ((i * 31 + d * 7) % 23) as f32 - 11.0).collect())
+        .map(|d| {
+            (0..len)
+                .map(|i| ((i * 31 + d * 7) % 23) as f32 - 11.0)
+                .collect()
+        })
         .collect()
 }
 
-fn bench_functional_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("functional_collectives");
+fn bench_functional_collectives() {
     let n = 8;
     let len = 1 << 16; // 64K f32 elements per device
-    group.bench_function("ring_reduce_scatter", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::from_buffers(inputs(n, len));
-            ring_reduce_scatter(&mut cluster);
-            black_box(cluster.device(0).load(0))
-        })
+    bench("functional/ring_reduce_scatter", DEFAULT_ITERS, || {
+        let mut cluster = Cluster::from_buffers(inputs(n, len));
+        ring_reduce_scatter(&mut cluster);
+        black_box(cluster.device(0).load(0))
     });
-    group.bench_function("ring_all_gather", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::from_buffers(inputs(n, len));
-            ring_all_gather(&mut cluster);
-            black_box(cluster.device(0).load(0))
-        })
+    bench("functional/ring_all_gather", DEFAULT_ITERS, || {
+        let mut cluster = Cluster::from_buffers(inputs(n, len));
+        ring_all_gather(&mut cluster);
+        black_box(cluster.device(0).load(0))
     });
-    group.bench_function("ring_all_reduce", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::from_buffers(inputs(n, len));
-            ring_all_reduce(&mut cluster);
-            black_box(cluster.device(0).load(0))
-        })
+    bench("functional/ring_all_reduce", DEFAULT_ITERS, || {
+        let mut cluster = Cluster::from_buffers(inputs(n, len));
+        ring_all_reduce(&mut cluster);
+        black_box(cluster.device(0).load(0))
     });
-    group.bench_function("direct_reduce_scatter", |b| {
-        b.iter(|| {
-            let mut cluster = Cluster::from_buffers(inputs(n, len));
-            direct_reduce_scatter(&mut cluster);
-            black_box(cluster.device(0).load(0))
-        })
+    bench("functional/direct_reduce_scatter", DEFAULT_ITERS, || {
+        let mut cluster = Cluster::from_buffers(inputs(n, len));
+        direct_reduce_scatter(&mut cluster);
+        black_box(cluster.device(0).load(0))
     });
-    group.finish();
 }
 
-fn bench_timing_rs_model(c: &mut Criterion) {
+fn bench_timing_rs_model() {
     // The Figure 14 sweep points.
     let sys = SystemConfig::paper_default().with_num_gpus(4);
-    let mut group = c.benchmark_group("timing_ring_rs");
     for mb in [6u64, 48, 192] {
-        group.bench_with_input(BenchmarkId::from_parameter(mb), &mb, |b, &mb| {
-            let bytes = mb << 20;
-            b.iter(|| {
-                black_box(
-                    RingCollective::baseline(CollectiveKind::ReduceScatter, bytes, &sys)
-                        .simulate(&sys)
-                        .cycles,
-                )
-            })
+        let bytes = mb << 20;
+        bench(&format!("timing_ring_rs/{mb}MB"), DEFAULT_ITERS, || {
+            black_box(
+                RingCollective::baseline(CollectiveKind::ReduceScatter, bytes, &sys)
+                    .simulate(&sys)
+                    .cycles,
+            )
         });
     }
-    group.finish();
 }
 
-fn bench_functional_fusion(c: &mut Criterion) {
+fn bench_functional_fusion() {
     let mut gpu = SystemConfig::paper_default().gpu;
     gpu.tile_dim = 32;
     let (m, n, k) = (256usize, 256usize, 32usize);
@@ -80,18 +70,18 @@ fn bench_functional_fusion(c: &mut Criterion) {
     let producers: Vec<FusedProducer> = (0..4)
         .map(|d| FusedProducer {
             a: (0..m * k).map(|i| ((i + d) % 13) as f32 - 6.0).collect(),
-            b: (0..k * n).map(|i| ((i * 3 + d) % 11) as f32 - 5.0).collect(),
+            b: (0..k * n)
+                .map(|i| ((i * 3 + d) % 11) as f32 - 5.0)
+                .collect(),
         })
         .collect();
-    c.bench_function("fused_gemm_ring_rs_functional", |b| {
-        b.iter(|| black_box(fused_gemm_ring_rs(&gpu, shape, &producers)).triggers_fired)
+    bench("fused_gemm_ring_rs_functional", DEFAULT_ITERS, || {
+        black_box(fused_gemm_ring_rs(&gpu, shape, &producers)).triggers_fired
     });
 }
 
-criterion_group!(
-    benches,
-    bench_functional_collectives,
-    bench_timing_rs_model,
-    bench_functional_fusion
-);
-criterion_main!(benches);
+fn main() {
+    bench_functional_collectives();
+    bench_timing_rs_model();
+    bench_functional_fusion();
+}

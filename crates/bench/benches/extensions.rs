@@ -1,11 +1,10 @@
-//! Criterion benches for the Section-7 extension engines: direct-RS,
+//! Benches for the Section-7 extension engines: direct-RS,
 //! all-to-all, AG→consumer fusion, and the explicit multi-GPU
 //! validator. As with the ablations, the interesting quantity is the
-//! simulated cycle count (printed once); Criterion's wall-clock only
-//! measures the simulator.
+//! simulated cycle count; wall-clock only measures the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use t3_bench::harness::{bench, DEFAULT_ITERS};
 use t3_core::agfuse::{run_fused_ag_gemm, AgFuseOptions};
 use t3_core::engine::{
     run_fused_gemm_all_to_all, run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions,
@@ -18,44 +17,42 @@ fn grid(sys: &SystemConfig) -> GemmGrid {
     GemmGrid::new(&sys.gpu, GemmShape::new(1024, 2048, 512))
 }
 
-fn bench_fusion_topologies(c: &mut Criterion) {
+fn bench_fusion_topologies() {
     let sys = SystemConfig::paper_default();
-    let mut group = c.benchmark_group("fusion_topologies");
-    group.sample_size(10);
-    group.bench_function("ring_rs", |b| {
-        b.iter(|| black_box(run_fused_gemm_rs(&sys, grid(&sys), &FusedOptions::default())).cycles)
+    bench("fusion_topologies/ring_rs", DEFAULT_ITERS, || {
+        black_box(run_fused_gemm_rs(
+            &sys,
+            grid(&sys),
+            &FusedOptions::default(),
+        ))
+        .cycles
     });
-    group.bench_function("direct_rs", |b| {
-        b.iter(|| {
-            black_box(run_fused_gemm_direct_rs(
-                &sys,
-                grid(&sys),
-                &FusedOptions::default(),
-            ))
-            .cycles
-        })
+    bench("fusion_topologies/direct_rs", DEFAULT_ITERS, || {
+        black_box(run_fused_gemm_direct_rs(
+            &sys,
+            grid(&sys),
+            &FusedOptions::default(),
+        ))
+        .cycles
     });
-    group.bench_function("all_to_all", |b| {
-        b.iter(|| {
-            black_box(run_fused_gemm_all_to_all(
-                &sys,
-                grid(&sys),
-                &FusedOptions::default(),
-            ))
-            .cycles
-        })
+    bench("fusion_topologies/all_to_all", DEFAULT_ITERS, || {
+        black_box(run_fused_gemm_all_to_all(
+            &sys,
+            grid(&sys),
+            &FusedOptions::default(),
+        ))
+        .cycles
     });
-    group.finish();
 }
 
-fn bench_ag_fusion(c: &mut Criterion) {
+fn bench_ag_fusion() {
     let sys = SystemConfig::paper_default();
     let ag_grid = GemmGrid::new(&sys.gpu, GemmShape::new(2048, 1024, 512));
-    let mut group = c.benchmark_group("ag_consumer_fusion");
-    group.sample_size(10);
     for (label, aligned) in [("aligned", true), ("unaligned", false)] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
+        bench(
+            &format!("ag_consumer_fusion/{label}"),
+            DEFAULT_ITERS,
+            || {
                 black_box(run_fused_ag_gemm(
                     &sys,
                     ag_grid.clone(),
@@ -64,33 +61,25 @@ fn bench_ag_fusion(c: &mut Criterion) {
                     },
                 ))
                 .cycles
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_explicit_multigpu(c: &mut Criterion) {
+fn bench_explicit_multigpu() {
     let sys = SystemConfig::paper_default();
-    let mut group = c.benchmark_group("explicit_multigpu");
-    group.sample_size(10);
-    group.bench_function("8_gpus", |b| {
-        b.iter(|| {
-            black_box(run_multi_gpu_fused_rs(
-                &sys,
-                grid(&sys),
-                &FusedOptions::default(),
-            ))
-            .cycles
-        })
+    bench("explicit_multigpu/8_gpus", DEFAULT_ITERS, || {
+        black_box(run_multi_gpu_fused_rs(
+            &sys,
+            grid(&sys),
+            &FusedOptions::default(),
+        ))
+        .cycles
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fusion_topologies,
-    bench_ag_fusion,
-    bench_explicit_multigpu
-);
-criterion_main!(benches);
+fn main() {
+    bench_fusion_topologies();
+    bench_ag_fusion();
+    bench_explicit_multigpu();
+}

@@ -1,10 +1,10 @@
-//! Criterion benches over the paper's evaluated configurations: one
-//! T-NLG FC-2-like sublayer (tokens scaled 8x down) per configuration.
+//! Benches over the paper's evaluated configurations: one T-NLG
+//! FC-2-like sublayer (tokens scaled 8x down) per configuration.
 //! These are the per-table regeneration workloads of Figures 15/16 in
 //! micro form; the `figures` binary runs them at full scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use t3_bench::harness::{bench, DEFAULT_ITERS};
 use t3_core::configs::Configuration;
 use t3_gpu::gemm::GemmShape;
 use t3_models::zoo;
@@ -16,32 +16,30 @@ fn sublayer_shape() -> GemmShape {
     s
 }
 
-fn bench_configurations(c: &mut Criterion) {
+fn bench_configurations() {
     let sys = SystemConfig::paper_default();
     let shape = sublayer_shape();
-    let mut group = c.benchmark_group("sublayer_configs");
-    group.sample_size(10);
     for config in Configuration::ALL {
-        group.bench_function(config.name(), |b| {
-            b.iter(|| black_box(config.run(&sys, &shape)).total_cycles)
-        });
+        bench(
+            &format!("sublayer_configs/{}", config.name()),
+            DEFAULT_ITERS,
+            || black_box(config.run(&sys, &shape)).total_cycles,
+        );
     }
-    group.finish();
 }
 
-fn bench_tp_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t3_mca_tp_scaling");
-    group.sample_size(10);
+fn bench_tp_scaling() {
     for tp in [8u64, 16] {
         let sys = SystemConfig::paper_default().with_num_gpus(tp as usize);
         let mut shape = zoo::t_nlg().sublayer_gemm(t3_models::Sublayer::Fc2, tp);
         shape.m /= 8;
-        group.bench_function(format!("tp{tp}"), |b| {
-            b.iter(|| black_box(Configuration::T3Mca.run(&sys, &shape)).total_cycles)
+        bench(&format!("t3_mca_tp_scaling/tp{tp}"), DEFAULT_ITERS, || {
+            black_box(Configuration::T3Mca.run(&sys, &shape)).total_cycles
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_configurations, bench_tp_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_configurations();
+    bench_tp_scaling();
+}

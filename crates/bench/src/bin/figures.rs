@@ -2,16 +2,25 @@
 //!
 //! ```text
 //! cargo run --release -p t3-bench --bin figures -- <target> [--fast]
+//! cargo run --release -p t3-bench --bin figures -- --trace out.json
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
 //! fig18 fig19 fig20 all`. `--fast` shrinks workloads 8x in the token
 //! dimension for smoke runs.
+//!
+//! `--trace <file>` runs the instrumented T-NLG FC-2 (TP=8) fused
+//! GEMM-RS and writes a Chrome trace-event JSON loadable in Perfetto
+//! (`ui.perfetto.dev`) or `chrome://tracing`. `--metrics <file>`
+//! writes the same run's metrics registry as JSON (or CSV when the
+//! file name ends in `.csv`). Either flag may be given alone or with
+//! targets.
 
 use std::env;
 use std::process::ExitCode;
 
 use t3_bench::experiments::{self, ExperimentScale};
+use t3_trace::chrome::chrome_trace_json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -21,24 +30,98 @@ fn main() -> ExitCode {
     } else {
         ExperimentScale::FULL
     };
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if targets.is_empty() {
-        eprintln!(
-            "usage: figures <table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|extensions|sweep|all> [--fast]"
-        );
-        return ExitCode::FAILURE;
+    let trace_path = match flag_value(&args, "--trace") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let metrics_path = match flag_value(&args, "--metrics") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    let targets = match targets(&args) {
+        Ok(t) => t,
+        Err(e) => return usage(&e),
+    };
+    if targets.is_empty() && trace_path.is_none() && metrics_path.is_none() {
+        return usage("no targets given");
     }
-    for target in targets {
+    for target in &targets {
         if !run_target(target, scale) {
             eprintln!("unknown target: {target}");
             return ExitCode::FAILURE;
         }
     }
+    if trace_path.is_some() || metrics_path.is_some() {
+        let (ins, run, clock_ghz) = experiments::traced_tnlg_sublayer(scale);
+        eprintln!(
+            "traced T-NLG FC-2 TP=8 fused GEMM-RS: {} cycles, {} events",
+            run.cycles,
+            ins.tracer.as_ref().map_or(0, |t| t.len())
+        );
+        if let Some(path) = trace_path {
+            let tracer = ins.tracer.as_ref().expect("full instruments");
+            let json = chrome_trace_json(tracer.records(), clock_ghz);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote Chrome trace to {path} (load in ui.perfetto.dev)");
+        }
+        if let Some(path) = metrics_path {
+            let metrics = ins.metrics.as_ref().expect("full instruments");
+            let body = if path.ends_with(".csv") {
+                metrics.to_csv()
+            } else {
+                metrics.to_json()
+            };
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote metrics to {path}");
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}");
+    eprintln!(
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|extensions|sweep|all> ...] [--fast] [--trace <out.json>] [--metrics <out.json|out.csv>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// The value following `flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} requires a file argument")),
+        },
+    }
+}
+
+/// Positional target names: everything that is not a flag or a flag's
+/// value.
+fn targets(args: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--trace" || a == "--metrics" {
+            i += 2; // flag + its value (validated by flag_value)
+        } else if a == "--fast" {
+            i += 1;
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag: {a}"));
+        } else {
+            out.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
 }
 
 fn run_target(target: &str, scale: ExperimentScale) -> bool {
@@ -50,8 +133,7 @@ fn run_target(target: &str, scale: ExperimentScale) -> bool {
         "fig6" => println!("{}", experiments::fig6(scale)),
         "fig14" => println!("{}", experiments::fig14()),
         "fig15" | "fig16" | "fig18" => {
-            let cases =
-                experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
+            let cases = experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
             match target {
                 "fig15" => println!("{}", experiments::fig15(&cases)),
                 "fig16" => println!("{}", experiments::fig16(&cases)),
@@ -70,8 +152,7 @@ fn run_target(target: &str, scale: ExperimentScale) -> bool {
             println!("{}", experiments::fig4());
             println!("{}", experiments::fig6(scale));
             println!("{}", experiments::fig14());
-            let cases =
-                experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
+            let cases = experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
             println!("{}", experiments::fig15(&cases));
             println!("{}", experiments::fig16(&cases));
             println!("{}", experiments::fig17(scale));

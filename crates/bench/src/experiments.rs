@@ -8,9 +8,7 @@
 use crate::report::{mb, pct, us, x, Table};
 use t3_core::agfuse::{run_fused_ag_gemm, sequential_ag_gemm, AgFuseOptions};
 use t3_core::configs::{Configuration, SublayerOutcome};
-use t3_core::engine::{
-    run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions, PolicyChoice,
-};
+use t3_core::engine::{run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions, PolicyChoice};
 use t3_core::multigpu::run_multi_gpu_fused_rs;
 use t3_core::study;
 use t3_gpu::engine::{run_gemm_isolated_traced, WritePolicy};
@@ -72,7 +70,10 @@ pub fn table1() -> Table {
     let cfg = SystemConfig::paper_default();
     let mut t = Table::new("Table 1: simulation setup", &["parameter", "value"]);
     let rows = [
-        ("#GPUs", "8, 16 (32 for large models; 4 for validation)".to_string()),
+        (
+            "#GPUs",
+            "8, 16 (32 for large models; 4 for validation)".to_string(),
+        ),
         (
             "inter-GPU interconnect",
             format!(
@@ -80,11 +81,17 @@ pub fn table1() -> Table {
                 cfg.link.link_gb_s, cfg.link.latency_ns
             ),
         ),
-        ("#CUs", format!("{}, {} GHz", cfg.gpu.num_cus, cfg.gpu.clock_ghz)),
+        (
+            "#CUs",
+            format!("{}, {} GHz", cfg.gpu.num_cus, cfg.gpu.clock_ghz),
+        ),
         (
             "GEMM throughput",
-            format!("{:.0} TFLOP/s FP16 peak (sustained {:.0}%)",
-                cfg.gpu.peak_tflops(), cfg.gpu.gemm_efficiency * 100.0),
+            format!(
+                "{:.0} TFLOP/s FP16 peak (sustained {:.0}%)",
+                cfg.gpu.peak_tflops(),
+                cfg.gpu.gemm_efficiency * 100.0
+            ),
         ),
         (
             "LLC",
@@ -116,7 +123,14 @@ pub fn table1() -> Table {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table 2: studied models, hyperparameters & setup",
-        &["model", "hidden", "layers", "tokens (SL x B)", "TP degrees", "~params"],
+        &[
+            "model",
+            "hidden",
+            "layers",
+            "tokens (SL x B)",
+            "TP degrees",
+            "~params",
+        ],
     );
     for m in zoo::all_models() {
         t.row(vec![
@@ -149,8 +163,14 @@ pub fn table3() -> Table {
         ("In-switch", ["yes", "yes", "no", "no", "no", "no"]),
         ("ACE", ["yes", "yes", "no", "yes", "no", "no"]),
         ("CoCoNet", ["yes", "no", "yes", "no", "yes", "yes"]),
-        ("Google Decomposition", ["no (TPU)", "no", "yes", "no", "yes", "yes"]),
-        ("T3-MCA (this repo)", ["yes", "yes", "yes", "yes", "yes", "yes"]),
+        (
+            "Google Decomposition",
+            ["no (TPU)", "no", "yes", "no", "yes", "yes"],
+        ),
+        (
+            "T3-MCA (this repo)",
+            ["yes", "yes", "yes", "yes", "yes", "yes"],
+        ),
     ];
     for (name, cells) in rows {
         let mut row = vec![name.to_string()];
@@ -190,7 +210,13 @@ pub fn fig4() -> Table {
         }
     }
     let sys = system_for(16);
-    let lt = e2e::layer_time(&sys, &zoo::t_nlg(), 16, Phase::Training, &E2eParams::default());
+    let lt = e2e::layer_time(
+        &sys,
+        &zoo::t_nlg(),
+        16,
+        Phase::Training,
+        &E2eParams::default(),
+    );
     t.note(format!(
         "2x faster compute pushes T-NLG's sliced fraction to {} (Section 2.4)",
         pct(lt.sliced_fraction_with_faster_compute(2.0))
@@ -207,7 +233,13 @@ pub fn fig4() -> Table {
 pub fn fig6(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 6: CU-sharing study (GEMM CUs - AR CUs)",
-        &["layer", "split", "GEMM time (norm)", "AR time (norm)", "potential overlap speedup"],
+        &[
+            "layer",
+            "split",
+            "GEMM time (norm)",
+            "AR time (norm)",
+            "potential overlap speedup",
+        ],
     );
     let mut per_split: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
     for (model, _) in [(zoo::mega_gpt2(), 0), (zoo::t_nlg(), 0)] {
@@ -231,7 +263,10 @@ pub fn fig6(scale: ExperimentScale) -> Table {
         }
     }
     for (label, speedups) in per_split {
-        t.note(format!("geomean potential speedup [{label}]: {}", x(geomean(&speedups))));
+        t.note(format!(
+            "geomean potential speedup [{label}]: {}",
+            x(geomean(&speedups))
+        ));
     }
     t
 }
@@ -245,7 +280,10 @@ pub fn fig6(scale: ExperimentScale) -> Table {
 pub fn fig14() -> Table {
     let sys = SystemConfig::paper_default().with_num_gpus(4);
     let mb_u = 1u64 << 20;
-    let sizes: Vec<u64> = [6u64, 12, 24, 48, 96, 192].iter().map(|s| s * mb_u).collect();
+    let sizes: Vec<u64> = [6u64, 12, 24, 48, 96, 192]
+        .iter()
+        .map(|s| s * mb_u)
+        .collect();
     let rows = study::rs_validation(&sys, &sizes);
     let mut t = Table::new(
         "Figure 14: multi-GPU reduce-scatter validation (4 GPUs)",
@@ -330,7 +368,17 @@ pub fn fig15(cases: &[SublayerCase]) -> Table {
     let clock = SystemConfig::paper_default().gpu.clock_ghz;
     let mut t = Table::new(
         "Figure 15: sublayer runtime distribution (Sequential)",
-        &["model", "TP", "sublayer", "GEMM (us)", "RS (us)", "AG (us)", "GEMM %", "RS %", "AG %"],
+        &[
+            "model",
+            "TP",
+            "sublayer",
+            "GEMM (us)",
+            "RS (us)",
+            "AG (us)",
+            "GEMM %",
+            "RS %",
+            "AG %",
+        ],
     );
     for c in cases {
         let seq = c.outcome(Configuration::Sequential);
@@ -355,7 +403,15 @@ pub fn fig15(cases: &[SublayerCase]) -> Table {
 pub fn fig16(cases: &[SublayerCase]) -> Table {
     let mut t = Table::new(
         "Figure 16: sublayer speedups over Sequential",
-        &["model", "TP", "sublayer", "T3", "T3-MCA", "Ideal-overlap", "Ideal-RS+NMC"],
+        &[
+            "model",
+            "TP",
+            "sublayer",
+            "T3",
+            "T3-MCA",
+            "Ideal-overlap",
+            "Ideal-RS+NMC",
+        ],
     );
     let configs = [
         Configuration::T3,
@@ -364,7 +420,11 @@ pub fn fig16(cases: &[SublayerCase]) -> Table {
         Configuration::IdealRsNmc,
     ];
     for c in cases {
-        let mut row = vec![c.model.clone(), c.tp.to_string(), c.sublayer.label().to_string()];
+        let mut row = vec![
+            c.model.clone(),
+            c.tp.to_string(),
+            c.sublayer.label().to_string(),
+        ];
         row.extend(configs.iter().map(|&cfg| x(c.speedup(cfg))));
         t.row(row);
     }
@@ -387,8 +447,17 @@ pub fn fig18(cases: &[SublayerCase]) -> Table {
     let mut t = Table::new(
         "Figure 18: DRAM accesses per sublayer (MB per GPU)",
         &[
-            "model", "TP", "sublayer", "config",
-            "GEMM rd", "GEMM wr", "RS rd", "RS wr/upd", "AG rd", "AG wr", "total",
+            "model",
+            "TP",
+            "sublayer",
+            "config",
+            "GEMM rd",
+            "GEMM wr",
+            "RS rd",
+            "RS wr/upd",
+            "AG rd",
+            "AG wr",
+            "total",
         ],
     );
     let mut reductions = Vec::new();
@@ -468,7 +537,14 @@ pub fn fig17(scale: ExperimentScale) -> Table {
     let fused_ts = fused.timeseries.expect("requested");
     let mut t = Table::new(
         "Figure 17: DRAM traffic timeline (GB/s per 16K-cycle bucket)",
-        &["run", "bucket start (us)", "GEMM rd", "GEMM wr", "RS rd", "RS upd"],
+        &[
+            "run",
+            "bucket start (us)",
+            "GEMM rd",
+            "GEMM wr",
+            "RS rd",
+            "RS upd",
+        ],
     );
     let clock = sys.gpu.clock_ghz;
     let gbps = |bytes: u64, cycles: u64| -> String {
@@ -559,7 +635,12 @@ pub fn fig19(scale: ExperimentScale) -> Table {
 pub fn fig20(scale: ExperimentScale) -> Table {
     let mut t = Table::new(
         "Figure 20: large models and 2x-compute future hardware",
-        &["model", "sublayer", "T3-MCA speedup (base)", "T3-MCA speedup (GPU-2X-CU)"],
+        &[
+            "model",
+            "sublayer",
+            "T3-MCA speedup (base)",
+            "T3-MCA speedup (GPU-2X-CU)",
+        ],
     );
     let params = E2eParams::default();
     let mut base_all = Vec::new();
@@ -620,7 +701,10 @@ pub fn extensions(scale: ExperimentScale) -> Table {
     let seq = Configuration::Sequential.run(&sys, &shape);
     let ring = run_fused_gemm_rs(&sys, grid.clone(), &FusedOptions::default());
     let direct = run_fused_gemm_direct_rs(&sys, grid.clone(), &FusedOptions::default());
-    for (case, cycles) in [("ring fused GEMM-RS", ring.cycles), ("direct fused GEMM-RS", direct.cycles)] {
+    for (case, cycles) in [
+        ("ring fused GEMM-RS", ring.cycles),
+        ("direct fused GEMM-RS", direct.cycles),
+    ] {
         let seq_rs = seq.gemm_cycles + seq.rs_cycles;
         t.row(vec![
             "7.1 topology".into(),
@@ -723,7 +807,11 @@ pub fn sweep() -> Table {
     let lt = e2e::layer_time(&sys, &model, tp, Phase::Training, &params);
     let mut t = Table::new(
         "Compute-scaling sweep (T-NLG, TP=16, training)",
-        &["compute speedup", "sliced GEMM+AR fraction", "headroom if AR fully hidden"],
+        &[
+            "compute speedup",
+            "sliced GEMM+AR fraction",
+            "headroom if AR fully hidden",
+        ],
     );
     for factor in [1.0f64, 2.0, 4.0, 8.0] {
         let frac = lt.sliced_fraction_with_faster_compute(factor);
@@ -735,14 +823,33 @@ pub fn sweep() -> Table {
                 .map(|(_, s)| s.gemm_cycles / factor + s.ar_cycles)
                 .sum::<f64>();
         let hidden = total / (total - comm.min(total * 0.999));
-        t.row(vec![
-            format!("{factor:.0}x"),
-            pct(frac),
-            x(hidden),
-        ]);
+        t.row(vec![format!("{factor:.0}x"), pct(frac), x(hidden)]);
     }
     t.note("paper Section 2.4: at 2x compute, communication approaches 75% of the sliced portion");
     t
+}
+
+/// A fully-instrumented T-NLG FC-2 (TP=8, SL*B=4K) fused GEMM-RS run
+/// under T3-MCA — the same workload as Figure 17 — for the `figures
+/// --trace` / `--metrics` exports. Returns the populated instruments,
+/// the run result, and the core clock (for cycle→µs conversion in the
+/// Chrome exporter).
+pub fn traced_tnlg_sublayer(
+    scale: ExperimentScale,
+) -> (t3_trace::Instruments, t3_core::engine::FusedRunResult, f64) {
+    let tp = 8u64;
+    let sys = system_for(tp);
+    let mut model = zoo::t_nlg();
+    model.batch = 4; // SL*B = 4K, as in Figure 17
+    let shape = scale.shape(&model, Sublayer::Fc2, tp);
+    let grid = GemmGrid::new(&sys.gpu, shape);
+    let opts = FusedOptions {
+        policy: PolicyChoice::McaDynamic,
+        ..FusedOptions::default()
+    };
+    let mut ins = t3_trace::Instruments::full();
+    let run = t3_core::engine::run_fused_gemm_rs_instrumented(&sys, grid, &opts, Some(&mut ins));
+    (ins, run, sys.gpu.clock_ghz)
 }
 
 #[cfg(test)]
@@ -802,6 +909,18 @@ mod tests {
     fn sweep_shows_growing_headroom() {
         let t = sweep();
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn traced_run_event_counts_match_result() {
+        let (ins, run, ghz) = traced_tnlg_sublayer(ExperimentScale::FAST);
+        assert!(ghz > 0.0);
+        let tracer = ins.tracer.as_ref().expect("tracer on");
+        let fires = tracer.count(|e| matches!(e, t3_trace::Event::DmaTriggerFire { .. }));
+        assert_eq!(fires as u64, run.dma_transfers);
+        let metrics = ins.metrics.as_ref().expect("metrics on");
+        assert_eq!(metrics.counter("run.cycles"), run.cycles);
+        assert_eq!(metrics.counter("link.bytes_sent"), run.link_bytes_sent);
     }
 
     #[test]

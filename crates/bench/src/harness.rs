@@ -1,0 +1,80 @@
+//! A minimal wall-clock benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the
+//! `benches/` targets (all `harness = false`) time themselves with
+//! [`std::time::Instant`] through this module instead of a framework.
+//! The interesting quantity for most benches is the *simulated* cycle
+//! count anyway — wall-clock here only measures the simulator itself.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default iteration count per benchmark.
+pub const DEFAULT_ITERS: u32 = 10;
+
+/// Times `f` for `iters` iterations (plus one untimed warm-up) and
+/// prints min / median / mean wall-clock per iteration.
+///
+/// Returns the median per-iteration time in nanoseconds so callers
+/// can post-process if they want.
+pub fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) -> u128 {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(f());
+    let mut samples_ns: Vec<u128> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples_ns.sort_unstable();
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+    println!(
+        "bench {label:<40} min {} median {} mean {} ({iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    median
+}
+
+/// Formats a nanosecond duration with a readable unit.
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns_median() {
+        let mut calls = 0u32;
+        let median = bench("noop", 3, || {
+            calls += 1;
+            calls
+        });
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+        // A counter increment cannot take a second.
+        assert!(median < 1_000_000_000);
+    }
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50us");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

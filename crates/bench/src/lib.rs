@@ -2,8 +2,11 @@
 //!
 //! [`experiments`] contains one regeneration function per paper table
 //! and figure; the `figures` binary (`cargo run --release -p t3-bench
-//! --bin figures -- <target>`) prints them, and the Criterion benches
-//! reuse the same entry points on scaled workloads.
+//! --bin figures -- <target>`) prints them, and the `benches/` targets
+//! reuse the same entry points on scaled workloads through the
+//! self-contained [`harness`] timer (no external bench framework —
+//! the workspace builds offline).
 
 pub mod experiments;
+pub mod harness;
 pub mod report;

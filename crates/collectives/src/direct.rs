@@ -42,7 +42,10 @@ pub fn direct_reduce_scatter(cluster: &mut Cluster) {
 pub fn all_to_all(cluster: &mut Cluster) {
     let n = cluster.num_devices();
     let len = cluster.array_len();
-    assert!(len.is_multiple_of(n), "all-to-all needs len divisible by devices");
+    assert!(
+        len.is_multiple_of(n),
+        "all-to-all needs len divisible by devices"
+    );
     let c = len / n;
     // Snapshot sources: unlike reduce-scatter, destinations here
     // overwrite regions other devices still need to send.

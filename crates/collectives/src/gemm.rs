@@ -55,7 +55,10 @@ pub fn matmul_tile(
 ) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A dimension mismatch");
     assert_eq!(b.len(), k * n, "B dimension mismatch");
-    assert!(row0 + height <= m && col0 + width <= n, "tile out of bounds");
+    assert!(
+        row0 + height <= m && col0 + width <= n,
+        "tile out of bounds"
+    );
     let mut tile = vec![0.0f32; height * width];
     for r in 0..height {
         let i = row0 + r;
@@ -98,7 +101,10 @@ pub fn matmul_tile_krange(
 ) -> Vec<f32> {
     assert_eq!(a.len(), m * k, "A dimension mismatch");
     assert_eq!(b.len(), k * n, "B dimension mismatch");
-    assert!(row0 + height <= m && col0 + width <= n, "tile out of bounds");
+    assert!(
+        row0 + height <= m && col0 + width <= n,
+        "tile out of bounds"
+    );
     assert!(k0 <= k1 && k1 <= k, "K range out of bounds");
     let mut tile = vec![0.0f32; height * width];
     for r in 0..height {

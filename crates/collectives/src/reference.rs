@@ -34,7 +34,10 @@ pub fn elementwise_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
 pub fn all_to_all_expected(inputs: &[Vec<f32>], dst: usize) -> Vec<f32> {
     let n = inputs.len();
     let len = inputs[0].len();
-    assert!(len.is_multiple_of(n), "all-to-all needs len divisible by devices");
+    assert!(
+        len.is_multiple_of(n),
+        "all-to-all needs len divisible by devices"
+    );
     let c = len / n;
     let mut out = vec![0.0f32; len];
     for (j, src) in inputs.iter().enumerate() {

@@ -83,7 +83,9 @@ mod tests {
 
     fn random_inputs(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
         // Small deterministic LCG so tests don't need rand here.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = || {
             state = state
                 .wrapping_mul(2862933555777941757)
@@ -105,11 +107,7 @@ mod tests {
             for d in 0..n {
                 let c = ring.rs_owned_chunk(d);
                 let (s, e) = chunk_bounds(len, n, c);
-                assert_close(
-                    &cluster.device(d).as_slice()[s..e],
-                    &expected[s..e],
-                    1e-4,
-                );
+                assert_close(&cluster.device(d).as_slice()[s..e], &expected[s..e], 1e-4);
             }
         }
     }

@@ -1,35 +1,32 @@
 //! Property tests for the functional collectives: all implementations
 //! agree with the mathematical definitions for arbitrary device
-//! counts, lengths, and data.
+//! counts, lengths, and data, generated from a seeded deterministic
+//! PRNG.
 
 #![allow(clippy::needless_range_loop)]
 
-use proptest::prelude::*;
 use t3_collectives::cluster::Cluster;
 use t3_collectives::direct::{all_to_all, direct_reduce_scatter};
 use t3_collectives::gemm::{matmul, matmul_tile, scatter_tile};
 use t3_collectives::reference::{all_to_all_expected, assert_close, elementwise_sum};
 use t3_collectives::ring::{ring_all_reduce, ring_reduce_scatter};
 use t3_net::ring::{chunk_bounds, Ring};
+use t3_sim::rng::SplitMix64;
 
-fn buffers_strategy(
-    n_range: std::ops::Range<usize>,
-    len_range: std::ops::Range<usize>,
-) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    (n_range, len_range).prop_flat_map(|(n, len)| {
-        prop::collection::vec(
-            prop::collection::vec(-100.0f32..100.0, len..=len),
-            n..=n,
-        )
-    })
+fn random_buffers(rng: &mut SplitMix64, n: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_f32(100.0)).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Ring all-reduce == element-wise sum, on every device.
-    #[test]
-    fn ring_all_reduce_is_sum(bufs in buffers_strategy(2..10, 1..120)) {
+/// Ring all-reduce == element-wise sum, on every device.
+#[test]
+fn ring_all_reduce_is_sum() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(2, 10);
+        let len = rng.gen_range_usize(1, 120);
+        let bufs = random_buffers(&mut rng, n, len);
         let expected = elementwise_sum(&bufs);
         let mut cluster = Cluster::from_buffers(bufs);
         ring_all_reduce(&mut cluster);
@@ -37,13 +34,17 @@ proptest! {
             assert_close(cluster.device(d).as_slice(), &expected, 1e-3);
         }
     }
+}
 
-    /// Ring-RS and direct-RS agree on every owned chunk (up to their
-    /// different ownership conventions).
-    #[test]
-    fn ring_and_direct_rs_agree(bufs in buffers_strategy(2..9, 1..100)) {
-        let n = bufs.len();
-        let len = bufs[0].len();
+/// Ring-RS and direct-RS agree on every owned chunk (up to their
+/// different ownership conventions).
+#[test]
+fn ring_and_direct_rs_agree() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(2, 9);
+        let len = rng.gen_range_usize(1, 100);
+        let bufs = random_buffers(&mut rng, n, len);
         let expected = elementwise_sum(&bufs);
         let mut ring_cluster = Cluster::from_buffers(bufs.clone());
         ring_reduce_scatter(&mut ring_cluster);
@@ -54,27 +55,31 @@ proptest! {
             // Ring: device d owns chunk (d+1)%n; direct: chunk d.
             let rc = ring.rs_owned_chunk(d);
             let (rs, re) = chunk_bounds(len, n, rc);
-            assert_close(&ring_cluster.device(d).as_slice()[rs..re], &expected[rs..re], 1e-3);
+            assert_close(
+                &ring_cluster.device(d).as_slice()[rs..re],
+                &expected[rs..re],
+                1e-3,
+            );
             let (ds, de) = chunk_bounds(len, n, d);
-            assert_close(&direct_cluster.device(d).as_slice()[ds..de], &expected[ds..de], 1e-3);
+            assert_close(
+                &direct_cluster.device(d).as_slice()[ds..de],
+                &expected[ds..de],
+                1e-3,
+            );
         }
     }
+}
 
-    /// All-to-all matches its definition and transposing twice is the
-    /// identity.
-    #[test]
-    fn all_to_all_definition_and_involution(
-        n in 2usize..8,
-        chunk in 1usize..16,
-        seed in any::<u64>(),
-    ) {
+/// All-to-all matches its definition and transposing twice is the
+/// identity.
+#[test]
+fn all_to_all_definition_and_involution() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(2, 8);
+        let chunk = rng.gen_range_usize(1, 16);
         let len = n * chunk;
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            ((state >> 40) as f32) / 1000.0
-        };
-        let bufs: Vec<Vec<f32>> = (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
+        let bufs = random_buffers(&mut rng, n, len);
         let mut cluster = Cluster::from_buffers(bufs.clone());
         all_to_all(&mut cluster);
         for d in 0..n {
@@ -89,24 +94,20 @@ proptest! {
             assert_close(cluster.device(d).as_slice(), &bufs[d], 0.0);
         }
     }
+}
 
-    /// Tiled matmul reassembles to the full product for arbitrary
-    /// shapes and tile sizes.
-    #[test]
-    fn tiles_reassemble(
-        m in 1usize..24,
-        n in 1usize..24,
-        k in 0usize..16,
-        tile in 1usize..9,
-        seed in any::<u64>(),
-    ) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
-            ((state >> 44) as f32) / 100.0 - 5.0
-        };
-        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
-        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+/// Tiled matmul reassembles to the full product for arbitrary shapes
+/// and tile sizes.
+#[test]
+fn tiles_reassemble() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let m = rng.gen_range_usize(1, 24);
+        let n = rng.gen_range_usize(1, 24);
+        let k = rng.gen_range_usize(0, 16);
+        let tile = rng.gen_range_usize(1, 9);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_f32(5.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_f32(5.0)).collect();
         let full = matmul(&a, &b, m, n, k);
         let mut assembled = vec![0.0f32; m * n];
         for r0 in (0..m).step_by(tile) {
@@ -119,13 +120,17 @@ proptest! {
         }
         assert_close(&assembled, &full, 1e-3);
     }
+}
 
-    /// Reduce-scatter update counts: each device absorbs exactly
-    /// (N-1) chunk-loads of updates, however uneven the chunks.
-    #[test]
-    fn rs_update_accounting(bufs in buffers_strategy(2..7, 1..60)) {
-        let n = bufs.len();
-        let len = bufs[0].len();
+/// Reduce-scatter update counts: each device absorbs exactly (N-1)
+/// chunk-loads of updates, however uneven the chunks.
+#[test]
+fn rs_update_accounting() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.gen_range_usize(2, 7);
+        let len = rng.gen_range_usize(1, 60);
+        let bufs = random_buffers(&mut rng, n, len);
         let mut cluster = Cluster::from_buffers(bufs);
         ring_reduce_scatter(&mut cluster);
         let ring = Ring::new(n);
@@ -137,7 +142,11 @@ proptest! {
                     ce - cs
                 })
                 .sum();
-            prop_assert_eq!(cluster.device(d).update_count(), expected as u64);
+            assert_eq!(
+                cluster.device(d).update_count(),
+                expected as u64,
+                "seed {seed}"
+            );
         }
     }
 }

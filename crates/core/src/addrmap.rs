@@ -57,7 +57,10 @@ pub enum ChunkRoute {
 impl ChunkRoute {
     /// Whether this chunk's local memory region is tracked.
     pub fn tracked(self) -> bool {
-        !matches!(self, ChunkRoute::RemoteUpdate { .. } | ChunkRoute::RemoteStore { .. })
+        !matches!(
+            self,
+            ChunkRoute::RemoteUpdate { .. } | ChunkRoute::RemoteStore { .. }
+        )
     }
 
     /// Expected updates per element for tracked chunks (1 where only
@@ -194,11 +197,7 @@ impl OutputConfig {
         let mut b = ConfigBuilder::new(n);
         for p in 0..n {
             let chunk = (device + n - p) % n;
-            let updates = if p == 1 {
-                2 * split_k
-            } else {
-                split_k + 1
-            };
+            let updates = if p == 1 { 2 * split_k } else { split_k + 1 };
             if p == 0 {
                 b = b.remote_map_update(chunk, next);
             } else if p < n - 1 {

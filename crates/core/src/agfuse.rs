@@ -61,11 +61,7 @@ pub struct AgFuseResult {
 /// # Panics
 ///
 /// Panics if the simulation fails to converge (an internal error).
-pub fn run_fused_ag_gemm(
-    sys: &SystemConfig,
-    grid: GemmGrid,
-    opts: &AgFuseOptions,
-) -> AgFuseResult {
+pub fn run_fused_ag_gemm(sys: &SystemConfig, grid: GemmGrid, opts: &AgFuseOptions) -> AgFuseResult {
     let n = sys.num_gpus as u64;
     let shape = *grid.shape();
     let a_bytes = shape.a_bytes();

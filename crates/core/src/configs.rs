@@ -218,7 +218,10 @@ mod tests {
         let t3 = Configuration::T3.run(&s, &shape());
         let mca = Configuration::T3Mca.run(&s, &shape());
         let ideal = Configuration::IdealOverlap.run(&s, &shape());
-        assert!(t3.total_cycles < seq.total_cycles, "T3 must beat Sequential");
+        assert!(
+            t3.total_cycles < seq.total_cycles,
+            "T3 must beat Sequential"
+        );
         assert!(
             mca.total_cycles <= (t3.total_cycles as f64 * 1.02) as u64,
             "T3-MCA must not lose to T3"
@@ -235,7 +238,10 @@ mod tests {
         let su_t3 = t3.speedup_over(&seq);
         let su_mca = mca.speedup_over(&seq);
         let su_ideal = ideal.speedup_over(&seq);
-        assert!(su_ideal * 1.15 >= su_mca, "ideal {su_ideal} vs mca {su_mca}");
+        assert!(
+            su_ideal * 1.15 >= su_mca,
+            "ideal {su_ideal} vs mca {su_mca}"
+        );
         assert!(su_mca * 1.02 >= su_t3, "mca {su_mca} vs t3 {su_t3}");
         assert!(su_t3 > 1.0);
     }

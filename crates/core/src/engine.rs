@@ -28,6 +28,7 @@
 //! (Sections 4.5, 6.1.2, 6.1.3).
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use crate::addrmap::{ChunkRoute, OutputConfig};
 use crate::tracker::{Tracker, TrackerConfig, WfId};
@@ -43,6 +44,15 @@ use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::timeseries::TimeSeries;
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{reborrow, Event, Instruments};
+
+/// One-time lookup of the `T3_TRACE` debug-print switch. The cycle
+/// loops must never call `std::env::var` (it takes a process-global
+/// lock); the flag cannot change mid-run anyway.
+fn debug_trace() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var("T3_TRACE").is_ok())
+}
 
 /// Arbitration policy selection for a fused run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +183,26 @@ pub fn run_fused_gemm_rs(
     grid: GemmGrid,
     opts: &FusedOptions,
 ) -> FusedRunResult {
+    run_fused_gemm_rs_instrumented(sys, grid, opts, None)
+}
+
+/// [`run_fused_gemm_rs`] with optional structured instrumentation:
+/// GEMM stages, chunk sends/receives, DMA trigger fires, link busy
+/// intervals and memory-controller queue samples are recorded into
+/// `ins` (Tracker table updates too, at [`t3_trace::Detail::Fine`]),
+/// and end-of-run metrics (per-class traffic, cycles, DMA/tracker/LLC
+/// counters) are snapshotted into its registry. Passing `None` is
+/// bit-identical to `run_fused_gemm_rs`.
+///
+/// # Panics
+///
+/// As [`run_fused_gemm_rs`].
+pub fn run_fused_gemm_rs_instrumented(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+    mut ins: Option<&mut Instruments>,
+) -> FusedRunResult {
     assert!(
         opts.substrate.reduces_in_memory(),
         "fused T3 requires an in-memory reduction substrate"
@@ -244,7 +274,7 @@ pub fn run_fused_gemm_rs(
     mc.reset_occupancy_window();
 
     loop {
-        mc.step(now, ts.as_mut());
+        mc.step_traced(now, ts.as_mut(), reborrow(&mut ins));
 
         // 1. Attribute newly serviced incoming updates to the tracker.
         let serviced = mc.stats().bytes(TrafficClass::RsUpdate);
@@ -266,6 +296,19 @@ pub fn run_fused_gemm_rs(
                         .is_some()
                     {
                         chunks[e.position].triggered_wfs += 1;
+                        if let Some(ins) = reborrow(&mut ins) {
+                            if ins.tracer.as_ref().is_some_and(|t| t.fine()) {
+                                ins.record(
+                                    now,
+                                    Event::TrackerUpdate {
+                                        wg: e.wf.wg,
+                                        wf: e.wf.wf as u64,
+                                        addr: e.addr,
+                                    },
+                                );
+                            }
+                            ins.add("tracker.wf_completions", 1);
+                        }
                     }
                 }
             }
@@ -291,10 +334,29 @@ pub fn run_fused_gemm_rs(
             GemmEvent::Idle => {}
             GemmEvent::Finished => gemm_done = true,
             GemmEvent::StageStoresIssued {
-                wg_start, wg_end, ..
+                stage,
+                wg_start,
+                wg_end,
+                bytes,
+                started,
             } => {
-                if std::env::var("T3_TRACE").is_ok() {
+                if debug_trace() {
                     eprintln!("[{now}] stage stores {wg_start}..{wg_end}");
+                }
+                if let Some(ins) = reborrow(&mut ins) {
+                    ins.record(
+                        now,
+                        Event::GemmStage {
+                            stage,
+                            wg_start,
+                            wg_end,
+                            start: started,
+                            end: now,
+                            bytes,
+                        },
+                    );
+                    ins.add("gemm.stages", 1);
+                    ins.observe("gemm.stage_cycles", now - started);
                 }
                 if !first_stage_done {
                     // T3-MCA's first-stage memory-intensity probe
@@ -314,11 +376,15 @@ pub fn run_fused_gemm_rs(
                             // Warm-up chunk: stores go straight onto the
                             // link; the mirrored incoming copy for the
                             // next chunk arrives at delivery time.
-                            dma.send_direct(now, TAG_REMOTE + remote_seq, bytes);
+                            dma.send_direct_traced(
+                                now,
+                                TAG_REMOTE + remote_seq,
+                                bytes,
+                                reborrow(&mut ins),
+                            );
                             remote_seq += 1;
                         }
-                        ChunkRoute::LocalOnly { .. }
-                        | ChunkRoute::LocalThenDmaUpdate { .. } => {
+                        ChunkRoute::LocalOnly { .. } | ChunkRoute::LocalThenDmaUpdate { .. } => {
                             // Uncached NMC update stores on the compute
                             // stream; tracked at MCQ enqueue.
                             mc.enqueue(
@@ -345,9 +411,26 @@ pub fn run_fused_gemm_rs(
         }
 
         // 4. DMA engine: our deliveries mirror incoming traffic.
-        for delivery in dma.step(now, &mut mc) {
-            if std::env::var("T3_TRACE").is_ok() {
-                eprintln!("[{now}] delivery tag {} bytes {}", delivery.tag, delivery.bytes);
+        for delivery in dma.step_traced(now, &mut mc, reborrow(&mut ins)) {
+            if debug_trace() {
+                eprintln!(
+                    "[{now}] delivery tag {} bytes {}",
+                    delivery.tag, delivery.bytes
+                );
+            }
+            if delivery.tag < TAG_REMOTE {
+                // Mirrored: our chunk reaching the neighbour IS the
+                // next chunk's incoming copy arriving here.
+                if let Some(ins) = reborrow(&mut ins) {
+                    ins.record(
+                        now,
+                        Event::ChunkRecv {
+                            chunk: delivery.tag + 1,
+                            bytes: delivery.bytes,
+                        },
+                    );
+                    ins.add("chunks.received", 1);
+                }
             }
             if delivery.tag >= TAG_REMOTE {
                 // A warm-up portion reached the neighbour; announce the
@@ -391,8 +474,18 @@ pub fn run_fused_gemm_rs(
             {
                 chunk.dma_fired = true;
                 dma_transfers += 1;
-                if std::env::var("T3_TRACE").is_ok() {
+                if debug_trace() {
                     eprintln!("[{now}] DMA fire pos {pos}");
+                }
+                if let Some(ins) = reborrow(&mut ins) {
+                    ins.record(
+                        now,
+                        Event::DmaTriggerFire {
+                            chunk: pos as u64,
+                            bytes: chunk.bytes,
+                        },
+                    );
+                    ins.add("dma.triggers_fired", 1);
                 }
                 dma.trigger(DmaCommand {
                     id: pos as u64,
@@ -419,6 +512,25 @@ pub fn run_fused_gemm_rs(
 
         now += 1;
         assert!(now < 4_000_000_000, "fused run failed to converge");
+    }
+
+    if let Some(ins) = reborrow(&mut ins) {
+        ins.record(
+            now,
+            Event::LlcSample {
+                hits: llc.hits(),
+                misses: llc.misses(),
+            },
+        );
+        if let Some(m) = ins.metrics.as_mut() {
+            m.set("run.cycles", now);
+            m.set("dma.transfers", dma_transfers);
+            m.set("tracker.peak_entries", tracker.peak_entries() as u64);
+            m.set("mc.stream_switches", mc.stream_switches());
+            m.set("llc.hits", llc.hits());
+            m.set("llc.misses", llc.misses());
+            m.record_traffic(mc.stats());
+        }
     }
 
     FusedRunResult {
@@ -466,8 +578,9 @@ pub fn run_fused_gemm_direct_rs(
     let mut gemm = GemmEngine::new(&sys.gpu, grid.clone());
     // One outbound link per peer on the fully-connected topology; all
     // carry fine-grained remote stores.
-    let mut links: Vec<t3_net::link::Link> =
-        (0..n - 1).map(|_| t3_net::link::Link::new(&sys.link)).collect();
+    let mut links: Vec<t3_net::link::Link> = (0..n - 1)
+        .map(|_| t3_net::link::Link::new(&sys.link))
+        .collect();
     let mut tracker = Tracker::new(TrackerConfig::paper(grid.wf_tile_elems()));
     let mut ts = opts.timeseries_bucket.map(TimeSeries::new);
 
@@ -619,7 +732,7 @@ pub fn run_fused_gemm_direct_rs(
             break;
         }
         now += 1;
-        if std::env::var("T3_TRACE").is_ok() && now.is_multiple_of(500_000) {
+        if debug_trace() && now.is_multiple_of(500_000) {
             eprintln!(
                 "[{now}] direct: gemm_done={gemm_done} trig={triggered_wfs}/{expected_wfs} pend={} feed={} mc_idle={} links_idle={}",
                 pending_incoming.len(),
@@ -663,8 +776,9 @@ pub fn run_fused_gemm_all_to_all(
     let mut mc = MemoryController::new(&sys.mem, opts.policy.build(sys));
     let mut llc = Llc::new(&sys.mem);
     let mut gemm = GemmEngine::new(&sys.gpu, grid.clone());
-    let mut links: Vec<t3_net::link::Link> =
-        (0..n - 1).map(|_| t3_net::link::Link::new(&sys.link)).collect();
+    let mut links: Vec<t3_net::link::Link> = (0..n - 1)
+        .map(|_| t3_net::link::Link::new(&sys.link))
+        .collect();
     let mut ts = opts.timeseries_bucket.map(TimeSeries::new);
 
     let mut pending_incoming: Vec<(Cycle, Bytes)> = Vec::new();
@@ -959,7 +1073,11 @@ mod tests {
             "GEMM writes",
         );
         // Incoming updates: chunks at positions 1..N.
-        near(r.stats.bytes(TrafficClass::RsUpdate), out - chunk, "updates");
+        near(
+            r.stats.bytes(TrafficClass::RsUpdate),
+            out - chunk,
+            "updates",
+        );
         // DMA source reads: the N-2 steady-state chunks.
         near(
             r.stats.bytes(TrafficClass::RsRead),
@@ -1147,8 +1265,8 @@ mod tests {
             t3_gpu::engine::WritePolicy::BypassLocal,
         );
         let chunk = grid.shape().output_bytes() / s.num_gpus as u64;
-        let exchange = (chunk as f64 / s.link.bytes_per_cycle()).ceil() as u64
-            + s.link.latency_cycles();
+        let exchange =
+            (chunk as f64 / s.link.bytes_per_cycle()).ceil() as u64 + s.link.latency_cycles();
         assert!(
             fused.cycles < gemm.cycles + exchange * 2,
             "fused {} should hide most of the exchange ({} + {})",

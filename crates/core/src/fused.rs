@@ -237,30 +237,28 @@ pub fn fused_gemm_ring_ag(
 
     // Records 1-update/element tracking for a chunk at `device`; store
     // semantics complete each WF region in one pass.
-    let track_chunk = |trackers: &mut Vec<Tracker>,
-                       triggers: &mut u64,
-                       device: usize,
-                       chunk: usize| {
-        let (w0, w1) = chunk_wg_bounds[chunk];
-        for wg in w0..w1 {
-            let t = grid.wg_tile(wg);
-            let region = wg_elem_start[wg as usize] as u64 * elem_bytes;
-            for wf in 0..wfs {
-                let (r0, r1) = wf_rows(t.height as usize, wfs, wf);
-                let elems = ((r1 - r0) as u64) * t.width;
-                if elems == 0 {
-                    continue;
-                }
-                let addr = region + (r0 as u64) * t.width * elem_bytes;
-                if trackers[device]
-                    .record_update(WfId { wg, wf }, addr, elems, elems, 1)
-                    .is_some()
-                {
-                    *triggers += 1;
+    let track_chunk =
+        |trackers: &mut Vec<Tracker>, triggers: &mut u64, device: usize, chunk: usize| {
+            let (w0, w1) = chunk_wg_bounds[chunk];
+            for wg in w0..w1 {
+                let t = grid.wg_tile(wg);
+                let region = wg_elem_start[wg as usize] as u64 * elem_bytes;
+                for wf in 0..wfs {
+                    let (r0, r1) = wf_rows(t.height as usize, wfs, wf);
+                    let elems = ((r1 - r0) as u64) * t.width;
+                    if elems == 0 {
+                        continue;
+                    }
+                    let addr = region + (r0 as u64) * t.width * elem_bytes;
+                    if trackers[device]
+                        .record_update(WfId { wg, wf }, addr, elems, elems, 1)
+                        .is_some()
+                    {
+                        *triggers += 1;
+                    }
                 }
             }
-        }
-    };
+        };
 
     // Step 0: every device computes its own shard and stores it.
     for (d, producer) in producers.iter().enumerate() {
@@ -401,14 +399,12 @@ fn run_fused(
     let mut outputs: Vec<NmcBuffer> = (0..n_dev).map(|_| NmcBuffer::new(total_elems)).collect();
     let mut devices: Vec<DeviceState> = configs
         .iter()
-        .map(|cfg| {
-            DeviceState {
-                tracker: Tracker::new(TrackerConfig::paper(grid.wf_tile_elems())),
-                triggered_wfs: vec![0; cfg.num_chunks()],
-                expected_wfs: (0..cfg.num_chunks())
-                    .map(|p| expected_wfs_per_chunk[cfg.chunk_id(p)])
-                    .collect(),
-            }
+        .map(|cfg| DeviceState {
+            tracker: Tracker::new(TrackerConfig::paper(grid.wf_tile_elems())),
+            triggered_wfs: vec![0; cfg.num_chunks()],
+            expected_wfs: (0..cfg.num_chunks())
+                .map(|p| expected_wfs_per_chunk[cfg.chunk_id(p)])
+                .collect(),
         })
         .collect();
 
@@ -490,8 +486,7 @@ fn run_fused(
                         )
                     };
                     match route {
-                        ChunkRoute::LocalOnly { .. }
-                        | ChunkRoute::LocalThenDmaUpdate { .. } => {
+                        ChunkRoute::LocalOnly { .. } | ChunkRoute::LocalThenDmaUpdate { .. } => {
                             outputs[d].update_slice(region_start, &tile);
                             record_wg(&mut devices, configs, d, wg, h, w, region_start);
                         }
@@ -626,17 +621,9 @@ mod tests {
 
     /// Reference: sum over devices of their full GEMM outputs, in tile
     /// order.
-    fn reference_sum(
-        gpu: &GpuConfig,
-        shape: GemmShape,
-        prods: &[FusedProducer],
-    ) -> Vec<f32> {
+    fn reference_sum(gpu: &GpuConfig, shape: GemmShape, prods: &[FusedProducer]) -> Vec<f32> {
         let grid = GemmGrid::new(gpu, shape);
-        let (m, n, k) = (
-            shape.m as usize,
-            shape.n as usize,
-            shape.k as usize,
-        );
+        let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
         let mut sum = vec![0.0f32; m * n];
         for p in prods {
             let c = matmul(&p.a, &p.b, m, n, k);
@@ -728,12 +715,7 @@ mod tests {
         // Per-device full outputs, tile-ordered.
         let locals: Vec<Vec<f32>> = prods
             .iter()
-            .map(|p| {
-                to_tile_order(
-                    &grid,
-                    &matmul(&p.a, &p.b, m, n, k),
-                )
-            })
+            .map(|p| to_tile_order(&grid, &matmul(&p.a, &p.b, m, n, k)))
             .collect();
         let outcome = fused_gemm_all_to_all(&gpu, shape, &prods);
         let c = outcome.chunk_ranges[0].1 - outcome.chunk_ranges[0].0;

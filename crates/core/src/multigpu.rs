@@ -35,6 +35,7 @@ use t3_net::ring::Ring;
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{reborrow, Event, Instruments};
 
 /// Result of an explicit multi-GPU fused run.
 #[derive(Debug, Clone)]
@@ -131,6 +132,23 @@ pub fn run_multi_gpu_fused_rs(
     grid: GemmGrid,
     opts: &FusedOptions,
 ) -> MultiGpuResult {
+    run_multi_gpu_fused_rs_instrumented(sys, grid, opts, None)
+}
+
+/// [`run_multi_gpu_fused_rs`] with optional structured instrumentation
+/// of **device 0** (all devices are homogeneous, so one observed GPU
+/// is representative — the same argument as the mirrored methodology).
+/// Passing `None` is bit-identical to `run_multi_gpu_fused_rs`.
+///
+/// # Panics
+///
+/// As [`run_multi_gpu_fused_rs`].
+pub fn run_multi_gpu_fused_rs_instrumented(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+    mut ins: Option<&mut Instruments>,
+) -> MultiGpuResult {
     assert!(
         opts.substrate.reduces_in_memory(),
         "fused T3 requires an in-memory reduction substrate"
@@ -198,10 +216,10 @@ pub fn run_multi_gpu_fused_rs(
     loop {
         // Phase A: per-GPU local work; collect outbound sends.
         let mut arrivals: Vec<Vec<Incoming>> = vec![Vec::new(); n];
-        for d in 0..n {
+        for (d, gpu) in gpus.iter_mut().enumerate() {
             // Drain this GPU's link deliveries: they arrive at prev(d).
             let dst = ring.prev(d);
-            for delivery in gpus[d].link.deliveries_until(now) {
+            for delivery in gpu.link.deliveries_until(now) {
                 arrivals[dst].push(Incoming {
                     global_chunk: delivery.tag as usize,
                     bytes: delivery.bytes,
@@ -211,13 +229,31 @@ pub fn run_multi_gpu_fused_rs(
         for (d, incoming_list) in arrivals.into_iter().enumerate() {
             let gpu = &mut gpus[d];
             for incoming in incoming_list {
+                if d == 0 {
+                    if let Some(ins) = reborrow(&mut ins) {
+                        ins.record(
+                            now,
+                            Event::ChunkRecv {
+                                chunk: incoming.global_chunk as u64,
+                                bytes: incoming.bytes,
+                            },
+                        );
+                        ins.add("chunks.received", 1);
+                    }
+                }
                 let pos = gpu
                     .chunks
                     .iter()
                     .position(|c| c.global_chunk == incoming.global_chunk)
                     .expect("chunk routed to wrong GPU");
                 if !gpu.chunks[pos].feed_built {
-                    build_feed(&grid, global_bounds[incoming.global_chunk], pos, &mut gpu.feed, elem_bytes);
+                    build_feed(
+                        &grid,
+                        global_bounds[incoming.global_chunk],
+                        pos,
+                        &mut gpu.feed,
+                        elem_bytes,
+                    );
                     gpu.chunks[pos].feed_built = true;
                 }
                 gpu.mc.enqueue(
@@ -229,9 +265,12 @@ pub fn run_multi_gpu_fused_rs(
             }
         }
 
-        for d in 0..n {
-            let gpu = &mut gpus[d];
-            gpu.mc.step(now, None);
+        for (d, gpu) in gpus.iter_mut().enumerate() {
+            if d == 0 {
+                gpu.mc.step_traced(now, None, reborrow(&mut ins));
+            } else {
+                gpu.mc.step(now, None);
+            }
 
             // Attribute serviced incoming updates.
             let serviced = gpu.mc.stats().bytes(TrafficClass::RsUpdate);
@@ -264,8 +303,28 @@ pub fn run_multi_gpu_fused_rs(
                 GemmEvent::Idle => {}
                 GemmEvent::Finished => gpu.gemm_done = true,
                 GemmEvent::StageStoresIssued {
-                    wg_start, wg_end, ..
+                    stage,
+                    wg_start,
+                    wg_end,
+                    bytes,
+                    started,
                 } => {
+                    if d == 0 {
+                        if let Some(ins) = reborrow(&mut ins) {
+                            ins.record(
+                                now,
+                                Event::GemmStage {
+                                    stage,
+                                    wg_start,
+                                    wg_end,
+                                    start: started,
+                                    end: now,
+                                    bytes,
+                                },
+                            );
+                            ins.add("gemm.stages", 1);
+                        }
+                    }
                     if !gpu.first_stage_done {
                         let frac = gpu.mc.avg_occupancy_fraction();
                         gpu.mc.observe_compute_intensity(frac);
@@ -284,14 +343,16 @@ pub fn run_multi_gpu_fused_rs(
                         // range.
                         let (g0, _) = global_bounds[gpu.chunks[pos].global_chunk];
                         let local0 = gpu.chunks[pos].wg_bounds.0;
-                        let bytes = grid
-                            .wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
+                        let bytes =
+                            grid.wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
                         match gpu.chunks[pos].route {
                             ChunkRoute::RemoteUpdate { .. } => {
-                                gpu.link.send(
+                                let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
+                                gpu.link.send_traced(
                                     now,
                                     gpu.chunks[pos].global_chunk as u64,
                                     bytes,
+                                    link_ins,
                                 );
                             }
                             ChunkRoute::LocalOnly { .. }
@@ -321,16 +382,33 @@ pub fn run_multi_gpu_fused_rs(
             // DMA engine: one source read in flight, then the link.
             if let Some((pos, target)) = gpu.dma_reading {
                 if gpu.mc.stats().bytes(TrafficClass::RsRead) >= target {
-                    gpu.link
-                        .send(now, gpu.chunks[pos].global_chunk as u64, gpu.chunks[pos].bytes);
+                    let chunk = gpu.chunks[pos].global_chunk as u64;
+                    let payload = gpu.chunks[pos].bytes;
+                    let start = gpu.link.busy_until().max(now);
+                    let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
+                    gpu.link.send_traced(now, chunk, payload, link_ins);
+                    if d == 0 {
+                        if let Some(ins) = reborrow(&mut ins) {
+                            let end = gpu.link.busy_until();
+                            ins.record(
+                                end,
+                                Event::ChunkSend {
+                                    chunk,
+                                    bytes: payload,
+                                    start,
+                                    end,
+                                },
+                            );
+                            ins.add("dma.chunks_sent", 1);
+                        }
+                    }
                     gpu.dma_transfers += 1;
                     gpu.dma_reading = None;
                 }
             }
             if gpu.dma_reading.is_none() {
                 if let Some(pos) = gpu.dma_queue.pop_front() {
-                    let target =
-                        gpu.mc.stats().bytes(TrafficClass::RsRead) + gpu.chunks[pos].bytes;
+                    let target = gpu.mc.stats().bytes(TrafficClass::RsRead) + gpu.chunks[pos].bytes;
                     gpu.mc.enqueue(
                         StreamId::Comm,
                         TrafficClass::RsRead,
@@ -345,6 +423,18 @@ pub fn run_multi_gpu_fused_rs(
                 let c = &mut gpu.chunks[pos];
                 if c.route.uses_dma() && !c.dma_fired && c.triggered_wfs == c.expected_wfs {
                     c.dma_fired = true;
+                    if d == 0 {
+                        if let Some(ins) = reborrow(&mut ins) {
+                            ins.record(
+                                now,
+                                Event::DmaTriggerFire {
+                                    chunk: c.global_chunk as u64,
+                                    bytes: c.bytes,
+                                },
+                            );
+                            ins.add("dma.triggers_fired", 1);
+                        }
+                    }
                     gpu.dma_queue.push_back(pos);
                 }
             }
@@ -385,6 +475,25 @@ pub fn run_multi_gpu_fused_rs(
         .collect();
     let max = *per_gpu_cycles.iter().max().expect("non-empty");
     let min = *per_gpu_cycles.iter().min().expect("non-empty");
+    if let Some(ins) = reborrow(&mut ins) {
+        let gpu0 = &gpus[0];
+        ins.record(
+            max,
+            Event::LlcSample {
+                hits: gpu0.llc.hits(),
+                misses: gpu0.llc.misses(),
+            },
+        );
+        if let Some(m) = ins.metrics.as_mut() {
+            m.set("run.cycles", max);
+            m.set("run.skew", max - min);
+            m.set("dma.transfers", gpus.iter().map(|g| g.dma_transfers).sum());
+            m.set("tracker.peak_entries", gpu0.tracker.peak_entries() as u64);
+            m.set("llc.hits", gpu0.llc.hits());
+            m.set("llc.misses", gpu0.llc.misses());
+            m.record_traffic(gpu0.mc.stats());
+        }
+    }
     MultiGpuResult {
         cycles: max,
         skew: max - min,

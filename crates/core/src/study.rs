@@ -191,7 +191,7 @@ pub fn coarse_overlap_study(
     let contended = loop {
         mc.step(now, None);
         if issued < bursts && now >= (issued + 1) * burst_interval {
-            let class = if issued % 2 == 0 {
+            let class = if issued.is_multiple_of(2) {
                 TrafficClass::RsRead
             } else {
                 TrafficClass::RsUpdate

@@ -17,6 +17,7 @@
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{reborrow, Event, Instruments};
 
 /// Which collective to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,12 +84,24 @@ impl RingCollective {
 
     /// Simulates the collective on `sys` and returns timing + traffic.
     pub fn simulate(&self, sys: &SystemConfig) -> CollectiveOutcome {
+        self.simulate_traced(sys, None)
+    }
+
+    /// [`RingCollective::simulate`] that also records each ring step as
+    /// a [`Event::ChunkSend`] span (the step's wire occupancy) and a
+    /// [`Event::ChunkRecv`] instant at delivery. Passing `None` is
+    /// identical to `simulate`.
+    pub fn simulate_traced(
+        &self,
+        sys: &SystemConfig,
+        mut ins: Option<&mut Instruments>,
+    ) -> CollectiveOutcome {
         match self.kind {
-            CollectiveKind::ReduceScatter => self.simulate_rs(sys),
-            CollectiveKind::AllGather => self.simulate_ag(sys),
+            CollectiveKind::ReduceScatter => self.simulate_rs(sys, ins),
+            CollectiveKind::AllGather => self.simulate_ag(sys, ins, 0),
             CollectiveKind::AllReduce => {
-                let rs = self.simulate_rs(sys);
-                let ag = self.simulate_ag(sys);
+                let rs = self.simulate_rs(sys, reborrow(&mut ins));
+                let ag = self.simulate_ag(sys, ins, rs.cycles);
                 let mut stats = rs.stats;
                 stats.merge(&ag.stats);
                 CollectiveOutcome {
@@ -96,6 +109,36 @@ impl RingCollective {
                     stats,
                 }
             }
+        }
+    }
+
+    /// Records one ring step's wire activity: a send span over the
+    /// serialisation window and a receive instant at delivery.
+    fn trace_step(
+        ins: &mut Option<&mut Instruments>,
+        step: u64,
+        start: f64,
+        ser_cycles: f64,
+        latency: f64,
+        bytes: f64,
+    ) {
+        if let Some(ins) = reborrow(ins) {
+            let bytes = bytes as Bytes;
+            let start_c = start as Cycle;
+            let end_c = (start + ser_cycles) as Cycle;
+            let arrival = (start + ser_cycles + latency) as Cycle;
+            ins.record(
+                end_c,
+                Event::ChunkSend {
+                    chunk: step,
+                    bytes,
+                    start: start_c,
+                    end: end_c,
+                },
+            );
+            ins.record(arrival, Event::ChunkRecv { chunk: step, bytes });
+            ins.add("collective.steps", 1);
+            ins.add("collective.bytes_sent", bytes as u64);
         }
     }
 
@@ -110,7 +153,11 @@ impl RingCollective {
         self.payload_bytes as f64 / sys.num_gpus as f64
     }
 
-    fn simulate_rs(&self, sys: &SystemConfig) -> CollectiveOutcome {
+    fn simulate_rs(
+        &self,
+        sys: &SystemConfig,
+        mut ins: Option<&mut Instruments>,
+    ) -> CollectiveOutcome {
         let n = sys.num_gpus as u64;
         let (link, cu, dram) = self.rates(sys);
         let c = self.chunk_bytes(sys);
@@ -135,6 +182,7 @@ impl RingCollective {
             let dram_bytes = read + write * write_cost;
             let cu_bytes = if self.nmc { c } else { read + write };
             let step_cycles = (c / link).max(cu_bytes / cu).max(dram_bytes / dram);
+            Self::trace_step(&mut ins, step, cycles, step_cycles, latency, c);
             cycles += step_cycles + latency + overhead;
             stats.record(TrafficClass::RsRead, read as Bytes);
             if self.nmc {
@@ -159,7 +207,12 @@ impl RingCollective {
         }
     }
 
-    fn simulate_ag(&self, sys: &SystemConfig) -> CollectiveOutcome {
+    fn simulate_ag(
+        &self,
+        sys: &SystemConfig,
+        mut ins: Option<&mut Instruments>,
+        start_offset: Cycle,
+    ) -> CollectiveOutcome {
         let n = sys.num_gpus as u64;
         let (link, cu, dram) = self.rates(sys);
         let c = self.chunk_bytes(sys);
@@ -167,12 +220,20 @@ impl RingCollective {
         let overhead = sys.gpu.coll_step_overhead_cycles as f64;
         let mut stats = TrafficStats::new();
         let mut cycles = 0.0;
-        for _step in 0..(n - 1) {
+        for step in 0..(n - 1) {
             let read = c;
             let write = c;
             let step_cycles = (c / link)
                 .max((read + write) / cu)
                 .max((read + write) / dram);
+            Self::trace_step(
+                &mut ins,
+                step,
+                start_offset as f64 + cycles,
+                step_cycles,
+                latency,
+                c,
+            );
             cycles += step_cycles + latency + overhead;
             stats.record(TrafficClass::AgRead, read as Bytes);
             stats.record(TrafficClass::AgWrite, write as Bytes);
@@ -255,8 +316,7 @@ mod tests {
     fn rs_traffic_matches_figure_10a() {
         let s = sys();
         let payload = 80 * MB;
-        let out = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
-            .simulate(&s);
+        let out = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s).simulate(&s);
         let n = s.num_gpus as u64;
         let c = payload / n;
         // Reads: c (first step) + 2c x (N-2) + 2c (final reduce).
@@ -283,8 +343,7 @@ mod tests {
     fn all_reduce_is_rs_plus_ag() {
         let s = sys();
         let payload = 48 * MB;
-        let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
-            .simulate(&s);
+        let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s).simulate(&s);
         let ag = RingCollective::baseline(CollectiveKind::AllGather, payload, &s).simulate(&s);
         let ar = RingCollective::baseline(CollectiveKind::AllReduce, payload, &s).simulate(&s);
         assert_eq!(ar.cycles, rs.cycles + ag.cycles);
@@ -295,8 +354,8 @@ mod tests {
     fn nmc_rs_is_faster_and_moves_less_data() {
         let s = sys();
         let payload = 64 * MB;
-        let base = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
-            .simulate(&s);
+        let base =
+            RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s).simulate(&s);
         let nmc = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, &s)
             .with_nmc(true)
             .simulate(&s);
@@ -357,6 +416,30 @@ mod tests {
             .cycles as f64;
         let ratio = t2 / t1;
         assert!(ratio > 1.7 && ratio < 2.1, "payload scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn traced_simulation_matches_untraced_and_counts_steps() {
+        let s = sys();
+        let ar = RingCollective::baseline(CollectiveKind::AllReduce, 16 * MB, &s);
+        let plain = ar.simulate(&s);
+        let mut ins = Instruments::full();
+        let traced = ar.simulate_traced(&s, Some(&mut ins));
+        assert_eq!(plain.cycles, traced.cycles);
+        let tracer = ins.tracer.as_ref().unwrap();
+        let steps = 2 * (s.num_gpus - 1);
+        assert_eq!(
+            tracer.count(|e| matches!(e, Event::ChunkSend { .. })),
+            steps
+        );
+        assert_eq!(
+            tracer.count(|e| matches!(e, Event::ChunkRecv { .. })),
+            steps
+        );
+        assert_eq!(
+            ins.metrics.as_ref().unwrap().counter("collective.steps"),
+            steps as u64
+        );
     }
 
     #[test]

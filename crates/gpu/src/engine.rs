@@ -44,6 +44,8 @@ pub enum GemmEvent {
         wg_end: u64,
         /// Output bytes the stage produced.
         bytes: Bytes,
+        /// Cycle at which the stage began its read phase.
+        started: Cycle,
     },
     /// All stages have completed (emitted exactly once).
     Finished,
@@ -51,14 +53,25 @@ pub enum GemmEvent {
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Phase {
-    Launch { until: Cycle },
+    Launch {
+        until: Cycle,
+    },
     StartStage,
-    WaitReads { target: Bytes },
-    Compute { until: Cycle },
+    WaitReads {
+        target: Bytes,
+    },
+    Compute {
+        until: Cycle,
+    },
     /// Prefetched mode: compute runs while reads drain; the stage ends
     /// when both the latency has elapsed and the reads are serviced.
-    ComputeWithReads { until: Cycle, target: Bytes },
-    Done { reported: bool },
+    ComputeWithReads {
+        until: Cycle,
+        target: Bytes,
+    },
+    Done {
+        reported: bool,
+    },
 }
 
 /// The engine. Construct per kernel invocation; drive with
@@ -73,6 +86,7 @@ pub struct GemmEngine {
     read_factor: f64,
     prefetch: bool,
     total_read_miss_bytes: Bytes,
+    stage_started: Cycle,
 }
 
 impl GemmEngine {
@@ -93,6 +107,7 @@ impl GemmEngine {
             read_factor: 1.0, // set from grid below
             prefetch: cfg.gemm_prefetch,
             total_read_miss_bytes: 0,
+            stage_started: 0,
         }
         .init_read_factor()
     }
@@ -144,6 +159,7 @@ impl GemmEngine {
             wg_start,
             wg_end,
             bytes,
+            started: self.stage_started,
         }
     }
 
@@ -155,9 +171,7 @@ impl GemmEngine {
         // `now` (engines may be constructed before their start time).
         if !self.launched {
             if let Phase::Launch { until } = self.phase {
-                self.phase = Phase::Launch {
-                    until: now + until,
-                };
+                self.phase = Phase::Launch { until: now + until };
             }
             self.launched = true;
         }
@@ -169,6 +183,7 @@ impl GemmEngine {
                 GemmEvent::Idle
             }
             Phase::StartStage => {
+                self.stage_started = now;
                 let mut miss: Bytes = 0;
                 for (addr, bytes) in self.grid.stage_read_regions(self.stage) {
                     miss += llc.access_range(addr, bytes, AccessKind::Read).dram_bytes;
@@ -444,10 +459,8 @@ mod tests {
         let s = sys();
         let grid = grid_of(2048, 2048, 256);
         let stages = grid.num_stages();
-        let mut mc = MemoryController::new(
-            &s.mem,
-            Box::new(t3_mem::arbiter::ComputeFirstPolicy::new()),
-        );
+        let mut mc =
+            MemoryController::new(&s.mem, Box::new(t3_mem::arbiter::ComputeFirstPolicy::new()));
         let mut llc = Llc::new(&s.mem);
         let mut engine = GemmEngine::new(&s.gpu, grid);
         let mut seen = Vec::new();
@@ -470,10 +483,8 @@ mod tests {
     fn finished_is_reported_once() {
         let s = sys();
         let grid = grid_of(256, 256, 64);
-        let mut mc = MemoryController::new(
-            &s.mem,
-            Box::new(t3_mem::arbiter::ComputeFirstPolicy::new()),
-        );
+        let mut mc =
+            MemoryController::new(&s.mem, Box::new(t3_mem::arbiter::ComputeFirstPolicy::new()));
         let mut llc = Llc::new(&s.mem);
         let mut engine = GemmEngine::new(&s.gpu, grid);
         let mut finishes = 0;
@@ -527,8 +538,6 @@ mod tests {
         let shape_n = GemmShape::new(4096, 4096, 2048);
         let rt = run_gemm_isolated(&s, GemmGrid::new(&s.gpu, shape_t), WritePolicy::CachedLocal);
         let rn = run_gemm_isolated(&s, GemmGrid::new(&s.gpu, shape_n), WritePolicy::CachedLocal);
-        assert!(
-            rt.stats.bytes(TrafficClass::GemmRead) > rn.stats.bytes(TrafficClass::GemmRead)
-        );
+        assert!(rt.stats.bytes(TrafficClass::GemmRead) > rn.stats.bytes(TrafficClass::GemmRead));
     }
 }

@@ -373,10 +373,7 @@ mod tests {
         let sliced = GemmGrid::new(&cfg(), GemmShape::new(8192, 4256, 17024).tp_sliced(8));
         assert_eq!(full.num_wgs(), sliced.num_wgs());
         assert_eq!(full.num_stages(), sliced.num_stages());
-        assert_eq!(
-            full.shape().output_bytes(),
-            sliced.shape().output_bytes()
-        );
+        assert_eq!(full.shape().output_bytes(), sliced.shape().output_bytes());
     }
 
     #[test]

@@ -13,12 +13,13 @@
 
 use std::collections::VecDeque;
 
-use crate::arbiter::{ArbiterState, ArbitrationPolicy};
 pub use crate::arbiter::StreamId;
+use crate::arbiter::{ArbiterState, ArbitrationPolicy};
 use t3_sim::config::MemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::timeseries::TimeSeries;
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{Event, Instruments};
 
 /// A batch of same-class transactions waiting in a stream FIFO.
 #[derive(Debug, Clone)]
@@ -62,6 +63,7 @@ pub struct MemoryController {
     stats: TrafficStats,
     occupancy_accum: u64,
     occupancy_samples: u64,
+    stream_switches: u64,
 }
 
 impl MemoryController {
@@ -94,6 +96,7 @@ impl MemoryController {
             stats: TrafficStats::new(),
             occupancy_accum: 0,
             occupancy_samples: 0,
+            stream_switches: 0,
         }
     }
 
@@ -146,7 +149,35 @@ impl MemoryController {
 
     /// Advances the controller by one cycle at time `now`, optionally
     /// recording serviced traffic into a time series.
-    pub fn step(&mut self, now: Cycle, mut timeseries: Option<&mut TimeSeries>) {
+    pub fn step(&mut self, now: Cycle, timeseries: Option<&mut TimeSeries>) {
+        self.step_traced(now, timeseries, None);
+    }
+
+    /// [`MemoryController::step`] with an optional instrumentation
+    /// sink: samples DRAM queue depth into the tracer/metrics at the
+    /// tracer's sampling interval. Passing `None` is bit-identical to
+    /// `step`.
+    pub fn step_traced(
+        &mut self,
+        now: Cycle,
+        mut timeseries: Option<&mut TimeSeries>,
+        ins: Option<&mut Instruments>,
+    ) {
+        if let Some(ins) = ins {
+            let depth = self.dram_q.len() as u64;
+            if let Some(tracer) = ins.tracer.as_mut() {
+                if tracer.mc_sample_due(now) {
+                    tracer.record(
+                        now,
+                        Event::McQueueDepth {
+                            depth,
+                            capacity: self.dram_capacity as u64,
+                        },
+                    );
+                    ins.observe("mc.queue_depth", depth);
+                }
+            }
+        }
         self.policy.tick();
 
         // Frontend: move transactions from stream FIFOs into the DRAM
@@ -181,10 +212,16 @@ impl MemoryController {
                 let switch = self
                     .last_serviced_stream
                     .is_some_and(|last| last != head.stream);
-                let cost = head.cost + if switch { self.stream_switch_penalty } else { 0.0 };
+                let cost = head.cost
+                    + if switch {
+                        self.stream_switch_penalty
+                    } else {
+                        0.0
+                    };
                 if self.service_credit < cost {
                     break;
                 }
+                self.stream_switches += switch as u64;
                 let txn = *head;
                 self.dram_q.pop_front();
                 self.service_credit -= cost;
@@ -265,8 +302,7 @@ impl MemoryController {
         if self.occupancy_samples == 0 {
             return 0.0;
         }
-        self.occupancy_accum as f64
-            / (self.occupancy_samples as f64 * self.dram_capacity as f64)
+        self.occupancy_accum as f64 / (self.occupancy_samples as f64 * self.dram_capacity as f64)
     }
 
     /// Starts a fresh occupancy-measurement window.
@@ -278,12 +314,20 @@ impl MemoryController {
     /// Feeds the arbitration policy a measured compute-kernel memory
     /// intensity (Section 4.5 probe).
     pub fn observe_compute_intensity(&mut self, avg_occupancy_fraction: f64) {
-        self.policy.observe_compute_intensity(avg_occupancy_fraction);
+        self.policy
+            .observe_compute_intensity(avg_occupancy_fraction);
     }
 
     /// Name of the active arbitration policy.
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Times DRAM service switched between the compute and
+    /// communication streams (each switch pays the row-locality
+    /// penalty — the contention signal motivating T3-MCA).
+    pub fn stream_switches(&self) -> u64 {
+        self.stream_switches
     }
 }
 
@@ -484,6 +528,50 @@ mod tests {
     }
 
     #[test]
+    fn step_traced_samples_queue_depth_and_counts_switches() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(RoundRobinPolicy::new()));
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 500_000, 1.0);
+        mc.enqueue(StreamId::Comm, TrafficClass::RsRead, 500_000, 1.0);
+        let mut ins = Instruments::full();
+        let mut now = 0;
+        while !mc.is_idle() {
+            mc.step_traced(now, None, Some(&mut ins));
+            now += 1;
+        }
+        let tracer = ins.tracer.as_ref().expect("tracer on");
+        assert!(
+            tracer.count(|e| matches!(e, Event::McQueueDepth { .. })) > 0,
+            "queue depth must be sampled"
+        );
+        let metrics = ins.metrics.as_ref().expect("metrics on");
+        assert!(metrics.histogram("mc.queue_depth").is_some());
+        // Round-robin interleaves the streams, so switches must occur.
+        assert!(mc.stream_switches() > 0);
+    }
+
+    #[test]
+    fn step_traced_none_matches_step() {
+        let cfg = mem_cfg();
+        let run = |traced: bool| {
+            let mut mc = MemoryController::new(&cfg, Box::new(RoundRobinPolicy::new()));
+            mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 300_000, 1.0);
+            mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, 200_000, 1.5);
+            let mut now = 0;
+            while !mc.is_idle() {
+                if traced {
+                    mc.step_traced(now, None, None);
+                } else {
+                    mc.step(now, None);
+                }
+                now += 1;
+            }
+            now
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn switch_penalty_zero_restores_fair_sharing() {
         let mut cfg = mem_cfg();
         cfg.stream_switch_penalty = 0.0;
@@ -494,6 +582,9 @@ mod tests {
         let cycles = run_until_idle(&mut mc);
         let ideal = 2.0 * bytes as f64 / cfg.bytes_per_cycle();
         assert!((cycles as f64) < ideal * 1.1, "no bandwidth should be lost");
-        assert!((cycles as f64) > ideal * 0.95, "no bandwidth can be created");
+        assert!(
+            (cycles as f64) > ideal * 0.95,
+            "no bandwidth can be created"
+        );
     }
 }

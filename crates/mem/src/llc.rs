@@ -106,6 +106,17 @@ impl Llc {
         self.writebacks
     }
 
+    /// Hit fraction of all accesses since construction or
+    /// [`Llc::reset_counters`] (0.0 when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
     /// Clears hit/miss/writeback counters (cache contents persist).
     pub fn reset_counters(&mut self) {
         self.hits = 0;
@@ -326,8 +337,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut llc = small_llc(16 * 1024); // 64 lines
-        // Stream 128 distinct lines twice: second pass still misses
-        // (LRU streaming pattern).
+                                            // Stream 128 distinct lines twice: second pass still misses
+                                            // (LRU streaming pattern).
         for pass in 0..2 {
             for i in 0..128u64 {
                 let hit = llc.access(i * 256, AccessKind::Read);

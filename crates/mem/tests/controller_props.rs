@@ -1,11 +1,14 @@
 //! Property tests for the memory controller: conservation, bounded
 //! queues, and policy-independent correctness under arbitrary batch
 //! sequences.
+//!
+//! Cases come from a seeded deterministic PRNG so failures reproduce
+//! from the printed seed alone.
 
-use proptest::prelude::*;
 use t3_mem::arbiter::{ArbitrationPolicy, ComputeFirstPolicy, McaPolicy, RoundRobinPolicy};
 use t3_mem::controller::{MemoryController, StreamId};
 use t3_sim::config::SystemConfig;
+use t3_sim::rng::SplitMix64;
 use t3_sim::stats::TrafficClass;
 
 #[derive(Debug, Clone)]
@@ -16,19 +19,15 @@ struct Req {
     nmc: bool,
 }
 
-fn req_strategy() -> impl Strategy<Value = Req> {
-    (
-        any::<bool>(),
-        0usize..TrafficClass::ALL.len(),
-        1u64..200_000,
-        any::<bool>(),
-    )
-        .prop_map(|(compute, class_idx, bytes, nmc)| Req {
-            compute,
-            class_idx,
-            bytes,
-            nmc,
+fn gen_reqs(rng: &mut SplitMix64, max_len: usize) -> Vec<Req> {
+    (0..rng.gen_range_usize(1, max_len))
+        .map(|_| Req {
+            compute: rng.gen_bool(),
+            class_idx: rng.gen_range_usize(0, TrafficClass::ALL.len()),
+            bytes: rng.gen_range(1, 200_000),
+            nmc: rng.gen_bool(),
         })
+        .collect()
 }
 
 fn policies() -> Vec<Box<dyn ArbitrationPolicy>> {
@@ -41,14 +40,14 @@ fn policies() -> Vec<Box<dyn ArbitrationPolicy>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every byte enqueued is eventually serviced, exactly once, under
-    /// every arbitration policy, and the DRAM queue never exceeds its
-    /// capacity.
-    #[test]
-    fn conservation_under_every_policy(reqs in prop::collection::vec(req_strategy(), 1..20)) {
+/// Every byte enqueued is eventually serviced, exactly once, under
+/// every arbitration policy, and the DRAM queue never exceeds its
+/// capacity.
+#[test]
+fn conservation_under_every_policy() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let reqs = gen_reqs(&mut rng, 20);
         let cfg = SystemConfig::paper_default().mem;
         for policy in policies() {
             let mut mc = MemoryController::new(&cfg, policy);
@@ -56,7 +55,11 @@ proptest! {
             let mut want_comm = 0u64;
             let mut want_per_class = [0u64; TrafficClass::ALL.len()];
             for r in &reqs {
-                let stream = if r.compute { StreamId::Compute } else { StreamId::Comm };
+                let stream = if r.compute {
+                    StreamId::Compute
+                } else {
+                    StreamId::Comm
+                };
                 let class = TrafficClass::ALL[r.class_idx];
                 let cost = if r.nmc { cfg.nmc_cost_multiplier } else { 1.0 };
                 mc.enqueue(stream, class, r.bytes, cost);
@@ -69,31 +72,45 @@ proptest! {
             }
             let mut now = 0u64;
             while !mc.is_idle() {
-                prop_assert!(mc.dram_occupancy() <= cfg.dram_queue_capacity);
+                assert!(
+                    mc.dram_occupancy() <= cfg.dram_queue_capacity,
+                    "seed {seed}"
+                );
                 mc.step(now, None);
                 now += 1;
-                prop_assert!(now < 50_000_000, "failed to drain");
+                assert!(now < 50_000_000, "seed {seed}: failed to drain");
             }
-            prop_assert_eq!(mc.serviced_bytes(StreamId::Compute), want_compute);
-            prop_assert_eq!(mc.serviced_bytes(StreamId::Comm), want_comm);
+            assert_eq!(
+                mc.serviced_bytes(StreamId::Compute),
+                want_compute,
+                "seed {seed}"
+            );
+            assert_eq!(mc.serviced_bytes(StreamId::Comm), want_comm, "seed {seed}");
             for (i, &class) in TrafficClass::ALL.iter().enumerate() {
-                prop_assert_eq!(mc.stats().bytes(class), want_per_class[i]);
+                assert_eq!(mc.stats().bytes(class), want_per_class[i], "seed {seed}");
             }
-            prop_assert_eq!(mc.pending_bytes(StreamId::Compute), 0);
-            prop_assert_eq!(mc.pending_bytes(StreamId::Comm), 0);
+            assert_eq!(mc.pending_bytes(StreamId::Compute), 0, "seed {seed}");
+            assert_eq!(mc.pending_bytes(StreamId::Comm), 0, "seed {seed}");
         }
     }
+}
 
-    /// Service time is bounded below by the bandwidth bound and above
-    /// by a generous contention bound.
-    #[test]
-    fn timing_bounds(
-        compute_bytes in 10_000u64..2_000_000,
-        comm_bytes in 10_000u64..2_000_000,
-    ) {
+/// Service time is bounded below by the bandwidth bound and above by a
+/// generous contention bound.
+#[test]
+fn timing_bounds() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let compute_bytes = rng.gen_range(10_000, 2_000_000);
+        let comm_bytes = rng.gen_range(10_000, 2_000_000);
         let cfg = SystemConfig::paper_default().mem;
         let mut mc = MemoryController::new(&cfg, Box::new(RoundRobinPolicy::new()));
-        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, compute_bytes, 1.0);
+        mc.enqueue(
+            StreamId::Compute,
+            TrafficClass::GemmRead,
+            compute_bytes,
+            1.0,
+        );
         mc.enqueue(StreamId::Comm, TrafficClass::RsRead, comm_bytes, 1.0);
         let mut now = 0u64;
         while !mc.is_idle() {
@@ -103,18 +120,32 @@ proptest! {
         let total = (compute_bytes + comm_bytes) as f64;
         let floor = total / cfg.bytes_per_cycle();
         let ceil = floor * (1.0 + cfg.stream_switch_penalty) + 1_000.0;
-        prop_assert!((now as f64) >= floor * 0.99, "{now} below bandwidth floor {floor}");
-        prop_assert!((now as f64) <= ceil * 1.05, "{now} above contention ceiling {ceil}");
+        assert!(
+            (now as f64) >= floor * 0.99,
+            "seed {seed}: {now} below bandwidth floor {floor}"
+        );
+        assert!(
+            (now as f64) <= ceil * 1.05,
+            "seed {seed}: {now} above contention ceiling {ceil}"
+        );
     }
+}
 
-    /// FIFO order within a stream: a later batch never completes before
-    /// an earlier one (observed via cumulative counters at each step).
-    #[test]
-    fn serviced_bytes_monotone(reqs in prop::collection::vec(req_strategy(), 1..10)) {
+/// FIFO order within a stream: a later batch never completes before an
+/// earlier one (observed via cumulative counters at each step).
+#[test]
+fn serviced_bytes_monotone() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let reqs = gen_reqs(&mut rng, 10);
         let cfg = SystemConfig::paper_default().mem;
         let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
         for r in &reqs {
-            let stream = if r.compute { StreamId::Compute } else { StreamId::Comm };
+            let stream = if r.compute {
+                StreamId::Compute
+            } else {
+                StreamId::Comm
+            };
             mc.enqueue(stream, TrafficClass::ALL[r.class_idx], r.bytes, 1.0);
         }
         let mut last = (0u64, 0u64);
@@ -125,10 +156,10 @@ proptest! {
                 mc.serviced_bytes(StreamId::Compute),
                 mc.serviced_bytes(StreamId::Comm),
             );
-            prop_assert!(cur.0 >= last.0 && cur.1 >= last.1);
+            assert!(cur.0 >= last.0 && cur.1 >= last.1, "seed {seed}");
             last = cur;
             now += 1;
-            prop_assert!(now < 50_000_000);
+            assert!(now < 50_000_000, "seed {seed}");
         }
     }
 }

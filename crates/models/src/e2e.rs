@@ -182,17 +182,12 @@ pub fn layer_time(
     let ip = gemm_cycles(sys, m, 3 * h_tp, h);
     // Attention BMMs: scores (Q·K^T) and context (P·V).
     let bmm_flops = 4.0 * model.batch as f64 * (model.seq_len as f64).powi(2) * h_tp as f64;
-    let bmm =
-        bmm_flops / (sys.gpu.peak_flops_per_cycle() * sys.gpu.gemm_efficiency)
-            + 2.0 * sys.gpu.kernel_launch_cycles as f64;
+    let bmm = bmm_flops / (sys.gpu.peak_flops_per_cycle() * sys.gpu.gemm_efficiency)
+        + 2.0 * sys.gpu.kernel_launch_cycles as f64;
     // Unfused attention element-wise work over the score matrices.
     let heads_dev = (h_tp as f64 / params.head_dim as f64).max(1.0);
     let score_bytes = model.batch as f64 * heads_dev * (model.seq_len as f64).powi(2) * 2.0;
-    let attn_elem = elementwise_cycles(
-        sys,
-        score_bytes,
-        params.attention_unfused_factor,
-    );
+    let attn_elem = elementwise_cycles(sys, score_bytes, params.attention_unfused_factor);
     // FC-1 (column-sliced, no AR) + GELU.
     let fc1 = gemm_cycles(sys, m, 4 * h_tp, h);
     let gelu = elementwise_cycles(sys, (m * 4 * h_tp * 2) as f64, 1.0);
@@ -283,7 +278,10 @@ mod tests {
         let model = zoo::t_nlg();
         let f8 = layer_time(&sys(8), &model, 8, Phase::Training, &p).sliced_fraction();
         let f16 = layer_time(&sys(16), &model, 16, Phase::Training, &p).sliced_fraction();
-        assert!(f16 > f8, "TP=16 fraction {f16:.2} should exceed TP=8 {f8:.2}");
+        assert!(
+            f16 > f8,
+            "TP=16 fraction {f16:.2} should exceed TP=8 {f8:.2}"
+        );
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub struct MoeOutcome {
 pub fn all_to_all_cycles(sys: &SystemConfig, payload_bytes: u64) -> Cycle {
     let n = sys.num_gpus as u64;
     let chunk = payload_bytes / n;
-    let wire = (chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
-        + sys.link.latency_cycles();
+    let wire =
+        (chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle + sys.link.latency_cycles();
     let dram = ((n - 1) * chunk) as f64 / sys.mem.bytes_per_cycle();
     wire + dram.ceil() as Cycle + sys.gpu.kernel_launch_cycles
 }

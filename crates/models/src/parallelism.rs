@@ -29,7 +29,10 @@ impl PipelineConfig {
     ///
     /// Panics if either parameter is zero.
     pub fn new(stages: u64, microbatches: u64) -> Self {
-        assert!(stages >= 1 && microbatches >= 1, "parameters must be positive");
+        assert!(
+            stages >= 1 && microbatches >= 1,
+            "parameters must be positive"
+        );
         PipelineConfig {
             stages,
             microbatches,
@@ -47,8 +50,7 @@ impl PipelineConfig {
     pub fn p2p_cycles(&self, sys: &SystemConfig, model: &ModelConfig) -> Cycle {
         let tokens_mb = model.tokens().div_ceil(self.microbatches);
         let bytes = tokens_mb * model.hidden * 2;
-        (bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
-            + sys.link.latency_cycles()
+        (bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle + sys.link.latency_cycles()
     }
 
     /// Whether the per-micro-batch P2P transfer hides under one

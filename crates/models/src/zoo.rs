@@ -286,7 +286,10 @@ mod tests {
         assert!(mega_gpt2().min_tp_for_capacity(hbm, 1.5) <= 8);
         assert!(t_nlg().min_tp_for_capacity(hbm, 1.5) <= 8);
         let mt = mt_nlg().min_tp_for_capacity(hbm, 1.5);
-        assert!(mt > 16 && mt <= 64, "MT-NLG needs ~32-way slicing, got {mt}");
+        assert!(
+            mt > 16 && mt <= 64,
+            "MT-NLG needs ~32-way slicing, got {mt}"
+        );
         assert!(futuristic_10t().min_tp_for_capacity(hbm, 1.5) > 32);
     }
 

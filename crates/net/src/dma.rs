@@ -17,6 +17,7 @@ use t3_mem::controller::{MemoryController, StreamId};
 use t3_sim::config::LinkConfig;
 use t3_sim::stats::TrafficClass;
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{reborrow, Event, Instruments};
 
 /// A pre-programmed DMA command, marked ready by the Tracker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,9 +75,39 @@ impl DmaEngine {
     /// command's source read. Returns messages fully delivered to the
     /// neighbour by `now`.
     pub fn step(&mut self, now: Cycle, mc: &mut MemoryController) -> Vec<Delivery> {
+        self.step_traced(now, mc, None)
+    }
+
+    /// [`DmaEngine::step`] that also records each payload handed to the
+    /// link as a [`Event::ChunkSend`] span (the serialiser's busy
+    /// interval) plus a [`Event::LinkBusy`] span, and bumps
+    /// `dma.chunks_sent` / `dma.bytes_sent`. Passing `None` is
+    /// identical to `step`.
+    pub fn step_traced(
+        &mut self,
+        now: Cycle,
+        mc: &mut MemoryController,
+        mut ins: Option<&mut Instruments>,
+    ) -> Vec<Delivery> {
         if let Some(reading) = self.reading {
             if mc.stats().bytes(reading.cmd.read_class) >= reading.target {
-                self.link.send(now, reading.cmd.id, reading.cmd.bytes);
+                let start = self.link.busy_until().max(now);
+                self.link
+                    .send_traced(now, reading.cmd.id, reading.cmd.bytes, reborrow(&mut ins));
+                if let Some(ins) = reborrow(&mut ins) {
+                    let end = self.link.busy_until();
+                    ins.record(
+                        end,
+                        Event::ChunkSend {
+                            chunk: reading.cmd.id,
+                            bytes: reading.cmd.bytes,
+                            start,
+                            end,
+                        },
+                    );
+                    ins.add("dma.chunks_sent", 1);
+                    ins.add("dma.bytes_sent", reading.cmd.bytes);
+                }
                 self.sent_commands += 1;
                 self.reading = None;
             }
@@ -107,6 +138,18 @@ impl DmaEngine {
     /// Panics if `bytes` is zero.
     pub fn send_direct(&mut self, now: Cycle, tag: u64, bytes: Bytes) {
         self.link.send(now, tag, bytes);
+    }
+
+    /// [`DmaEngine::send_direct`] that also records the link busy span.
+    /// Passing `None` is identical to `send_direct`.
+    pub fn send_direct_traced(
+        &mut self,
+        now: Cycle,
+        tag: u64,
+        bytes: Bytes,
+        ins: Option<&mut Instruments>,
+    ) {
+        self.link.send_traced(now, tag, bytes, ins);
     }
 
     /// True when no command is queued, reading, or on the wire.
@@ -215,6 +258,35 @@ mod tests {
     }
 
     #[test]
+    fn step_traced_records_chunk_send_and_metrics() {
+        let (mut engine, mut mc) = setup();
+        engine.trigger(DmaCommand {
+            id: 3,
+            bytes: 100_000,
+            read_class: TrafficClass::RsRead,
+        });
+        let mut ins = Instruments::full();
+        let mut now = 0;
+        let mut seen = 0;
+        while seen == 0 {
+            mc.step(now, None);
+            seen += engine.step_traced(now, &mut mc, Some(&mut ins)).len();
+            now += 1;
+            assert!(now < 100_000_000);
+        }
+        let tracer = ins.tracer.as_ref().unwrap();
+        assert_eq!(
+            tracer.count(|e| matches!(e, Event::ChunkSend { bytes: 100_000, .. })),
+            1
+        );
+        assert_eq!(tracer.count(|e| matches!(e, Event::LinkBusy { .. })), 1);
+        let metrics = ins.metrics.as_ref().unwrap();
+        assert_eq!(metrics.counter("dma.bytes_sent"), 100_000);
+        assert_eq!(metrics.counter("link.bytes_sent"), 100_000);
+        assert_eq!(metrics.counter("dma.chunks_sent"), 1);
+    }
+
+    #[test]
     fn zero_byte_command_completes_eagerly() {
         let (mut engine, _mc) = setup();
         engine.trigger(DmaCommand {
@@ -248,8 +320,7 @@ mod tests {
             now += 1;
             assert!(now < 100_000_000);
         }
-        let ideal =
-            engine.link().serialization_cycles(bytes) * n + engine.link().latency();
+        let ideal = engine.link().serialization_cycles(bytes) * n + engine.link().latency();
         assert!(
             (now as f64) < ideal as f64 * 1.15,
             "link under-utilised: {now} vs ideal {ideal}"

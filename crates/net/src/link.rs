@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use t3_sim::config::LinkConfig;
 use t3_sim::{Bytes, Cycle};
+use t3_trace::{Event, Instruments};
 
 /// A message in flight, tagged with a caller-chosen identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,26 @@ impl Link {
             arrival,
         });
         self.total_sent += bytes;
+        arrival
+    }
+
+    /// [`Link::send`] that also records the serialiser's busy interval
+    /// as a [`Event::LinkBusy`] span and bumps `link.bytes_sent`.
+    /// Passing `None` is identical to `send`.
+    pub fn send_traced(
+        &mut self,
+        now: Cycle,
+        tag: u64,
+        bytes: Bytes,
+        ins: Option<&mut Instruments>,
+    ) -> Cycle {
+        let start = self.free_at.max(now);
+        let arrival = self.send(now, tag, bytes);
+        if let Some(ins) = ins {
+            let end = self.free_at;
+            ins.record(end, Event::LinkBusy { start, end, bytes });
+            ins.add("link.bytes_sent", bytes);
+        }
         arrival
     }
 

@@ -1,24 +1,27 @@
 //! Property tests for the interconnect substrate: link conservation
 //! and ordering, ring-schedule algebra, and DMA pipelines.
+//!
+//! Cases are generated with a seeded deterministic PRNG
+//! ([`SplitMix64`]) so every failure reproduces from its seed.
 
-use proptest::prelude::*;
 use t3_mem::arbiter::ComputeFirstPolicy;
 use t3_mem::controller::MemoryController;
 use t3_net::dma::{DmaCommand, DmaEngine};
 use t3_net::link::Link;
 use t3_net::ring::{chunk_bounds, Ring};
 use t3_sim::config::SystemConfig;
+use t3_sim::rng::SplitMix64;
 use t3_sim::stats::TrafficClass;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Arrivals are FIFO and never earlier than the physical bound
-    /// (serialisation + latency); total delivered equals total sent.
-    #[test]
-    fn link_fifo_and_conservation(
-        msgs in prop::collection::vec((1u64..500_000, 0u64..10_000), 1..20),
-    ) {
+/// Arrivals are FIFO and never earlier than the physical bound
+/// (serialisation + latency); total delivered equals total sent.
+#[test]
+fn link_fifo_and_conservation() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed);
+        let msgs: Vec<(u64, u64)> = (0..rng.gen_range(1, 20))
+            .map(|_| (rng.gen_range(1, 500_000), rng.gen_range(0, 10_000)))
+            .collect();
         let cfg = SystemConfig::paper_default().link;
         let mut link = Link::new(&cfg);
         let mut sent_total = 0u64;
@@ -28,66 +31,94 @@ proptest! {
             clock += gap;
             let arrival = link.send(clock, i as u64, *bytes);
             sent_total += bytes;
-            prop_assert!(arrival >= last_arrival, "arrivals must be FIFO");
-            prop_assert!(
+            assert!(
+                arrival >= last_arrival,
+                "seed {seed}: arrivals must be FIFO"
+            );
+            assert!(
                 arrival >= clock + link.serialization_cycles(*bytes) + link.latency(),
-                "arrival beats physics"
+                "seed {seed}: arrival beats physics"
             );
             last_arrival = arrival;
         }
         let deliveries = link.deliveries_until(u64::MAX);
-        prop_assert_eq!(deliveries.len(), msgs.len());
-        prop_assert_eq!(deliveries.iter().map(|d| d.bytes).sum::<u64>(), sent_total);
-        prop_assert_eq!(link.total_sent(), sent_total);
+        assert_eq!(deliveries.len(), msgs.len(), "seed {seed}");
+        assert_eq!(
+            deliveries.iter().map(|d| d.bytes).sum::<u64>(),
+            sent_total,
+            "seed {seed}"
+        );
+        assert_eq!(link.total_sent(), sent_total, "seed {seed}");
         // Tags preserved in order.
         for (i, d) in deliveries.iter().enumerate() {
-            prop_assert_eq!(d.tag, i as u64);
+            assert_eq!(d.tag, i as u64, "seed {seed}");
         }
     }
+}
 
-    /// Ring schedule algebra for arbitrary ring sizes: each step's
-    /// sends are a permutation of chunks; receive = predecessor's
-    /// send; the reduction chain of every chunk ends at its owner.
-    #[test]
-    fn ring_schedule_algebra(n in 2usize..33) {
+/// Ring schedule algebra for every ring size 2..=32: each step's sends
+/// are a permutation of chunks; receive = predecessor's send; the
+/// reduction chain of every chunk ends at its owner.
+#[test]
+fn ring_schedule_algebra() {
+    for n in 2usize..33 {
         let ring = Ring::new(n);
         for step in 0..ring.steps() {
             let mut seen = vec![false; n];
             for d in 0..n {
                 let c = ring.rs_send_chunk(d, step);
-                prop_assert!(!seen[c]);
+                assert!(!seen[c], "n={n}");
                 seen[c] = true;
-                prop_assert_eq!(ring.rs_recv_chunk(d, step), ring.rs_send_chunk(ring.prev(d), step));
-                prop_assert_eq!(ring.ag_recv_chunk(d, step), ring.ag_send_chunk(ring.prev(d), step));
+                assert_eq!(
+                    ring.rs_recv_chunk(d, step),
+                    ring.rs_send_chunk(ring.prev(d), step),
+                    "n={n}"
+                );
+                assert_eq!(
+                    ring.ag_recv_chunk(d, step),
+                    ring.ag_send_chunk(ring.prev(d), step),
+                    "n={n}"
+                );
             }
         }
         for c in 0..n {
             let mut holder = c;
             for step in 0..ring.steps() {
-                prop_assert_eq!(ring.rs_send_chunk(holder, step), c);
+                assert_eq!(ring.rs_send_chunk(holder, step), c, "n={n}");
                 holder = ring.next(holder);
             }
-            prop_assert_eq!(ring.rs_owned_chunk(holder), c);
+            assert_eq!(ring.rs_owned_chunk(holder), c, "n={n}");
         }
     }
+}
 
-    /// Chunk bounds partition any length over any device count.
-    #[test]
-    fn chunk_bounds_partition(len in 0usize..10_000, n in 1usize..64) {
+/// Chunk bounds partition any length over any device count.
+#[test]
+fn chunk_bounds_partition() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let len = rng.gen_range_usize(0, 10_000);
+        let n = rng.gen_range_usize(1, 64);
         let mut covered = 0;
         for i in 0..n {
             let (s, e) = chunk_bounds(len, n, i);
-            prop_assert_eq!(s, covered);
-            prop_assert!(e >= s);
+            assert_eq!(s, covered, "seed {seed}: len={len} n={n}");
+            assert!(e >= s, "seed {seed}");
             covered = e;
         }
-        prop_assert_eq!(covered, len);
+        assert_eq!(covered, len, "seed {seed}: len={len} n={n}");
     }
+}
 
-    /// DMA pipelines deliver every command once, in order, reading
-    /// exactly the command's bytes from memory.
-    #[test]
-    fn dma_pipeline_conservation(cmds in prop::collection::vec(1u64..300_000, 1..8)) {
+/// DMA pipelines deliver every command once, in order, reading exactly
+/// the command's bytes from memory.
+#[test]
+fn dma_pipeline_conservation() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let cmds: Vec<u64> = (0..rng.gen_range(1, 8))
+            .map(|_| rng.gen_range(1, 300_000))
+            .collect();
         let sys = SystemConfig::paper_default();
         let mut engine = DmaEngine::new(&sys.link);
         let mut mc = MemoryController::new(&sys.mem, Box::new(ComputeFirstPolicy::new()));
@@ -104,14 +135,15 @@ proptest! {
             mc.step(now, None);
             tags.extend(engine.step(now, &mut mc).into_iter().map(|d| d.tag));
             now += 1;
-            prop_assert!(now < 50_000_000);
+            assert!(now < 50_000_000, "seed {seed}: failed to drain");
         }
         let expected: Vec<u64> = (0..cmds.len() as u64).collect();
-        prop_assert_eq!(tags, expected);
-        prop_assert_eq!(
+        assert_eq!(tags, expected, "seed {seed}");
+        assert_eq!(
             mc.stats().bytes(TrafficClass::RsRead),
-            cmds.iter().sum::<u64>()
+            cmds.iter().sum::<u64>(),
+            "seed {seed}"
         );
-        prop_assert_eq!(engine.bytes_sent(), cmds.iter().sum::<u64>());
+        assert_eq!(engine.bytes_sent(), cmds.iter().sum::<u64>(), "seed {seed}");
     }
 }

@@ -268,7 +268,11 @@ impl SystemConfig {
         if self.mem.txn_bytes == 0 || self.mem.llc_line == 0 {
             return Err("transaction and line sizes must be positive".to_string());
         }
-        if !self.mem.llc_capacity.is_multiple_of(self.mem.llc_line * self.mem.llc_ways as u64) {
+        if !self
+            .mem
+            .llc_capacity
+            .is_multiple_of(self.mem.llc_line * self.mem.llc_ways as u64)
+        {
             return Err("LLC capacity must be divisible by line size x ways".to_string());
         }
         if self.mem.nmc_cost_multiplier < 1.0 {

@@ -9,6 +9,9 @@
 //!   paper's data-movement results (Figure 18).
 //! * [`timeseries`] — bucketed traffic-over-time recording, which
 //!   drives the paper's DRAM-traffic timelines (Figure 17).
+//! * [`rng`] — a deterministic SplitMix64 generator for randomized
+//!   tests and workloads (the workspace builds offline, with no
+//!   external crates).
 //!
 //! The timing simulator is *cycle-stepped*: components expose
 //! `step(now)`-style methods and exchange work in units of 256-byte
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod config;
+pub mod rng;
 pub mod stats;
 pub mod timeseries;
 

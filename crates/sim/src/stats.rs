@@ -55,6 +55,19 @@ impl TrafficClass {
         }
     }
 
+    /// Machine-readable identifier (metric keys, CSV columns).
+    pub fn slug(self) -> &'static str {
+        match self {
+            TrafficClass::GemmRead => "gemm_read",
+            TrafficClass::GemmWrite => "gemm_write",
+            TrafficClass::RsRead => "rs_read",
+            TrafficClass::RsWrite => "rs_write",
+            TrafficClass::RsUpdate => "rs_update",
+            TrafficClass::AgRead => "ag_read",
+            TrafficClass::AgWrite => "ag_write",
+        }
+    }
+
     /// Whether this class reads DRAM (vs. writing/updating it).
     pub fn is_read(self) -> bool {
         matches!(

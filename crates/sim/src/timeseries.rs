@@ -39,8 +39,7 @@ impl TimeSeries {
     pub fn record(&mut self, now: Cycle, class: TrafficClass, bytes: Bytes) {
         let idx = (now / self.bucket_cycles) as usize;
         if idx >= self.buckets.len() {
-            self.buckets
-                .resize(idx + 1, [0; TrafficClass::ALL.len()]);
+            self.buckets.resize(idx + 1, [0; TrafficClass::ALL.len()]);
         }
         self.buckets[idx][class.index()] += bytes;
     }
@@ -102,6 +101,69 @@ impl TimeSeries {
     /// Total bytes across the entire series for one class.
     pub fn total(&self, class: TrafficClass) -> Bytes {
         self.buckets.iter().map(|b| b[class.index()]).sum()
+    }
+
+    /// Renders the series as CSV: a `cycle` column followed by one
+    /// column per traffic class (slug names), one row per bucket.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("cycle");
+        for class in TrafficClass::ALL {
+            out.push(',');
+            out.push_str(class.slug());
+        }
+        out.push('\n');
+        for (start, bucket) in self.rows() {
+            let _ = write!(out, "{start}");
+            for bytes in bucket {
+                let _ = write!(out, ",{bytes}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a series back from [`TimeSeries::to_csv`] output.
+    /// Returns `None` on any malformed header, row width, or number.
+    /// The bucket width is recovered from the row stride, so a
+    /// single-bucket series comes back with width 1.
+    pub fn from_csv(csv: &str) -> Option<TimeSeries> {
+        let mut lines = csv.lines();
+        let header = lines.next()?;
+        let mut expected = String::from("cycle");
+        for class in TrafficClass::ALL {
+            expected.push(',');
+            expected.push_str(class.slug());
+        }
+        if header != expected {
+            return None;
+        }
+        let mut rows: Vec<(Cycle, [Bytes; TrafficClass::ALL.len()])> = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let start: Cycle = fields.next()?.parse().ok()?;
+            let mut bucket = [0; TrafficClass::ALL.len()];
+            for slot in bucket.iter_mut() {
+                *slot = fields.next()?.parse().ok()?;
+            }
+            if fields.next().is_some() {
+                return None;
+            }
+            rows.push((start, bucket));
+        }
+        // Bucket width: the stride between rows (one bucket per row,
+        // so any two consecutive starts differ by exactly the width).
+        let bucket_cycles = match rows.len() {
+            0 => return None,
+            1 => rows[0].0.max(1),
+            _ => rows[1].0 - rows[0].0,
+        };
+        let mut ts = TimeSeries::new(bucket_cycles);
+        ts.buckets = rows.into_iter().map(|(_, b)| b).collect();
+        Some(ts)
     }
 }
 
@@ -165,5 +227,44 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bucket_width_panics() {
         let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let mut ts = TimeSeries::new(100);
+        ts.record(10, TrafficClass::GemmRead, 64);
+        ts.record(150, TrafficClass::RsUpdate, 32);
+        ts.record(250, TrafficClass::GemmWrite, 16);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with(
+            "cycle,gemm_read,gemm_write,rs_read,rs_write,rs_update,ag_read,ag_write\n"
+        ));
+        let back = TimeSeries::from_csv(&csv).expect("well-formed CSV");
+        assert_eq!(back.bucket_cycles(), ts.bucket_cycles());
+        assert_eq!(back.len(), ts.len());
+        for class in TrafficClass::ALL {
+            assert_eq!(back.total(class), ts.total(class));
+            for idx in 0..ts.len() {
+                assert_eq!(
+                    back.bytes_in_bucket(idx, class),
+                    ts.bytes_in_bucket(idx, class)
+                );
+            }
+        }
+        // Exact textual round trip too.
+        assert_eq!(back.to_csv(), csv);
+    }
+
+    #[test]
+    fn from_csv_rejects_malformed_input() {
+        assert!(TimeSeries::from_csv("").is_none());
+        assert!(TimeSeries::from_csv("wrong,header\n1,2\n").is_none());
+        let good = {
+            let mut ts = TimeSeries::new(10);
+            ts.record(0, TrafficClass::GemmRead, 1);
+            ts.to_csv()
+        };
+        assert!(TimeSeries::from_csv(&good).is_some());
+        assert!(TimeSeries::from_csv(&good.replace('1', "x")).is_none());
     }
 }

@@ -1,0 +1,212 @@
+//! Hand-rolled Chrome trace-event JSON exporter.
+//!
+//! Emits the `{"traceEvents": [...]}` object format understood by
+//! Perfetto (ui.perfetto.dev) and `chrome://tracing`. Timestamps are
+//! microseconds ([`t3_sim::cycles_to_us`]); spans use complete events
+//! (`ph: "X"`), instants `ph: "i"`, counters `ph: "C"`, plus metadata
+//! events naming the process and per-component threads.
+
+use std::fmt::Write as _;
+
+use crate::event::{Phase, Record, Track};
+use crate::metrics::escape_json;
+use t3_sim::{cycles_to_us, Cycle};
+
+/// The Chrome `pid` all simulation tracks live under (one simulated
+/// GPU: the paper's mirrored single-GPU methodology).
+pub const TRACE_PID: u64 = 0;
+
+/// Name given to the trace process.
+pub const PROCESS_NAME: &str = "T3 simulated GPU";
+
+fn ts_us(cycle: Cycle, clock_ghz: f64) -> f64 {
+    cycles_to_us(cycle, clock_ghz)
+}
+
+fn push_args(out: &mut String, record: &Record) {
+    out.push_str("\"args\":{");
+    let mut first = true;
+    record.event.visit_args(|k, v| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{k}\":{v}");
+    });
+    out.push('}');
+}
+
+/// Renders the records as a Chrome trace-event JSON string.
+///
+/// Events are sorted by start timestamp (then sequence number) so the
+/// output is monotonic in `ts` even though span records are emitted at
+/// completion time.
+pub fn chrome_trace_json(records: &[Record], clock_ghz: f64) -> String {
+    assert!(clock_ghz > 0.0, "clock must be positive");
+    let mut ordered: Vec<&Record> = records.iter().collect();
+    ordered.sort_by_key(|r| {
+        let start = match r.event.phase() {
+            Phase::Span { start, .. } => start,
+            _ => r.cycle,
+        };
+        (start, r.seq)
+    });
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    // Metadata: process and thread names.
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(PROCESS_NAME)
+    );
+    for track in Track::ALL {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            track.tid(),
+            escape_json(track.name())
+        );
+    }
+
+    for record in ordered {
+        let tid = record.event.track().tid();
+        let name = record.event.name();
+        out.push_str(",\n{");
+        match record.event.phase() {
+            Phase::Span { start, end } => {
+                let ts = ts_us(start, clock_ghz);
+                let dur = ts_us(end.saturating_sub(start), clock_ghz);
+                let _ = write!(
+                    out,
+                    "\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{TRACE_PID},\"tid\":{tid},\"ts\":{ts:.3},\"dur\":{dur:.3},"
+                );
+                push_args(&mut out, record);
+            }
+            Phase::Instant => {
+                let ts = ts_us(record.cycle, clock_ghz);
+                let _ = write!(
+                    out,
+                    "\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{TRACE_PID},\"tid\":{tid},\"ts\":{ts:.3},"
+                );
+                push_args(&mut out, record);
+            }
+            Phase::Counter => {
+                let ts = ts_us(record.cycle, clock_ghz);
+                let _ = write!(
+                    out,
+                    "\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{TRACE_PID},\"tid\":{tid},\"ts\":{ts:.3},"
+                );
+                push_args(&mut out, record);
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the Chrome trace to `w`.
+pub fn write_chrome_trace<W: std::io::Write>(
+    w: &mut W,
+    records: &[Record],
+    clock_ghz: f64,
+) -> std::io::Result<()> {
+    w.write_all(chrome_trace_json(records, clock_ghz).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::tracer::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let mut t = Tracer::new();
+        // Span emitted late (at completion) but starting early.
+        t.record(
+            100,
+            Event::GemmStage {
+                stage: 0,
+                wg_start: 0,
+                wg_end: 8,
+                start: 10,
+                end: 100,
+                bytes: 4096,
+            },
+        );
+        t.record(
+            40,
+            Event::DmaTriggerFire {
+                chunk: 1,
+                bytes: 2048,
+            },
+        );
+        t.record(
+            60,
+            Event::McQueueDepth {
+                depth: 12,
+                capacity: 64,
+            },
+        );
+        t
+    }
+
+    fn extract_ts(json: &str) -> Vec<f64> {
+        json.match_indices("\"ts\":")
+            .map(|(i, _)| {
+                let rest = &json[i + 5..];
+                let end = rest.find([',', '}']).expect("ts value terminated");
+                rest[..end].parse::<f64>().expect("ts is a number")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn braces_balance_and_ts_monotonic() {
+        let t = sample_tracer();
+        let json = chrome_trace_json(t.records(), 1.0);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let ts = extract_ts(&json);
+        assert!(!ts.is_empty());
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0], "ts regressed: {} -> {}", w[0], w[1]);
+        }
+        assert!(ts.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn span_precedes_instant_after_sorting() {
+        let t = sample_tracer();
+        let json = chrome_trace_json(t.records(), 1.0);
+        // The GEMM span starts at cycle 10, before the instant at 40,
+        // even though it was recorded after.
+        let gemm = json.find("gemm_stage").expect("span present");
+        let dma = json.find("dma_trigger").expect("instant present");
+        assert!(gemm < dma);
+    }
+
+    #[test]
+    fn pid_tid_mapping_is_stable() {
+        let t = sample_tracer();
+        let json = chrome_trace_json(t.records(), 1.0);
+        assert!(json.contains("\"name\":\"gemm_stage\",\"ph\":\"X\",\"pid\":0,\"tid\":1"));
+        assert!(
+            json.contains("\"name\":\"dma_trigger\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":3")
+        );
+        assert!(json.contains("\"name\":\"mc_queue_depth\",\"ph\":\"C\",\"pid\":0,\"tid\":4"));
+        // Thread metadata present for every track.
+        for track in Track::ALL {
+            assert!(json.contains(track.name()));
+        }
+    }
+
+    #[test]
+    fn cycles_map_to_microseconds() {
+        let mut t = Tracer::new();
+        t.record(2_000, Event::ChunkRecv { chunk: 0, bytes: 1 });
+        // 2000 cycles at 2 GHz = 1 µs.
+        let json = chrome_trace_json(t.records(), 2.0);
+        assert!(json.contains("\"ts\":1.000"), "{json}");
+    }
+}

@@ -1,0 +1,329 @@
+//! The typed event taxonomy the simulators emit.
+//!
+//! Every event carries its payload inline (no heap allocation on the
+//! record path) and knows how to render itself for the Chrome
+//! trace-event exporter: a [`Phase`] (span / instant / counter), a
+//! [`Track`] (which virtual thread it belongs to), and a set of
+//! numeric arguments.
+
+use t3_sim::{Bytes, Cycle};
+
+/// One structured simulation event.
+///
+/// Span-like variants carry both `start` and `end` cycles because the
+/// engines only learn a phase's extent when it completes; the exporter
+/// re-sorts by start time before writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A GEMM stage executed: reads issued at `start`, output stores
+    /// issued at `end`.
+    GemmStage {
+        /// Stage index in the grid's execution order.
+        stage: u64,
+        /// First workgroup of the stage.
+        wg_start: u64,
+        /// One past the last workgroup of the stage.
+        wg_end: u64,
+        /// Cycle the stage began (reads issued).
+        start: Cycle,
+        /// Cycle the stage's stores were issued.
+        end: Cycle,
+        /// Output bytes stored by the stage.
+        bytes: Bytes,
+    },
+    /// A reduce-scatter / all-gather chunk occupied the outbound link.
+    ChunkSend {
+        /// Ring position (or chunk id) of the payload.
+        chunk: u64,
+        /// Payload bytes.
+        bytes: Bytes,
+        /// Cycle serialization onto the link began.
+        start: Cycle,
+        /// Cycle the last byte left the link.
+        end: Cycle,
+    },
+    /// A chunk's worth of remote updates arrived from the neighbour.
+    ChunkRecv {
+        /// Ring position (or chunk id) of the payload.
+        chunk: u64,
+        /// Payload bytes.
+        bytes: Bytes,
+    },
+    /// The Tracker fired a pre-programmed DMA for a finished chunk.
+    DmaTriggerFire {
+        /// Ring position of the chunk whose DMA fired.
+        chunk: u64,
+        /// Bytes the DMA will move.
+        bytes: Bytes,
+    },
+    /// A Tracker table entry filled and triggered (one wavefront's
+    /// output region fully reduced). High-volume: only recorded at
+    /// [`crate::Detail::Fine`].
+    TrackerUpdate {
+        /// Workgroup of the completed wavefront.
+        wg: u64,
+        /// Wavefront index within the workgroup.
+        wf: u64,
+        /// Base address of the completed region.
+        addr: u64,
+    },
+    /// Sampled memory-controller DRAM-queue depth (a Chrome counter
+    /// track).
+    McQueueDepth {
+        /// Transactions in the DRAM queue at the sample point.
+        depth: u64,
+        /// DRAM queue capacity.
+        capacity: u64,
+    },
+    /// Sampled cumulative LLC hit/miss counters (a Chrome counter
+    /// track).
+    LlcSample {
+        /// Cumulative hits at the sample point.
+        hits: u64,
+        /// Cumulative misses at the sample point.
+        misses: u64,
+    },
+    /// The link was busy serializing one payload.
+    LinkBusy {
+        /// Cycle serialization began.
+        start: Cycle,
+        /// Cycle the last byte left.
+        end: Cycle,
+        /// Bytes serialized.
+        bytes: Bytes,
+    },
+}
+
+/// How an event renders in the Chrome trace-event format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A complete span (`ph: "X"`) from `start` to `end`.
+    Span {
+        /// Span start cycle.
+        start: Cycle,
+        /// Span end cycle.
+        end: Cycle,
+    },
+    /// An instant event (`ph: "i"`) at the record's cycle.
+    Instant,
+    /// A counter sample (`ph: "C"`) at the record's cycle.
+    Counter,
+}
+
+/// The virtual thread (Chrome `tid`) an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// GEMM engine stages.
+    Gemm,
+    /// Tracker table activity.
+    Tracker,
+    /// DMA engine and chunk transfers.
+    Dma,
+    /// Memory-controller queue samples.
+    MemoryController,
+    /// LLC counter samples.
+    Llc,
+    /// Link busy intervals.
+    Link,
+}
+
+impl Track {
+    /// All tracks, in `tid` order.
+    pub const ALL: [Track; 6] = [
+        Track::Gemm,
+        Track::Tracker,
+        Track::Dma,
+        Track::MemoryController,
+        Track::Llc,
+        Track::Link,
+    ];
+
+    /// Stable Chrome `tid` for this track.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Gemm => 1,
+            Track::Tracker => 2,
+            Track::Dma => 3,
+            Track::MemoryController => 4,
+            Track::Llc => 5,
+            Track::Link => 6,
+        }
+    }
+
+    /// Human-readable thread name for trace viewers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Gemm => "GEMM engine",
+            Track::Tracker => "Tracker",
+            Track::Dma => "DMA / chunks",
+            Track::MemoryController => "Memory controller",
+            Track::Llc => "LLC",
+            Track::Link => "Link",
+        }
+    }
+}
+
+impl Event {
+    /// Display name of the event (the Chrome `name` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::GemmStage { .. } => "gemm_stage",
+            Event::ChunkSend { .. } => "chunk_send",
+            Event::ChunkRecv { .. } => "chunk_recv",
+            Event::DmaTriggerFire { .. } => "dma_trigger",
+            Event::TrackerUpdate { .. } => "tracker_update",
+            Event::McQueueDepth { .. } => "mc_queue_depth",
+            Event::LlcSample { .. } => "llc",
+            Event::LinkBusy { .. } => "link_busy",
+        }
+    }
+
+    /// Which virtual thread the event renders on.
+    pub fn track(&self) -> Track {
+        match self {
+            Event::GemmStage { .. } => Track::Gemm,
+            Event::ChunkSend { .. } | Event::ChunkRecv { .. } | Event::DmaTriggerFire { .. } => {
+                Track::Dma
+            }
+            Event::TrackerUpdate { .. } => Track::Tracker,
+            Event::McQueueDepth { .. } => Track::MemoryController,
+            Event::LlcSample { .. } => Track::Llc,
+            Event::LinkBusy { .. } => Track::Link,
+        }
+    }
+
+    /// How the event renders (span / instant / counter).
+    pub fn phase(&self) -> Phase {
+        match *self {
+            Event::GemmStage { start, end, .. }
+            | Event::ChunkSend { start, end, .. }
+            | Event::LinkBusy { start, end, .. } => Phase::Span { start, end },
+            Event::ChunkRecv { .. }
+            | Event::DmaTriggerFire { .. }
+            | Event::TrackerUpdate { .. } => Phase::Instant,
+            Event::McQueueDepth { .. } | Event::LlcSample { .. } => Phase::Counter,
+        }
+    }
+
+    /// Payload bytes the event accounts for (0 for pure samples).
+    pub fn bytes(&self) -> Bytes {
+        match *self {
+            Event::GemmStage { bytes, .. }
+            | Event::ChunkSend { bytes, .. }
+            | Event::ChunkRecv { bytes, .. }
+            | Event::DmaTriggerFire { bytes, .. }
+            | Event::LinkBusy { bytes, .. } => bytes,
+            Event::TrackerUpdate { .. } | Event::McQueueDepth { .. } | Event::LlcSample { .. } => 0,
+        }
+    }
+
+    /// Visits the event's numeric arguments as `(key, value)` pairs
+    /// (rendered into the Chrome `args` object).
+    pub fn visit_args(&self, mut f: impl FnMut(&'static str, u64)) {
+        match *self {
+            Event::GemmStage {
+                stage,
+                wg_start,
+                wg_end,
+                bytes,
+                ..
+            } => {
+                f("stage", stage);
+                f("wg_start", wg_start);
+                f("wg_end", wg_end);
+                f("bytes", bytes);
+            }
+            Event::ChunkSend { chunk, bytes, .. } => {
+                f("chunk", chunk);
+                f("bytes", bytes);
+            }
+            Event::ChunkRecv { chunk, bytes } => {
+                f("chunk", chunk);
+                f("bytes", bytes);
+            }
+            Event::DmaTriggerFire { chunk, bytes } => {
+                f("chunk", chunk);
+                f("bytes", bytes);
+            }
+            Event::TrackerUpdate { wg, wf, addr } => {
+                f("wg", wg);
+                f("wf", wf);
+                f("addr", addr);
+            }
+            Event::McQueueDepth { depth, capacity } => {
+                f("depth", depth);
+                f("capacity", capacity);
+            }
+            Event::LlcSample { hits, misses } => {
+                f("hits", hits);
+                f("misses", misses);
+            }
+            Event::LinkBusy { bytes, .. } => {
+                f("bytes", bytes);
+            }
+        }
+    }
+}
+
+/// One recorded event with its ordering metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Monotonic sequence number in emission order.
+    pub seq: u64,
+    /// Cycle the event was recorded (for spans: the completion cycle).
+    pub cycle: Cycle,
+    /// The event payload.
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_have_distinct_tids() {
+        let mut tids: Vec<u64> = Track::ALL.iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), Track::ALL.len());
+    }
+
+    #[test]
+    fn phases_match_variant_shape() {
+        let span = Event::GemmStage {
+            stage: 0,
+            wg_start: 0,
+            wg_end: 4,
+            start: 10,
+            end: 20,
+            bytes: 64,
+        };
+        assert_eq!(span.phase(), Phase::Span { start: 10, end: 20 });
+        assert_eq!(span.bytes(), 64);
+        let instant = Event::ChunkRecv {
+            chunk: 1,
+            bytes: 32,
+        };
+        assert_eq!(instant.phase(), Phase::Instant);
+        let counter = Event::McQueueDepth {
+            depth: 3,
+            capacity: 64,
+        };
+        assert_eq!(counter.phase(), Phase::Counter);
+        assert_eq!(counter.bytes(), 0);
+    }
+
+    #[test]
+    fn args_include_bytes_for_transfers() {
+        let e = Event::ChunkSend {
+            chunk: 2,
+            bytes: 1024,
+            start: 0,
+            end: 8,
+        };
+        let mut seen = Vec::new();
+        e.visit_args(|k, v| seen.push((k, v)));
+        assert!(seen.contains(&("bytes", 1024)));
+        assert!(seen.contains(&("chunk", 2)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # t3-trace — observability for the T3 cycle simulator
+//!
+//! A zero-dependency (beyond [`t3_sim`]) tracing and metrics layer:
+//!
+//! * [`Event`] / [`Record`] — the typed event taxonomy: GEMM stage
+//!   spans, RS/AG chunk sends and receives, DMA trigger fires, Tracker
+//!   table updates, memory-controller queue-depth samples, LLC
+//!   hit/miss samples, and link busy intervals, each with cycle
+//!   timestamps, sequence numbers, and byte counts.
+//! * [`Tracer`] — an append-only in-memory event buffer with a
+//!   [`Detail`] level gating high-volume per-wavefront events.
+//! * [`MetricsRegistry`] — named counters and log2-bucketed
+//!   [`Histogram`]s, snapshotable to flat JSON or CSV.
+//! * [`chrome`] — a hand-rolled Chrome trace-event JSON exporter
+//!   (load the file at <https://ui.perfetto.dev>); cycles map to
+//!   microseconds via [`t3_sim::cycles_to_us`].
+//!
+//! Engines accept an `Option<&mut Instruments>`: `None` compiles the
+//! instrumentation down to untaken branches, so disabled tracing
+//! leaves simulated results bit-identical and adds no measurable
+//! overhead.
+//!
+//! ```
+//! use t3_trace::{chrome, Event, Instruments};
+//!
+//! let mut ins = Instruments::full();
+//! ins.record(10, Event::ChunkSend { chunk: 0, bytes: 4096, start: 10, end: 42 });
+//! ins.add("dma.chunks_sent", 1);
+//! let tracer = ins.tracer.as_ref().unwrap();
+//! let json = chrome::chrome_trace_json(tracer.records(), 1.0);
+//! assert!(json.contains("chunk_send"));
+//! ```
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{Event, Phase, Record, Track};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use tracer::{reborrow, Detail, Instruments, Tracer};

@@ -11,17 +11,19 @@
 
 use t3::collectives::gemm::matmul;
 use t3::core::addrmap::{ChunkRoute, OutputConfig};
-use t3::core::fused::{
-    fused_gemm_all_to_all, fused_gemm_direct_rs, to_tile_order, FusedProducer,
-};
+use t3::core::fused::{fused_gemm_all_to_all, fused_gemm_direct_rs, to_tile_order, FusedProducer};
 use t3::gpu::gemm::{GemmGrid, GemmShape};
 use t3::sim::config::SystemConfig;
 
 fn producers(n_dev: usize, m: usize, n: usize, k: usize) -> Vec<FusedProducer> {
     (0..n_dev)
         .map(|d| FusedProducer {
-            a: (0..m * k).map(|i| ((i + d * 31) % 13) as f32 / 6.0 - 1.0).collect(),
-            b: (0..k * n).map(|i| ((i * 5 + d) % 11) as f32 / 5.0 - 1.0).collect(),
+            a: (0..m * k)
+                .map(|i| ((i + d * 31) % 13) as f32 / 6.0 - 1.0)
+                .collect(),
+            b: (0..k * n)
+                .map(|i| ((i * 5 + d) % 11) as f32 / 5.0 - 1.0)
+                .collect(),
         })
         .collect()
 }
@@ -44,7 +46,9 @@ fn main() {
     for p in 0..cfg.num_chunks() {
         let route = cfg.route(p);
         let desc = match route {
-            ChunkRoute::LocalOnly { updates_per_element } => {
+            ChunkRoute::LocalOnly {
+                updates_per_element,
+            } => {
                 format!("local, {updates_per_element} updates/element expected")
             }
             ChunkRoute::RemoteUpdate { device } => {
@@ -67,7 +71,10 @@ fn main() {
     let mut worst = 0.0f32;
     for d in 0..n_dev {
         let (s, e) = outcome.chunk_ranges[d];
-        for (a, b) in outcome.outputs[d].as_slice()[s..e].iter().zip(&expected[s..e]) {
+        for (a, b) in outcome.outputs[d].as_slice()[s..e]
+            .iter()
+            .zip(&expected[s..e])
+        {
             worst = worst.max((a - b).abs());
         }
     }
@@ -92,7 +99,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "all-to-all fused: {checked} elements exchanged correctly (max |err| {worst:.2e})"
-    );
+    println!("all-to-all fused: {checked} elements exchanged correctly (max |err| {worst:.2e})");
 }

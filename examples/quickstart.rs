@@ -19,7 +19,7 @@ use t3::sim::cycles_to_us;
 
 fn main() {
     let system = SystemConfig::paper_default(); // Table 1, 8 GPUs
-    // T-NLG FC-2 with TP=8: 8K tokens x 4256 hidden, K sliced 8-ways.
+                                                // T-NLG FC-2 with TP=8: 8K tokens x 4256 hidden, K sliced 8-ways.
     let shape = GemmShape::new(8192, 4256, 4 * 4256).tp_sliced(8);
     println!(
         "Sliced FC-2 GEMM: {}x{}x{} (output {:.1} MB, all-reduced across {} GPUs)\n",
@@ -61,8 +61,12 @@ fn main() {
     let small = GemmShape::new(m as u64, n as u64, k as u64);
     let producers: Vec<FusedProducer> = (0..n_dev)
         .map(|d| FusedProducer {
-            a: (0..m * k).map(|i| ((i * 7 + d * 13) % 17) as f32 / 8.0 - 1.0).collect(),
-            b: (0..k * n).map(|i| ((i * 11 + d * 3) % 19) as f32 / 9.0 - 1.0).collect(),
+            a: (0..m * k)
+                .map(|i| ((i * 7 + d * 13) % 17) as f32 / 8.0 - 1.0)
+                .collect(),
+            b: (0..k * n)
+                .map(|i| ((i * 11 + d * 3) % 19) as f32 / 9.0 - 1.0)
+                .collect(),
         })
         .collect();
     let outcome = fused_gemm_ring_rs(&system.gpu, small, &producers);
@@ -84,9 +88,7 @@ fn main() {
             worst = worst.max((a - b).abs());
         }
     }
-    println!(
-        "  fused == GEMM-then-reduce on every owned chunk (max |err| {worst:.2e});"
-    );
+    println!("  fused == GEMM-then-reduce on every owned chunk (max |err| {worst:.2e});");
     println!(
         "  {} tracker triggers, {} DMA transfers, peak {} tracker entries",
         outcome.triggers_fired, outcome.dma_transfers, outcome.peak_tracker_entries

@@ -17,6 +17,8 @@
 //!   configurations (Sequential, T3, T3-MCA, ideals).
 //! * [`models`] — the Transformer model zoo (Table 2) and end-to-end
 //!   analytical model (Figures 4 and 19).
+//! * [`trace`] — structured event tracing, metrics registry, and
+//!   Chrome trace-event export for the cycle simulator.
 //!
 //! # Quickstart
 //!
@@ -43,3 +45,4 @@ pub use t3_mem as mem;
 pub use t3_models as models;
 pub use t3_net as net;
 pub use t3_sim as sim;
+pub use t3_trace as trace;

@@ -86,7 +86,11 @@ fn all_to_all_fusion_has_no_collective_reads() {
 fn moe_and_generation_never_regress() {
     let s = sys();
     let moe = moe_combine_study(&s, &MoeConfig::switch_like(2048, 1024));
-    assert!(moe.speedup >= 0.99, "MoE fusion regressed: {:.3}", moe.speedup);
+    assert!(
+        moe.speedup >= 0.99,
+        "MoE fusion regressed: {:.3}",
+        moe.speedup
+    );
     for tokens in [16u64, 256] {
         let row = study::generation_phase_study(&s, 3072, tokens, 8);
         assert!(
@@ -105,7 +109,11 @@ fn coarse_overlap_mca_protects_the_producer() {
     let rr = study::coarse_overlap_study(&s, &shape, comm, PolicyChoice::RoundRobin);
     let mca = study::coarse_overlap_study(&s, &shape, comm, PolicyChoice::McaDynamic);
     assert!(rr.gemm_slowdown >= mca.gemm_slowdown);
-    assert!(mca.gemm_slowdown < 1.25, "MCA slowdown {:.3}", mca.gemm_slowdown);
+    assert!(
+        mca.gemm_slowdown < 1.25,
+        "MCA slowdown {:.3}",
+        mca.gemm_slowdown
+    );
 }
 
 #[test]

@@ -4,20 +4,19 @@
 //! its collective through the address-space configuration, near-memory
 //! updates, and the Tracker produces the same data as running the GEMM
 //! and the collective back-to-back — for arbitrary shapes, tile edge
-//! effects, and device counts.
+//! effects, and device counts drawn from a seeded deterministic PRNG.
 
 #![allow(clippy::needless_range_loop)]
 
-use proptest::prelude::*;
 use t3::collectives::gemm::matmul;
 use t3::collectives::reference::assert_close;
 use t3::core::fused::{
-    fused_gemm_all_to_all, fused_gemm_direct_rs, fused_gemm_ring_rs, to_tile_order,
-    FusedProducer,
+    fused_gemm_all_to_all, fused_gemm_direct_rs, fused_gemm_ring_rs, to_tile_order, FusedProducer,
 };
 use t3::gpu::gemm::{GemmGrid, GemmShape};
 use t3::net::ring::Ring;
 use t3::sim::config::{GpuConfig, SystemConfig};
+use t3::sim::rng::SplitMix64;
 
 fn gpu_with_tile(tile: u32) -> GpuConfig {
     let mut gpu = SystemConfig::paper_default().gpu;
@@ -25,33 +24,17 @@ fn gpu_with_tile(tile: u32) -> GpuConfig {
     gpu
 }
 
-fn make_producers(
-    n_dev: usize,
-    m: usize,
-    n: usize,
-    k: usize,
-    seed: u64,
-) -> Vec<FusedProducer> {
-    let mut state = seed | 1;
-    let mut next = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-    };
+fn make_producers(n_dev: usize, m: usize, n: usize, k: usize, seed: u64) -> Vec<FusedProducer> {
+    let mut rng = SplitMix64::new(seed);
     (0..n_dev)
         .map(|_| FusedProducer {
-            a: (0..m * k).map(|_| next()).collect(),
-            b: (0..k * n).map(|_| next()).collect(),
+            a: (0..m * k).map(|_| rng.gen_f32(0.5)).collect(),
+            b: (0..k * n).map(|_| rng.gen_f32(0.5)).collect(),
         })
         .collect()
 }
 
-fn tile_ordered_sum(
-    gpu: &GpuConfig,
-    shape: GemmShape,
-    prods: &[FusedProducer],
-) -> Vec<f32> {
+fn tile_ordered_sum(gpu: &GpuConfig, shape: GemmShape, prods: &[FusedProducer]) -> Vec<f32> {
     let grid = GemmGrid::new(gpu, shape);
     let (m, n, k) = (shape.m as usize, shape.n as usize, shape.k as usize);
     let mut sum = vec![0.0f32; m * n];
@@ -63,23 +46,20 @@ fn tile_ordered_sum(
     to_tile_order(&grid, &sum)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Fused ring-RS == GEMM then reduce, on every owned chunk, for
-    /// arbitrary shapes (including edge tiles) and device counts.
-    #[test]
-    fn fused_ring_rs_equals_gemm_then_reduce(
-        n_dev in 2usize..7,
-        m in 17u64..80,
-        n in 17u64..80,
-        k in 1u64..24,
-        tile in prop::sample::select(vec![16u32, 32]),
-        seed in any::<u64>(),
-    ) {
+/// Fused ring-RS == GEMM then reduce, on every owned chunk, for
+/// arbitrary shapes (including edge tiles) and device counts.
+#[test]
+fn fused_ring_rs_equals_gemm_then_reduce() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_dev = rng.gen_range_usize(2, 7);
+        let m = rng.gen_range(17, 80);
+        let n = rng.gen_range(17, 80);
+        let k = rng.gen_range(1, 24);
+        let tile = rng.pick(&[16u32, 32]);
         let gpu = gpu_with_tile(tile);
         let shape = GemmShape::new(m, n, k);
-        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed ^ 0xA5A5);
         let expected = tile_ordered_sum(&gpu, shape, &prods);
         let outcome = fused_gemm_ring_rs(&gpu, shape, &prods);
         let ring = Ring::new(n_dev);
@@ -89,50 +69,62 @@ proptest! {
             assert_close(outcome.owned_chunk(ring, d), &expected[s..e], 1e-3);
         }
         // Structural invariants.
-        prop_assert_eq!(outcome.dma_transfers, (n_dev * n_dev.saturating_sub(2)) as u64);
+        assert_eq!(
+            outcome.dma_transfers,
+            (n_dev * n_dev.saturating_sub(2)) as u64,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Fused direct-RS == GEMM then reduce, with zero DMA transfers.
-    #[test]
-    fn fused_direct_rs_equals_gemm_then_reduce(
-        n_dev in 2usize..7,
-        m in 17u64..64,
-        n in 17u64..64,
-        k in 1u64..16,
-        seed in any::<u64>(),
-    ) {
+/// Fused direct-RS == GEMM then reduce, with zero DMA transfers.
+#[test]
+fn fused_direct_rs_equals_gemm_then_reduce() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_dev = rng.gen_range_usize(2, 7);
+        let m = rng.gen_range(17, 64);
+        let n = rng.gen_range(17, 64);
+        let k = rng.gen_range(1, 16);
         let gpu = gpu_with_tile(16);
         let shape = GemmShape::new(m, n, k);
-        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed ^ 0x5A5A);
         let expected = tile_ordered_sum(&gpu, shape, &prods);
         let outcome = fused_gemm_direct_rs(&gpu, shape, &prods);
         for d in 0..n_dev {
             let (s, e) = outcome.chunk_ranges[d];
             assert_close(&outcome.outputs[d].as_slice()[s..e], &expected[s..e], 1e-3);
         }
-        prop_assert_eq!(outcome.dma_transfers, 0);
+        assert_eq!(outcome.dma_transfers, 0, "seed {seed}");
     }
+}
 
-    /// Fused all-to-all places every source chunk in the right slot.
-    #[test]
-    fn fused_all_to_all_exchanges_correctly(
-        n_dev in prop::sample::select(vec![2usize, 4]),
-        k in 1u64..12,
-        seed in any::<u64>(),
-    ) {
+/// Fused all-to-all places every source chunk in the right slot.
+#[test]
+fn fused_all_to_all_exchanges_correctly() {
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_dev = rng.pick(&[2usize, 4]);
+        let k = rng.gen_range(1, 12);
         // WG count must divide by devices: 4x4 tiles of 16 with m=n=64.
         let gpu = gpu_with_tile(16);
         let (m, n) = (64u64, 64u64);
         let shape = GemmShape::new(m, n, k);
         let grid = GemmGrid::new(&gpu, shape);
-        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed);
+        let prods = make_producers(n_dev, m as usize, n as usize, k as usize, seed ^ 0xC3C3);
         let outcome = fused_gemm_all_to_all(&gpu, shape, &prods);
         let chunk = outcome.chunk_ranges[0].1 - outcome.chunk_ranges[0].0;
         for dst in 0..n_dev {
             for src in 0..n_dev {
                 let local = to_tile_order(
                     &grid,
-                    &matmul(&prods[src].a, &prods[src].b, m as usize, n as usize, k as usize),
+                    &matmul(
+                        &prods[src].a,
+                        &prods[src].b,
+                        m as usize,
+                        n as usize,
+                        k as usize,
+                    ),
                 );
                 let (cs, ce) = outcome.chunk_ranges[dst];
                 assert_close(
@@ -143,22 +135,19 @@ proptest! {
             }
         }
     }
+}
 
-    /// Functional ring all-reduce (the baseline collective) matches the
-    /// element-wise sum for arbitrary sizes.
-    #[test]
-    fn ring_all_reduce_matches_sum(
-        n_dev in 2usize..9,
-        len in 1usize..200,
-        seed in any::<u64>(),
-    ) {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
-            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
-        };
-        let inputs: Vec<Vec<f32>> =
-            (0..n_dev).map(|_| (0..len).map(|_| next()).collect()).collect();
+/// Functional ring all-reduce (the baseline collective) matches the
+/// element-wise sum for arbitrary sizes.
+#[test]
+fn ring_all_reduce_matches_sum() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_dev = rng.gen_range_usize(2, 9);
+        let len = rng.gen_range_usize(1, 200);
+        let inputs: Vec<Vec<f32>> = (0..n_dev)
+            .map(|_| (0..len).map(|_| rng.gen_f32(0.5)).collect())
+            .collect();
         let expected = t3::collectives::reference::elementwise_sum(&inputs);
         let mut cluster = t3::collectives::cluster::Cluster::from_buffers(inputs);
         t3::collectives::ring::ring_all_reduce(&mut cluster);

@@ -3,16 +3,16 @@
 //! substrate differs from the authors' testbed, but who wins, by
 //! roughly what factor, and in which direction must hold.
 
-use t3::sim::geomean;
-use t3_bench::experiments::{
-    main_study_models, run_sublayer_matrix, ExperimentScale, SublayerCase,
-};
 use t3::core::configs::Configuration;
 use t3::models::e2e::{layer_time, E2eParams, Phase};
 use t3::models::zoo;
 use t3::models::Sublayer;
 use t3::sim::config::SystemConfig;
+use t3::sim::geomean;
 use t3::sim::stats::TrafficClass;
+use t3_bench::experiments::{
+    main_study_models, run_sublayer_matrix, ExperimentScale, SublayerCase,
+};
 
 fn matrix() -> Vec<SublayerCase> {
     run_sublayer_matrix(&main_study_models(), ExperimentScale::FAST)
@@ -33,7 +33,10 @@ fn sublayer_speedup_bands_figure_16() {
         g_mca > 1.10 && g_mca < 1.45,
         "T3-MCA geomean {g_mca:.3} out of band"
     );
-    assert!(g_t3 > 1.05 && g_t3 < 1.40, "T3 geomean {g_t3:.3} out of band");
+    assert!(
+        g_t3 > 1.05 && g_t3 < 1.40,
+        "T3 geomean {g_t3:.3} out of band"
+    );
     assert!(
         g_mca >= g_t3 * 0.99,
         "MCA geomean {g_mca:.3} must not trail T3 {g_t3:.3}"
@@ -42,7 +45,13 @@ fn sublayer_speedup_bands_figure_16() {
     assert!(max_mca > 1.25, "max T3-MCA speedup {max_mca:.3} too small");
     // Every sublayer must improve.
     for (c, s) in cases.iter().zip(&mca) {
-        assert!(*s > 1.0, "{} TP{} {:?} regressed", c.model, c.tp, c.sublayer);
+        assert!(
+            *s > 1.0,
+            "{} TP{} {:?} regressed",
+            c.model,
+            c.tp,
+            c.sublayer
+        );
     }
 }
 

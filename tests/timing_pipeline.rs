@@ -46,7 +46,10 @@ fn fused_traffic_identities() {
     assert!(w + tol > out - chunk && w < out - chunk + tol, "writes {w}");
     // Incoming updates equal local stores (mirrored ring symmetry).
     let upd = r.stats.bytes(TrafficClass::RsUpdate);
-    assert!(upd + tol > w && upd < w + tol, "updates {upd} vs writes {w}");
+    assert!(
+        upd + tol > w && upd < w + tol,
+        "updates {upd} vs writes {w}"
+    );
     // The link carried the warm-up chunk plus N-2 DMA chunks.
     assert!(
         r.link_bytes_sent + tol > out - chunk && r.link_bytes_sent < out - chunk + tol,
@@ -130,9 +133,7 @@ fn num_gpus_scaling_shrinks_chunks_not_totals() {
     assert_eq!(r8.dma_transfers, 6);
     assert_eq!(r16.dma_transfers, 14);
     // More GPUs -> smaller warm-up chunk -> more local write traffic.
-    assert!(
-        r16.stats.bytes(TrafficClass::GemmWrite) > r8.stats.bytes(TrafficClass::GemmWrite)
-    );
+    assert!(r16.stats.bytes(TrafficClass::GemmWrite) > r8.stats.bytes(TrafficClass::GemmWrite));
 }
 
 #[test]
