@@ -6,15 +6,20 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
-//! fig18 fig19 fig20 all`. `--fast` shrinks workloads 8x in the token
-//! dimension for smoke runs.
+//! fig18 fig19 fig20 multinode all`. `--fast` shrinks workloads 8x in
+//! the token dimension for smoke runs.
 //!
-//! `--trace <file>` runs the instrumented T-NLG FC-2 (TP=8) fused
-//! GEMM-RS and writes a Chrome trace-event JSON loadable in Perfetto
-//! (`ui.perfetto.dev`) or `chrome://tracing`. `--metrics <file>`
-//! writes the same run's metrics registry as JSON (or CSV when the
-//! file name ends in `.csv`). Either flag may be given alone or with
-//! targets.
+//! `--topology <name>` selects the fabric for the `multinode` study
+//! and for traced runs; accepted names are `ring`, `fully-connected`,
+//! `switch`, `torus` and `hierarchical`.
+//!
+//! `--trace <file>` runs an instrumented fused GEMM-RS — the T-NLG
+//! FC-2 (TP=8) mirrored engine, or the explicit 16-GPU multi-node
+//! engine when `--topology` is given — and writes a Chrome
+//! trace-event JSON loadable in Perfetto (`ui.perfetto.dev`) or
+//! `chrome://tracing`. `--metrics <file>` writes the same run's
+//! metrics registry as JSON (or CSV when the file name ends in
+//! `.csv`). Either flag may be given alone or with targets.
 
 use std::env;
 use std::process::ExitCode;
@@ -38,6 +43,15 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage(&e),
     };
+    let topology = match flag_value(&args, "--topology") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
+    if let Some(name) = &topology {
+        if !experiments::TOPOLOGY_NAMES.contains(&name.as_str()) {
+            return usage(&format!("unknown topology: {name}"));
+        }
+    }
     let targets = match targets(&args) {
         Ok(t) => t,
         Err(e) => return usage(&e),
@@ -46,16 +60,30 @@ fn main() -> ExitCode {
         return usage("no targets given");
     }
     for target in &targets {
-        if !run_target(target, scale) {
+        if !run_target(target, scale, topology.as_deref()) {
             eprintln!("unknown target: {target}");
             return ExitCode::FAILURE;
         }
     }
     if trace_path.is_some() || metrics_path.is_some() {
-        let (ins, run, clock_ghz) = experiments::traced_tnlg_sublayer(scale);
+        let (ins, cycles, clock_ghz) = match &topology {
+            Some(name) => {
+                let (ins, run, ghz) = experiments::traced_multinode(scale, name);
+                (ins, run.cycles, ghz)
+            }
+            None => {
+                let (ins, run, ghz) = experiments::traced_tnlg_sublayer(scale);
+                (ins, run.cycles, ghz)
+            }
+        };
         eprintln!(
-            "traced T-NLG FC-2 TP=8 fused GEMM-RS: {} cycles, {} events",
-            run.cycles,
+            "traced {} fused GEMM-RS: {} cycles, {} events",
+            topology
+                .as_deref()
+                .map_or("T-NLG FC-2 TP=8".to_string(), |t| format!(
+                    "multi-node TP=16 ({t})"
+                )),
+            cycles,
             ins.tracer.as_ref().map_or(0, |t| t.len())
         );
         if let Some(path) = trace_path {
@@ -87,7 +115,7 @@ fn main() -> ExitCode {
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|extensions|sweep|all> ...] [--fast] [--trace <out.json>] [--metrics <out.json|out.csv>]"
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|all> ...] [--fast] [--topology <ring|fully-connected|switch|torus|hierarchical>] [--trace <out.json>] [--metrics <out.json|out.csv>]"
     );
     ExitCode::FAILURE
 }
@@ -98,7 +126,7 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
         None => Ok(None),
         Some(i) => match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-            _ => Err(format!("{flag} requires a file argument")),
+            _ => Err(format!("{flag} requires a value")),
         },
     }
 }
@@ -110,7 +138,7 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--trace" || a == "--metrics" {
+        if a == "--trace" || a == "--metrics" || a == "--topology" {
             i += 2; // flag + its value (validated by flag_value)
         } else if a == "--fast" {
             i += 1;
@@ -124,7 +152,7 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
     Ok(out)
 }
 
-fn run_target(target: &str, scale: ExperimentScale) -> bool {
+fn run_target(target: &str, scale: ExperimentScale, topology: Option<&str>) -> bool {
     match target {
         "table1" => println!("{}", experiments::table1()),
         "table2" => println!("{}", experiments::table2()),
@@ -145,6 +173,7 @@ fn run_target(target: &str, scale: ExperimentScale) -> bool {
         "sweep" => println!("{}", experiments::sweep()),
         "fig19" => println!("{}", experiments::fig19(scale)),
         "fig20" => println!("{}", experiments::fig20(scale)),
+        "multinode" => println!("{}", experiments::multinode(scale, topology)),
         "all" => {
             println!("{}", experiments::table1());
             println!("{}", experiments::table2());
@@ -159,6 +188,7 @@ fn run_target(target: &str, scale: ExperimentScale) -> bool {
             println!("{}", experiments::fig18(&cases));
             println!("{}", experiments::fig19(scale));
             println!("{}", experiments::fig20(scale));
+            println!("{}", experiments::multinode(scale, topology));
             println!("{}", experiments::extensions(scale));
             println!("{}", experiments::sweep());
         }

@@ -9,16 +9,17 @@ use crate::report::{mb, pct, us, x, Table};
 use t3_core::agfuse::{run_fused_ag_gemm, sequential_ag_gemm, AgFuseOptions};
 use t3_core::configs::{Configuration, SublayerOutcome};
 use t3_core::engine::{run_fused_gemm_direct_rs, run_fused_gemm_rs, FusedOptions, PolicyChoice};
-use t3_core::multigpu::run_multi_gpu_fused_rs;
+use t3_core::multigpu::{run_multi_gpu_fused_rs, run_multi_gpu_fused_rs_on};
 use t3_core::study;
 use t3_gpu::engine::{run_gemm_isolated_traced, WritePolicy};
 use t3_gpu::gemm::{GemmGrid, GemmShape};
 use t3_models::e2e::{self, E2eParams, Phase};
-use t3_models::moe::{moe_combine_study, MoeConfig};
+use t3_models::moe::{moe_combine_study, scheduled_all_to_all_cycles, MoeConfig};
 use t3_models::zoo::{self, ModelConfig, Sublayer};
-use t3_sim::config::SystemConfig;
+use t3_sim::config::{LinkConfig, SystemConfig};
 use t3_sim::geomean;
 use t3_sim::stats::TrafficClass;
+use t3_topo::Topology;
 
 /// Workload scaling for quick runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -829,6 +830,122 @@ pub fn sweep() -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// Multi-node topology study (t3-topo)
+// ---------------------------------------------------------------------
+
+/// Fabric names accepted by `figures --topology`.
+pub const TOPOLOGY_NAMES: &[&str] = &["ring", "fully-connected", "switch", "torus", "hierarchical"];
+
+/// Builds the named fabric over `n` GPUs from the system's link
+/// config. `torus` is a `2 x n/2` torus; `hierarchical` is two
+/// `n/2`-GPU nodes whose leader GPUs are joined by slower inter-node
+/// links (1/4 bandwidth, 4x latency). Returns `None` for unknown
+/// names (the CLI turns that into a usage error).
+pub fn topology_by_name(name: &str, n: usize, sys: &SystemConfig) -> Option<Topology> {
+    let link = &sys.link;
+    Some(match name {
+        "ring" => Topology::ring(n, link),
+        "fully-connected" => Topology::fully_connected(n, link),
+        "switch" => Topology::switch(n, link),
+        "torus" => Topology::torus2d(2, n / 2, link),
+        "hierarchical" => Topology::hierarchical(2, n / 2, link, &inter_node_link(link)),
+        _ => return None,
+    })
+}
+
+/// The fabric joining nodes in the hierarchical topology (think
+/// InfiniBand next to the intra-node xGMI links): a quarter of the
+/// bandwidth, four times the latency.
+fn inter_node_link(link: &LinkConfig) -> LinkConfig {
+    let mut slow = link.clone();
+    slow.link_gb_s /= 4.0;
+    slow.latency_ns *= 4.0;
+    slow
+}
+
+/// Multi-node tensor parallelism: the T-NLG FC-2 sublayer at TP=16,
+/// split across two 8-GPU nodes. Every GPU is simulated explicitly
+/// ([`run_multi_gpu_fused_rs_on`]) on the ring baseline plus the
+/// requested fabric (or all fabrics when `topology` is `None`): the
+/// fused GEMM-RS streams partials over multi-hop routes with per-link
+/// serialisation, so slow inter-node links and shared switch ports
+/// surface directly in the finish time. The last column prices the
+/// MoE combine all-to-all on the same fabric.
+pub fn multinode(scale: ExperimentScale, topology: Option<&str>) -> Table {
+    let tp = 16u64;
+    let sys = system_for(tp);
+    let shape = scale.shape(&zoo::t_nlg(), Sublayer::Fc2, tp);
+    let clock = sys.gpu.clock_ghz;
+    let moe = MoeConfig::switch_like(4096, (4096 / scale.token_divisor).max(256));
+    let names: Vec<&str> = match topology {
+        Some("ring") => vec!["ring"],
+        Some(name) => vec!["ring", name],
+        None => TOPOLOGY_NAMES.to_vec(),
+    };
+    let mut t = Table::new(
+        "Multi-node TP: T-NLG FC-2, TP=16, two 8-GPU nodes",
+        &[
+            "fabric",
+            "links",
+            "fused GEMM-RS (us)",
+            "vs ring",
+            "DMA transfers",
+            "wire traffic (MB)",
+            "combine A2A (us)",
+        ],
+    );
+    let mut ring_cycles = None;
+    for name in names {
+        let topo = topology_by_name(name, tp as usize, &sys).expect("known fabric");
+        let grid = GemmGrid::new(&sys.gpu, shape);
+        let run = run_multi_gpu_fused_rs_on(&sys, grid, &FusedOptions::default(), &topo, None);
+        let base = *ring_cycles.get_or_insert(run.cycles);
+        let wire: u64 = run.link_bytes.iter().sum();
+        let a2a = scheduled_all_to_all_cycles(&sys, &topo, moe.a2a_payload_bytes());
+        t.row(vec![
+            name.to_string(),
+            topo.num_links().to_string(),
+            us(run.cycles, clock),
+            x(run.cycles as f64 / base as f64),
+            run.dma_transfers.to_string(),
+            mb(wire),
+            us(a2a, clock),
+        ]);
+    }
+    t.note("hierarchical: leaders of the two nodes joined by links with 1/4 bandwidth, 4x latency");
+    t.note("wire traffic counts every hop of every routed message (store-and-forward)");
+    t
+}
+
+/// A fully-instrumented explicit multi-GPU fused GEMM-RS on the named
+/// fabric — the [`multinode`] study's workload — for `figures
+/// --topology <fabric> --trace/--metrics`. Returns the populated
+/// instruments, the run result, and the core clock.
+///
+/// # Panics
+///
+/// Panics if `topology` is not one of [`TOPOLOGY_NAMES`] (the CLI
+/// validates before calling).
+pub fn traced_multinode(
+    scale: ExperimentScale,
+    topology: &str,
+) -> (
+    t3_trace::Instruments,
+    t3_core::multigpu::MultiGpuResult,
+    f64,
+) {
+    let tp = 16u64;
+    let sys = system_for(tp);
+    let topo = topology_by_name(topology, tp as usize, &sys).expect("validated by the CLI");
+    let shape = scale.shape(&zoo::t_nlg(), Sublayer::Fc2, tp);
+    let grid = GemmGrid::new(&sys.gpu, shape);
+    let mut ins = t3_trace::Instruments::full();
+    let run =
+        run_multi_gpu_fused_rs_on(&sys, grid, &FusedOptions::default(), &topo, Some(&mut ins));
+    (ins, run, sys.gpu.clock_ghz)
+}
+
 /// A fully-instrumented T-NLG FC-2 (TP=8, SL*B=4K) fused GEMM-RS run
 /// under T3-MCA — the same workload as Figure 17 — for the `figures
 /// --trace` / `--metrics` exports. Returns the populated instruments,
@@ -909,6 +1026,35 @@ mod tests {
     fn sweep_shows_growing_headroom() {
         let t = sweep();
         assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn topology_names_all_resolve() {
+        let sys = SystemConfig::paper_default().with_num_gpus(16);
+        for name in TOPOLOGY_NAMES {
+            let topo = topology_by_name(name, 16, &sys).expect("known name");
+            assert_eq!(topo.num_gpus(), 16, "{name}");
+        }
+        assert!(topology_by_name("mesh", 16, &sys).is_none());
+    }
+
+    #[test]
+    fn multinode_compares_chosen_fabric_against_ring() {
+        let t = multinode(ExperimentScale::FAST, Some("hierarchical"));
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(text.contains("ring") && text.contains("hierarchical"));
+    }
+
+    #[test]
+    fn traced_multinode_populates_instruments() {
+        let (ins, run, ghz) = traced_multinode(ExperimentScale::FAST, "switch");
+        assert!(ghz > 0.0);
+        assert!(run.cycles > 0);
+        let metrics = ins.metrics.as_ref().expect("metrics on");
+        assert!(metrics.counter("link.bytes_sent") > 0);
+        let tracer = ins.tracer.as_ref().expect("tracer on");
+        assert!(tracer.count(|e| matches!(e, t3_trace::Event::LinkBusy { .. })) > 0);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   focuses on;
 //! * [`direct::direct_reduce_scatter`] — the fully-connected-topology
 //!   variant T3 also supports;
-//! * [`direct::all_to_all`] — the exchange used by expert parallelism.
+//! * [`direct::all_to_all`] — the exchange used by expert parallelism;
+//! * [`scheduled`] — executors that run a topology-derived
+//!   [`t3_topo::Schedule`] (ring, switch, torus, hierarchical, …)
+//!   against a cluster, sharing one schedule source with the timing
+//!   engines.
 //!
 //! [`gemm`] provides the functional matrix multiply (whole and
 //! per-tile) that the fused engine uses as its "producer kernel".
@@ -26,3 +30,4 @@ pub mod direct;
 pub mod gemm;
 pub mod reference;
 pub mod ring;
+pub mod scheduled;

@@ -1,0 +1,224 @@
+//! Schedule-driven functional collectives.
+//!
+//! [`crate::ring`] and [`crate::direct`] hand-code their send loops;
+//! this module instead *executes* a topology-derived
+//! [`t3_topo::Schedule`] against a [`Cluster`], so the same send lists
+//! that drive the timing fabric and the fused engines also move real
+//! `f32` data. On a ring topology the executed sends are the exact
+//! `(src, dst, chunk)` sequence of [`crate::ring::ring_reduce_scatter`]
+//! / [`crate::ring::ring_all_gather`] — one schedule source, verified
+//! bit-for-bit by the tests.
+//!
+//! Within one step every chunk moves exactly once (a schedule
+//! invariant), and no device sends a chunk it receives in the same
+//! step, so applying a step's sends sequentially is equivalent to
+//! applying them simultaneously.
+
+use crate::cluster::Cluster;
+use t3_net::ring::chunk_bounds;
+use t3_topo::{CollectiveKind, Schedule};
+
+/// Executes a reduce-scatter schedule: every send is a remote
+/// *update* (op-and-store reduction at the receiver). Afterwards
+/// device `d`'s chunk `sched.owned_chunk(d)` holds the full sum.
+///
+/// # Panics
+///
+/// Panics if the schedule is not a reduce-scatter or its device count
+/// differs from the cluster's.
+pub fn scheduled_reduce_scatter(cluster: &mut Cluster, sched: &Schedule) {
+    check(cluster, sched, CollectiveKind::ReduceScatter);
+    let n = sched.devices();
+    let len = cluster.array_len();
+    for step in sched.steps() {
+        for send in step {
+            let (s, e) = chunk_bounds(len, n, send.chunk);
+            if s == e {
+                continue;
+            }
+            cluster.remote_update(send.src, send.dst, s..e);
+        }
+    }
+}
+
+/// Executes an all-gather schedule: every send is a plain remote
+/// store of an owned (fully reduced) chunk. Afterwards every device
+/// holds every owned chunk.
+///
+/// # Panics
+///
+/// Panics if the schedule is not an all-gather or its device count
+/// differs from the cluster's.
+pub fn scheduled_all_gather(cluster: &mut Cluster, sched: &Schedule) {
+    check(cluster, sched, CollectiveKind::AllGather);
+    let n = sched.devices();
+    let len = cluster.array_len();
+    for step in sched.steps() {
+        for send in step {
+            let (s, e) = chunk_bounds(len, n, send.chunk);
+            if s == e {
+                continue;
+            }
+            cluster.remote_store(send.src, send.dst, s..e);
+        }
+    }
+}
+
+/// Executes an all-to-all schedule: afterwards device `d`'s chunk `j`
+/// holds device `j`'s original chunk `d` (the same transpose contract
+/// as [`crate::direct::all_to_all`]).
+///
+/// Sources are snapshotted up front: all-to-all destinations overwrite
+/// regions other devices still need to send, so in-place sequential
+/// application would corrupt later sends.
+///
+/// # Panics
+///
+/// Panics if the schedule is not an all-to-all, its device count
+/// differs from the cluster's, or the array length is not divisible by
+/// the device count (all-to-all requires an even split).
+pub fn scheduled_all_to_all(cluster: &mut Cluster, sched: &Schedule) {
+    check(cluster, sched, CollectiveKind::AllToAll);
+    let n = sched.devices();
+    let len = cluster.array_len();
+    assert!(
+        len.is_multiple_of(n),
+        "all-to-all needs len divisible by devices"
+    );
+    let c = len / n;
+    let snapshots: Vec<Vec<f32>> = (0..n)
+        .map(|d| cluster.device(d).as_slice().to_vec())
+        .collect();
+    for step in sched.steps() {
+        for send in step {
+            // Device `src`'s chunk `dst` lands on device `dst` at
+            // chunk position `src` (the transpose).
+            debug_assert_eq!(send.chunk, send.dst);
+            let data = &snapshots[send.src][send.dst * c..(send.dst + 1) * c];
+            cluster.device_mut(send.dst).store_slice(send.src * c, data);
+        }
+    }
+}
+
+fn check(cluster: &Cluster, sched: &Schedule, kind: CollectiveKind) {
+    assert_eq!(sched.kind(), kind, "wrong schedule kind for this executor");
+    assert_eq!(
+        sched.devices(),
+        cluster.num_devices(),
+        "schedule and cluster disagree on device count"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{all_to_all_expected, assert_close, elementwise_sum};
+    use crate::ring::{ring_all_gather, ring_reduce_scatter};
+    use t3_sim::config::SystemConfig;
+    use t3_topo::Topology;
+
+    fn cfg() -> t3_sim::config::LinkConfig {
+        SystemConfig::paper_default().link
+    }
+
+    fn fabrics(n: usize) -> Vec<Topology> {
+        let mut v = vec![
+            Topology::fully_connected(n, &cfg()),
+            Topology::switch(n, &cfg()),
+        ];
+        if n >= 4 {
+            v.push(Topology::ring(n, &cfg()));
+            v.push(Topology::torus2d(2, n / 2, &cfg()));
+            v.push(Topology::hierarchical(2, n / 2, &cfg(), &cfg()));
+        }
+        v
+    }
+
+    fn inputs(n: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|d| (0..len).map(|i| ((d * 37 + i * 3) % 101) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ring_schedule_execution_is_bit_identical_to_ring_module() {
+        for n in [2usize, 4, 8] {
+            let len = 50; // uneven chunks included
+            let topo = Topology::ring(n, &cfg());
+            let bufs = inputs(n, len);
+            let mut via_schedule = Cluster::from_buffers(bufs.clone());
+            let mut via_ring = Cluster::from_buffers(bufs);
+            scheduled_reduce_scatter(&mut via_schedule, &Schedule::reduce_scatter(&topo));
+            ring_reduce_scatter(&mut via_ring);
+            assert_eq!(via_schedule, via_ring, "RS diverged at n={n}");
+            scheduled_all_gather(&mut via_schedule, &Schedule::all_gather(&topo));
+            ring_all_gather(&mut via_ring);
+            assert_eq!(via_schedule, via_ring, "AG diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn rs_owned_chunks_hold_full_sums_on_every_fabric() {
+        for n in [4usize, 8] {
+            let len = 53;
+            for topo in fabrics(n) {
+                let bufs = inputs(n, len);
+                let expected = elementwise_sum(&bufs);
+                let mut cluster = Cluster::from_buffers(bufs);
+                let sched = Schedule::reduce_scatter(&topo);
+                scheduled_reduce_scatter(&mut cluster, &sched);
+                for d in 0..n {
+                    let (s, e) = chunk_bounds(len, n, sched.owned_chunk(d));
+                    assert_close(&cluster.device(d).as_slice()[s..e], &expected[s..e], 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rs_then_ag_is_an_all_reduce_on_every_fabric() {
+        let n = 8;
+        let len = 40;
+        for topo in fabrics(n) {
+            let bufs = inputs(n, len);
+            let expected = elementwise_sum(&bufs);
+            let mut cluster = Cluster::from_buffers(bufs);
+            scheduled_reduce_scatter(&mut cluster, &Schedule::reduce_scatter(&topo));
+            scheduled_all_gather(&mut cluster, &Schedule::all_gather(&topo));
+            for d in 0..n {
+                assert_close(cluster.device(d).as_slice(), &expected, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn a2a_matches_direct_reference_on_every_fabric() {
+        let n = 4;
+        let len = n * 5;
+        for topo in fabrics(n) {
+            let bufs = inputs(n, len);
+            let mut cluster = Cluster::from_buffers(bufs.clone());
+            scheduled_all_to_all(&mut cluster, &Schedule::all_to_all(&topo));
+            for d in 0..n {
+                let expected = all_to_all_expected(&bufs, d);
+                assert_close(cluster.device(d).as_slice(), &expected, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong schedule kind")]
+    fn kind_mismatch_rejected() {
+        let topo = Topology::ring(4, &cfg());
+        let mut cluster = Cluster::new(4, 8);
+        scheduled_reduce_scatter(&mut cluster, &Schedule::all_gather(&topo));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on device count")]
+    fn device_count_mismatch_rejected() {
+        let topo = Topology::ring(8, &cfg());
+        let mut cluster = Cluster::new(4, 8);
+        scheduled_reduce_scatter(&mut cluster, &Schedule::reduce_scatter(&topo));
+    }
+}

@@ -14,6 +14,7 @@
 //! [`ConfigBuilder`] mirrors the paper's API for custom collectives.
 
 use t3_net::ring::Ring;
+use t3_topo::schedule::{CollectiveKind, Schedule};
 
 /// Where one chunk of the producer's output is routed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,6 +210,62 @@ impl OutputConfig {
         b.build()
     }
 
+    /// Derives `device`'s producer-output configuration from a
+    /// topology-derived reduce-scatter [`Schedule`] — the single
+    /// schedule source shared with the functional collectives and the
+    /// timing fabric, so configurations cannot drift from the wire
+    /// plan. The rule generalises Figure 12 uniformly:
+    ///
+    /// * a chunk this device sends **without having received it**
+    ///   leaves as fine-grained remote updates (`remote_map`) — the
+    ///   ring's warm-up step, and *every* send of the direct schedule;
+    /// * a chunk received `r` times before being sent is written
+    ///   locally and DMA-updated onward once the Tracker counts
+    ///   `r + 1` updates per element (`dma_map`) — the ring's steady
+    ///   state, with its threshold of 2;
+    /// * the owned chunk stays local with a threshold of one local
+    ///   plus every scheduled receive — 2 on a ring, `N` on a direct
+    ///   fabric.
+    ///
+    /// On a ring schedule this reproduces
+    /// [`OutputConfig::ring_reduce_scatter`] bit-for-bit (see the
+    /// `schedule_derivation_matches_ring_config` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is not a reduce-scatter or `device` is
+    /// out of range.
+    pub fn from_reduce_scatter_schedule(sched: &Schedule, device: usize) -> Self {
+        assert_eq!(
+            sched.kind(),
+            CollectiveKind::ReduceScatter,
+            "configuration derivation needs a reduce-scatter schedule"
+        );
+        let n = sched.devices();
+        assert!(device < n, "device out of range");
+        let mut receives: Vec<u32> = vec![0; n];
+        let mut b = ConfigBuilder::new(n);
+        for step in sched.steps() {
+            let send = step
+                .iter()
+                .find(|s| s.src == device)
+                .expect("every device sends in every step");
+            let prior = receives[send.chunk];
+            b = if prior == 0 {
+                b.remote_map_update(send.chunk, send.dst)
+            } else {
+                b.dma_map_update(send.chunk, send.dst, prior + 1)
+            };
+            for s in step {
+                if s.dst == device {
+                    receives[s.chunk] += 1;
+                }
+            }
+        }
+        let owned = sched.owned_chunk(device);
+        b.local(owned, receives[owned] + 1).build()
+    }
+
     /// Direct reduce-scatter on a fully-connected topology
     /// (Section 7.1): every non-owned chunk is remote-updated straight
     /// to its owner as the GEMM stores it; the owned chunk expects one
@@ -397,6 +454,56 @@ mod tests {
         let local = (0..4).filter(|&p| cfg.route(p).tracked()).count();
         assert_eq!(local, 1);
         assert_eq!(cfg.route(cfg.position_of_chunk(3)).destination(), Some(3));
+    }
+
+    #[test]
+    fn schedule_derivation_matches_ring_config() {
+        // The one-schedule-source guarantee: deriving a device's
+        // configuration from the topology schedule reproduces the
+        // hand-built ring configuration bit-for-bit.
+        for n in [2, 3, 4, 8] {
+            let topo =
+                t3_topo::Topology::ring(n, &t3_sim::config::SystemConfig::paper_default().link);
+            let sched = Schedule::reduce_scatter(&topo);
+            let ring = Ring::new(n);
+            for d in 0..n {
+                assert_eq!(
+                    OutputConfig::from_reduce_scatter_schedule(&sched, d),
+                    OutputConfig::ring_reduce_scatter(ring, d),
+                    "ring n={n} device {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_derivation_on_direct_fabric_remote_maps_everything() {
+        let topo = t3_topo::Topology::fully_connected(
+            4,
+            &t3_sim::config::SystemConfig::paper_default().link,
+        );
+        let sched = Schedule::reduce_scatter(&topo);
+        for d in 0..4 {
+            let cfg = OutputConfig::from_reduce_scatter_schedule(&sched, d);
+            for p in 0..3 {
+                let chunk = cfg.chunk_id(p);
+                // Every non-owned chunk streams straight to its owner.
+                assert_eq!(
+                    cfg.route(p),
+                    ChunkRoute::RemoteUpdate {
+                        device: sched.owner_of(chunk)
+                    }
+                );
+            }
+            // The owned chunk expects one local + N-1 remote updates.
+            assert_eq!(cfg.chunk_id(3), (d + 1) % 4);
+            assert_eq!(
+                cfg.route(3),
+                ChunkRoute::LocalOnly {
+                    updates_per_element: 4
+                }
+            );
+        }
     }
 
     #[test]

@@ -870,7 +870,7 @@ pub fn run_fused_gemm_all_to_all(
     }
 }
 
-/// Appends the owned chunk's WF regions to the attribution FIFO (one/// Appends the owned chunk's WF regions to the attribution FIFO (one
+/// Appends the owned chunk's WF regions to the attribution FIFO (one
 /// pass; the direct-RS feed is `N-1` passes).
 fn build_direct_feed(
     grid: &GemmGrid,

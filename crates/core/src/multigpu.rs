@@ -1,25 +1,33 @@
-//! Explicit multi-GPU simulation of the fused GEMM + ring
-//! reduce-scatter — every GPU simulated, real cross-GPU traffic.
+//! Explicit multi-GPU simulation of the fused GEMM + reduce-scatter —
+//! every GPU simulated, real cross-GPU traffic on a real fabric.
 //!
 //! The paper (and [`crate::engine`]) exploit the homogeneity of
 //! tensor-parallel execution to simulate one GPU and mirror its
 //! outgoing traffic as the incoming stream (Section 5.1.1). This
 //! module drops that assumption: all `N` GPUs run their own GEMM
 //! engine, memory controller, LLC, Tracker and DMA engine, and every
-//! chunk travels on a real link from its producer to its consumer.
+//! chunk travels over a [`t3_topo::Fabric`] from its producer to its
+//! consumer — contending per hop with everything else on the wire.
 //!
-//! Its purpose is to *validate the mirrored methodology*: for
-//! homogeneous GPUs, [`run_multi_gpu_fused_rs`] and
-//! [`crate::engine::run_fused_gemm_rs`] must agree closely (the
-//! `mirrored_methodology_validation` test and the `figures extensions`
-//! target check this), and the per-GPU finish-time skew must be small.
+//! Two schedules, one source ([`t3_topo::Schedule`]):
 //!
-//! Schedule (the ascending mirror-image ring, as in the single-GPU
-//! engine): device `d` computes global chunk `(d + p) mod N` at local
-//! position `p` and sends to `prev(d)`; it receives position `p+1`'s
-//! chunk from `next(d)`. Position 0 leaves as fine-grained remote
-//! stores; positions `1..=N-2` as Tracker-triggered DMA updates; the
-//! last position is the owned chunk.
+//! * **Ring fabrics** run the ascending mirror-image ring exactly as
+//!   before (its purpose is to *validate the mirrored methodology*):
+//!   device `d` computes global chunk `(d + p) mod N` at local
+//!   position `p` and sends to `prev(d)`. Position 0 leaves as
+//!   fine-grained remote stores; positions `1..=N-2` as
+//!   Tracker-triggered DMA updates; the last position is the owned
+//!   chunk. The per-position routes come from the schedule-derived
+//!   [`OutputConfig`], which reproduces the hand-built ring
+//!   configuration bit-for-bit.
+//! * **Every other fabric** (switch, torus, hierarchical,
+//!   fully-connected) runs the direct schedule (Section 7.1): each
+//!   non-owned chunk streams straight to its owner as fine-grained
+//!   remote updates over its (possibly multi-hop) route, and the
+//!   owned chunk completes in memory once the local pass plus `N-1`
+//!   incoming passes have been counted by the Tracker. No DMAs are
+//!   needed; messages crossing a shared switch port or a slow
+//!   inter-node link contend in the fabric's per-link serialisers.
 
 use std::collections::VecDeque;
 
@@ -30,11 +38,11 @@ use t3_gpu::engine::{GemmEngine, GemmEvent};
 use t3_gpu::gemm::GemmGrid;
 use t3_mem::controller::{MemoryController, StreamId};
 use t3_mem::llc::Llc;
-use t3_net::link::Link;
 use t3_net::ring::Ring;
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::{Bytes, Cycle};
+use t3_topo::{Fabric, Schedule, Topology};
 use t3_trace::{reborrow, Event, Instruments};
 
 /// Result of an explicit multi-GPU fused run.
@@ -50,6 +58,10 @@ pub struct MultiGpuResult {
     pub skew: Cycle,
     /// Total DMA chunk transfers across GPUs.
     pub dma_transfers: u64,
+    /// Observed wire bytes per fabric link, indexed by
+    /// [`t3_topo::LinkId`]. Multi-hop messages count once per hop,
+    /// so this must equal the schedule's per-link prediction.
+    pub link_bytes: Vec<Bytes>,
 }
 
 impl MultiGpuResult {
@@ -87,6 +99,12 @@ struct ChunkState {
     global_chunk: usize,
     bytes: Bytes,
     route: ChunkRoute,
+    /// Physical destination GPU for outgoing positions (`None` for
+    /// the owned chunk).
+    dest: Option<usize>,
+    /// Full passes of incoming updates this position expects (1 on a
+    /// ring; `N-1` for a direct fabric's owned chunk; 0 otherwise).
+    incoming_passes: usize,
     triggered_wfs: usize,
     expected_wfs: usize,
     dma_fired: bool,
@@ -99,9 +117,6 @@ struct Gpu {
     llc: Llc,
     gemm: GemmEngine,
     tracker: Tracker,
-    /// Outbound link to `prev(d)` (the ascending schedule sends
-    /// backwards around the ring).
-    link: Link,
     chunks: Vec<ChunkState>,
     feed: VecDeque<FeedEntry>,
     rs_update_seen: Bytes,
@@ -114,14 +129,16 @@ struct Gpu {
     dma_transfers: u64,
 }
 
-/// Message payload on a link: which global chunk and how many bytes.
+/// Message payload on the fabric: which global chunk and how many
+/// bytes.
 #[derive(Debug, Clone, Copy)]
 struct Incoming {
     global_chunk: usize,
     bytes: Bytes,
 }
 
-/// Runs the fused GEMM-RS with every GPU simulated explicitly.
+/// Runs the fused GEMM-RS with every GPU simulated explicitly, on the
+/// ring fabric the paper evaluates.
 ///
 /// # Panics
 ///
@@ -147,6 +164,28 @@ pub fn run_multi_gpu_fused_rs_instrumented(
     sys: &SystemConfig,
     grid: GemmGrid,
     opts: &FusedOptions,
+    ins: Option<&mut Instruments>,
+) -> MultiGpuResult {
+    let topo = Topology::ring(sys.num_gpus, &sys.link);
+    run_multi_gpu_fused_rs_on(sys, grid, opts, &topo, ins)
+}
+
+/// Runs the fused GEMM + reduce-scatter with every GPU simulated
+/// explicitly over an arbitrary fabric. A ring topology reproduces
+/// [`run_multi_gpu_fused_rs`] exactly; any other fabric runs the
+/// direct schedule with multi-hop, per-link-contended traffic (see
+/// the module docs).
+///
+/// # Panics
+///
+/// Panics if the topology's GPU count differs from `sys.num_gpus`, if
+/// the substrate cannot reduce in memory, or on non-convergence
+/// (internal error).
+pub fn run_multi_gpu_fused_rs_on(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+    topo: &Topology,
     mut ins: Option<&mut Instruments>,
 ) -> MultiGpuResult {
     assert!(
@@ -154,9 +193,20 @@ pub fn run_multi_gpu_fused_rs_instrumented(
         "fused T3 requires an in-memory reduction substrate"
     );
     assert!(opts.stagger, "the explicit model always staggers");
+    assert_eq!(
+        topo.num_gpus(),
+        sys.num_gpus,
+        "topology and system disagree on GPU count"
+    );
     let n = sys.num_gpus;
+    let is_ring = topo.is_ring();
     let ring = Ring::new(n);
-    let config = OutputConfig::ring_reduce_scatter(ring, 0);
+    let sched = Schedule::reduce_scatter(topo);
+    // All routing decisions flow from the one schedule source.
+    let configs: Vec<OutputConfig> = (0..n)
+        .map(|d| OutputConfig::from_reduce_scatter_schedule(&sched, d))
+        .collect();
+    let mut fabric = Fabric::new(topo);
     let elem_bytes = grid.shape().elem_bytes;
     let update_cost = opts.substrate.update_cost_multiplier(&sys.mem);
 
@@ -167,21 +217,39 @@ pub fn run_multi_gpu_fused_rs_instrumented(
 
     let mut gpus: Vec<Gpu> = (0..n)
         .map(|d| {
-            // Local execution order: positions 0..n, position p being
-            // global chunk (d + p) % n. Local WG bounds accumulate the
-            // global chunk sizes in that rotated order.
+            // Local execution order: positions 0..n. On a ring,
+            // position p is global chunk (d + p) % n and everything
+            // leaves toward prev(d) (the ascending mirror-image
+            // schedule); elsewhere the schedule-derived configuration
+            // names both the chunk and its owner.
             let mut chunks = Vec::with_capacity(n);
             let mut cursor = 0u64;
             for p in 0..n {
-                let global_chunk = (d + p) % n;
+                let (global_chunk, route, dest) = if is_ring {
+                    let route = configs[0].route(p);
+                    let dest = (p < n - 1).then(|| ring.prev(d));
+                    ((d + p) % n, route, dest)
+                } else {
+                    let route = configs[d].route(p);
+                    (configs[d].chunk_id(p), route, route.destination())
+                };
+                let incoming_passes = if is_ring {
+                    usize::from(p >= 1)
+                } else {
+                    sched
+                        .sends()
+                        .filter(|s| s.dst == d && s.chunk == global_chunk)
+                        .count()
+                };
                 let (g0, g1) = global_bounds[global_chunk];
                 let size = g1 - g0;
-                let route = config.route(p);
                 chunks.push(ChunkState {
                     wg_bounds: (cursor, cursor + size),
                     global_chunk,
                     bytes: grid.wg_range_output_bytes(g0, g1),
                     route,
+                    dest,
+                    incoming_passes,
                     triggered_wfs: 0,
                     expected_wfs: if route.tracked() {
                         count_nonempty_wfs(&grid, g0, g1)
@@ -198,7 +266,6 @@ pub fn run_multi_gpu_fused_rs_instrumented(
                 llc: Llc::new(&sys.mem),
                 gemm: GemmEngine::new(&sys.gpu, grid.clone()),
                 tracker: Tracker::new(TrackerConfig::paper(grid.wf_tile_elems())),
-                link: Link::new(&sys.link),
                 chunks,
                 feed: VecDeque::new(),
                 rs_update_seen: 0,
@@ -214,13 +281,11 @@ pub fn run_multi_gpu_fused_rs_instrumented(
 
     let mut now: Cycle = 0;
     loop {
-        // Phase A: per-GPU local work; collect outbound sends.
+        // Phase A: drain fabric deliveries per destination GPU.
         let mut arrivals: Vec<Vec<Incoming>> = vec![Vec::new(); n];
-        for (d, gpu) in gpus.iter_mut().enumerate() {
-            // Drain this GPU's link deliveries: they arrive at prev(d).
-            let dst = ring.prev(d);
-            for delivery in gpu.link.deliveries_until(now) {
-                arrivals[dst].push(Incoming {
+        for (d, list) in arrivals.iter_mut().enumerate() {
+            for delivery in fabric.deliveries_until(d, now) {
+                list.push(Incoming {
                     global_chunk: delivery.tag as usize,
                     bytes: delivery.bytes,
                 });
@@ -247,13 +312,15 @@ pub fn run_multi_gpu_fused_rs_instrumented(
                     .position(|c| c.global_chunk == incoming.global_chunk)
                     .expect("chunk routed to wrong GPU");
                 if !gpu.chunks[pos].feed_built {
-                    build_feed(
-                        &grid,
-                        global_bounds[incoming.global_chunk],
-                        pos,
-                        &mut gpu.feed,
-                        elem_bytes,
-                    );
+                    for _ in 0..gpu.chunks[pos].incoming_passes {
+                        build_feed(
+                            &grid,
+                            global_bounds[incoming.global_chunk],
+                            pos,
+                            &mut gpu.feed,
+                            elem_bytes,
+                        );
+                    }
                     gpu.chunks[pos].feed_built = true;
                 }
                 gpu.mc.enqueue(
@@ -347,9 +414,14 @@ pub fn run_multi_gpu_fused_rs_instrumented(
                             grid.wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
                         match gpu.chunks[pos].route {
                             ChunkRoute::RemoteUpdate { .. } => {
+                                let dest = gpu.chunks[pos]
+                                    .dest
+                                    .expect("remote chunk has a destination");
                                 let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
-                                gpu.link.send_traced(
+                                fabric.send_traced(
                                     now,
+                                    d,
+                                    dest,
                                     gpu.chunks[pos].global_chunk as u64,
                                     bytes,
                                     link_ins,
@@ -372,24 +444,26 @@ pub fn run_multi_gpu_fused_rs_instrumented(
                                     elem_bytes,
                                 );
                             }
-                            _ => unreachable!("ring-RS uses no other routes"),
+                            _ => unreachable!("fused RS uses no other routes"),
                         }
                         wg = upper;
                     }
                 }
             }
 
-            // DMA engine: one source read in flight, then the link.
+            // DMA engine: one source read in flight, then the fabric.
             if let Some((pos, target)) = gpu.dma_reading {
                 if gpu.mc.stats().bytes(TrafficClass::RsRead) >= target {
                     let chunk = gpu.chunks[pos].global_chunk as u64;
                     let payload = gpu.chunks[pos].bytes;
-                    let start = gpu.link.busy_until().max(now);
+                    let dest = gpu.chunks[pos].dest.expect("DMA chunk has a destination");
+                    let out_port = topo.route(d, dest)[0];
+                    let start = fabric.link(out_port).busy_until().max(now);
                     let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
-                    gpu.link.send_traced(now, chunk, payload, link_ins);
+                    fabric.send_traced(now, d, dest, chunk, payload, link_ins);
                     if d == 0 {
                         if let Some(ins) = reborrow(&mut ins) {
-                            let end = gpu.link.busy_until();
+                            let end = fabric.link(out_port).busy_until();
                             ins.record(
                                 end,
                                 Event::ChunkSend {
@@ -439,9 +513,9 @@ pub fn run_multi_gpu_fused_rs_instrumented(
                 }
             }
 
-            // Completion bookkeeping (link payloads may still be in
-            // flight toward the neighbour; that time belongs to the
-            // receiver, which cannot finish before consuming them).
+            // Completion bookkeeping (fabric payloads may still be in
+            // flight toward a peer; that time belongs to the receiver,
+            // which cannot finish before consuming them).
             let chunks_done = gpu
                 .chunks
                 .iter()
@@ -458,10 +532,7 @@ pub fn run_multi_gpu_fused_rs_instrumented(
             }
         }
 
-        let all_done = gpus.iter().all(|g| g.finished_at.is_some())
-            && gpus
-                .iter()
-                .all(|g| g.link.is_idle(now) || g.link.busy_until() <= now);
+        let all_done = gpus.iter().all(|g| g.finished_at.is_some()) && fabric.busy_until() <= now;
         if all_done {
             break;
         }
@@ -499,6 +570,7 @@ pub fn run_multi_gpu_fused_rs_instrumented(
         skew: max - min,
         per_gpu_stats: gpus.iter().map(|g| g.mc.stats().clone()).collect(),
         dma_transfers: gpus.iter().map(|g| g.dma_transfers).sum(),
+        link_bytes: fabric.link_bytes(),
         per_gpu_cycles,
     }
 }
@@ -598,6 +670,10 @@ mod tests {
         GemmGrid::new(&sys.gpu, GemmShape::new(4096, 4096, 512))
     }
 
+    fn small_grid(sys: &SystemConfig) -> GemmGrid {
+        GemmGrid::new(&sys.gpu, GemmShape::new(2048, 2048, 512))
+    }
+
     #[test]
     fn all_gpus_complete_with_zero_skew() {
         // Fully homogeneous inputs: every GPU must finish at the same
@@ -607,6 +683,36 @@ mod tests {
         assert_eq!(r.skew, 0, "homogeneous GPUs must not skew");
         assert_eq!(r.per_gpu_cycles.len(), s.num_gpus);
         assert_eq!(r.dma_transfers, (s.num_gpus * (s.num_gpus - 2)) as u64);
+    }
+
+    #[test]
+    fn ring_topology_reproduces_seed_timing() {
+        // Pinned regression: the fabric-based ring path must produce
+        // the exact cycle counts the dedicated per-GPU-link
+        // implementation produced before the topology refactor.
+        let s = sys();
+        let r = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
+        assert_eq!(r.cycles, 438_774);
+        assert_eq!(r.skew, 0);
+        assert_eq!(r.dma_transfers, 48);
+        let mut s4 = sys();
+        s4.num_gpus = 4;
+        let g4 = GemmGrid::new(&s4.gpu, GemmShape::new(2048, 2048, 512));
+        let r4 = run_multi_gpu_fused_rs(&s4, g4, &FusedOptions::default());
+        assert_eq!(r4.cycles, 120_365);
+        assert_eq!(r4.dma_transfers, 8);
+    }
+
+    #[test]
+    fn explicit_topology_ring_matches_wrapper_exactly() {
+        let s = sys();
+        let topo = Topology::ring(s.num_gpus, &s.link);
+        let via_topo =
+            run_multi_gpu_fused_rs_on(&s, small_grid(&s), &FusedOptions::default(), &topo, None);
+        let wrapper = run_multi_gpu_fused_rs(&s, small_grid(&s), &FusedOptions::default());
+        assert_eq!(via_topo.cycles, wrapper.cycles);
+        assert_eq!(via_topo.per_gpu_cycles, wrapper.per_gpu_cycles);
+        assert_eq!(via_topo.link_bytes, wrapper.link_bytes);
     }
 
     #[test]
@@ -649,5 +755,93 @@ mod tests {
         let r = run_multi_gpu_fused_rs(&s, grid_of(&s), &FusedOptions::default());
         assert_eq!(r.dma_transfers, 0);
         assert_eq!(r.skew, 0);
+    }
+
+    /// Per-link wire bytes predicted from the schedule and the grid's
+    /// actual chunk geometry: every send contributes its full chunk to
+    /// each hop of its route.
+    fn predicted_bytes(topo: &Topology, grid: &GemmGrid) -> Vec<Bytes> {
+        let n = topo.num_gpus() as u64;
+        let sched = Schedule::reduce_scatter(topo);
+        let mut per_link = vec![0u64; topo.num_links()];
+        for send in sched.sends() {
+            let (g0, g1) = grid.chunk_wg_bounds(n, send.chunk as u64);
+            let bytes = grid.wg_range_output_bytes(g0, g1);
+            for id in &send.route {
+                per_link[id.0] += bytes;
+            }
+        }
+        per_link
+    }
+
+    #[test]
+    fn non_ring_fabrics_complete_with_exact_byte_accounting() {
+        let s = sys();
+        let grid = small_grid(&s);
+        for topo in [
+            Topology::switch(s.num_gpus, &s.link),
+            Topology::torus2d(2, 4, &s.link),
+            Topology::hierarchical(2, 4, &s.link, &s.link),
+        ] {
+            let r =
+                run_multi_gpu_fused_rs_on(&s, grid.clone(), &FusedOptions::default(), &topo, None);
+            let label = topo.kind().label();
+            assert!(r.cycles > 0, "{label}: no progress");
+            assert!(
+                r.per_gpu_cycles.iter().all(|&c| c > 0 && c <= r.cycles),
+                "{label}: inconsistent per-GPU times"
+            );
+            // Direct schedule: all traffic is fine-grained remote
+            // updates, no DMAs.
+            assert_eq!(r.dma_transfers, 0, "{label}: direct RS uses no DMA");
+            assert_eq!(
+                r.link_bytes,
+                predicted_bytes(&topo, &grid),
+                "{label}: observed wire bytes diverge from the schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_inter_node_links_slow_the_hierarchical_run() {
+        let s = sys();
+        let grid = small_grid(&s);
+        let mut slow = s.link.clone();
+        slow.link_gb_s /= 8.0;
+        slow.latency_ns *= 4.0;
+        let uniform = Topology::hierarchical(2, 4, &s.link, &s.link);
+        let bottleneck = Topology::hierarchical(2, 4, &s.link, &slow);
+        let fast =
+            run_multi_gpu_fused_rs_on(&s, grid.clone(), &FusedOptions::default(), &uniform, None);
+        let slowed =
+            run_multi_gpu_fused_rs_on(&s, grid, &FusedOptions::default(), &bottleneck, None);
+        assert!(
+            slowed.cycles > fast.cycles,
+            "slow inter-node links must cost cycles ({} <= {})",
+            slowed.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn switch_fabric_run_is_traced() {
+        let s = sys();
+        let mut ins = Instruments::full();
+        let topo = Topology::switch(s.num_gpus, &s.link);
+        let r = run_multi_gpu_fused_rs_on(
+            &s,
+            small_grid(&s),
+            &FusedOptions::default(),
+            &topo,
+            Some(&mut ins),
+        );
+        let m = ins.metrics.as_ref().expect("metrics on");
+        assert_eq!(m.counter("run.cycles"), r.cycles);
+        // Device 0's outgoing remote updates all cross its switch
+        // port, which the tracer observed.
+        assert!(m.counter("link.bytes_sent") > 0);
+        assert!(m.counter("chunks.received") > 0);
+        let tracer = ins.tracer.as_ref().expect("tracer on");
+        assert!(tracer.count(|e| matches!(e, Event::LinkBusy { .. })) > 0);
     }
 }

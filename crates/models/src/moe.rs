@@ -11,6 +11,7 @@ use t3_core::engine::{run_fused_gemm_all_to_all, FusedOptions};
 use t3_gpu::gemm::{GemmGrid, GemmShape};
 use t3_sim::config::SystemConfig;
 use t3_sim::Cycle;
+use t3_topo::{Fabric, Schedule, Topology};
 
 /// One MoE layer's configuration under expert parallelism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,15 +65,39 @@ pub struct MoeOutcome {
     pub a2a_cycles: Cycle,
 }
 
-/// All-to-all time on a fully-connected topology: each device streams
-/// `(N-1)/N` of its payload out on dedicated links concurrently, so
-/// the wire time is one chunk's serialisation plus latency, plus the
-/// DRAM cost of landing the incoming chunks.
+/// All-to-all time on a fully-connected topology. Kept as the default
+/// fabric for [`moe_combine_study`]; the wire time now comes from
+/// executing the topology-derived schedule (see
+/// [`scheduled_all_to_all_cycles`]), which on dedicated links resolves
+/// to the old closed form — one chunk's serialisation plus latency.
 pub fn all_to_all_cycles(sys: &SystemConfig, payload_bytes: u64) -> Cycle {
+    let topo = Topology::fully_connected(sys.num_gpus, &sys.link);
+    scheduled_all_to_all_cycles(sys, &topo, payload_bytes)
+}
+
+/// All-to-all time over an arbitrary fabric: the wire term executes
+/// the topology-derived schedule on a [`Fabric`] (per-hop
+/// serialisation, shared-port contention, slow inter-node links), and
+/// the memory term adds the DRAM cost of landing the `N-1` incoming
+/// chunks plus one kernel launch.
+///
+/// # Panics
+///
+/// Panics if the topology's GPU count differs from `sys.num_gpus`.
+pub fn scheduled_all_to_all_cycles(
+    sys: &SystemConfig,
+    topo: &Topology,
+    payload_bytes: u64,
+) -> Cycle {
+    assert_eq!(
+        topo.num_gpus(),
+        sys.num_gpus,
+        "topology and system disagree on GPU count"
+    );
     let n = sys.num_gpus as u64;
+    let sched = Schedule::all_to_all(topo);
+    let wire = Fabric::new(topo).run_schedule(&sched, payload_bytes, None);
     let chunk = payload_bytes / n;
-    let wire =
-        (chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle + sys.link.latency_cycles();
     let dram = ((n - 1) * chunk) as f64 / sys.mem.bytes_per_cycle();
     wire + dram.ceil() as Cycle + sys.gpu.kernel_launch_cycles
 }
@@ -127,6 +152,28 @@ mod tests {
         assert!(t_big > t_small);
         // More devices -> smaller chunks -> shorter wire time.
         assert!(all_to_all_cycles(&s16, 64 << 20) < all_to_all_cycles(&s8, 64 << 20));
+    }
+
+    #[test]
+    fn scheduled_a2a_feels_the_fabric() {
+        let s = sys();
+        let payload = 64 << 20;
+        let fc = Topology::fully_connected(s.num_gpus, &s.link);
+        let hub = Topology::switch(s.num_gpus, &s.link);
+        let mut slow = s.link.clone();
+        slow.link_gb_s /= 8.0;
+        let hier = Topology::hierarchical(2, s.num_gpus / 2, &s.link, &slow);
+        let t_fc = scheduled_all_to_all_cycles(&s, &fc, payload);
+        let t_hub = scheduled_all_to_all_cycles(&s, &hub, payload);
+        let t_hier = scheduled_all_to_all_cycles(&s, &hier, payload);
+        // A shared switch port serialises the N-1 outgoing chunks that
+        // dedicated links would stream concurrently.
+        assert!(t_hub > t_fc, "switch {t_hub} vs fully-connected {t_fc}");
+        // Slow inter-node links dominate the hierarchical exchange.
+        assert!(
+            t_hier > t_fc,
+            "hierarchical {t_hier} vs fully-connected {t_fc}"
+        );
     }
 
     #[test]

@@ -25,14 +25,11 @@ impl Ring {
         Ring { n }
     }
 
-    /// Number of devices.
+    /// Number of devices. Always at least 2 (the constructor rejects
+    /// smaller rings), so there is no `is_empty`.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.n
-    }
-
-    /// Rings are never empty.
-    pub fn is_empty(&self) -> bool {
-        false
     }
 
     /// The device `device` sends to (next in the ring).

@@ -1,0 +1,34 @@
+//! Network-fabric subsystem (Section 7.1's topology generalisation).
+//!
+//! The paper evaluates T3 on a unidirectional intra-node ring and
+//! argues (Section 7.1) that the Tracker/trigger mechanism is
+//! topology-independent: the address-space configuration decides
+//! *where* chunks go, and the fabric decides *how* they get there.
+//! This crate makes the fabric explicit:
+//!
+//! * [`graph`] — a topology graph: nodes are GPUs or switches, edges
+//!   are directed links with their own [`t3_sim::config::LinkConfig`].
+//!   Constructors cover the fabrics the paper discusses (bidirectional
+//!   ring, fully-connected) plus switch (star), 2D torus, and a
+//!   hierarchical two-level "ring of rings" multi-node fabric.
+//!   Shortest-path routes are precomputed for every GPU pair.
+//! * [`schedule`] — topology-derived collective schedules:
+//!   reduce-scatter, all-gather and all-to-all expressed as per-step
+//!   `(src, dst, chunk, route)` send lists. On a ring topology the
+//!   reduce-scatter/all-gather schedules are **bit-identical** to
+//!   [`t3_net::ring::Ring`]'s algebra, so the functional collectives
+//!   and both timing engines keep consuming one schedule source.
+//! * [`fabric`] — the timing executor: one [`t3_net::link::Link`] per
+//!   topology edge, store-and-forward per-hop serialisation (a
+//!   multi-hop message occupies every link on its route, so messages
+//!   sharing a switch port contend realistically), per-destination
+//!   delivery queues, and per-link byte accounting that must match the
+//!   schedule's closed-form prediction.
+
+pub mod fabric;
+pub mod graph;
+pub mod schedule;
+
+pub use fabric::{Arrival, Fabric};
+pub use graph::{LinkId, NodeKind, TopoLink, Topology, TopologyKind};
+pub use schedule::{CollectiveKind, Schedule, ScheduledSend};

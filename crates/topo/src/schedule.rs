@@ -1,0 +1,500 @@
+//! Topology-derived collective schedules.
+//!
+//! A [`Schedule`] is the full send plan of one collective: `steps`
+//! lists, per step, every `(src, dst, chunk, route)` send in the
+//! fabric. Two derivations exist:
+//!
+//! * **Ring** fabrics reproduce [`t3_net::ring::Ring`]'s algebra
+//!   exactly — same step count, same `(src, dst, chunk)` triples — so
+//!   the functional collectives and both timing engines keep one
+//!   schedule source and cannot drift.
+//! * **Every other fabric** uses the direct schedule: each device
+//!   exchanges chunks straight with their final owner/recipient over
+//!   the shortest route (Section 7.1's direct/switch generalisation).
+//!   Each step is still a permutation — every chunk index appears
+//!   exactly once per step — so the per-step property tests are shared
+//!   by all fabrics.
+//!
+//! All schedules use the ring's ownership convention: after
+//! reduce-scatter, device `d` owns the fully-reduced chunk
+//! `(d + 1) % n`.
+
+use t3_net::ring::{chunk_bounds, Ring};
+use t3_sim::Bytes;
+
+use crate::graph::{LinkId, Topology};
+
+/// Which collective a [`Schedule`] implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Reduce-scatter: every device ends up owning one fully-reduced
+    /// chunk.
+    ReduceScatter,
+    /// All-gather: every device ends up with every owned chunk.
+    AllGather,
+    /// All-to-all: device `d`'s chunk `c` ends up on device `c`
+    /// (chunk-transpose, the MoE dispatch/combine pattern).
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// True for collectives whose step `s + 1` sends forward data
+    /// received in step `s` (so the executor must gate on arrival).
+    /// All-to-all payloads are all resident before the collective
+    /// starts, so its steps only contend on link serialisers.
+    pub fn is_recv_gated(&self) -> bool {
+        !matches!(self, CollectiveKind::AllToAll)
+    }
+}
+
+/// One send of one chunk in one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledSend {
+    /// Sending GPU.
+    pub src: usize,
+    /// Receiving GPU.
+    pub dst: usize,
+    /// Chunk index (`0..devices`).
+    pub chunk: usize,
+    /// Links the message traverses, in order (`src` to `dst`).
+    pub route: Vec<LinkId>,
+}
+
+/// A complete collective schedule over some fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    kind: CollectiveKind,
+    devices: usize,
+    steps: Vec<Vec<ScheduledSend>>,
+}
+
+impl Schedule {
+    /// Derives the reduce-scatter schedule for `topo`.
+    ///
+    /// On a ring this is exactly [`Ring`]'s schedule: in step `s`
+    /// device `d` sends `rs_send_chunk(d, s)` to its ring successor.
+    /// On any other fabric it is the direct schedule: in step `s`
+    /// device `d` sends the partial chunk owned by device
+    /// `(d + s + 1) % n` straight to that owner.
+    pub fn reduce_scatter(topo: &Topology) -> Self {
+        let n = topo.num_gpus();
+        let steps = if topo.is_ring() {
+            let ring = Ring::new(n);
+            (0..ring.steps())
+                .map(|s| {
+                    (0..n)
+                        .map(|d| sent(topo, d, ring.next(d), ring.rs_send_chunk(d, s)))
+                        .collect()
+                })
+                .collect()
+        } else {
+            (0..n - 1)
+                .map(|s| {
+                    (0..n)
+                        .map(|d| {
+                            let dst = (d + s + 1) % n;
+                            sent(topo, d, dst, (dst + 1) % n)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        Schedule {
+            kind: CollectiveKind::ReduceScatter,
+            devices: n,
+            steps,
+        }
+    }
+
+    /// Derives the all-gather schedule for `topo` (ring algebra on a
+    /// ring; direct broadcast of each device's owned chunk otherwise).
+    pub fn all_gather(topo: &Topology) -> Self {
+        let n = topo.num_gpus();
+        let steps = if topo.is_ring() {
+            let ring = Ring::new(n);
+            (0..ring.steps())
+                .map(|s| {
+                    (0..n)
+                        .map(|d| sent(topo, d, ring.next(d), ring.ag_send_chunk(d, s)))
+                        .collect()
+                })
+                .collect()
+        } else {
+            (0..n - 1)
+                .map(|s| {
+                    (0..n)
+                        .map(|d| sent(topo, d, (d + s + 1) % n, (d + 1) % n))
+                        .collect()
+                })
+                .collect()
+        };
+        Schedule {
+            kind: CollectiveKind::AllGather,
+            devices: n,
+            steps,
+        }
+    }
+
+    /// Derives the all-to-all schedule for `topo`: in step `s` device
+    /// `d` sends its chunk `(d + s + 1) % n` to device `(d + s + 1) %
+    /// n` (chunk `c` belongs on device `c`; the resident chunk `d`
+    /// never moves). The same rotation is used on every fabric — on a
+    /// ring the messages simply take multi-hop routes.
+    pub fn all_to_all(topo: &Topology) -> Self {
+        let n = topo.num_gpus();
+        let steps = (0..n - 1)
+            .map(|s| {
+                (0..n)
+                    .map(|d| {
+                        let dst = (d + s + 1) % n;
+                        sent(topo, d, dst, dst)
+                    })
+                    .collect()
+            })
+            .collect();
+        Schedule {
+            kind: CollectiveKind::AllToAll,
+            devices: n,
+            steps,
+        }
+    }
+
+    /// Which collective this schedules.
+    pub fn kind(&self) -> CollectiveKind {
+        self.kind
+    }
+
+    /// Number of participating devices (and chunks).
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The sends of step `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.num_steps()`.
+    pub fn step(&self, s: usize) -> &[ScheduledSend] {
+        &self.steps[s]
+    }
+
+    /// All steps.
+    pub fn steps(&self) -> &[Vec<ScheduledSend>] {
+        &self.steps
+    }
+
+    /// Every send of every step, flattened in execution order.
+    pub fn sends(&self) -> impl Iterator<Item = &ScheduledSend> {
+        self.steps.iter().flatten()
+    }
+
+    /// Chunk that `device` owns after reduce-scatter (the ring
+    /// convention, shared by every fabric).
+    pub fn owned_chunk(&self, device: usize) -> usize {
+        (device + 1) % self.devices
+    }
+
+    /// Device that owns `chunk` after reduce-scatter.
+    pub fn owner_of(&self, chunk: usize) -> usize {
+        (chunk + self.devices - 1) % self.devices
+    }
+
+    /// Byte range `[start, end)` of `chunk` inside a `payload_bytes`
+    /// buffer (remainder spread over the first chunks, exactly as the
+    /// engines split arrays).
+    pub fn chunk_byte_range(&self, payload_bytes: Bytes, chunk: usize) -> (Bytes, Bytes) {
+        let (s, e) = chunk_bounds(payload_bytes as usize, self.devices, chunk);
+        (s as Bytes, e as Bytes)
+    }
+
+    /// Size of `chunk` for a `payload_bytes` buffer.
+    pub fn chunk_size(&self, payload_bytes: Bytes, chunk: usize) -> Bytes {
+        let (s, e) = self.chunk_byte_range(payload_bytes, chunk);
+        e - s
+    }
+
+    /// Payload bytes device `device` injects over the whole collective
+    /// (the closed-form `(n-1)/n * payload` when `payload_bytes`
+    /// divides evenly).
+    pub fn bytes_sent_by(&self, device: usize, payload_bytes: Bytes) -> Bytes {
+        self.sends()
+            .filter(|send| send.src == device)
+            .map(|send| self.chunk_size(payload_bytes, send.chunk))
+            .sum()
+    }
+
+    /// Predicted per-link wire bytes for a `payload_bytes` collective:
+    /// every send contributes its chunk's bytes to **each** link on
+    /// its route (store-and-forward occupies every hop). Indexed by
+    /// [`LinkId`]; the fabric's observed per-link counters must match
+    /// this exactly.
+    pub fn predicted_link_bytes(&self, topo: &Topology, payload_bytes: Bytes) -> Vec<Bytes> {
+        let mut per_link = vec![0; topo.num_links()];
+        for send in self.sends() {
+            let bytes = self.chunk_size(payload_bytes, send.chunk);
+            for &id in &send.route {
+                per_link[id.0] += bytes;
+            }
+        }
+        per_link
+    }
+}
+
+/// Builds one send, resolving the route from the topology.
+fn sent(topo: &Topology, src: usize, dst: usize, chunk: usize) -> ScheduledSend {
+    ScheduledSend {
+        src,
+        dst,
+        chunk,
+        route: topo.route(src, dst).to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_sim::config::SystemConfig;
+
+    fn cfg() -> t3_sim::config::LinkConfig {
+        SystemConfig::paper_default().link
+    }
+
+    /// Every fabric the crate can build, at 8 GPUs.
+    fn fabrics8() -> Vec<Topology> {
+        vec![
+            Topology::ring(8, &cfg()),
+            Topology::fully_connected(8, &cfg()),
+            Topology::switch(8, &cfg()),
+            Topology::torus2d(2, 4, &cfg()),
+            Topology::hierarchical(2, 4, &cfg(), &cfg()),
+        ]
+    }
+
+    #[test]
+    fn ring_rs_matches_net_ring_bit_for_bit() {
+        for n in [2, 3, 4, 8, 16] {
+            let topo = Topology::ring(n, &cfg());
+            let sched = Schedule::reduce_scatter(&topo);
+            let ring = Ring::new(n);
+            assert_eq!(sched.num_steps(), ring.steps());
+            for s in 0..ring.steps() {
+                for d in 0..n {
+                    let send = &sched.step(s)[d];
+                    assert_eq!(send.src, d);
+                    assert_eq!(send.dst, ring.next(d));
+                    assert_eq!(send.chunk, ring.rs_send_chunk(d, s));
+                    assert_eq!(send.route.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_ag_matches_net_ring_bit_for_bit() {
+        for n in [2, 4, 8] {
+            let topo = Topology::ring(n, &cfg());
+            let sched = Schedule::all_gather(&topo);
+            let ring = Ring::new(n);
+            for s in 0..ring.steps() {
+                for d in 0..n {
+                    let send = &sched.step(s)[d];
+                    assert_eq!(
+                        (send.src, send.dst, send.chunk),
+                        (d, ring.next(d), ring.ag_send_chunk(d, s))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_step_is_a_chunk_permutation_on_every_fabric() {
+        for topo in fabrics8() {
+            for sched in [
+                Schedule::reduce_scatter(&topo),
+                Schedule::all_gather(&topo),
+                Schedule::all_to_all(&topo),
+            ] {
+                let n = sched.devices();
+                for (s, step) in sched.steps().iter().enumerate() {
+                    let mut chunk_seen = vec![false; n];
+                    let mut src_seen = vec![false; n];
+                    let mut dst_seen = vec![false; n];
+                    for send in step {
+                        assert_ne!(send.src, send.dst, "self-send in step {s}");
+                        assert!(
+                            !chunk_seen[send.chunk],
+                            "{:?} step {s}: chunk {} sent twice on {}",
+                            sched.kind(),
+                            send.chunk,
+                            topo.kind().label()
+                        );
+                        chunk_seen[send.chunk] = true;
+                        assert!(!src_seen[send.src], "device {} sends twice", send.src);
+                        src_seen[send.src] = true;
+                        assert!(!dst_seen[send.dst], "device {} receives twice", send.dst);
+                        dst_seen[send.dst] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Functional reduce-scatter replay: applying the schedule to
+    /// per-device partials must leave device `d` owning the full
+    /// reduction of chunk `(d+1) % n` — on every fabric.
+    #[test]
+    fn rs_replay_leaves_ring_convention_ownership() {
+        for topo in fabrics8() {
+            let n = topo.num_gpus();
+            let sched = Schedule::reduce_scatter(&topo);
+            // contrib[d][c] = set of devices whose partial of chunk c
+            // device d currently holds (reduced in).
+            let mut contrib: Vec<Vec<Vec<bool>>> = (0..n)
+                .map(|d| {
+                    (0..n)
+                        .map(|_| (0..n).map(|src| src == d).collect())
+                        .collect()
+                })
+                .collect();
+            for step in sched.steps() {
+                // Within a step every chunk moves exactly once, so the
+                // sequential order of application cannot matter.
+                let snapshot = contrib.clone();
+                for send in step {
+                    let incoming = snapshot[send.src][send.chunk].clone();
+                    for (slot, had) in contrib[send.dst][send.chunk].iter_mut().zip(incoming) {
+                        *slot = *slot || had;
+                    }
+                }
+            }
+            for (d, chunks) in contrib.iter().enumerate() {
+                let owned = sched.owned_chunk(d);
+                assert_eq!(owned, (d + 1) % n);
+                assert!(
+                    chunks[owned].iter().all(|&b| b),
+                    "{}: device {d} missing partials for its owned chunk",
+                    topo.kind().label()
+                );
+            }
+        }
+    }
+
+    /// RS then AG restores full replication: every device ends up
+    /// holding every (fully reduced) chunk.
+    #[test]
+    fn rs_then_ag_restores_full_replication() {
+        for topo in fabrics8() {
+            let n = topo.num_gpus();
+            let rs = Schedule::reduce_scatter(&topo);
+            let ag = Schedule::all_gather(&topo);
+            // After RS, device d holds the reduced chunk it owns.
+            let mut has: Vec<Vec<bool>> = (0..n)
+                .map(|d| (0..n).map(|c| c == rs.owned_chunk(d)).collect())
+                .collect();
+            for step in ag.steps() {
+                let snapshot = has.clone();
+                for send in step {
+                    assert!(
+                        snapshot[send.src][send.chunk],
+                        "{}: device {} forwards chunk {} it does not hold",
+                        topo.kind().label(),
+                        send.src,
+                        send.chunk
+                    );
+                    has[send.dst][send.chunk] = true;
+                }
+            }
+            for (d, row) in has.iter().enumerate() {
+                assert!(
+                    row.iter().all(|&b| b),
+                    "{}: device {d} missing chunks after AG",
+                    topo.kind().label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a2a_transposes_chunks() {
+        for topo in fabrics8() {
+            let sched = Schedule::all_to_all(&topo);
+            let n = sched.devices();
+            let mut delivered = vec![vec![false; n]; n]; // [dst][src]
+            for send in sched.sends() {
+                assert_eq!(send.chunk, send.dst, "A2A chunk c lands on device c");
+                assert!(!delivered[send.dst][send.src], "duplicate A2A send");
+                delivered[send.dst][send.src] = true;
+            }
+            for (dst, row) in delivered.iter().enumerate() {
+                for (src, &got) in row.iter().enumerate() {
+                    assert_eq!(got, src != dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_device_bytes_match_closed_form() {
+        let payload: Bytes = 8 * 1024; // divides evenly by 8
+        for topo in fabrics8() {
+            let n = topo.num_gpus() as u64;
+            for sched in [
+                Schedule::reduce_scatter(&topo),
+                Schedule::all_gather(&topo),
+                Schedule::all_to_all(&topo),
+            ] {
+                for d in 0..topo.num_gpus() {
+                    assert_eq!(
+                        sched.bytes_sent_by(d, payload),
+                        (n - 1) * payload / n,
+                        "{:?} on {}",
+                        sched.kind(),
+                        topo.kind().label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_payload_bytes_still_total_per_chunk() {
+        let topo = Topology::switch(3, &cfg());
+        let sched = Schedule::reduce_scatter(&topo);
+        let payload: Bytes = 10;
+        let total: Bytes = (0..3).map(|c| sched.chunk_size(payload, c)).sum();
+        assert_eq!(total, payload);
+        // Each chunk is sent n-1 = 2 times in RS.
+        let moved: Bytes = sched
+            .sends()
+            .map(|s| sched.chunk_size(payload, s.chunk))
+            .sum();
+        assert_eq!(moved, 2 * payload);
+    }
+
+    #[test]
+    fn predicted_link_bytes_count_every_hop() {
+        let topo = Topology::switch(4, &cfg());
+        let sched = Schedule::all_to_all(&topo);
+        let payload: Bytes = 4 * 100;
+        let per_link = sched.predicted_link_bytes(&topo, payload);
+        // Every A2A message crosses 2 links (GPU->hub, hub->GPU), so
+        // wire bytes are double the payload bytes injected.
+        let injected: Bytes = (0..4).map(|d| sched.bytes_sent_by(d, payload)).sum();
+        assert_eq!(per_link.iter().sum::<Bytes>(), 2 * injected);
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        let topo = Topology::fully_connected(5, &cfg());
+        let sched = Schedule::reduce_scatter(&topo);
+        for c in 0..5 {
+            assert_eq!(sched.owned_chunk(sched.owner_of(c)), c);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Multi-node tensor parallelism on different fabrics: the T-NLG FC-2
+//! sublayer at TP = 16, split across two 8-GPU nodes.
+//!
+//! Every GPU is simulated explicitly over a `t3::topo` fabric. The
+//! sequential baseline is an isolated GEMM followed by the
+//! reduce-scatter schedule executed on the same fabric; the fused run
+//! streams partials into the wire as the GEMM produces them (T3).
+//! Slow inter-node links and shared switch ports slow both, but the
+//! fused run keeps hiding wire time behind compute.
+//!
+//! ```text
+//! cargo run --release --example multinode_tp [-- --fast]
+//! ```
+
+use t3::core::engine::FusedOptions;
+use t3::core::multigpu::run_multi_gpu_fused_rs_on;
+use t3::gpu::engine::{run_gemm_isolated, WritePolicy};
+use t3::gpu::gemm::GemmGrid;
+use t3::models::zoo;
+use t3::models::Sublayer;
+use t3::sim::config::{LinkConfig, SystemConfig};
+use t3::sim::cycles_to_us;
+use t3::topo::{Fabric, Schedule, Topology};
+
+/// Inter-node links: a quarter of the intra-node bandwidth, four
+/// times the latency (InfiniBand next to xGMI).
+fn inter_node(link: &LinkConfig) -> LinkConfig {
+    let mut slow = link.clone();
+    slow.link_gb_s /= 4.0;
+    slow.latency_ns *= 4.0;
+    slow
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let tp = 16u64;
+    let system = SystemConfig::paper_default().with_num_gpus(tp as usize);
+    let clock = system.gpu.clock_ghz;
+    let model = zoo::t_nlg();
+    let mut shape = model.sublayer_gemm(Sublayer::Fc2, tp);
+    if fast {
+        shape.m /= 8;
+    }
+    println!(
+        "{} FC-2, TP = {tp} across 2 nodes of {} GPUs ({} x {} x {}){}",
+        model.name,
+        tp / 2,
+        shape.m,
+        shape.n,
+        shape.k,
+        if fast { " [fast scale]" } else { "" }
+    );
+
+    let link = &system.link;
+    let fabrics: Vec<(&str, Topology)> = vec![
+        ("ring", Topology::ring(16, link)),
+        ("fully-connected", Topology::fully_connected(16, link)),
+        ("switch", Topology::switch(16, link)),
+        ("torus 2x8", Topology::torus2d(2, 8, link)),
+        (
+            "hierarchical",
+            Topology::hierarchical(2, 8, link, &inter_node(link)),
+        ),
+    ];
+
+    println!(
+        "\n  {:<16} {:>6} {:>6} {:>12} {:>12} {:>12} {:>9}",
+        "fabric", "links", "diam", "RS wire (us)", "seq (us)", "fused (us)", "speedup"
+    );
+    for (name, topo) in &fabrics {
+        let grid = GemmGrid::new(&system.gpu, shape);
+        let gemm = run_gemm_isolated(&system, grid.clone(), WritePolicy::CachedLocal);
+        let sched = Schedule::reduce_scatter(topo);
+        let rs_wire = Fabric::new(topo).run_schedule(&sched, shape.output_bytes(), None);
+        let sequential = gemm.cycles + rs_wire;
+        let fused = run_multi_gpu_fused_rs_on(&system, grid, &FusedOptions::default(), topo, None);
+        println!(
+            "  {:<16} {:>6} {:>6} {:>12.1} {:>12.1} {:>12.1} {:>8.2}x",
+            name,
+            topo.num_links(),
+            topo.diameter(),
+            cycles_to_us(rs_wire, clock),
+            cycles_to_us(sequential, clock),
+            cycles_to_us(fused.cycles, clock),
+            sequential as f64 / fused.cycles as f64,
+        );
+    }
+    println!("\nseq = isolated GEMM + reduce-scatter schedule on the fabric; fused = T3 explicit 16-GPU engine");
+}

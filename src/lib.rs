@@ -10,6 +10,9 @@
 //! * [`gpu`] — compute units, tiled GEMM stage model, CU-executed
 //!   collective kernel timing.
 //! * [`net`] — ring links and DMA engines.
+//! * [`topo`] — topology graphs (ring, fully-connected, switch,
+//!   torus, hierarchical), shortest-path routing, topology-derived
+//!   collective schedules, and a multi-hop link fabric.
 //! * [`collectives`] — functional multi-device collectives over real
 //!   `f32` buffers.
 //! * [`core`] — the T3 mechanism: Tracker, address-space
@@ -45,4 +48,5 @@ pub use t3_mem as mem;
 pub use t3_models as models;
 pub use t3_net as net;
 pub use t3_sim as sim;
+pub use t3_topo as topo;
 pub use t3_trace as trace;
