@@ -63,7 +63,7 @@ pub fn all_to_all(cluster: &mut Cluster) {
     }
 }
 
-#[allow(clippy::needless_range_loop)]
+#[allow(clippy::needless_range_loop)] // -- index loops mirror the per-element reference math being checked
 #[cfg(test)]
 mod tests {
     use super::*;

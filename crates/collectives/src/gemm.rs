@@ -41,7 +41,7 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
 ///
 /// Panics if the tile exceeds the output bounds or slice lengths
 /// mismatch the dimensions.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // -- the argument list is the tile spec itself (A, B, C plus 4 tile coordinates)
 pub fn matmul_tile(
     a: &[f32],
     b: &[f32],
@@ -85,7 +85,7 @@ pub fn matmul_tile(
 /// # Panics
 ///
 /// Panics if the tile or K range exceeds bounds.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // -- tile spec plus the K split; same shape as matmul_tile by design
 pub fn matmul_tile_krange(
     a: &[f32],
     b: &[f32],

@@ -3,7 +3,7 @@
 //! counts, lengths, and data, generated from a seeded deterministic
 //! PRNG.
 
-#![allow(clippy::needless_range_loop)]
+#![allow(clippy::needless_range_loop)] // -- index loops mirror the mathematical definitions under test
 
 use t3_collectives::cluster::Cluster;
 use t3_collectives::direct::{all_to_all, direct_reduce_scatter};

@@ -66,7 +66,7 @@ pub fn run_fused_ag_gemm(sys: &SystemConfig, grid: GemmGrid, opts: &AgFuseOption
     let shape = *grid.shape();
     let a_bytes = shape.a_bytes();
     let chunk_bytes = a_bytes / n;
-    let link_ser = (chunk_bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle;
+    let link_ser = (chunk_bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle; // t3-lint: allow(float-cycles) -- matches Link::serialization_cycles rounding exactly
     let latency = sys.link.latency_cycles();
 
     // Chunk j of A covers rows [j*m/n, (j+1)*m/n). Arrival times:

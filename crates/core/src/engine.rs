@@ -261,6 +261,7 @@ pub fn run_fused_gemm_rs_instrumented(
     } else {
         let avg_chunk = chunks.iter().map(|c| c.bytes).sum::<Bytes>() / n as u64;
         (n as u64).saturating_sub(2)
+            // t3-lint: allow(float-cycles) -- pipeline-depth penalty uses the Link's own ceil rounding; pinned by no-stagger ablation tests
             * ((avg_chunk as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle
                 + sys.link.latency_cycles())
     };

@@ -590,7 +590,7 @@ fn run_fused(
     }
 }
 
-#[allow(clippy::needless_range_loop)]
+#[allow(clippy::needless_range_loop)] // -- index loops mirror the per-element reference math being checked
 #[cfg(test)]
 mod tests {
     use super::*;

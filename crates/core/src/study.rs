@@ -306,8 +306,8 @@ pub fn nmc_following_ops_study(
 ) -> FollowingOpsRow {
     assert!(passes > 0.0, "op must touch memory at least once");
     let bw = sys.mem.bytes_per_cycle();
-    let baseline = (passes * array_bytes as f64 / bw).ceil() as Cycle;
-    let nmc = (passes * array_bytes as f64 / (sys.num_gpus as f64 * bw)).ceil() as Cycle;
+    let baseline = (passes * array_bytes as f64 / bw).ceil() as Cycle; // t3-lint: allow(float-cycles) -- Table 3 analytic bound: one ceil, no accumulation
+    let nmc = (passes * array_bytes as f64 / (sys.num_gpus as f64 * bw)).ceil() as Cycle; // t3-lint: allow(float-cycles) -- same bound scaled by GPU count; rounding identical to baseline
     FollowingOpsRow {
         baseline_cycles: baseline,
         nmc_cycles: nmc,

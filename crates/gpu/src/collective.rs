@@ -202,6 +202,7 @@ impl RingCollective {
             stats.record(TrafficClass::RsWrite, write as Bytes);
         }
         CollectiveOutcome {
+            // t3-lint: allow(float-cycles) -- roofline RS model: fixed left-to-right f64 sum over (n-1) steps, single final ceil; pinned by Figure 14 validation
             cycles: cycles.ceil() as Cycle,
             stats,
         }
@@ -239,6 +240,7 @@ impl RingCollective {
             stats.record(TrafficClass::AgWrite, write as Bytes);
         }
         CollectiveOutcome {
+            // t3-lint: allow(float-cycles) -- roofline AG model: same fixed-order accumulation and single ceil as the RS path
             cycles: cycles.ceil() as Cycle,
             stats,
         }
@@ -257,6 +259,7 @@ pub fn reference_ring_rs_cycles(sys: &SystemConfig, payload_bytes: Bytes) -> Cyc
         + sys.link.latency_cycles() as f64
         + sys.gpu.coll_step_overhead_cycles as f64;
     let tail = 3.0 * c / sys.mem.bytes_per_cycle();
+    // t3-lint: allow(float-cycles) -- first-principles reference bound; one ceil, fixed expression order
     (steps * per_step + tail).ceil() as Cycle
 }
 

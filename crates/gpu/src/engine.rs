@@ -94,6 +94,7 @@ impl GemmEngine {
     pub fn new(cfg: &GpuConfig, grid: GemmGrid) -> Self {
         let per_cu = cfg.flops_per_cu_cycle * cfg.gemm_efficiency;
         let stage_compute_cycles = (0..grid.num_stages())
+            // t3-lint: allow(float-cycles) -- per-stage roofline computed once at construction; ceil per stage, never re-accumulated
             .map(|s| (grid.stage_wg_flops(s) / per_cu).ceil() as Cycle)
             .collect();
         GemmEngine {
@@ -188,7 +189,7 @@ impl GemmEngine {
                 for (addr, bytes) in self.grid.stage_read_regions(self.stage) {
                     miss += llc.access_range(addr, bytes, AccessKind::Read).dram_bytes;
                 }
-                let miss = (miss as f64 * self.read_factor) as Bytes;
+                let miss = (miss as f64 * self.read_factor) as Bytes; // t3-lint: allow(float-cycles) -- ablation knob defaults to 1.0 (identity); truncation is the documented semantic
                 self.total_read_miss_bytes += miss;
                 let compute_until = now + self.stage_compute_cycles[self.stage as usize];
                 if miss > 0 {

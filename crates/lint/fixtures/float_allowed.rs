@@ -1,0 +1,8 @@
+// Fixture: the same truncations, each carrying a justified directive
+// (trailing on the site, and standalone on the line above).
+pub fn tolerated(bytes: u64, bw: f64) -> u64 {
+    let cycles = (bytes as f64 / bw).ceil() as u64; // t3-lint: allow(float-cycles) -- single ceil of a rational; direction explicit
+    // t3-lint: allow(float-cycles) -- fixture: scaling factor is a config constant
+    let more = (bytes as f64 * 1.5) as u32;
+    cycles + more as u64
+}

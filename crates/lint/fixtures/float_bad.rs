@@ -1,0 +1,6 @@
+// Fixture: float math truncated into cycle/byte counters.
+pub fn naughty(bytes: u64, bw: f64) -> u64 {
+    let cycles = (bytes as f64 / bw).ceil() as u64;
+    let more = (bytes as f64 * 1.5) as u32;
+    cycles + more as u64
+}

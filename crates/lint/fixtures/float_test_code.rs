@@ -1,0 +1,14 @@
+// Fixture: float truncation inside #[cfg(test)] is out of scope —
+// assertions on ratios are the dominant legitimate use.
+pub fn shipped(x: u64) -> u64 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_check() {
+        let ideal = (1000 as f64 / 3.0).ceil() as u64;
+        assert!(ideal > 0);
+    }
+}

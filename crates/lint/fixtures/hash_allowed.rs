@@ -1,0 +1,6 @@
+// t3-lint: allow-file(hash-iteration) -- fixture: counts only, never iterated; order cannot escape
+use std::collections::HashMap;
+
+pub fn tolerated() -> usize {
+    HashMap::<u32, u32>::new().len()
+}

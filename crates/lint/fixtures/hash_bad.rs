@@ -1,0 +1,8 @@
+// Fixture: hash-ordered containers in an order-observable crate.
+use std::collections::HashMap;
+
+pub fn naughty() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s = std::collections::HashSet::<u32>::new();
+    m.len() + s.len()
+}

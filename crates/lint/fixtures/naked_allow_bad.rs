@@ -1,0 +1,12 @@
+// Fixture: every way a suppression can fail to justify itself.
+#[allow(dead_code)]
+fn unjustified_attr() {}
+
+// t3-lint: allow(float-cycles)
+fn directive_without_reason() {}
+
+// t3-lint: allow(no-such-rule) -- the rule name is wrong
+fn unknown_rule() {}
+
+// t3-lint: allow(wall-clock) -- nothing on this line or the next uses wall-clock
+fn stale_directive() {}

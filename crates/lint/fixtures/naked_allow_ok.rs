@@ -1,0 +1,6 @@
+// Fixture: both accepted justification forms for attributes.
+#[allow(dead_code)] // -- fixture exercising the comment-reason form
+fn comment_reason() {}
+
+#[allow(dead_code, reason = "fixture exercising the attribute-reason form")]
+fn attribute_reason() {}

@@ -1,0 +1,21 @@
+// Fixture: aborts inside per-cycle hot paths.
+pub struct Engine {
+    queue: Vec<u64>,
+}
+
+impl Engine {
+    pub fn step(&mut self, now: u64) -> u64 {
+        let head = self.queue.last().unwrap();
+        now + head
+    }
+
+    pub fn tick(&mut self) {
+        let _v = self.queue.pop().expect("queue drained early");
+    }
+
+    pub fn advance_traced(&mut self, now: u64) {
+        if now == 0 {
+            panic!("time went backwards");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+// Fixture: panics outside hot paths are fine (constructors may
+// assert), and hot paths that return modeled errors are fine. The
+// unwrap inside the #[cfg(test)] mod's step helper is also exempt.
+pub struct Engine {
+    queue: Vec<u64>,
+}
+
+impl Engine {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "capacity must be positive");
+        Engine { queue: Vec::new() }
+    }
+
+    pub fn step(&mut self, now: u64) -> Option<u64> {
+        let head = self.queue.last()?;
+        Some(now + head)
+    }
+
+    pub fn drain(&mut self) -> u64 {
+        self.queue.pop().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn step_in_tests_may_unwrap() {
+        fn step(v: &[u64]) -> u64 {
+            *v.last().unwrap()
+        }
+        assert_eq!(step(&[3]), 3);
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: every forbidden wall-clock/entropy identifier, one per line.
+use std::time::Instant;
+
+pub fn naughty() -> u64 {
+    let _t = std::time::SystemTime::now();
+    let _s = std::collections::hash_map::RandomState::new();
+    0
+}

@@ -1,0 +1,6 @@
+// Fixture: cycle math derived purely from simulated time; the words
+// "instant" and "system time" in comments and strings must not fire.
+pub fn fine(now: u64) -> u64 {
+    let msg = "Instant and SystemTime in a string are data, not code";
+    now + msg.len() as u64
+}

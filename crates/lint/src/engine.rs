@@ -1,0 +1,432 @@
+//! The per-file analysis pipeline and the workspace walker.
+//!
+//! For each file: lex → compute regions (`#[cfg(test)]` spans,
+//! hot-path `fn step*`/`tick*`/`advance*` bodies) → run rules →
+//! apply `t3-lint: allow` suppressions → emit directive-hygiene
+//! diagnostics. The walker visits every workspace source set in a
+//! deterministic (sorted) order, so output and exit codes are stable
+//! run-to-run — the lint holds itself to the invariant it enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Lexed, Token};
+use crate::rules;
+
+/// A parsed `t3-lint: allow(rule) -- reason` comment directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    pub line: u32,
+    pub rule: String,
+    /// `allow-file(...)` suppresses the rule for the whole file.
+    pub file_wide: bool,
+    pub reason: Option<String>,
+}
+
+/// Everything a rule needs to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub path: &'a str,
+    /// `crates/<name>/...` → `Some(name)`.
+    pub crate_name: Option<&'a str>,
+    /// True for integration-test and bench sources (`tests/`,
+    /// `benches/` path components).
+    pub is_test_code: bool,
+    pub lexed: &'a Lexed,
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Token-index body ranges of per-cycle functions, with the
+    /// function name.
+    pub hot_fns: Vec<(usize, usize, String)>,
+}
+
+impl FileCtx<'_> {
+    /// True when this file belongs to one of `names` under `crates/`.
+    pub fn crate_in(&self, names: &[&str]) -> bool {
+        self.crate_name.is_some_and(|c| names.contains(&c))
+    }
+
+    /// True when token index `i` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(lo, hi)| i >= lo && i < hi)
+    }
+
+    /// True when a comment on `line` or the line above carries a
+    /// `-- <reason>` justification.
+    pub fn reasoned_comment_near(&self, line: u32) -> bool {
+        self.lexed
+            .comments
+            .iter()
+            .any(|c| (c.line == line || c.line + 1 == line) && comment_reason(&c.text).is_some())
+    }
+}
+
+/// Extracts the text after the first `--` in a comment, if non-empty.
+fn comment_reason(text: &str) -> Option<&str> {
+    let (_, tail) = text.split_once("--")?;
+    let tail = tail.trim();
+    (!tail.is_empty()).then_some(tail)
+}
+
+/// Parses every `t3-lint:` directive in the comment stream. A
+/// directive must *begin* its comment (`// t3-lint: allow(...)`), so
+/// prose and rustdoc that merely mention the syntax are inert.
+/// Malformed directives (the marker present at the start but not
+/// followed by a well-formed `allow(...)`/`allow-file(...)`) are
+/// reported through `bad`.
+pub fn parse_directives(lexed: &Lexed, bad: &mut Vec<(u32, String)>) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(rest) = c.text.strip_prefix("t3-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            bad.push((
+                c.line,
+                format!(
+                    "malformed t3-lint directive `{}`; expected `t3-lint: allow(<rule>) -- <reason>`",
+                    c.text
+                ),
+            ));
+            continue;
+        };
+        let Some((rule, tail)) = rest.split_once(')') else {
+            bad.push((
+                c.line,
+                "unterminated t3-lint directive; missing `)` after rule name".to_string(),
+            ));
+            continue;
+        };
+        out.push(Directive {
+            line: c.line,
+            rule: rule.trim().to_string(),
+            file_wide,
+            reason: comment_reason(tail).map(str::to_string),
+        });
+    }
+    out
+}
+
+/// Token index of the `}` matching the `{` at `open` (exclusive end
+/// of the body), or `toks.len()` if unbalanced.
+fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// From item-keyword position, the index of the `{` opening its body —
+/// `None` when a `;` ends the item first (trait method, `mod x;`).
+fn body_open(toks: &[Token], from: usize) -> Option<usize> {
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.is_punct('{') {
+            return Some(i);
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Token index one past the `]` closing the attribute whose `#` is at
+/// `hash`.
+fn attr_close(toks: &[Token], hash: usize) -> usize {
+    let mut i = hash + 1;
+    if toks.get(i).is_some_and(|t| t.is_punct('!')) {
+        i += 1;
+    }
+    let mut depth = 0isize;
+    while i < toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// True when the attribute starting at `#` (index `hash`) gates on
+/// test compilation: `#[test]`, `#[cfg(test)]`, `#[cfg(all(test,..))]`.
+fn is_test_attr(toks: &[Token], hash: usize) -> bool {
+    let close = attr_close(toks, hash);
+    let mut idents = toks[hash..close].iter().filter_map(|t| t.ident());
+    match idents.next() {
+        Some("test") => true,
+        Some("cfg") => idents.any(|id| id == "test"),
+        _ => false,
+    }
+}
+
+/// Computes `#[cfg(test)]`/`#[test]` item spans as token ranges.
+fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && is_test_attr(toks, i) {
+            let mut j = attr_close(toks, i);
+            // Skip any further attributes stacked on the same item.
+            while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = attr_close(toks, j);
+            }
+            // Skip visibility and fn qualifiers to reach the item
+            // keyword; only `mod` and `fn` own brace bodies we track.
+            while toks
+                .get(j)
+                .and_then(|t| t.ident())
+                .is_some_and(|id| matches!(id, "pub" | "unsafe" | "const" | "async" | "extern"))
+                || toks.get(j).is_some_and(|t| t.is_punct('('))
+            {
+                if toks[j].is_punct('(') {
+                    // `pub(crate)` / `pub(in path)` — skip the group.
+                    let mut depth = 0isize;
+                    while j < toks.len() {
+                        if toks[j].is_punct('(') {
+                            depth += 1;
+                        } else if toks[j].is_punct(')') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+            if toks
+                .get(j)
+                .and_then(|t| t.ident())
+                .is_some_and(|id| id == "mod" || id == "fn")
+            {
+                if let Some(open) = body_open(toks, j) {
+                    let end = match_brace(toks, open);
+                    out.push((open, end + 1));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when `name` denotes a per-cycle hot-path function.
+fn is_hot_fn_name(name: &str) -> bool {
+    name == "step"
+        || name == "tick"
+        || name == "advance"
+        || name.starts_with("step_")
+        || name.starts_with("tick_")
+        || name.starts_with("advance_")
+}
+
+/// Finds the token-range bodies of `fn step*`/`tick*`/`advance*`.
+fn hot_fns(toks: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].ident() != Some("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !is_hot_fn_name(name) {
+            continue;
+        }
+        if let Some(open) = body_open(toks, i + 2) {
+            let end = match_brace(toks, open);
+            out.push((open, end, name.to_string()));
+        }
+    }
+    out
+}
+
+/// Lints one file's source text. `path` is the workspace-relative
+/// path (forward slashes) used for crate scoping and reporting.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let ctx = FileCtx {
+        path,
+        crate_name: path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next()),
+        is_test_code: path.starts_with("tests/")
+            || path.contains("/tests/")
+            || path.contains("/benches/"),
+        test_regions: test_regions(&lexed.tokens),
+        hot_fns: hot_fns(&lexed.tokens),
+        lexed: &lexed,
+    };
+
+    let mut raw = Vec::new();
+    rules::check_wall_clock(&ctx, &mut raw);
+    rules::check_hash_iteration(&ctx, &mut raw);
+    rules::check_float_cycles(&ctx, &mut raw);
+    rules::check_panic_hot_path(&ctx, &mut raw);
+
+    let mut hygiene = Vec::new();
+    rules::check_naked_allow_attrs(&ctx, &mut hygiene);
+
+    let mut bad = Vec::new();
+    let directives = parse_directives(&lexed, &mut bad);
+    let mut used = vec![false; directives.len()];
+
+    // Suppression: a directive covers its own line and the next line
+    // (trailing comment, or standalone comment above the site);
+    // `allow-file` covers the whole file. `naked-allow` findings are
+    // never suppressible — the escape hatch cannot hide its own rot.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for (k, dir) in directives.iter().enumerate() {
+            if dir.rule == d.rule && (dir.file_wide || dir.line == d.line || dir.line + 1 == d.line)
+            {
+                suppressed = true;
+                used[k] = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    out.extend(hygiene);
+
+    let naked = rules::rule_by_name("naked-allow").expect("registered");
+    for (line, msg) in bad {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line,
+            rule: naked.name,
+            code: naked.code,
+            message: msg,
+        });
+    }
+    for (k, dir) in directives.iter().enumerate() {
+        let what = if dir.file_wide { "allow-file" } else { "allow" };
+        if rules::rule_by_name(&dir.rule).is_none() {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: dir.line,
+                rule: naked.name,
+                code: naked.code,
+                message: format!(
+                    "t3-lint: {what}({}) names an unknown rule; known rules: {}",
+                    dir.rule,
+                    rules::RULES
+                        .iter()
+                        .map(|r| r.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+            continue;
+        }
+        if dir.reason.is_none() {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: dir.line,
+                rule: naked.name,
+                code: naked.code,
+                message: format!(
+                    "t3-lint: {what}({}) without a `-- <reason>`; every suppression must say why it is sound",
+                    dir.rule
+                ),
+            });
+        }
+        if !used[k] {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: dir.line,
+                rule: naked.name,
+                code: naked.code,
+                message: format!(
+                    "t3-lint: {what}({}) suppresses nothing here; remove the stale directive",
+                    dir.rule
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Directory names the walker never descends into.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | "fixtures" | ".git" | ".claude")
+}
+
+/// Collects every lintable `.rs` file under `root` in sorted order:
+/// all of `crates/*`, plus the facade `src/`, `tests/` and
+/// `examples/`.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`. Paths in diagnostics
+/// are reported relative to `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in workspace_files(root)? {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&file)?;
+        out.extend(lint_source(&rel, &source));
+    }
+    Ok(out)
+}

@@ -1,0 +1,532 @@
+//! A comment- and string-aware lexer for Rust source.
+//!
+//! The lint rules must never fire on text inside string literals or
+//! report spans shifted by block comments, so the analyzer cannot get
+//! away with plain substring search. This module produces two parallel
+//! streams from a source file:
+//!
+//! * [`Token`]s — identifiers, literals and punctuation with 1-based
+//!   line numbers. String/char literal *contents* are dropped (only a
+//!   [`TokKind::Str`] marker remains), which is what lets the lint
+//!   crate embed violating fixtures as string literals without
+//!   flagging itself.
+//! * [`Comment`]s — one entry per comment *line* (block comments are
+//!   split), which is where `t3-lint: allow(...)` directives live.
+//!
+//! The lexer is deliberately forgiving: it never fails, and unknown
+//! bytes degrade to punctuation tokens. It understands the Rust
+//! constructs that would otherwise desynchronise a scanner: nested
+//! block comments, raw strings with `#` fences, byte/C string
+//! prefixes, raw identifiers, char literals vs. lifetimes, and numeric
+//! literals with type suffixes.
+
+/// What a [`Token`] is. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, ...).
+    Ident(String),
+    /// Integer literal (`42`, `0xff_u64`); the text is dropped.
+    Int,
+    /// Float literal (`1.0`, `2e9`, `3f64`); the text is dropped.
+    Float,
+    /// String, byte-string or char literal; the contents are dropped.
+    Str,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Any single punctuation character (`{`, `;`, `#`, ...).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment line: `text` excludes the `//`/`/*` markers and is
+/// trimmed. Block comments contribute one entry per physical line so
+/// that directives keep exact line anchoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+}
+
+/// The output of [`lex`].
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into tokens and comments. Never fails: malformed
+/// input degrades gracefully (an unterminated string consumes the rest
+/// of the file as a single [`TokKind::Str`]).
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => lex_line_comment(&mut cur, &mut out),
+            b'/' if cur.peek_at(1) == Some(b'*') => lex_block_comment(&mut cur, &mut out),
+            b'"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    line,
+                });
+            }
+            b'\'' => lex_quote(&mut cur, &mut out, line),
+            b'0'..=b'9' => {
+                let kind = lex_number(&mut cur);
+                out.tokens.push(Token { kind, line });
+            }
+            _ if is_ident_start(b) => lex_ident_or_prefixed(&mut cur, &mut out, line),
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(b as char),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let start = cur.pos;
+    while let Some(b) = cur.peek() {
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    let text = core::str::from_utf8(&cur.src[start..cur.pos])
+        .unwrap_or("")
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    out.comments.push(Comment {
+        text: text.to_string(),
+        line,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed) {
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    let mut line = cur.line;
+    let mut buf = String::new();
+    while let Some(b) = cur.peek() {
+        if b == b'/' && cur.peek_at(1) == Some(b'*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+            buf.push_str("/*");
+        } else if b == b'*' && cur.peek_at(1) == Some(b'/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            buf.push_str("*/");
+        } else if b == b'\n' {
+            cur.bump();
+            out.comments.push(Comment {
+                text: core::mem::take(&mut buf)
+                    .trim()
+                    .trim_start_matches('*')
+                    .trim()
+                    .to_string(),
+                line,
+            });
+            line = cur.line;
+        } else {
+            buf.push(cur.bump().unwrap_or(b' ') as char);
+        }
+    }
+    out.comments.push(Comment {
+        text: buf.trim().trim_start_matches('*').trim().to_string(),
+        line,
+    });
+}
+
+/// Consumes a cooked (escaped) string starting at the opening `"`.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string starting at `r`/`br`/`cr` with `hashes` `#`
+/// fence characters already counted; the cursor sits on the opening
+/// `"`.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
+    cur.bump();
+    while cur.peek().is_some() {
+        if cur.peek() == Some(b'"') {
+            cur.bump();
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                seen += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` (char literal) at a `'`.
+fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let next = cur.peek_at(1);
+    let after = cur.peek_at(2);
+    let lifetime = match (next, after) {
+        (Some(n), a) if is_ident_start(n) => a != Some(b'\''),
+        _ => false,
+    };
+    if lifetime {
+        cur.bump();
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Lifetime,
+            line,
+        });
+    } else {
+        cur.bump();
+        while let Some(b) = cur.bump() {
+            match b {
+                b'\\' => {
+                    cur.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Str,
+            line,
+        });
+    }
+}
+
+/// Lexes a numeric literal. `1.0`, `2e9` and `f32`/`f64`-suffixed
+/// literals are floats; `0..n` correctly stops before the range.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    if cur.peek() == Some(b'0') && matches!(cur.peek_at(1), Some(b'x') | Some(b'o') | Some(b'b')) {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E'))
+        && (cur.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+            || (matches!(cur.peek_at(1), Some(b'+') | Some(b'-'))
+                && cur.peek_at(2).is_some_and(|b| b.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+            cur.bump();
+        }
+        while cur.peek().is_some_and(|b| b.is_ascii_digit()) {
+            cur.bump();
+        }
+    }
+    let suffix_start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let suffix = core::str::from_utf8(&cur.src[suffix_start..cur.pos]).unwrap_or("");
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+/// Lexes an identifier, handling the string prefixes (`r""`, `b""`,
+/// `br#""#`, `c""`, ...) and raw identifiers (`r#fn`).
+fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let start = cur.pos;
+    while cur.peek().is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    let text = core::str::from_utf8(&cur.src[start..cur.pos]).unwrap_or("");
+    let is_str_prefix = matches!(text, "r" | "b" | "br" | "rb" | "c" | "cr" | "cb");
+    match cur.peek() {
+        Some(b'"') if is_str_prefix => {
+            lex_raw_string_or_cooked(cur, text, 0);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                line,
+            });
+        }
+        Some(b'\'') if text == "b" => {
+            lex_quote(cur, out, line);
+            if let Some(last) = out.tokens.last_mut() {
+                last.kind = TokKind::Str;
+            }
+        }
+        Some(b'#') if is_str_prefix && text != "b" && text != "c" => {
+            // Either a fenced raw string (`r#"..."#`) or a raw
+            // identifier (`r#fn`).
+            let mut hashes = 0usize;
+            while cur.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if cur.peek_at(hashes) == Some(b'"') {
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                lex_raw_string(cur, hashes);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    line,
+                });
+            } else if text == "r" && hashes == 1 && cur.peek_at(1).is_some_and(is_ident_start) {
+                cur.bump();
+                let id_start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let id = core::str::from_utf8(&cur.src[id_start..cur.pos]).unwrap_or("");
+                out.tokens.push(Token {
+                    kind: TokKind::Ident(id.to_string()),
+                    line,
+                });
+            } else {
+                out.tokens.push(Token {
+                    kind: TokKind::Ident(text.to_string()),
+                    line,
+                });
+            }
+        }
+        _ => {
+            out.tokens.push(Token {
+                kind: TokKind::Ident(text.to_string()),
+                line,
+            });
+        }
+    }
+}
+
+/// Dispatches `r"` / `b"` / `br"` string forms once the prefix has
+/// been consumed and the cursor sits on the `"`.
+fn lex_raw_string_or_cooked(cur: &mut Cursor, prefix: &str, hashes: usize) {
+    if prefix.contains('r') {
+        lex_raw_string(cur, hashes);
+    } else {
+        lex_string(cur);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = idents("let x = \"HashMap in a string\"; use std::time::Instant;");
+        assert!(!toks.contains(&"HashMap".to_string()));
+        assert!(toks.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = idents("let s = r#\"Instant \" inside\"#; after");
+        assert_eq!(toks, vec!["let", "s", "after"]);
+        // The `r` prefix is folded into the string token.
+        let lexed = lex("let s = r#\"x\"#;");
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Str));
+        assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("r")));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let lexed = lex("code(); // t3-lint: allow(float-cycles) -- why\nmore();");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("t3-lint"));
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("allow")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ token");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].ident(), Some("token"));
+    }
+
+    #[test]
+    fn block_comment_lines_keep_anchoring() {
+        let lexed = lex("/* first\n   t3-lint: allow(x) -- r\n   last */");
+        assert_eq!(lexed.comments.len(), 3);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.starts_with("t3-lint"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let lexed = lex("1 2.5 3e9 4f64 0xff 0..10 7u64");
+        let kinds: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| t.kind.clone())
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_advance_through_all_forms() {
+        let src = "a\n\"s\n t\"\nb /* c\n */ d\ne";
+        let lexed = lex(src);
+        let find = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.ident() == Some(name))
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("d"), Some(5));
+        assert_eq!(find("e"), Some(6));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = idents("b\"Instant\" c\"SystemTime\" br#\"RandomState\"# x");
+        assert_eq!(toks, vec!["x"]);
+    }
+}

@@ -1,0 +1,41 @@
+//! t3-lint — a workspace-wide determinism & fidelity lint pass.
+//!
+//! Every headline number in this repository rests on bit-identical,
+//! pinned cycle timings (the seed-timing pins in `t3-core::multigpu`
+//! and `t3-topo::fabric`). The classic ways GPU simulators rot are
+//! not caught by the compiler: wall-clock or OS entropy leaking into
+//! timing paths, hash-map iteration order deciding arbitration ties,
+//! or float accumulation order silently shifting cycle counts. This
+//! crate enforces those invariants statically, with zero external
+//! dependencies:
+//!
+//! | rule | code | what it forbids |
+//! |------|------|-----------------|
+//! | `wall-clock` | T3L001 | `Instant`/`SystemTime`/`RandomState` in timing crates |
+//! | `hash-iteration` | T3L002 | `HashMap`/`HashSet` where order reaches timing or output |
+//! | `float-cycles` | T3L003 | float expressions truncated into `u64`/`Cycle`/`Bytes` counters |
+//! | `panic-hot-path` | T3L004 | `unwrap`/`expect`/`panic!` inside per-cycle `step`/`tick`/`advance` |
+//! | `naked-allow` | T3L005 | any suppression without a written `-- reason` |
+//!
+//! Suppressions are comment directives with mandatory justification:
+//!
+//! ```text
+//! let c = (bytes as f64 / bw).ceil() as Cycle; // t3-lint: allow(float-cycles) -- ceil of a rational is exact & direction-explicit
+//! // t3-lint: allow-file(hash-iteration) -- this file never iterates the map
+//! ```
+//!
+//! A directive covers its own line and the next; `allow-file` covers
+//! the file. Directives that name unknown rules, omit the reason, or
+//! suppress nothing are themselves diagnostics, so the allowlist can
+//! only shrink to what is truly needed. Run `t3-lint --list` for the rule
+//! table and `t3-lint --json` for machine-readable output; `ci.sh`
+//! gates on a clean pass.
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{to_json, Diagnostic};
+pub use engine::{lint_source, lint_workspace, workspace_files};
+pub use rules::{RuleInfo, RULES};

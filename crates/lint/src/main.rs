@@ -1,0 +1,73 @@
+//! The `t3-lint` binary: walks the workspace and reports every
+//! determinism/fidelity violation.
+//!
+//! ```text
+//! t3-lint [--root <dir>] [--json] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use t3_lint::{lint_workspace, to_json, RULES};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            other => return usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    if list {
+        println!("t3-lint rules (suppress with `// t3-lint: allow(<rule>) -- <reason>`):");
+        for r in RULES {
+            println!("  {}  {:<16} {}", r.code, r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("t3-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            eprintln!("t3-lint: workspace clean");
+        } else {
+            eprintln!("t3-lint: {} diagnostic(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}");
+    eprintln!("usage: t3-lint [--root <dir>] [--json] [--list]");
+    ExitCode::from(2)
+}

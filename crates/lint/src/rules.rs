@@ -1,0 +1,323 @@
+//! The five determinism & fidelity rules.
+//!
+//! Every rule works on the token/comment streams produced by
+//! [`crate::lexer`] plus the region maps computed by
+//! [`crate::engine`] (test spans, hot-path function bodies). Rules are
+//! deliberately syntactic — this is a zero-dependency analyzer, not a
+//! type checker — and the limits of each heuristic are documented on
+//! the rule itself.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+
+/// Crates whose cycle math *is* the simulator's output: wall-clock,
+/// OS entropy and float-derived counters are forbidden here. `bench`
+/// is deliberately absent (its harness measures host wall time by
+/// design) and so are `trace` and `lint` themselves.
+pub const TIMING_CRATES: &[&str] = &[
+    "sim",
+    "gpu",
+    "mem",
+    "net",
+    "core",
+    "topo",
+    "collectives",
+    "models",
+];
+
+/// Crates (and root dirs) whose iteration order reaches timing or
+/// exported artifacts: the timing crates plus `trace` (exporters) and
+/// the facade's `src/` and `tests/` (golden pipelines).
+pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
+    "sim",
+    "gpu",
+    "mem",
+    "net",
+    "core",
+    "topo",
+    "collectives",
+    "models",
+    "trace",
+];
+
+/// Static description of one rule, for `--list` and the docs table.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub code: &'static str,
+    pub summary: &'static str,
+}
+
+/// The rule registry, in code order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "wall-clock",
+        code: "T3L001",
+        summary: "std::time::Instant / SystemTime / RandomState forbidden in timing crates \
+                  (host time and OS entropy must never reach simulated cycles)",
+    },
+    RuleInfo {
+        name: "hash-iteration",
+        code: "T3L002",
+        summary: "HashMap/HashSet forbidden where iteration order can reach timing or exported \
+                  output; use BTreeMap/BTreeSet",
+    },
+    RuleInfo {
+        name: "float-cycles",
+        code: "T3L003",
+        summary: "float expression cast into a cycle/byte counter (u64/Cycle/Bytes) without a \
+                  justified allow directive",
+    },
+    RuleInfo {
+        name: "panic-hot-path",
+        code: "T3L004",
+        summary: "unwrap()/expect()/panic! inside a per-cycle step/tick/advance body",
+    },
+    RuleInfo {
+        name: "naked-allow",
+        code: "T3L005",
+        summary: "#[allow(...)] or t3-lint: allow(...) without a `-- reason`, an unknown rule \
+                  name, or a suppression that matches nothing",
+    },
+];
+
+/// Looks up a rule by name.
+pub fn rule_by_name(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn diag(ctx: &FileCtx, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    let info = rule_by_name(rule).expect("rule registered");
+    Diagnostic {
+        path: ctx.path.to_string(),
+        line,
+        rule: info.name,
+        code: info.code,
+        message,
+    }
+}
+
+/// T3L001 — no wall-clock / OS entropy in timing crates.
+///
+/// Fires on any `Instant`, `SystemTime` or `RandomState` identifier in
+/// a timing crate, including its unit tests: a test that consults host
+/// time can mask a nondeterministic model.
+pub fn check_wall_clock(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.crate_in(TIMING_CRATES) {
+        return;
+    }
+    for tok in &ctx.lexed.tokens {
+        if let Some(name @ ("Instant" | "SystemTime" | "RandomState")) = tok.ident() {
+            out.push(diag(
+                ctx,
+                tok.line,
+                "wall-clock",
+                format!("`{name}` leaks host time/entropy into a timing crate; derive everything from simulated cycles (t3-sim) or a seeded SplitMix64 (t3_sim::rng)"),
+            ));
+        }
+    }
+}
+
+/// T3L002 — no hash-ordered containers where order is observable.
+///
+/// Fires on `HashMap`/`HashSet` identifiers in the timing crates,
+/// `trace`, and the facade's `src/`+`tests/`. `BTreeMap`/`BTreeSet`
+/// iterate in key order and are the workspace convention.
+pub fn check_hash_iteration(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let in_scope = ctx.crate_in(ORDERED_OUTPUT_CRATES)
+        || ctx.path.starts_with("src/")
+        || ctx.path.starts_with("tests/");
+    if !in_scope {
+        return;
+    }
+    for tok in &ctx.lexed.tokens {
+        if let Some(name @ ("HashMap" | "HashSet")) = tok.ident() {
+            let fix = if name == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(diag(
+                ctx,
+                tok.line,
+                "hash-iteration",
+                format!("`{name}` iteration order is randomized per-process (RandomState); use `{fix}` so arbitration ties and exported output stay bit-identical"),
+            ));
+        }
+    }
+}
+
+/// Integer types that hold cycle/byte counters.
+fn is_counter_type(name: &str) -> bool {
+    matches!(name, "u64" | "u32" | "Cycle" | "Bytes")
+}
+
+/// Identifiers that mark a float-valued computation.
+fn is_float_marker(name: &str) -> bool {
+    matches!(
+        name,
+        "f32" | "f64" | "ceil" | "floor" | "round" | "powi" | "powf"
+    )
+}
+
+/// T3L003 — no float math silently truncated into cycle counters.
+///
+/// Heuristic: within one statement (tokens between `;`/`,`/`{`/`}`
+/// boundaries), an `as u64`/`as u32`/`as Cycle`/`as Bytes` cast whose
+/// statement also contains earlier float evidence (an `f32`/`f64`
+/// token, a float literal, or `ceil`/`floor`/`round`/`powi`/`powf`)
+/// is flagged. Such sites must either restructure into integer math
+/// or carry `// t3-lint: allow(float-cycles) -- <reason>` stating why
+/// the rounding is deterministic and direction-explicit. Cross-
+/// statement float flows (a float `let` later cast in another
+/// statement) are out of reach for a syntactic pass and reviewed by
+/// convention instead. Test code is skipped: float assertions on
+/// ratios are the dominant *legitimate* use.
+pub fn check_float_cycles(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.crate_in(TIMING_CRATES) || ctx.is_test_code {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut stmt_start = 0usize;
+    let mut i = 0usize;
+    while i <= toks.len() {
+        let boundary = i == toks.len()
+            || matches!(
+                toks[i].kind,
+                TokKind::Punct(';')
+                    | TokKind::Punct(',')
+                    | TokKind::Punct('{')
+                    | TokKind::Punct('}')
+            );
+        if boundary {
+            scan_statement(ctx, &toks[stmt_start..i], stmt_start, out);
+            stmt_start = i + 1;
+        }
+        i += 1;
+    }
+}
+
+fn scan_statement(
+    ctx: &FileCtx,
+    stmt: &[crate::lexer::Token],
+    stmt_offset: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut float_seen = false;
+    let mut j = 0usize;
+    while j < stmt.len() {
+        let tok = &stmt[j];
+        match &tok.kind {
+            TokKind::Float => float_seen = true,
+            TokKind::Ident(name) if is_float_marker(name) => float_seen = true,
+            TokKind::Ident(name) if name == "as" && float_seen => {
+                if let Some(next) = stmt.get(j + 1) {
+                    if let Some(ty) = next.ident() {
+                        if is_counter_type(ty) && !ctx.in_test_region(stmt_offset + j) {
+                            out.push(diag(
+                                ctx,
+                                next.line,
+                                "float-cycles",
+                                format!("float expression truncated into `{ty}`: accumulation order and rounding direction silently shape cycle counts; restructure as integer math or justify with `t3-lint: allow(float-cycles) -- <reason>`"),
+                            ));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// T3L004 — no panics in per-cycle hot paths.
+///
+/// Fires on `.unwrap(`, `.expect(` and `panic!` inside the body of
+/// any `fn step*` / `fn tick*` / `fn advance*` outside test code:
+/// these run once per simulated cycle, and an abort there takes the
+/// whole sweep down instead of surfacing a modeled error.
+pub fn check_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for (lo, hi, fn_name) in &ctx.hot_fns {
+        for i in *lo..*hi {
+            if ctx.in_test_region(i) {
+                continue;
+            }
+            let tok = &toks[i];
+            let Some(name) = tok.ident() else { continue };
+            let flagged = match name {
+                "unwrap" | "expect" => toks.get(i + 1).is_some_and(|t| t.is_punct('(')),
+                "panic" => toks.get(i + 1).is_some_and(|t| t.is_punct('!')),
+                _ => false,
+            };
+            if flagged {
+                out.push(diag(
+                    ctx,
+                    tok.line,
+                    "panic-hot-path",
+                    format!("`{name}` in per-cycle `fn {fn_name}`: hot-path aborts kill the whole sweep; return a modeled error or make the invariant unrepresentable"),
+                ));
+            }
+        }
+    }
+}
+
+/// T3L005 (part 1) — every `#[allow(...)]`/`#![allow(...)]` attribute
+/// must justify itself: either `reason = "..."` inside the attribute
+/// or a comment containing `-- <reason>` on the same or previous line.
+///
+/// Directive hygiene (missing reasons, unknown rules, unused
+/// suppressions in `t3-lint: allow(...)` comments) is the engine's
+/// half of this rule, because it needs the post-suppression state.
+pub fn check_naked_allow_attrs(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('#') {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct('['))
+                && toks.get(j + 1).and_then(|t| t.ident()) == Some("allow")
+            {
+                let line = toks[j + 1].line;
+                let close = attr_end(toks, j);
+                let has_reason_field = toks[j..close].iter().any(|t| t.ident() == Some("reason"));
+                let has_reason_comment = ctx.reasoned_comment_near(line);
+                if !has_reason_field && !has_reason_comment {
+                    out.push(diag(
+                        ctx,
+                        line,
+                        "naked-allow",
+                        "`#[allow(...)]` without a written reason; append `reason = \"...\"` or a `// -- <reason>` comment on the same or previous line".to_string(),
+                    ));
+                }
+                i = close;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Token index one past the `]` closing the attribute whose `[` is at
+/// `open`.
+fn attr_end(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}

@@ -1,0 +1,173 @@
+//! Fixture-based self-tests: each of the five rules must fire on its
+//! violating fixture and stay silent on the suppressed/clean one, and
+//! the real workspace must be clean (the CI gate's twin).
+
+use std::path::Path;
+
+use t3_lint::{lint_source, to_json, Diagnostic};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn rules_fired(diags: &[Diagnostic]) -> Vec<&'static str> {
+    let mut rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn wall_clock_fires_in_timing_crate() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["wall-clock"]);
+    assert_eq!(
+        diags.len(),
+        3,
+        "Instant, SystemTime, RandomState: {diags:?}"
+    );
+    assert_eq!(diags[0].line, 2);
+    assert_eq!(diags[0].code, "T3L001");
+}
+
+#[test]
+fn wall_clock_out_of_scope_in_bench_crate() {
+    // The bench harness measures host wall time by design.
+    let diags = lint_source("crates/bench/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn wall_clock_silent_on_clean_file() {
+    let diags = lint_source("crates/sim/src/fx.rs", &fixture("wall_clock_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn hash_iteration_fires_where_order_is_observable() {
+    for path in [
+        "crates/mem/src/fx.rs",
+        "crates/trace/src/fx.rs",
+        "tests/fx.rs",
+    ] {
+        let diags = lint_source(path, &fixture("hash_bad.rs"));
+        assert_eq!(rules_fired(&diags), vec!["hash-iteration"], "at {path}");
+        assert_eq!(
+            diags.len(),
+            4,
+            "three HashMap tokens + one HashSet at {path}"
+        );
+    }
+}
+
+#[test]
+fn hash_iteration_out_of_scope_in_examples() {
+    let diags = lint_source("examples/fx.rs", &fixture("hash_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn hash_iteration_file_directive_honoured() {
+    let diags = lint_source("crates/mem/src/fx.rs", &fixture("hash_allowed.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn float_cycles_fires_in_timing_crate() {
+    let diags = lint_source("crates/gpu/src/fx.rs", &fixture("float_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["float-cycles"]);
+    assert_eq!(diags.len(), 2, "u64 and u32 truncations: {diags:?}");
+    assert_eq!(diags[0].line, 3);
+    assert_eq!(diags[1].line, 4);
+}
+
+#[test]
+fn float_cycles_suppressions_honoured_both_placements() {
+    let diags = lint_source("crates/gpu/src/fx.rs", &fixture("float_allowed.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn float_cycles_skips_test_code() {
+    // Integration-test files are out of scope entirely...
+    let diags = lint_source("crates/gpu/tests/fx.rs", &fixture("float_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    // ...and so are #[cfg(test)] modules inside a timing crate.
+    let diags = lint_source("crates/gpu/src/fx.rs", &fixture("float_test_code.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_hot_path_fires_in_step_tick_advance() {
+    let diags = lint_source("crates/mem/src/fx.rs", &fixture("panic_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["panic-hot-path"]);
+    let msgs: Vec<_> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(msgs[0].contains("`unwrap` in per-cycle `fn step`"));
+    assert!(msgs[1].contains("`expect` in per-cycle `fn tick`"));
+    assert!(msgs[2].contains("`panic` in per-cycle `fn advance_traced`"));
+}
+
+#[test]
+fn panic_hot_path_silent_on_clean_engine() {
+    let diags = lint_source("crates/mem/src/fx.rs", &fixture("panic_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn naked_allow_catches_every_hygiene_failure() {
+    let diags = lint_source("crates/topo/src/fx.rs", &fixture("naked_allow_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["naked-allow"]);
+    // The reasonless directive is both naked and stale: 5 findings.
+    assert_eq!(diags.len(), 5, "{diags:?}");
+    assert!(
+        diags[0].message.contains("without a written reason"),
+        "{diags:?}"
+    );
+    assert!(
+        diags[1].message.contains("without a `-- <reason>`"),
+        "{diags:?}"
+    );
+    assert!(diags[2].message.contains("suppresses nothing"), "{diags:?}");
+    assert!(diags[3].message.contains("unknown rule"), "{diags:?}");
+    assert!(diags[4].message.contains("suppresses nothing"), "{diags:?}");
+}
+
+#[test]
+fn naked_allow_accepts_both_reason_forms() {
+    let diags = lint_source("crates/topo/src/fx.rs", &fixture("naked_allow_ok.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn json_output_is_stable_and_parseable_shaped() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    let json = to_json(&diags);
+    assert!(json.starts_with("[\n"));
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(json.matches("\"rule\": \"wall-clock\"").count(), 3);
+    assert!(json.contains("\"file\": \"crates/net/src/fx.rs\""));
+}
+
+/// The CI gate's twin: the actual workspace must stay clean, with
+/// every suppression justified. Fails here = fails `./ci.sh`.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let diags = t3_lint::lint_workspace(&root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "t3-lint violations in the workspace:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

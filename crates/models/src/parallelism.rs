@@ -50,6 +50,7 @@ impl PipelineConfig {
     pub fn p2p_cycles(&self, sys: &SystemConfig, model: &ModelConfig) -> Cycle {
         let tokens_mb = model.tokens().div_ceil(self.microbatches);
         let bytes = tokens_mb * model.hidden * 2;
+        // t3-lint: allow(float-cycles) -- single ceil of a bandwidth ratio; no accumulation, rounding direction explicit
         (bytes as f64 / sys.link.bytes_per_cycle()).ceil() as Cycle + sys.link.latency_cycles()
     }
 
@@ -84,6 +85,7 @@ impl FsdpConfig {
         let per_step = chunk / sys.link.bytes_per_cycle()
             + sys.link.latency_cycles() as f64
             + sys.gpu.coll_step_overhead_cycles as f64;
+        // t3-lint: allow(float-cycles) -- analytic ZeRO-3 model: one ceil at the end, fixed evaluation order
         ((self.shards - 1) as f64 * per_step).ceil() as Cycle
     }
 

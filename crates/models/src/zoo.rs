@@ -73,7 +73,7 @@ impl ModelConfig {
         assert!(hbm_bytes > 0, "memory capacity must be positive");
         assert!(overhead >= 1.0, "overhead factor must be at least 1");
         let bytes_needed = self.estimated_params() * 2.0 * overhead;
-        (bytes_needed / hbm_bytes as f64).ceil().max(1.0) as u64
+        (bytes_needed / hbm_bytes as f64).ceil().max(1.0) as u64 // t3-lint: allow(float-cycles) -- capacity planning, not cycle timing; explicit ceil, result >= 1
     }
 }
 
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::HashSet<_> =
+        let labels: std::collections::BTreeSet<_> =
             Sublayer::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels.len(), 4);
     }

@@ -67,7 +67,7 @@ impl Link {
     pub fn send(&mut self, now: Cycle, tag: u64, bytes: Bytes) -> Cycle {
         assert!(bytes > 0, "cannot send an empty message");
         let start = self.free_at.max(now);
-        let ser_cycles = (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle;
+        let ser_cycles = (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle; // t3-lint: allow(float-cycles) -- single ceil of a rational bandwidth ratio; pinned by link unit tests
         self.free_at = start + ser_cycles;
         let arrival = self.free_at + self.latency;
         self.in_flight.push_back(Delivery {
@@ -131,6 +131,7 @@ impl Link {
     /// Pure helper: time to serialise `bytes` on this link, excluding
     /// latency. Used by analytic models (e.g. Figure 14's reference).
     pub fn serialization_cycles(&self, bytes: Bytes) -> Cycle {
+        // t3-lint: allow(float-cycles) -- same ceil as Link::send; keeping them identical is what makes the analytic reference exact
         (bytes as f64 / self.bytes_per_cycle).ceil() as Cycle
     }
 }

@@ -27,7 +27,7 @@ impl Ring {
 
     /// Number of devices. Always at least 2 (the constructor rejects
     /// smaller rings), so there is no `is_empty`.
-    #[allow(clippy::len_without_is_empty)]
+    #[allow(clippy::len_without_is_empty)] // -- a ring is never empty: the constructor rejects n < 2
     pub fn len(&self) -> usize {
         self.n
     }

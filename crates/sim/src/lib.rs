@@ -62,7 +62,7 @@ pub fn gb_s_to_bytes_per_cycle(gb_s: f64, clock_ghz: f64) -> f64 {
 /// assert_eq!(t3_sim::ns_to_cycles(500.0, 1.4), 700);
 /// ```
 pub fn ns_to_cycles(ns: f64, clock_ghz: f64) -> Cycle {
-    (ns * clock_ghz).ceil() as Cycle
+    (ns * clock_ghz).ceil() as Cycle // t3-lint: allow(float-cycles) -- config-time unit conversion, evaluated once; explicit ceil
 }
 
 /// Converts cycles back to microseconds at the given clock, for

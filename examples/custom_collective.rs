@@ -7,7 +7,7 @@
 //! cargo run --release --example custom_collective
 //! ```
 
-#![allow(clippy::needless_range_loop)]
+#![allow(clippy::needless_range_loop)] // -- index loops keep the example readable next to the math it demonstrates
 
 use t3::collectives::gemm::matmul;
 use t3::core::addrmap::{ChunkRoute, OutputConfig};

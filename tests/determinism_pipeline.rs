@@ -1,0 +1,79 @@
+//! Double-run determinism: the dynamic counterpart of the `t3-lint`
+//! static pass.
+//!
+//! The static rules forbid the *sources* of nondeterminism (wall
+//! clock, hash order, float-into-counter truncation); this test
+//! checks the *consequence* end-to-end: running the same instrumented
+//! figures workload twice in one process must produce byte-identical
+//! exported artifacts — cycle counts, the Chrome trace JSON, and the
+//! metrics registry in both JSON and CSV form. Any per-process seed,
+//! leftover global state, or order-sensitive accumulation shows up
+//! here as a diff.
+
+use t3_bench::experiments::{self, ExperimentScale};
+use t3_trace::chrome::chrome_trace_json;
+
+/// One traced run's complete exported byte set.
+fn tnlg_artifacts() -> (u64, String, String, String) {
+    let (ins, run, clock_ghz) = experiments::traced_tnlg_sublayer(ExperimentScale::FAST);
+    let tracer = ins
+        .tracer
+        .as_ref()
+        .expect("full instruments carry a tracer");
+    let metrics = ins
+        .metrics
+        .as_ref()
+        .expect("full instruments carry metrics");
+    (
+        run.cycles,
+        chrome_trace_json(tracer.records(), clock_ghz),
+        metrics.to_json(),
+        metrics.to_csv(),
+    )
+}
+
+fn multinode_artifacts(topology: &str) -> (u64, String, String) {
+    let (ins, run, clock_ghz) = experiments::traced_multinode(ExperimentScale::FAST, topology);
+    let tracer = ins
+        .tracer
+        .as_ref()
+        .expect("full instruments carry a tracer");
+    let metrics = ins
+        .metrics
+        .as_ref()
+        .expect("full instruments carry metrics");
+    (
+        run.cycles,
+        chrome_trace_json(tracer.records(), clock_ghz),
+        metrics.to_json(),
+    )
+}
+
+#[test]
+fn tnlg_trace_and_metrics_are_bit_identical_across_runs() {
+    let (cycles_a, trace_a, json_a, csv_a) = tnlg_artifacts();
+    let (cycles_b, trace_b, json_b, csv_b) = tnlg_artifacts();
+    assert_eq!(cycles_a, cycles_b, "cycle count drifted between runs");
+    assert_eq!(trace_a, trace_b, "Chrome trace bytes drifted between runs");
+    assert_eq!(json_a, json_b, "metrics JSON drifted between runs");
+    assert_eq!(csv_a, csv_b, "metrics CSV drifted between runs");
+    assert!(!trace_a.is_empty() && !json_a.is_empty() && !csv_a.is_empty());
+}
+
+#[test]
+fn multinode_trace_and_metrics_are_bit_identical_across_runs() {
+    let (cycles_a, trace_a, json_a) = multinode_artifacts("switch");
+    let (cycles_b, trace_b, json_b) = multinode_artifacts("switch");
+    assert_eq!(
+        cycles_a, cycles_b,
+        "multinode cycle count drifted between runs"
+    );
+    assert_eq!(
+        trace_a, trace_b,
+        "multinode Chrome trace drifted between runs"
+    );
+    assert_eq!(
+        json_a, json_b,
+        "multinode metrics JSON drifted between runs"
+    );
+}

@@ -6,7 +6,7 @@
 //! and the collective back-to-back — for arbitrary shapes, tile edge
 //! effects, and device counts drawn from a seeded deterministic PRNG.
 
-#![allow(clippy::needless_range_loop)]
+#![allow(clippy::needless_range_loop)] // -- index loops mirror the per-element equivalence being proven
 
 use t3::collectives::gemm::matmul;
 use t3::collectives::reference::assert_close;
