@@ -23,4 +23,8 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> figures smoke run (parallel runtime, fresh cache)"
+rm -rf target/t3-cache
+./target/release/figures all --fast --jobs 2 --report bench_report.json
+
 echo "CI OK"

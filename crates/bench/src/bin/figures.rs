@@ -1,13 +1,22 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p t3-bench --bin figures -- <target> [--fast]
+//! cargo run --release -p t3-bench --bin figures -- <target> [--fast] [--jobs N]
 //! cargo run --release -p t3-bench --bin figures -- --trace out.json
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
 //! fig18 fig19 fig20 multinode all`. `--fast` shrinks workloads 8x in
 //! the token dimension for smoke runs.
+//!
+//! Targets run as jobs on the `t3-runtime` worker pool: `--jobs N`
+//! sets the pool width (default: available parallelism) and outputs
+//! merge in submission order, so any width prints byte-identical
+//! results. Finished jobs land in a content-addressed cache under
+//! `target/t3-cache/` keyed by config fingerprint; `--no-cache`
+//! bypasses it and `--cache-dir <dir>` relocates it. `--report
+//! <file>` writes a JSON run report with per-job wall time and
+//! simulated cycles.
 //!
 //! `--topology <name>` selects the fabric for the `multinode` study
 //! and for traced runs; accepted names are `ring`, `fully-connected`,
@@ -20,16 +29,27 @@
 //! `chrome://tracing`. `--metrics <file>` writes the same run's
 //! metrics registry as JSON (or CSV when the file name ends in
 //! `.csv`). Either flag may be given alone or with targets.
+//!
+//! Exit codes: 0 on success, 1 when jobs fail or outputs cannot be
+//! written, 2 on usage errors.
 
 use std::env;
 use std::process::ExitCode;
 
 use t3_bench::experiments::{self, ExperimentScale};
+use t3_bench::jobs;
+use t3_runtime::{report_json, CacheConfig, JobStatus, RunOptions, DEFAULT_CACHE_DIR};
 use t3_trace::chrome::chrome_trace_json;
+
+/// Exit code for malformed invocations (bad flags, unknown targets).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for runs where at least one job failed.
+const EXIT_FAILED_JOBS: u8 = 1;
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
     let scale = if fast {
         ExperimentScale::FAST
     } else {
@@ -52,6 +72,22 @@ fn main() -> ExitCode {
             return usage(&format!("unknown topology: {name}"));
         }
     }
+    let workers = match flag_value(&args, "--jobs") {
+        Ok(None) => RunOptions::default_workers(),
+        Ok(Some(v)) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return usage(&format!("--jobs needs a positive integer, got: {v}")),
+        },
+        Err(e) => return usage(&e),
+    };
+    let cache_dir = match flag_value(&args, "--cache-dir") {
+        Ok(v) => v.unwrap_or_else(|| DEFAULT_CACHE_DIR.to_string()),
+        Err(e) => return usage(&e),
+    };
+    let report_path = match flag_value(&args, "--report") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
     let targets = match targets(&args) {
         Ok(t) => t,
         Err(e) => return usage(&e),
@@ -59,12 +95,43 @@ fn main() -> ExitCode {
     if targets.is_empty() && trace_path.is_none() && metrics_path.is_none() {
         return usage("no targets given");
     }
-    for target in &targets {
-        if !run_target(target, scale, topology.as_deref()) {
-            eprintln!("unknown target: {target}");
-            return ExitCode::FAILURE;
+
+    let mut failed = false;
+    if !targets.is_empty() {
+        let graph = match jobs::figure_job_graph(&targets, scale, topology.as_deref()) {
+            Ok(g) => g,
+            Err(e) => return usage(&e),
+        };
+        let opts = RunOptions {
+            workers,
+            cache: (!no_cache).then(|| CacheConfig::at(&cache_dir)),
+        };
+        let summary = t3_runtime::run(graph, &opts);
+        print!("{}", summary.merged_stdout());
+        for result in &summary.results {
+            let reason = match &result.status {
+                JobStatus::Failed(e) => e,
+                JobStatus::Skipped(e) => e,
+                JobStatus::Ok | JobStatus::Cached => continue,
+            };
+            eprintln!("job {} failed: {}", result.name, reason);
         }
+        if summary.cache_enabled {
+            eprintln!(
+                "cache: {} hit(s), {} miss(es) in {cache_dir}",
+                summary.cache_hits, summary.cache_misses
+            );
+        }
+        if let Some(path) = report_path {
+            if let Err(e) = std::fs::write(&path, report_json(&summary)) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(EXIT_FAILED_JOBS);
+            }
+            eprintln!("wrote run report to {path}");
+        }
+        failed = !summary.ok();
     }
+
     if trace_path.is_some() || metrics_path.is_some() {
         let (ins, cycles, clock_ghz) = match &topology {
             Some(name) => {
@@ -91,7 +158,7 @@ fn main() -> ExitCode {
             let json = chrome_trace_json(tracer.records(), clock_ghz);
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAILED_JOBS);
             }
             eprintln!("wrote Chrome trace to {path} (load in ui.perfetto.dev)");
         }
@@ -104,20 +171,33 @@ fn main() -> ExitCode {
             };
             if let Err(e) = std::fs::write(&path, body) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_FAILED_JOBS);
             }
             eprintln!("wrote metrics to {path}");
         }
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::from(EXIT_FAILED_JOBS)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|all> ...] [--fast] [--topology <ring|fully-connected|switch|torus|hierarchical>] [--trace <out.json>] [--metrics <out.json|out.csv>]"
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|all> ...] [flags]"
     );
-    ExitCode::FAILURE
+    eprintln!("flags:");
+    eprintln!("  --fast                 shrink workloads 8x in the token dimension");
+    eprintln!("  --jobs <N>             worker pool width (default: available parallelism)");
+    eprintln!("  --no-cache             bypass the result cache");
+    eprintln!("  --cache-dir <dir>      result cache location (default: {DEFAULT_CACHE_DIR})");
+    eprintln!("  --report <file>        write a JSON run report (per-job wall time + cycles)");
+    eprintln!("  --topology <name>      fabric for multinode/traced runs: ring, fully-connected, switch, torus, hierarchical");
+    eprintln!("  --trace <out.json>     write a Chrome trace of an instrumented fused GEMM-RS");
+    eprintln!("  --metrics <out.json|out.csv>  write the traced run's metrics registry");
+    ExitCode::from(EXIT_USAGE)
 }
 
 /// The value following `flag`, if present.
@@ -138,9 +218,15 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--trace" || a == "--metrics" || a == "--topology" {
+        if a == "--trace"
+            || a == "--metrics"
+            || a == "--topology"
+            || a == "--jobs"
+            || a == "--cache-dir"
+            || a == "--report"
+        {
             i += 2; // flag + its value (validated by flag_value)
-        } else if a == "--fast" {
+        } else if a == "--fast" || a == "--no-cache" {
             i += 1;
         } else if a.starts_with("--") {
             return Err(format!("unknown flag: {a}"));
@@ -150,49 +236,4 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
         }
     }
     Ok(out)
-}
-
-fn run_target(target: &str, scale: ExperimentScale, topology: Option<&str>) -> bool {
-    match target {
-        "table1" => println!("{}", experiments::table1()),
-        "table2" => println!("{}", experiments::table2()),
-        "table3" => println!("{}", experiments::table3()),
-        "fig4" => println!("{}", experiments::fig4()),
-        "fig6" => println!("{}", experiments::fig6(scale)),
-        "fig14" => println!("{}", experiments::fig14()),
-        "fig15" | "fig16" | "fig18" => {
-            let cases = experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
-            match target {
-                "fig15" => println!("{}", experiments::fig15(&cases)),
-                "fig16" => println!("{}", experiments::fig16(&cases)),
-                _ => println!("{}", experiments::fig18(&cases)),
-            }
-        }
-        "fig17" => println!("{}", experiments::fig17(scale)),
-        "extensions" => println!("{}", experiments::extensions(scale)),
-        "sweep" => println!("{}", experiments::sweep()),
-        "fig19" => println!("{}", experiments::fig19(scale)),
-        "fig20" => println!("{}", experiments::fig20(scale)),
-        "multinode" => println!("{}", experiments::multinode(scale, topology)),
-        "all" => {
-            println!("{}", experiments::table1());
-            println!("{}", experiments::table2());
-            println!("{}", experiments::table3());
-            println!("{}", experiments::fig4());
-            println!("{}", experiments::fig6(scale));
-            println!("{}", experiments::fig14());
-            let cases = experiments::run_sublayer_matrix(&experiments::main_study_models(), scale);
-            println!("{}", experiments::fig15(&cases));
-            println!("{}", experiments::fig16(&cases));
-            println!("{}", experiments::fig17(scale));
-            println!("{}", experiments::fig18(&cases));
-            println!("{}", experiments::fig19(scale));
-            println!("{}", experiments::fig20(scale));
-            println!("{}", experiments::multinode(scale, topology));
-            println!("{}", experiments::extensions(scale));
-            println!("{}", experiments::sweep());
-        }
-        _ => return false,
-    }
-    true
 }

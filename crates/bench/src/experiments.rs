@@ -291,6 +291,7 @@ pub fn fig14() -> Table {
         &["payload (MB)", "simulated (us)", "reference (us)", "error"],
     );
     for r in &rows {
+        t.tally_cycles(r.simulated_cycles);
         t.row(vec![
             (r.payload_bytes >> 20).to_string(),
             us(r.simulated_cycles, sys.gpu.clock_ghz),
@@ -363,6 +364,16 @@ pub fn run_sublayer_matrix(
     cases
 }
 
+/// Sum of every configuration's total cycles across a case set — the
+/// simulated work a matrix-derived table stands on.
+fn matrix_cycles(cases: &[SublayerCase]) -> u64 {
+    cases
+        .iter()
+        .flat_map(|c| c.outcomes.iter())
+        .map(|o| o.total_cycles)
+        .sum()
+}
+
 /// Figure 15: sublayer runtime distribution (GEMM / RS / AG) under the
 /// Sequential baseline.
 pub fn fig15(cases: &[SublayerCase]) -> Table {
@@ -381,6 +392,7 @@ pub fn fig15(cases: &[SublayerCase]) -> Table {
             "AG %",
         ],
     );
+    t.tally_cycles(matrix_cycles(cases));
     for c in cases {
         let seq = c.outcome(Configuration::Sequential);
         let total = seq.total_cycles as f64;
@@ -420,6 +432,7 @@ pub fn fig16(cases: &[SublayerCase]) -> Table {
         Configuration::IdealOverlap,
         Configuration::IdealRsNmc,
     ];
+    t.tally_cycles(matrix_cycles(cases));
     for c in cases {
         let mut row = vec![
             c.model.clone(),
@@ -465,6 +478,7 @@ pub fn fig18(cases: &[SublayerCase]) -> Table {
     let mut rs_read_ratios = Vec::new();
     let mut write_ratios = Vec::new();
     let mut gemm_read_ratios = Vec::new();
+    t.tally_cycles(matrix_cycles(cases));
     for c in cases {
         let seq = c.outcome(Configuration::Sequential);
         let t3m = c.outcome(Configuration::T3Mca);
@@ -523,7 +537,7 @@ pub fn fig17(scale: ExperimentScale) -> Table {
     let shape = scale.shape(&model, Sublayer::Fc2, tp);
     let grid = GemmGrid::new(&sys.gpu, shape);
     let bucket = 16_384;
-    let (_, base_ts) =
+    let (base_run, base_ts) =
         run_gemm_isolated_traced(&sys, grid.clone(), WritePolicy::CachedLocal, Some(bucket));
     let base_ts = base_ts.expect("requested");
     let fused = run_fused_gemm_rs(
@@ -547,6 +561,7 @@ pub fn fig17(scale: ExperimentScale) -> Table {
             "RS upd",
         ],
     );
+    t.tally_cycles(base_run.cycles).tally_cycles(fused.cycles);
     let clock = sys.gpu.clock_ghz;
     let gbps = |bytes: u64, cycles: u64| -> String {
         format!("{:.0}", bytes as f64 / cycles as f64 * clock)
@@ -586,6 +601,7 @@ pub fn fig19(scale: ExperimentScale) -> Table {
     for (model, tp) in main_study_models() {
         let sys = system_for(tp);
         let cases = run_sublayer_matrix(&[(model.clone(), tp)], scale);
+        t.tally_cycles(matrix_cycles(&cases));
         let speedup_of = |config: Configuration, sub: Sublayer| -> f64 {
             cases
                 .iter()
@@ -702,6 +718,9 @@ pub fn extensions(scale: ExperimentScale) -> Table {
     let seq = Configuration::Sequential.run(&sys, &shape);
     let ring = run_fused_gemm_rs(&sys, grid.clone(), &FusedOptions::default());
     let direct = run_fused_gemm_direct_rs(&sys, grid.clone(), &FusedOptions::default());
+    t.tally_cycles(seq.total_cycles)
+        .tally_cycles(ring.cycles)
+        .tally_cycles(direct.cycles);
     for (case, cycles) in [
         ("ring fused GEMM-RS", ring.cycles),
         ("direct fused GEMM-RS", direct.cycles),
@@ -729,6 +748,7 @@ pub fn extensions(scale: ExperimentScale) -> Table {
                 arrival_aligned: aligned,
             },
         );
+        t.tally_cycles(ag_seq.cycles).tally_cycles(fused.cycles);
         t.row(vec![
             "7.2 AG->GEMM".into(),
             case.into(),
@@ -742,6 +762,8 @@ pub fn extensions(scale: ExperimentScale) -> Table {
         &sys,
         &MoeConfig::switch_like(4096, (4096 / scale.token_divisor).max(256)),
     );
+    t.tally_cycles(moe.sequential_cycles)
+        .tally_cycles(moe.fused_cycles);
     t.row(vec![
         "7.2 MoE combine".into(),
         "expert FC-2 + all-to-all".into(),
@@ -752,6 +774,8 @@ pub fn extensions(scale: ExperimentScale) -> Table {
     // 7.3 generation phase.
     for tokens in [8u64, 128, 2048] {
         let row = study::generation_phase_study(&sys, 4256, tokens, 8);
+        t.tally_cycles(row.sequential_cycles)
+            .tally_cycles(row.t3_cycles);
         t.row(vec![
             "7.3 generation".into(),
             format!("{tokens} tokens"),
@@ -763,6 +787,7 @@ pub fn extensions(scale: ExperimentScale) -> Table {
     // Methodology validation: explicit 8-GPU simulation vs the
     // mirrored single-GPU model (Section 5.1.1's homogeneity claim).
     let explicit = run_multi_gpu_fused_rs(&sys, grid.clone(), &FusedOptions::default());
+    t.tally_cycles(explicit.cycles);
     t.row(vec![
         "5.1.1 methodology".into(),
         format!("explicit 8-GPU (skew {} cyc)", explicit.skew),
@@ -778,6 +803,8 @@ pub fn extensions(scale: ExperimentScale) -> Table {
         ("T3-MCA arbitration", PolicyChoice::McaDynamic),
     ] {
         let row = study::coarse_overlap_study(&sys, &contention_shape, 128 << 20, policy);
+        t.tally_cycles(row.isolated_gemm_cycles)
+            .tally_cycles(row.contended_gemm_cycles);
         t.row(vec![
             "3.2 coarse overlap".into(),
             format!("{case} (GEMM slowdown)"),
@@ -788,6 +815,8 @@ pub fn extensions(scale: ExperimentScale) -> Table {
     }
     // 7.6 following ops near memory.
     let fo = study::nmc_following_ops_study(&sys, 64 << 20, 4.0);
+    t.tally_cycles(fo.baseline_cycles)
+        .tally_cycles(fo.nmc_cycles);
     t.row(vec![
         "7.6 following ops".into(),
         "4-pass sweep of 64 MB".into(),
@@ -903,6 +932,7 @@ pub fn multinode(scale: ExperimentScale, topology: Option<&str>) -> Table {
         let base = *ring_cycles.get_or_insert(run.cycles);
         let wire: u64 = run.link_bytes.iter().sum();
         let a2a = scheduled_all_to_all_cycles(&sys, &topo, moe.a2a_payload_bytes());
+        t.tally_cycles(run.cycles).tally_cycles(a2a);
         t.row(vec![
             name.to_string(),
             topo.num_links().to_string(),

@@ -5,9 +5,13 @@
 //! [`std::time::Instant`] through this module instead of a framework.
 //! The interesting quantity for most benches is the *simulated* cycle
 //! count anyway — wall-clock here only measures the simulator itself.
+//! Sample summarisation lives in [`t3_runtime::BenchSample`], shared
+//! with the runtime's `--report` rows.
 
 use std::hint::black_box;
 use std::time::Instant;
+
+pub use t3_runtime::BenchSample;
 
 /// Default iteration count per benchmark.
 pub const DEFAULT_ITERS: u32 = 10;
@@ -15,29 +19,26 @@ pub const DEFAULT_ITERS: u32 = 10;
 /// Times `f` for `iters` iterations (plus one untimed warm-up) and
 /// prints min / median / mean wall-clock per iteration.
 ///
-/// Returns the median per-iteration time in nanoseconds so callers
-/// can post-process if they want.
-pub fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) -> u128 {
+/// Returns the full [`BenchSample`] summary so callers can
+/// post-process any of the statistics.
+pub fn bench<R>(label: &str, iters: u32, mut f: impl FnMut() -> R) -> BenchSample {
     assert!(iters > 0, "need at least one iteration");
     black_box(f());
-    let mut samples_ns: Vec<u128> = (0..iters)
+    let samples_ns: Vec<u128> = (0..iters)
         .map(|_| {
             let start = Instant::now();
             black_box(f());
             start.elapsed().as_nanos()
         })
         .collect();
-    samples_ns.sort_unstable();
-    let min = samples_ns[0];
-    let median = samples_ns[samples_ns.len() / 2];
-    let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+    let sample = BenchSample::from_samples(&samples_ns);
     println!(
         "bench {label:<40} min {} median {} mean {} ({iters} iters)",
-        fmt_ns(min),
-        fmt_ns(median),
-        fmt_ns(mean)
+        fmt_ns(sample.min_ns),
+        fmt_ns(sample.median_ns),
+        fmt_ns(sample.mean_ns)
     );
-    median
+    sample
 }
 
 /// Formats a nanosecond duration with a readable unit.
@@ -58,16 +59,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_runs_and_returns_median() {
+    fn bench_runs_and_returns_sample() {
         let mut calls = 0u32;
-        let median = bench("noop", 3, || {
+        let sample = bench("noop", 3, || {
             calls += 1;
             calls
         });
         // 1 warm-up + 3 timed.
         assert_eq!(calls, 4);
+        assert_eq!(sample.iters, 3);
+        assert!(sample.min_ns <= sample.median_ns);
+        assert!(sample.min_ns <= sample.mean_ns);
         // A counter increment cannot take a second.
-        assert!(median < 1_000_000_000);
+        assert!(sample.median_ns < 1_000_000_000);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Figure regeneration as enumerable runtime jobs.
+//!
+//! Every `figures` target is one [`Job`]: a named closure that builds
+//! its table off-thread and returns the exact bytes a sequential run
+//! would have printed, plus the simulated-cycle tally. The
+//! [`t3_runtime`] scheduler merges outputs in submission order, so
+//! `figures all --jobs N` is byte-identical to `--jobs 1` — which is
+//! itself byte-identical to the historical sequential loop.
+//!
+//! Job identity for the result cache is the canonical fingerprint of
+//! everything that shapes the output: the target name, the workload
+//! scale, the topology (for the one target that reads it), and
+//! [`WORKLOAD_REV`].
+
+use t3_runtime::{Fingerprint, FingerprintBuilder, Job, JobGraph, JobOutput};
+
+use crate::experiments::{self, ExperimentScale};
+use crate::report::Table;
+
+/// Workload revision folded into every job fingerprint. The
+/// fingerprint covers the experiment *config*, not the simulator
+/// *code* — bump this whenever a simulator or experiment change must
+/// invalidate previously cached results.
+pub const WORKLOAD_REV: u64 = 1;
+
+/// Every figures target, in `figures all` emission order.
+pub const ALL_TARGETS: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "fig4",
+    "fig6",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "multinode",
+    "extensions",
+    "sweep",
+];
+
+/// A cheap-but-representative target subset for smoke tests of the
+/// parallel path: the analytic tables plus two genuinely simulating
+/// targets (the fig4 overlap anatomy and the fig14 validation runs).
+/// Kept fast enough for debug-profile test binaries — the heavy
+/// matrix/multinode targets are exercised by `figures all` in CI's
+/// release smoke run instead.
+pub const SMOKE_TARGETS: &[&str] = &["table1", "table2", "table3", "fig4", "fig14"];
+
+/// The canonical config fingerprint of one target's job. `topology`
+/// participates only for the `multinode` target — the only one whose
+/// output depends on it — so a `--topology` flag never invalidates
+/// unrelated cache entries.
+pub fn fingerprint_for(
+    target: &str,
+    scale: ExperimentScale,
+    topology: Option<&str>,
+) -> Fingerprint {
+    let b = FingerprintBuilder::new()
+        .str("experiment", "t3-figures")
+        .u64("workload_rev", WORKLOAD_REV)
+        .str("target", target)
+        .u64("token_divisor", scale.token_divisor);
+    if target == "multinode" {
+        b.opt_str("topology", topology).finish()
+    } else {
+        b.finish()
+    }
+}
+
+/// What `println!("{table}")` would have emitted, as a [`JobOutput`].
+fn render(table: &Table) -> JobOutput {
+    let mut out = JobOutput::text(format!("{table}\n"));
+    out.sim_cycles = table.sim_cycles();
+    out
+}
+
+/// Builds the job for one target; `None` for unknown target names.
+pub fn job_for(target: &str, scale: ExperimentScale, topology: Option<&str>) -> Option<Job> {
+    let fp = fingerprint_for(target, scale, topology);
+    let topology: Option<String> = topology.map(str::to_string);
+    let table: Box<dyn FnOnce() -> Table + Send> = match target {
+        "table1" => Box::new(experiments::table1),
+        "table2" => Box::new(experiments::table2),
+        "table3" => Box::new(experiments::table3),
+        "fig4" => Box::new(experiments::fig4),
+        "fig6" => Box::new(move || experiments::fig6(scale)),
+        "fig14" => Box::new(experiments::fig14),
+        "fig15" => Box::new(move || {
+            experiments::fig15(&experiments::run_sublayer_matrix(
+                &experiments::main_study_models(),
+                scale,
+            ))
+        }),
+        "fig16" => Box::new(move || {
+            experiments::fig16(&experiments::run_sublayer_matrix(
+                &experiments::main_study_models(),
+                scale,
+            ))
+        }),
+        "fig17" => Box::new(move || experiments::fig17(scale)),
+        "fig18" => Box::new(move || {
+            experiments::fig18(&experiments::run_sublayer_matrix(
+                &experiments::main_study_models(),
+                scale,
+            ))
+        }),
+        "fig19" => Box::new(move || experiments::fig19(scale)),
+        "fig20" => Box::new(move || experiments::fig20(scale)),
+        "multinode" => Box::new(move || experiments::multinode(scale, topology.as_deref())),
+        "extensions" => Box::new(move || experiments::extensions(scale)),
+        "sweep" => Box::new(experiments::sweep),
+        _ => return None,
+    };
+    Some(Job::new(target, fp, move || render(&table())))
+}
+
+/// Builds the dependency-free job graph for a target list, expanding
+/// `all` in place. Errors name the first unknown target.
+pub fn figure_job_graph(
+    targets: &[String],
+    scale: ExperimentScale,
+    topology: Option<&str>,
+) -> Result<JobGraph, String> {
+    let mut graph = JobGraph::new();
+    for target in targets {
+        if target == "all" {
+            for t in ALL_TARGETS {
+                graph.add(job_for(t, scale, topology).expect("ALL_TARGETS are known"));
+            }
+        } else {
+            let job = job_for(target, scale, topology)
+                .ok_or_else(|| format!("unknown target: {target}"))?;
+            graph.add(job);
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_all_target_resolves() {
+        for t in ALL_TARGETS {
+            assert!(
+                job_for(t, ExperimentScale::FAST, None).is_some(),
+                "target {t} must build"
+            );
+        }
+        assert!(job_for("nonsense", ExperimentScale::FAST, None).is_none());
+    }
+
+    #[test]
+    fn smoke_targets_are_a_subset_of_all() {
+        for t in SMOKE_TARGETS {
+            assert!(ALL_TARGETS.contains(t), "{t} missing from ALL_TARGETS");
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_targets_scales_and_topology() {
+        let fast = ExperimentScale::FAST;
+        let full = ExperimentScale::FULL;
+        assert_ne!(
+            fingerprint_for("fig16", fast, None),
+            fingerprint_for("fig15", fast, None)
+        );
+        assert_ne!(
+            fingerprint_for("fig16", fast, None),
+            fingerprint_for("fig16", full, None)
+        );
+        // Topology shapes only the multinode output...
+        assert_ne!(
+            fingerprint_for("multinode", fast, Some("switch")),
+            fingerprint_for("multinode", fast, None)
+        );
+        // ...and is deliberately ignored everywhere else.
+        assert_eq!(
+            fingerprint_for("fig16", fast, Some("switch")),
+            fingerprint_for("fig16", fast, None)
+        );
+        // Stability: same config, same fingerprint.
+        assert_eq!(
+            fingerprint_for("fig16", fast, None),
+            fingerprint_for("fig16", fast, None)
+        );
+    }
+
+    #[test]
+    fn graph_expands_all_in_order() {
+        let graph =
+            figure_job_graph(&["all".to_string()], ExperimentScale::FAST, None).expect("builds");
+        assert_eq!(graph.len(), ALL_TARGETS.len());
+        assert_eq!(graph.names().collect::<Vec<_>>(), ALL_TARGETS);
+        let err = figure_job_graph(&["bogus".to_string()], ExperimentScale::FAST, None)
+            .expect_err("unknown target");
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn job_output_matches_direct_call() {
+        let job = job_for("table1", ExperimentScale::FAST, None).expect("known");
+        assert_eq!(job.name(), "table1");
+        // The runtime runs the closure on a worker; call the
+        // experiment directly here and compare the bytes.
+        let direct = format!("{}\n", experiments::table1());
+        let summary = t3_runtime::run(
+            {
+                let mut g = JobGraph::new();
+                g.add(job);
+                g
+            },
+            &t3_runtime::RunOptions::with_workers(1),
+        );
+        assert_eq!(summary.merged_stdout(), direct);
+    }
+}

@@ -1,12 +1,16 @@
 //! Benchmark harness for the T3 reproduction.
 //!
 //! [`experiments`] contains one regeneration function per paper table
-//! and figure; the `figures` binary (`cargo run --release -p t3-bench
-//! --bin figures -- <target>`) prints them, and the `benches/` targets
-//! reuse the same entry points on scaled workloads through the
+//! and figure; [`jobs`] wraps each target as a fingerprinted
+//! `t3-runtime` job so the `figures` binary (`cargo run --release -p
+//! t3-bench --bin figures -- <target> [--jobs N]`) can run them on a
+//! parallel worker pool with deterministic, submission-ordered output
+//! and a content-addressed result cache. The `benches/` targets reuse
+//! the same entry points on scaled workloads through the
 //! self-contained [`harness`] timer (no external bench framework —
 //! the workspace builds offline).
 
 pub mod experiments;
 pub mod harness;
+pub mod jobs;
 pub mod report;

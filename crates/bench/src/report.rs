@@ -13,6 +13,7 @@ pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
     notes: Vec<String>,
+    sim_cycles: u64,
 }
 
 impl Table {
@@ -23,7 +24,24 @@ impl Table {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             notes: Vec::new(),
+            sim_cycles: 0,
         }
+    }
+
+    /// Adds `cycles` to the table's simulated-cycle tally. Experiment
+    /// functions call this as they run simulations, and the runtime's
+    /// per-job report rows pick the total up through
+    /// [`Table::sim_cycles`]. Purely additive accounting — never part
+    /// of the rendered text.
+    pub fn tally_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.sim_cycles += cycles;
+        self
+    }
+
+    /// Total simulated cycles tallied while building this table (0
+    /// for purely analytic tables).
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles
     }
 
     /// Appends a row (must match the header width).
@@ -123,6 +141,15 @@ mod tests {
         assert!(s.contains("note: hello"));
         assert_eq!(t.len(), 1);
         assert_eq!(t.cell(0, 1), "y");
+    }
+
+    #[test]
+    fn cycle_tally_accumulates_and_stays_out_of_text() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.row(vec!["x".into()]);
+        t.tally_cycles(100).tally_cycles(23);
+        assert_eq!(t.sim_cycles(), 123);
+        assert!(!t.to_string().contains("123"));
     }
 
     #[test]

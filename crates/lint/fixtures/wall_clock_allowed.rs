@@ -1,0 +1,6 @@
+// t3-lint: allow-file(wall-clock) -- fixture: host-side scheduler timing; never reaches simulated cycles
+use std::time::Instant;
+
+pub fn tolerated() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

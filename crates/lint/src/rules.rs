@@ -14,7 +14,10 @@ use crate::lexer::TokKind;
 /// Crates whose cycle math *is* the simulator's output: wall-clock,
 /// OS entropy and float-derived counters are forbidden here. `bench`
 /// is deliberately absent (its harness measures host wall time by
-/// design) and so are `trace` and `lint` themselves.
+/// design) and so are `trace` and `lint` themselves. `runtime` is
+/// in scope — its simulated cycles must come from job outputs, never
+/// the host clock — with file-wide allows on the two modules that
+/// legitimately measure host-side scheduler wall time.
 pub const TIMING_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -24,11 +27,14 @@ pub const TIMING_CRATES: &[&str] = &[
     "topo",
     "collectives",
     "models",
+    "runtime",
 ];
 
 /// Crates (and root dirs) whose iteration order reaches timing or
 /// exported artifacts: the timing crates plus `trace` (exporters) and
-/// the facade's `src/` and `tests/` (golden pipelines).
+/// the facade's `src/` and `tests/` (golden pipelines). `runtime`
+/// qualifies through its merged stdout, cache entries and run
+/// reports — all byte-exact artifacts.
 pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -39,6 +45,7 @@ pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "collectives",
     "models",
     "trace",
+    "runtime",
 ];
 
 /// Static description of one rule, for `--list` and the docs table.

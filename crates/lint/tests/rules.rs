@@ -33,6 +33,23 @@ fn wall_clock_fires_in_timing_crate() {
 }
 
 #[test]
+fn wall_clock_fires_in_runtime_crate() {
+    // The runtime schedules simulator jobs and is a timing crate: its
+    // simulated cycles must come from job outputs, never the host
+    // clock...
+    let diags = lint_source("crates/runtime/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["wall-clock"]);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    // ...and its justified file-wide allows (scheduler wall-time
+    // measurement) suppress cleanly without tripping naked-allow.
+    let diags = lint_source(
+        "crates/runtime/src/fx.rs",
+        &fixture("wall_clock_allowed.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn wall_clock_out_of_scope_in_bench_crate() {
     // The bench harness measures host wall time by design.
     let diags = lint_source("crates/bench/src/fx.rs", &fixture("wall_clock_bad.rs"));

@@ -1,0 +1,203 @@
+//! Canonical config fingerprints.
+//!
+//! A job's cache identity is a 64-bit FNV-1a hash over a *canonical*
+//! encoding of its configuration: every field is written as
+//! `tag · len(name) · name · len(value) · value`, so neither field
+//! reordering ambiguity nor value concatenation ambiguity can make
+//! two distinct configs collide by construction sloppiness. No
+//! `Hash`-derive is involved (its layout is unspecified across
+//! compiler versions) and no hash-ordered container feeds the
+//! encoder — callers write fields in a fixed, explicit order.
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a streaming hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in fixed little-endian form.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A finished fingerprint, rendered as 16 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// The fixed-width hex form used for cache file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Field type tags of the canonical encoding.
+const TAG_STR: u8 = 1;
+const TAG_U64: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_NONE: u8 = 4;
+
+/// Builds a [`Fingerprint`] from explicitly ordered, named, typed
+/// fields.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintBuilder {
+    h: Fnv1a,
+}
+
+impl FingerprintBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        FingerprintBuilder::default()
+    }
+
+    fn field_header(&mut self, tag: u8, name: &str) {
+        self.h.write(&[tag]);
+        self.h.write_u64(name.len() as u64);
+        self.h.write(name.as_bytes());
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.field_header(TAG_STR, name);
+        self.h.write_u64(value.len() as u64);
+        self.h.write(value.as_bytes());
+        self
+    }
+
+    /// Adds a `u64` field.
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.field_header(TAG_U64, name);
+        self.h.write_u64(value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.field_header(TAG_BOOL, name);
+        self.h.write(&[u8::from(value)]);
+        self
+    }
+
+    /// Adds an optional string field; `None` is encoded distinctly
+    /// from every `Some` value, including `Some("")`.
+    pub fn opt_str(self, name: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(name, v),
+            None => {
+                let mut b = self;
+                b.field_header(TAG_NONE, name);
+                b
+            }
+        }
+    }
+
+    /// Finishes the encoding.
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint(self.h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        h.write(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(Fingerprint(0xab).hex(), "00000000000000ab");
+        assert_eq!(Fingerprint(0xab).hex().len(), 16);
+    }
+
+    #[test]
+    fn builder_is_stable_and_order_sensitive() {
+        let a = FingerprintBuilder::new()
+            .str("target", "fig16")
+            .u64("token_divisor", 8)
+            .finish();
+        let same = FingerprintBuilder::new()
+            .str("target", "fig16")
+            .u64("token_divisor", 8)
+            .finish();
+        let reordered = FingerprintBuilder::new()
+            .u64("token_divisor", 8)
+            .str("target", "fig16")
+            .finish();
+        assert_eq!(a, same);
+        assert_ne!(a, reordered);
+    }
+
+    #[test]
+    fn no_concatenation_ambiguity() {
+        let ab_c = FingerprintBuilder::new()
+            .str("k", "ab")
+            .str("k2", "c")
+            .finish();
+        let a_bc = FingerprintBuilder::new()
+            .str("k", "a")
+            .str("k2", "bc")
+            .finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn none_differs_from_empty_some() {
+        let none = FingerprintBuilder::new().opt_str("topo", None).finish();
+        let empty = FingerprintBuilder::new().opt_str("topo", Some("")).finish();
+        assert_ne!(none, empty);
+    }
+
+    #[test]
+    fn value_type_is_part_of_identity() {
+        let s = FingerprintBuilder::new().str("v", "1").finish();
+        let b = FingerprintBuilder::new().bool("v", true).finish();
+        assert_ne!(s, b);
+    }
+}

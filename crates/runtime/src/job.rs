@@ -1,0 +1,193 @@
+//! Jobs and job graphs.
+//!
+//! A [`Job`] is one named, independently runnable unit of simulation
+//! work with a canonical config [`Fingerprint`]; a [`JobGraph`] is an
+//! ordered collection of jobs plus explicit dependency edges. The
+//! *submission order* of jobs is part of the graph's contract: the
+//! scheduler reports results — and the caller emits artifacts — in
+//! exactly that order, whatever the execution interleaving was.
+
+use std::collections::BTreeMap;
+
+use crate::fingerprint::Fingerprint;
+
+/// The structured result a job hands back to the runtime.
+///
+/// Jobs never print: captured stdout text comes back as a string so
+/// the runtime can merge outputs deterministically, and the
+/// simulated-cycle tally plus free-form counters feed the run report
+/// and the result cache.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobOutput {
+    /// Exactly the bytes a sequential run would have printed.
+    pub stdout: String,
+    /// Total simulated cycles attributable to this job (0 when the
+    /// job is analytic and simulates nothing).
+    pub sim_cycles: u64,
+    /// Additional named counters (deterministically ordered).
+    pub metrics: BTreeMap<String, u64>,
+}
+
+impl JobOutput {
+    /// An output carrying only text.
+    pub fn text<S: Into<String>>(stdout: S) -> Self {
+        JobOutput {
+            stdout: stdout.into(),
+            ..JobOutput::default()
+        }
+    }
+}
+
+/// The work closure of a job.
+pub type JobFn = Box<dyn FnOnce() -> JobOutput + Send + 'static>;
+
+/// One named, fingerprinted unit of work.
+pub struct Job {
+    pub(crate) name: String,
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) run: JobFn,
+}
+
+impl Job {
+    /// Creates a job from a name, its config fingerprint, and the
+    /// closure that performs the work on a worker thread.
+    pub fn new<S, F>(name: S, fingerprint: Fingerprint, run: F) -> Self
+    where
+        S: Into<String>,
+        F: FnOnce() -> JobOutput + Send + 'static,
+    {
+        Job {
+            name: name.into(),
+            fingerprint,
+            run: Box::new(run),
+        }
+    }
+
+    /// The job's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job's canonical config fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .field("fingerprint", &self.fingerprint)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Identifies a job within one [`JobGraph`] (its submission index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JobId(pub usize);
+
+/// An ordered set of jobs with dependency edges.
+#[derive(Debug, Default)]
+pub struct JobGraph {
+    pub(crate) jobs: Vec<Job>,
+    /// `deps[i]` lists the jobs that must complete before job `i`.
+    pub(crate) deps: Vec<Vec<usize>>,
+}
+
+impl JobGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        JobGraph::default()
+    }
+
+    /// Appends a job; its [`JobId`] is its submission index.
+    pub fn add(&mut self, job: Job) -> JobId {
+        self.jobs.push(job);
+        self.deps.push(Vec::new());
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// Declares that `job` must not start before `dep` has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range, on a self-dependency, or
+    /// on a forward edge (`dep` submitted after `job`) — submission
+    /// order is the output order, so a graph whose edges respect it is
+    /// acyclic by construction.
+    pub fn add_dep(&mut self, job: JobId, dep: JobId) {
+        assert!(job.0 < self.jobs.len(), "job id out of range");
+        assert!(dep.0 < self.jobs.len(), "dep id out of range");
+        assert!(
+            dep.0 < job.0,
+            "dependency must be submitted before the job that needs it"
+        );
+        if !self.deps[job.0].contains(&dep.0) {
+            self.deps[job.0].push(dep.0);
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs have been added.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Job names in submission order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.jobs.iter().map(|j| j.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FingerprintBuilder;
+
+    fn fp(name: &str) -> Fingerprint {
+        FingerprintBuilder::new().str("t", name).finish()
+    }
+
+    #[test]
+    fn graph_preserves_submission_order() {
+        let mut g = JobGraph::new();
+        let a = g.add(Job::new("a", fp("a"), || JobOutput::text("A\n")));
+        let b = g.add(Job::new("b", fp("b"), || JobOutput::text("B\n")));
+        assert_eq!((a, b), (JobId(0), JobId(1)));
+        assert_eq!(g.names().collect::<Vec<_>>(), vec!["a", "b"]);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn deps_deduplicate() {
+        let mut g = JobGraph::new();
+        let a = g.add(Job::new("a", fp("a"), JobOutput::default));
+        let b = g.add(Job::new("b", fp("b"), JobOutput::default));
+        g.add_dep(b, a);
+        g.add_dep(b, a);
+        assert_eq!(g.deps[1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted before")]
+    fn forward_edges_rejected() {
+        let mut g = JobGraph::new();
+        let a = g.add(Job::new("a", fp("a"), JobOutput::default));
+        let b = g.add(Job::new("b", fp("b"), JobOutput::default));
+        g.add_dep(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "submitted before")]
+    fn self_dependency_rejected() {
+        let mut g = JobGraph::new();
+        let a = g.add(Job::new("a", fp("a"), JobOutput::default));
+        g.add_dep(a, a);
+    }
+}

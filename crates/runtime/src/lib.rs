@@ -1,0 +1,36 @@
+//! `t3-runtime` — the deterministic parallel experiment runtime.
+//!
+//! The bench front-end used to run every figure regeneration strictly
+//! sequentially; this crate is the job-runtime layer between the
+//! simulator crates and `figures`:
+//!
+//! * [`job`] — [`Job`]/[`JobGraph`]: named, dependency-ordered units
+//!   of simulation work, each with a canonical config fingerprint.
+//! * [`fingerprint`] — stable FNV-1a over a hand-rolled canonical
+//!   field encoding (no `Hash`-derive, no hash-ordered iteration).
+//! * [`scheduler`] — a `std::thread` + `mpsc` worker pool with panic
+//!   isolation and **deterministic output merging**: results are
+//!   reported in submission order, so artifacts are byte-identical at
+//!   any `--jobs` width.
+//! * [`cache`] — a content-addressed on-disk result cache
+//!   (`target/t3-cache/<fingerprint>.json`) making reruns
+//!   incremental.
+//! * [`report`] — [`BenchSample`] wall-time summaries and the
+//!   `bench_report.json` writer.
+//!
+//! Like the rest of the workspace the crate is std-only. Host wall
+//! time is measured here (and only here, plus the bench harness) to
+//! report the *simulator's* speed; it never feeds simulated cycles,
+//! and the `t3-lint` wall-clock rule polices that boundary per file.
+
+pub mod cache;
+pub mod fingerprint;
+pub mod job;
+pub mod report;
+pub mod scheduler;
+
+pub use cache::{Cache, CacheConfig, DEFAULT_CACHE_DIR};
+pub use fingerprint::{Fingerprint, FingerprintBuilder, Fnv1a};
+pub use job::{Job, JobGraph, JobId, JobOutput};
+pub use report::{report_json, BenchSample};
+pub use scheduler::{run, JobResult, JobStatus, RunOptions, RunSummary};

@@ -1,0 +1,452 @@
+//! The worker-pool scheduler.
+//!
+//! Ready jobs are dispatched to `std::thread` workers over `mpsc`
+//! channels; a panicking job is caught on its worker
+//! (`catch_unwind`), reported as [`JobStatus::Failed`], and neither
+//! poisons the pool nor stops independent jobs. Results are collected
+//! into submission order, so every artifact derived from a
+//! [`RunSummary`] is byte-identical whatever the worker count or the
+//! scheduling interleaving — determinism by merge, not by accident.
+//!
+// t3-lint: allow-file(wall-clock) -- scheduler wall-time measures the host-side cost of running the simulators (per-job and total report metrics); it never reaches simulated cycles, which arrive fully formed in each JobOutput.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use crate::cache::{Cache, CacheConfig};
+use crate::fingerprint::Fingerprint;
+use crate::job::{JobFn, JobGraph, JobOutput};
+
+/// How a run should execute.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (clamped to at least 1; `1` reproduces a fully
+    /// sequential run).
+    pub workers: usize,
+    /// Result cache; `None` disables caching entirely.
+    pub cache: Option<CacheConfig>,
+}
+
+impl RunOptions {
+    /// `workers` threads, no cache.
+    pub fn with_workers(workers: usize) -> Self {
+        RunOptions {
+            workers,
+            cache: None,
+        }
+    }
+
+    /// The host's available parallelism (1 when unknown).
+    pub fn default_workers() -> usize {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: Self::default_workers(),
+            cache: None,
+        }
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion on a worker.
+    Ok,
+    /// Replayed from the content-addressed cache.
+    Cached,
+    /// Panicked on its worker; the message is the panic payload.
+    Failed(String),
+    /// Not run because a (transitive) dependency failed.
+    Skipped(String),
+}
+
+impl JobStatus {
+    /// Short machine-readable label (report rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Cached => "cached",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Skipped(_) => "skipped",
+        }
+    }
+
+    /// True for `Ok`/`Cached`.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, JobStatus::Ok | JobStatus::Cached)
+    }
+}
+
+/// One job's outcome, in the summary at its submission index.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's name.
+    pub name: String,
+    /// The job's canonical config fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// The structured output (`None` for failed/skipped jobs).
+    pub output: Option<JobOutput>,
+    /// Host wall time spent on this job (execution or cache replay).
+    pub wall_ns: u128,
+}
+
+/// The whole run's outcome, results in submission order.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-job results, indexed by submission order.
+    pub results: Vec<JobResult>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Cache lookup hits (0 when caching was disabled).
+    pub cache_hits: u64,
+    /// Cache lookup misses (0 when caching was disabled).
+    pub cache_misses: u64,
+    /// True when a cache was configured.
+    pub cache_enabled: bool,
+    /// Host wall time of the whole run.
+    pub total_wall_ns: u128,
+}
+
+impl RunSummary {
+    /// Number of jobs that did not succeed.
+    pub fn failed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| !r.status.succeeded())
+            .count()
+    }
+
+    /// True when every job succeeded.
+    pub fn ok(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Concatenates every successful job's stdout in submission
+    /// order — the deterministic merge. Failed/skipped jobs
+    /// contribute nothing (their absence is reported out-of-band).
+    pub fn merged_stdout(&self) -> String {
+        let mut out = String::new();
+        for r in &self.results {
+            if let Some(o) = &r.output {
+                out.push_str(&o.stdout);
+            }
+        }
+        out
+    }
+
+    /// Total simulated cycles across successful jobs.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.results
+            .iter()
+            .filter_map(|r| r.output.as_ref())
+            .map(|o| o.sim_cycles)
+            .sum()
+    }
+}
+
+/// Renders a panic payload as a message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Executes the graph and returns every job's result in submission
+/// order.
+pub fn run(graph: JobGraph, opts: &RunOptions) -> RunSummary {
+    let started = Instant::now();
+    let n = graph.jobs.len();
+    let workers = opts.workers.max(1).min(n.max(1));
+    let mut cache = opts.cache.as_ref().map(Cache::open);
+
+    let dependents = dependents_of(&graph);
+    let mut pending_deps: Vec<usize> = graph.deps.iter().map(Vec::len).collect();
+    let meta: Vec<(String, Fingerprint)> = graph
+        .jobs
+        .iter()
+        .map(|j| (j.name.clone(), j.fingerprint))
+        .collect();
+    let mut closures: Vec<Option<JobFn>> = graph.jobs.into_iter().map(|j| Some(j.run)).collect();
+    let mut results: Vec<Option<JobResult>> = (0..n).map(|_| None).collect();
+
+    // Workers pull `(index, closure)` tasks from a shared receiver and
+    // push `(index, outcome, wall_ns)` back; the pool drains and exits
+    // when the task sender drops.
+    type TaskMsg = (usize, JobFn);
+    type ResultMsg = (usize, Result<JobOutput, String>, u128);
+    let (task_tx, task_rx) = mpsc::channel::<TaskMsg>();
+    let task_rx = Arc::new(Mutex::new(task_rx));
+    let (result_tx, result_rx) = mpsc::channel::<ResultMsg>();
+    let pool: Vec<thread::JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let task_rx = Arc::clone(&task_rx);
+            let result_tx = result_tx.clone();
+            thread::spawn(move || loop {
+                let task = { task_rx.lock().expect("task queue lock").recv() };
+                let Ok((idx, job)) = task else { break };
+                let t0 = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(job)).map_err(panic_message);
+                let wall = t0.elapsed().as_nanos();
+                if result_tx.send((idx, outcome, wall)).is_err() {
+                    break;
+                }
+            })
+        })
+        .collect();
+    drop(result_tx);
+
+    let mut outstanding = 0usize;
+    // Dispatch/complete worklist: completing a job (especially from
+    // cache) can make further jobs ready immediately.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| pending_deps[i] == 0).collect();
+    loop {
+        while let Some(i) = ready.first().copied() {
+            ready.remove(0);
+            // A failed or skipped dependency skips this job.
+            let bad_dep = graph.deps[i]
+                .iter()
+                .find(|&&d| !results[d].as_ref().is_some_and(|r| r.status.succeeded()));
+            let (name, fp) = meta[i].clone();
+            if let Some(&d) = bad_dep {
+                let reason = format!("dependency `{}` did not succeed", meta[d].0);
+                closures[i] = None;
+                results[i] = Some(JobResult {
+                    name,
+                    fingerprint: fp,
+                    status: JobStatus::Skipped(reason),
+                    output: None,
+                    wall_ns: 0,
+                });
+                release_dependents(i, &dependents, &mut pending_deps, &mut ready);
+                continue;
+            }
+            if let Some(cache) = cache.as_mut() {
+                let t0 = Instant::now();
+                if let Some(out) = cache.load(fp) {
+                    closures[i] = None;
+                    results[i] = Some(JobResult {
+                        name,
+                        fingerprint: fp,
+                        status: JobStatus::Cached,
+                        output: Some(out),
+                        wall_ns: t0.elapsed().as_nanos(),
+                    });
+                    release_dependents(i, &dependents, &mut pending_deps, &mut ready);
+                    continue;
+                }
+            }
+            let job = closures[i].take().expect("job dispatched once");
+            task_tx.send((i, job)).expect("pool alive");
+            outstanding += 1;
+        }
+        if outstanding == 0 {
+            break;
+        }
+        let (i, outcome, wall_ns) = result_rx.recv().expect("workers alive");
+        outstanding -= 1;
+        let (name, fp) = meta[i].clone();
+        let result = match outcome {
+            Ok(out) => {
+                if let Some(cache) = cache.as_ref() {
+                    if let Err(e) = cache.store(fp, &name, &out) {
+                        eprintln!("t3-runtime: cannot cache {name} ({fp}): {e}");
+                    }
+                }
+                JobResult {
+                    name,
+                    fingerprint: fp,
+                    status: JobStatus::Ok,
+                    output: Some(out),
+                    wall_ns,
+                }
+            }
+            Err(msg) => JobResult {
+                name,
+                fingerprint: fp,
+                status: JobStatus::Failed(msg),
+                output: None,
+                wall_ns,
+            },
+        };
+        results[i] = Some(result);
+        release_dependents(i, &dependents, &mut pending_deps, &mut ready);
+    }
+    drop(task_tx);
+    for handle in pool {
+        handle
+            .join()
+            .expect("worker threads never panic themselves");
+    }
+
+    RunSummary {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every job reaches a terminal state"))
+            .collect(),
+        workers,
+        cache_hits: cache.as_ref().map_or(0, Cache::hits),
+        cache_misses: cache.as_ref().map_or(0, Cache::misses),
+        cache_enabled: cache.is_some(),
+        total_wall_ns: started.elapsed().as_nanos(),
+    }
+}
+
+/// Inverts the dependency edges: `dependents[d]` lists the jobs
+/// waiting on `d`.
+fn dependents_of(graph: &JobGraph) -> Vec<Vec<usize>> {
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); graph.jobs.len()];
+    for (i, deps) in graph.deps.iter().enumerate() {
+        for &d in deps {
+            dependents[d].push(i);
+        }
+    }
+    dependents
+}
+
+/// Marks `i` complete: every dependent with no remaining pending deps
+/// joins the ready list (kept in submission order for deterministic
+/// dispatch order at `workers = 1`).
+fn release_dependents(
+    i: usize,
+    dependents: &[Vec<usize>],
+    pending_deps: &mut [usize],
+    ready: &mut Vec<usize>,
+) {
+    for &dep in &dependents[i] {
+        pending_deps[dep] -= 1;
+        if pending_deps[dep] == 0 {
+            ready.push(dep);
+        }
+    }
+    ready.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FingerprintBuilder;
+    use crate::job::Job;
+
+    fn fp(name: &str) -> Fingerprint {
+        FingerprintBuilder::new().str("t", name).finish()
+    }
+
+    fn text_job(name: &'static str) -> Job {
+        Job::new(name, fp(name), move || JobOutput::text(format!("{name}\n")))
+    }
+
+    #[test]
+    fn merged_output_is_submission_ordered_at_any_width() {
+        let build = || {
+            let mut g = JobGraph::new();
+            for name in ["a", "b", "c", "d", "e"] {
+                g.add(text_job(name));
+            }
+            g
+        };
+        let seq = run(build(), &RunOptions::with_workers(1));
+        let par = run(build(), &RunOptions::with_workers(4));
+        assert_eq!(seq.merged_stdout(), "a\nb\nc\nd\ne\n");
+        assert_eq!(seq.merged_stdout(), par.merged_stdout());
+        assert!(seq.ok() && par.ok());
+        assert_eq!(par.workers, 4);
+    }
+
+    #[test]
+    fn panic_is_isolated_and_fails_only_that_job() {
+        let mut g = JobGraph::new();
+        g.add(text_job("first"));
+        g.add(Job::new("boom", fp("boom"), || {
+            panic!("deliberate test panic")
+        }));
+        g.add(text_job("last"));
+        let summary = run(g, &RunOptions::with_workers(2));
+        assert_eq!(summary.failed(), 1);
+        assert!(!summary.ok());
+        assert_eq!(summary.merged_stdout(), "first\nlast\n");
+        let boom = &summary.results[1];
+        assert_eq!(boom.status.label(), "failed");
+        match &boom.status {
+            JobStatus::Failed(msg) => assert!(msg.contains("deliberate test panic")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependencies_order_execution_and_failures_skip_dependents() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static STAMP: AtomicU64 = AtomicU64::new(0);
+        let stamp = || STAMP.fetch_add(1, Ordering::SeqCst);
+
+        let mut g = JobGraph::new();
+        let a = g.add(Job::new("a", fp("a"), move || {
+            let mut o = JobOutput::text("a\n");
+            o.metrics.insert("stamp".into(), stamp());
+            o
+        }));
+        let b = g.add(Job::new("b", fp("b"), move || {
+            let mut o = JobOutput::text("b\n");
+            o.metrics.insert("stamp".into(), stamp());
+            o
+        }));
+        g.add_dep(b, a);
+        let bad = g.add(Job::new("bad", fp("bad"), || panic!("nope")));
+        let after_bad = g.add(text_job("after_bad"));
+        g.add_dep(after_bad, bad);
+        let summary = run(g, &RunOptions::with_workers(4));
+        let stamp_of = |i: usize| summary.results[i].output.as_ref().expect("ran").metrics["stamp"];
+        assert!(stamp_of(a.0) < stamp_of(b.0), "dependency ran first");
+        assert!(matches!(
+            summary.results[after_bad.0].status,
+            JobStatus::Skipped(_)
+        ));
+        assert_eq!(summary.failed(), 2, "the panicking job and its dependent");
+        assert_eq!(summary.merged_stdout(), "a\nb\n");
+    }
+
+    #[test]
+    fn cache_replays_byte_identical_results() {
+        let dir =
+            std::env::temp_dir().join(format!("t3-runtime-sched-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions {
+            workers: 2,
+            cache: Some(CacheConfig::at(&dir)),
+        };
+        let build = || {
+            let mut g = JobGraph::new();
+            for name in ["x", "y", "z"] {
+                g.add(text_job(name));
+            }
+            g
+        };
+        let cold = run(build(), &opts);
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 3));
+        let warm = run(build(), &opts);
+        assert_eq!((warm.cache_hits, warm.cache_misses), (3, 0));
+        assert_eq!(cold.merged_stdout(), warm.merged_stdout());
+        assert!(warm.results.iter().all(|r| r.status == JobStatus::Cached));
+        assert_eq!(cold.total_sim_cycles(), warm.total_sim_cycles());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn empty_graph_runs() {
+        let summary = run(JobGraph::new(), &RunOptions::default());
+        assert!(summary.ok());
+        assert_eq!(summary.merged_stdout(), "");
+    }
+}

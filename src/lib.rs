@@ -22,6 +22,10 @@
 //!   analytical model (Figures 4 and 19).
 //! * [`trace`] — structured event tracing, metrics registry, and
 //!   Chrome trace-event export for the cycle simulator.
+//! * [`runtime`] — the deterministic parallel experiment runtime:
+//!   fingerprinted job graphs, a panic-isolated worker pool with
+//!   submission-order output merging, and a content-addressed result
+//!   cache.
 //!
 //! # Quickstart
 //!
@@ -47,6 +51,7 @@ pub use t3_gpu as gpu;
 pub use t3_mem as mem;
 pub use t3_models as models;
 pub use t3_net as net;
+pub use t3_runtime as runtime;
 pub use t3_sim as sim;
 pub use t3_topo as topo;
 pub use t3_trace as trace;

@@ -9,8 +9,15 @@
 //! metrics registry in both JSON and CSV form. Any per-process seed,
 //! leftover global state, or order-sensitive accumulation shows up
 //! here as a diff.
+//!
+//! The `t3-runtime` worker pool adds two more consequences to hold:
+//! merged figure output must not depend on the pool width, and a
+//! result served from the content-addressed cache must be
+//! byte-identical to the run that populated it.
 
 use t3_bench::experiments::{self, ExperimentScale};
+use t3_bench::jobs;
+use t3_runtime::{CacheConfig, RunOptions, RunSummary};
 use t3_trace::chrome::chrome_trace_json;
 
 /// One traced run's complete exported byte set.
@@ -76,4 +83,64 @@ fn multinode_trace_and_metrics_are_bit_identical_across_runs() {
         json_a, json_b,
         "multinode metrics JSON drifted between runs"
     );
+}
+
+/// Runs the smoke-target job graph through the runtime scheduler.
+fn smoke_run(workers: usize, cache: Option<CacheConfig>) -> RunSummary {
+    let targets: Vec<String> = jobs::SMOKE_TARGETS.iter().map(|t| t.to_string()).collect();
+    let graph =
+        jobs::figure_job_graph(&targets, ExperimentScale::FAST, None).expect("known targets");
+    t3_runtime::run(graph, &RunOptions { workers, cache })
+}
+
+#[test]
+fn merged_output_is_independent_of_worker_count() {
+    let narrow = smoke_run(1, None);
+    let wide = smoke_run(4, None);
+    assert!(narrow.ok() && wide.ok(), "smoke jobs must all succeed");
+    assert_eq!(
+        narrow.merged_stdout(),
+        wide.merged_stdout(),
+        "--jobs 1 and --jobs 4 must merge byte-identical output"
+    );
+    assert_eq!(
+        narrow.total_sim_cycles(),
+        wide.total_sim_cycles(),
+        "simulated cycle tally must not depend on the pool width"
+    );
+    assert!(!narrow.merged_stdout().is_empty());
+}
+
+#[test]
+fn cache_round_trip_preserves_bytes_and_cycles() {
+    // A per-process scratch cache under target/ so concurrent test
+    // binaries and stale state cannot interfere.
+    let dir = format!("target/t3-cache-test-{}", std::process::id());
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = smoke_run(2, Some(CacheConfig::at(&dir)));
+    let warm = smoke_run(2, Some(CacheConfig::at(&dir)));
+    let result = std::panic::catch_unwind(|| {
+        assert!(cold.ok() && warm.ok(), "smoke jobs must all succeed");
+        assert_eq!(cold.cache_hits, 0, "first run must miss everything");
+        assert_eq!(cold.cache_misses as usize, jobs::SMOKE_TARGETS.len());
+        assert_eq!(
+            warm.cache_hits as usize,
+            jobs::SMOKE_TARGETS.len(),
+            "second run must be served entirely from cache"
+        );
+        assert_eq!(
+            cold.merged_stdout(),
+            warm.merged_stdout(),
+            "cached results must replay the exact bytes of the live run"
+        );
+        assert_eq!(
+            cold.total_sim_cycles(),
+            warm.total_sim_cycles(),
+            "simulated cycles must survive the cache round-trip"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
 }
