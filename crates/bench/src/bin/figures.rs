@@ -28,7 +28,10 @@
 //! trace-event JSON loadable in Perfetto (`ui.perfetto.dev`) or
 //! `chrome://tracing`. `--metrics <file>` writes the same run's
 //! metrics registry as JSON (or CSV when the file name ends in
-//! `.csv`). Either flag may be given alone or with targets.
+//! `.csv`). `--analyze` runs the same instrumented workload and
+//! prints the `t3-prof` critical-path breakdown and per-collective
+//! records to stdout. Any of the three may be given alone or with
+//! targets.
 //!
 //! Exit codes: 0 on success, 1 when jobs fail or outputs cannot be
 //! written, 2 on usage errors.
@@ -38,8 +41,11 @@ use std::process::ExitCode;
 
 use t3_bench::experiments::{self, ExperimentScale};
 use t3_bench::jobs;
+use t3_prof::analyze as prof_analyze;
+use t3_prof::analyze::Analysis;
+use t3_prof::collective as prof_collective;
 use t3_runtime::{report_json, CacheConfig, JobStatus, RunOptions, DEFAULT_CACHE_DIR};
-use t3_trace::chrome::chrome_trace_json;
+use t3_trace::chrome::chrome_trace_json_named;
 
 /// Exit code for malformed invocations (bad flags, unknown targets).
 const EXIT_USAGE: u8 = 2;
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let no_cache = args.iter().any(|a| a == "--no-cache");
+    let analyze = args.iter().any(|a| a == "--analyze");
     let scale = if fast {
         ExperimentScale::FAST
     } else {
@@ -92,7 +99,7 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => return usage(&e),
     };
-    if targets.is_empty() && trace_path.is_none() && metrics_path.is_none() {
+    if targets.is_empty() && trace_path.is_none() && metrics_path.is_none() && !analyze {
         return usage("no targets given");
     }
 
@@ -132,7 +139,12 @@ fn main() -> ExitCode {
         failed = !summary.ok();
     }
 
-    if trace_path.is_some() || metrics_path.is_some() {
+    if trace_path.is_some() || metrics_path.is_some() || analyze {
+        let workload = topology
+            .as_deref()
+            .map_or("T-NLG FC-2 TP=8".to_string(), |t| {
+                format!("multi-node TP=16 ({t})")
+            });
         let (ins, cycles, clock_ghz) = match &topology {
             Some(name) => {
                 let (ins, run, ghz) = experiments::traced_multinode(scale, name);
@@ -144,23 +156,30 @@ fn main() -> ExitCode {
             }
         };
         eprintln!(
-            "traced {} fused GEMM-RS: {} cycles, {} events",
-            topology
-                .as_deref()
-                .map_or("T-NLG FC-2 TP=8".to_string(), |t| format!(
-                    "multi-node TP=16 ({t})"
-                )),
-            cycles,
+            "traced {workload} fused GEMM-RS: {cycles} cycles, {} events",
             ins.tracer.as_ref().map_or(0, |t| t.len())
         );
         if let Some(path) = trace_path {
             let tracer = ins.tracer.as_ref().expect("full instruments");
-            let json = chrome_trace_json(tracer.records(), clock_ghz);
+            let json = chrome_trace_json_named(tracer.records(), clock_ghz, &workload);
             if let Err(e) = std::fs::write(&path, json) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::from(EXIT_FAILED_JOBS);
             }
             eprintln!("wrote Chrome trace to {path} (load in ui.perfetto.dev)");
+        }
+        if analyze {
+            let tracer = ins.tracer.as_ref().expect("full instruments");
+            println!("== t3-prof analyze: {workload} ==");
+            print!(
+                "{}",
+                prof_analyze::render(&Analysis::from_records(tracer.records()))
+            );
+            println!("== t3-prof collectives: {workload} ==");
+            print!(
+                "{}",
+                prof_collective::render(&prof_collective::collective_records(tracer.records()))
+            );
         }
         if let Some(path) = metrics_path {
             let metrics = ins.metrics.as_ref().expect("full instruments");
@@ -197,6 +216,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("  --topology <name>      fabric for multinode/traced runs: ring, fully-connected, switch, torus, hierarchical");
     eprintln!("  --trace <out.json>     write a Chrome trace of an instrumented fused GEMM-RS");
     eprintln!("  --metrics <out.json|out.csv>  write the traced run's metrics registry");
+    eprintln!("  --analyze              print the traced run's critical-path breakdown and per-collective records");
     ExitCode::from(EXIT_USAGE)
 }
 
@@ -226,7 +246,7 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
             || a == "--report"
         {
             i += 2; // flag + its value (validated by flag_value)
-        } else if a == "--fast" || a == "--no-cache" {
+        } else if a == "--fast" || a == "--no-cache" || a == "--analyze" {
             i += 1;
         } else if a.starts_with("--") {
             return Err(format!("unknown flag: {a}"));

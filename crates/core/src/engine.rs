@@ -340,6 +340,7 @@ pub fn run_fused_gemm_rs_instrumented(
                 wg_end,
                 bytes,
                 started,
+                compute_cycles,
             } => {
                 if debug_trace() {
                     eprintln!("[{now}] stage stores {wg_start}..{wg_end}");
@@ -354,6 +355,7 @@ pub fn run_fused_gemm_rs_instrumented(
                             start: started,
                             end: now,
                             bytes,
+                            compute_cycles,
                         },
                     );
                     ins.add("gemm.stages", 1);

@@ -375,6 +375,7 @@ pub fn run_multi_gpu_fused_rs_on(
                     wg_end,
                     bytes,
                     started,
+                    compute_cycles,
                 } => {
                     if d == 0 {
                         if let Some(ins) = reborrow(&mut ins) {
@@ -387,6 +388,7 @@ pub fn run_multi_gpu_fused_rs_on(
                                     start: started,
                                     end: now,
                                     bytes,
+                                    compute_cycles,
                                 },
                             );
                             ins.add("gemm.stages", 1);
@@ -469,6 +471,7 @@ pub fn run_multi_gpu_fused_rs_on(
                                 Event::ChunkSend {
                                     chunk,
                                     bytes: payload,
+                                    hops: topo.route(d, dest).len() as u64,
                                     start,
                                     end,
                                 },

@@ -132,6 +132,7 @@ impl RingCollective {
                 Event::ChunkSend {
                     chunk: step,
                     bytes,
+                    hops: 1,
                     start: start_c,
                     end: end_c,
                 },

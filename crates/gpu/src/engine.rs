@@ -46,6 +46,11 @@ pub enum GemmEvent {
         bytes: Bytes,
         /// Cycle at which the stage began its read phase.
         started: Cycle,
+        /// The stage's roofline compute latency (no memory stalls);
+        /// `now - started - compute_cycles` is the stage's
+        /// memory-stall time, which trace analytics attribute to
+        /// contention.
+        compute_cycles: Cycle,
     },
     /// All stages have completed (emitted exactly once).
     Finished,
@@ -161,6 +166,7 @@ impl GemmEngine {
             wg_end,
             bytes,
             started: self.stage_started,
+            compute_cycles: self.stage_compute_cycles[stage as usize],
         }
     }
 

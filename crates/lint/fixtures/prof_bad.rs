@@ -1,0 +1,16 @@
+// Fixture: both nondeterminism classes an analytics crate could
+// smuggle in — a wall-clock read feeding a reported number, and a
+// hash map whose iteration order reaches rendered output.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn analyze() -> String {
+    let started = Instant::now();
+    let mut per_chunk: HashMap<u64, u64> = HashMap::new();
+    per_chunk.insert(0, started.elapsed().as_nanos() as u64);
+    per_chunk
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}

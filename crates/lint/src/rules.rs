@@ -17,7 +17,9 @@ use crate::lexer::TokKind;
 /// design) and so are `trace` and `lint` themselves. `runtime` is
 /// in scope — its simulated cycles must come from job outputs, never
 /// the host clock — with file-wide allows on the two modules that
-/// legitimately measure host-side scheduler wall time.
+/// legitimately measure host-side scheduler wall time. `prof` is in
+/// scope: analytics re-derive cycle quantities from traces, and a
+/// wall-clock read there would contaminate golden-pinned output.
 pub const TIMING_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -28,13 +30,15 @@ pub const TIMING_CRATES: &[&str] = &[
     "collectives",
     "models",
     "runtime",
+    "prof",
 ];
 
 /// Crates (and root dirs) whose iteration order reaches timing or
 /// exported artifacts: the timing crates plus `trace` (exporters) and
 /// the facade's `src/` and `tests/` (golden pipelines). `runtime`
 /// qualifies through its merged stdout, cache entries and run
-/// reports — all byte-exact artifacts.
+/// reports — all byte-exact artifacts; `prof` through its analysis,
+/// collective-record, and gate-verdict renderings, all golden-pinned.
 pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -46,6 +50,7 @@ pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "models",
     "trace",
     "runtime",
+    "prof",
 ];
 
 /// Static description of one rule, for `--list` and the docs table.

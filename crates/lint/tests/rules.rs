@@ -50,6 +50,21 @@ fn wall_clock_fires_in_runtime_crate() {
 }
 
 #[test]
+fn prof_crate_is_in_both_scopes() {
+    // The analytics crate renders golden-pinned output: a wall-clock
+    // read or a hash-ordered iteration there is a lint failure.
+    let diags = lint_source("crates/prof/src/fx.rs", &fixture("prof_bad.rs"));
+    let mut rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(rules, vec!["hash-iteration", "wall-clock"], "{diags:?}");
+    let diags = lint_source("crates/prof/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["wall-clock"]);
+    let diags = lint_source("crates/prof/src/fx.rs", &fixture("hash_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["hash-iteration"]);
+}
+
+#[test]
 fn wall_clock_out_of_scope_in_bench_crate() {
     // The bench harness measures host wall time by design.
     let diags = lint_source("crates/bench/src/fx.rs", &fixture("wall_clock_bad.rs"));

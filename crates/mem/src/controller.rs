@@ -167,10 +167,16 @@ impl MemoryController {
             let depth = self.dram_q.len() as u64;
             if let Some(tracer) = ins.tracer.as_mut() {
                 if tracer.mc_sample_due(now) {
+                    let comm_depth = self
+                        .dram_q
+                        .iter()
+                        .filter(|t| t.stream == StreamId::Comm)
+                        .count() as u64;
                     tracer.record(
                         now,
                         Event::McQueueDepth {
                             depth,
+                            comm_depth,
                             capacity: self.dram_capacity as u64,
                         },
                     );

@@ -101,6 +101,7 @@ impl DmaEngine {
                         Event::ChunkSend {
                             chunk: reading.cmd.id,
                             bytes: reading.cmd.bytes,
+                            hops: 1,
                             start,
                             end,
                         },

@@ -1,0 +1,542 @@
+//! Critical-path extraction over the happens-before event graph.
+//!
+//! The trace's span events partition simulated time into three busy
+//! interval sets:
+//!
+//! * **C** — producer compute: merged [`Event::GemmStage`] spans;
+//! * **L** — collective wire activity: merged [`Event::ChunkSend`]
+//!   and [`Event::LinkBusy`] spans;
+//! * **D** — trigger-to-wire latency: from each
+//!   [`Event::DmaTriggerFire`] to the end of the chunk send it
+//!   triggered (matched by chunk id), i.e. the Tracker→DMA→link edge
+//!   of the happens-before graph.
+//!
+//! The quantities T3 argues about fall out of interval algebra over
+//! those sets: compute cycles are `|C|`, *overlapped* collective
+//! cycles `|C ∩ L|`, *exposed* collective cycles `|L \ C|` (wire
+//! busy with no compute to hide it — the cost T3 exists to remove),
+//! DMA/fabric-only cycles `|D \ (C ∪ L)|`, and idle the remainder.
+//! The overlap fraction is `|C ∩ L| / |L|`, held as an exact permille
+//! (integer math throughout: analytics obey the same no-float-cycles
+//! rule, T3L003, as the simulators).
+
+use std::fmt::Write as _;
+
+use t3_trace::{Event, Record};
+
+/// Cycle intervals as a sorted, disjoint set of half-open `[s, e)`
+/// spans. The unit of the critical-path algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSet {
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Builds a set from raw (possibly overlapping, unsorted, or
+    /// empty) spans, merging as needed.
+    pub fn new(mut raw: Vec<(u64, u64)>) -> Self {
+        raw.retain(|&(s, e)| e > s);
+        raw.sort_unstable();
+        let mut spans: Vec<(u64, u64)> = Vec::with_capacity(raw.len());
+        for (s, e) in raw {
+            match spans.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => spans.push((s, e)),
+            }
+        }
+        IntervalSet { spans }
+    }
+
+    /// Total covered cycles.
+    pub fn len_cycles(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The merged spans, sorted and disjoint.
+    pub fn spans(&self) -> &[(u64, u64)] {
+        &self.spans
+    }
+
+    /// Whether `point` lies inside the set.
+    pub fn contains(&self, point: u64) -> bool {
+        self.spans
+            .partition_point(|&(s, _)| s <= point)
+            .checked_sub(1)
+            .is_some_and(|i| point < self.spans[i].1)
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < self.spans.len() && j < other.spans.len() {
+            let (a, b) = self.spans[i];
+            let (c, d) = other.spans[j];
+            let (lo, hi) = (a.max(c), b.min(d));
+            if lo < hi {
+                out.push((lo, hi));
+            }
+            if b <= d {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut raw = self.spans.clone();
+        raw.extend_from_slice(&other.spans);
+        IntervalSet::new(raw)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &(s, e) in &self.spans {
+            let mut cursor = s;
+            while j < other.spans.len() && other.spans[j].1 <= cursor {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.spans.len() && other.spans[k].0 < e {
+                let (c, d) = other.spans[k];
+                if cursor < c {
+                    out.push((cursor, c));
+                }
+                cursor = cursor.max(d);
+                if d >= e {
+                    break;
+                }
+                k += 1;
+            }
+            if cursor < e {
+                out.push((cursor, e));
+            }
+        }
+        IntervalSet { spans: out }
+    }
+}
+
+/// What bounds a segment of the run's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Producer GEMM compute is running (collective may be hidden
+    /// under it).
+    Compute,
+    /// Collective wire activity with no compute over it — exposed
+    /// communication.
+    Collective,
+    /// Only the Tracker→DMA→fabric edge is in flight.
+    DmaFabric,
+    /// Nothing modeled is busy.
+    Idle,
+}
+
+impl SegmentKind {
+    /// Stable label used in rendered output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentKind::Compute => "compute",
+            SegmentKind::Collective => "collective",
+            SegmentKind::DmaFabric => "dma/fabric",
+            SegmentKind::Idle => "idle",
+        }
+    }
+}
+
+/// One maximal segment `[start, end)` of the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start cycle.
+    pub start: u64,
+    /// Segment end cycle (exclusive).
+    pub end: u64,
+    /// What bounds this segment.
+    pub kind: SegmentKind,
+}
+
+/// The full analysis of one traced run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
+    /// Run length: the largest cycle any event touches.
+    pub total_cycles: u64,
+    /// Number of GEMM stage spans.
+    pub gemm_stages: u64,
+    /// Cycles with producer compute running, `|C|`.
+    pub compute_cycles: u64,
+    /// Of the compute cycles, those beyond the stages' roofline
+    /// compute latency — time the producer stalled on memory.
+    pub memory_stall_cycles: u64,
+    /// Cycles with collective wire activity, `|L|`.
+    pub collective_busy_cycles: u64,
+    /// Collective cycles hidden under compute, `|C ∩ L|`.
+    pub overlapped_cycles: u64,
+    /// Collective cycles with nothing to hide them, `|L \ C|`.
+    pub exposed_collective_cycles: u64,
+    /// Cycles where only the trigger→DMA→fabric edge was in flight,
+    /// `|D \ (C ∪ L)|`.
+    pub dma_fabric_cycles: u64,
+    /// Cycles where nothing modeled was busy.
+    pub idle_cycles: u64,
+    /// `overlapped / collective_busy`, in permille (0 when no
+    /// collective ran).
+    pub overlap_permille: u64,
+    /// Number of collective chunk sends.
+    pub chunk_sends: u64,
+    /// Total bytes the collective moved over the wire.
+    pub collective_bytes: u64,
+    /// The critical path: maximal same-kind segments covering
+    /// `[0, total_cycles)`.
+    pub critical_path: Vec<Segment>,
+}
+
+impl Analysis {
+    /// Analyzes a run's typed records (in any order).
+    pub fn from_records(records: &[Record]) -> Analysis {
+        let mut compute_raw = Vec::new();
+        let mut wire_raw = Vec::new();
+        let mut gemm_stages = 0u64;
+        let mut memory_stall_cycles = 0u64;
+        let mut chunk_sends = 0u64;
+        let mut collective_bytes = 0u64;
+        let mut total_cycles = 0u64;
+
+        // Trigger→send matching for the D set: fires queue up per
+        // chunk id; each send of that chunk consumes the oldest fire.
+        let mut fires: Vec<(u64, Vec<u64>)> = Vec::new();
+        let mut dma_raw = Vec::new();
+
+        let mut ordered: Vec<&Record> = records.iter().collect();
+        ordered.sort_by_key(|r| (r.cycle, r.seq));
+
+        for r in &ordered {
+            total_cycles = total_cycles.max(r.cycle);
+            match r.event {
+                Event::GemmStage {
+                    start,
+                    end,
+                    compute_cycles,
+                    ..
+                } => {
+                    gemm_stages += 1;
+                    compute_raw.push((start, end));
+                    memory_stall_cycles += (end - start).saturating_sub(compute_cycles);
+                    total_cycles = total_cycles.max(end);
+                }
+                Event::ChunkSend {
+                    chunk,
+                    bytes,
+                    start,
+                    end,
+                    ..
+                } => {
+                    chunk_sends += 1;
+                    collective_bytes += bytes;
+                    wire_raw.push((start, end));
+                    total_cycles = total_cycles.max(end);
+                    if let Some((_, queue)) = fires.iter_mut().find(|(c, _)| *c == chunk) {
+                        if let Some(fire) = (!queue.is_empty()).then(|| queue.remove(0)) {
+                            dma_raw.push((fire.min(start), end));
+                        }
+                    }
+                }
+                Event::LinkBusy { start, end, .. } => {
+                    wire_raw.push((start, end));
+                    total_cycles = total_cycles.max(end);
+                }
+                Event::DmaTriggerFire { chunk, .. } => {
+                    match fires.iter_mut().find(|(c, _)| *c == chunk) {
+                        Some((_, queue)) => queue.push(r.cycle),
+                        None => fires.push((chunk, vec![r.cycle])),
+                    }
+                }
+                Event::ChunkRecv { .. }
+                | Event::TrackerUpdate { .. }
+                | Event::McQueueDepth { .. }
+                | Event::LlcSample { .. } => {}
+            }
+        }
+
+        let compute = IntervalSet::new(compute_raw);
+        let wire = IntervalSet::new(wire_raw);
+        let dma = IntervalSet::new(dma_raw);
+
+        let overlapped = compute.intersect(&wire);
+        let exposed = wire.subtract(&compute);
+        let busy = compute.union(&wire);
+        let dma_only = dma.subtract(&busy);
+        let any = busy.union(&dma);
+
+        let collective_busy_cycles = wire.len_cycles();
+        let overlapped_cycles = overlapped.len_cycles();
+        let overlap_permille = (overlapped_cycles * 1000)
+            .checked_div(collective_busy_cycles)
+            .unwrap_or(0);
+
+        Analysis {
+            total_cycles,
+            gemm_stages,
+            compute_cycles: compute.len_cycles(),
+            memory_stall_cycles,
+            collective_busy_cycles,
+            overlapped_cycles,
+            exposed_collective_cycles: exposed.len_cycles(),
+            dma_fabric_cycles: dma_only.len_cycles(),
+            idle_cycles: total_cycles - any.len_cycles(),
+            overlap_permille,
+            chunk_sends,
+            collective_bytes,
+            critical_path: critical_path(total_cycles, &compute, &wire, &dma),
+        }
+    }
+}
+
+/// Partitions `[0, total)` into maximal segments, labeling each
+/// elementary interval by priority: compute > exposed collective >
+/// DMA/fabric > idle.
+fn critical_path(
+    total: u64,
+    compute: &IntervalSet,
+    wire: &IntervalSet,
+    dma: &IntervalSet,
+) -> Vec<Segment> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut cuts = vec![0, total];
+    for set in [compute, wire, dma] {
+        for &(s, e) in set.spans() {
+            cuts.push(s.min(total));
+            cuts.push(e.min(total));
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut out: Vec<Segment> = Vec::new();
+    for w in cuts.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        // Membership is constant over an elementary interval, so
+        // testing the left endpoint classifies the whole of it.
+        let kind = if compute.contains(start) {
+            SegmentKind::Compute
+        } else if wire.contains(start) {
+            SegmentKind::Collective
+        } else if dma.contains(start) {
+            SegmentKind::DmaFabric
+        } else {
+            SegmentKind::Idle
+        };
+        match out.last_mut() {
+            Some(last) if last.kind == kind && last.end == start => last.end = end,
+            _ => out.push(Segment { start, end, kind }),
+        }
+    }
+    out
+}
+
+/// Renders `numer / denom` as a percentage with one decimal place,
+/// using only integer arithmetic.
+pub fn percent(numer: u64, denom: u64) -> String {
+    if denom == 0 {
+        return "-".to_string();
+    }
+    let permille = numer * 1000 / denom;
+    format!("{}.{}%", permille / 10, permille % 10)
+}
+
+/// At most this many critical-path segments are rendered; the rest
+/// are summarised in an explicit trailing count.
+pub const MAX_RENDERED_SEGMENTS: usize = 32;
+
+/// Renders the analysis as the stable text form `t3-prof analyze`
+/// prints (pinned byte-for-byte by golden tests).
+pub fn render(a: &Analysis) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "total cycles              : {}", a.total_cycles);
+    let _ = writeln!(s, "gemm stages               : {}", a.gemm_stages);
+    let _ = writeln!(
+        s,
+        "compute cycles            : {} ({} of total)",
+        a.compute_cycles,
+        percent(a.compute_cycles, a.total_cycles)
+    );
+    let _ = writeln!(s, "  memory-stall cycles     : {}", a.memory_stall_cycles);
+    let _ = writeln!(
+        s,
+        "collective busy cycles    : {} ({} sends, {} bytes)",
+        a.collective_busy_cycles, a.chunk_sends, a.collective_bytes
+    );
+    let _ = writeln!(s, "  overlapped with compute : {}", a.overlapped_cycles);
+    let _ = writeln!(
+        s,
+        "  exposed                 : {} ({} of total)",
+        a.exposed_collective_cycles,
+        percent(a.exposed_collective_cycles, a.total_cycles)
+    );
+    let _ = writeln!(s, "dma/fabric-only cycles    : {}", a.dma_fabric_cycles);
+    let _ = writeln!(s, "idle cycles               : {}", a.idle_cycles);
+    let _ = writeln!(
+        s,
+        "overlap fraction          : {}.{}%",
+        a.overlap_permille / 10,
+        a.overlap_permille % 10
+    );
+    let _ = writeln!(
+        s,
+        "critical path             : {} segments",
+        a.critical_path.len()
+    );
+    for seg in a.critical_path.iter().take(MAX_RENDERED_SEGMENTS) {
+        let _ = writeln!(
+            s,
+            "  [{}..{}) {} ({} cycles)",
+            seg.start,
+            seg.end,
+            seg.kind.label(),
+            seg.end - seg.start
+        );
+    }
+    if a.critical_path.len() > MAX_RENDERED_SEGMENTS {
+        let _ = writeln!(
+            s,
+            "  ... {} more segments",
+            a.critical_path.len() - MAX_RENDERED_SEGMENTS
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(spans: &[(u64, u64)]) -> IntervalSet {
+        IntervalSet::new(spans.to_vec())
+    }
+
+    #[test]
+    fn interval_set_merges_and_measures() {
+        let s = set(&[(5, 10), (0, 3), (8, 12), (12, 12)]);
+        assert_eq!(s.spans(), &[(0, 3), (5, 12)]);
+        assert_eq!(s.len_cycles(), 10);
+        assert!(s.contains(0) && s.contains(11) && !s.contains(3) && !s.contains(12));
+    }
+
+    #[test]
+    fn interval_algebra_holds() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        assert_eq!(a.intersect(&b).spans(), &[(5, 10), (20, 25)]);
+        assert_eq!(a.subtract(&b).spans(), &[(0, 5), (25, 30)]);
+        assert_eq!(b.subtract(&a).spans(), &[(10, 20)]);
+        assert_eq!(a.union(&b).spans(), &[(0, 30)]);
+        // |A| = |A∩B| + |A\B| for any A, B.
+        assert_eq!(
+            a.len_cycles(),
+            a.intersect(&b).len_cycles() + a.subtract(&b).len_cycles()
+        );
+    }
+
+    fn synthetic_records() -> Vec<Record> {
+        // Compute [0,100); a hidden send [60,100); a trigger at 105
+        // whose send runs [120,140); run ends at an LLC sample at
+        // 150. So: overlapped = [60,100), exposed = [120,140),
+        // dma-only = [105,120), idle = [100,105) and [140,150).
+        let events = [
+            (
+                100,
+                Event::GemmStage {
+                    stage: 0,
+                    wg_start: 0,
+                    wg_end: 8,
+                    start: 0,
+                    end: 100,
+                    bytes: 4096,
+                    compute_cycles: 90,
+                },
+            ),
+            (
+                100,
+                Event::ChunkSend {
+                    chunk: 1,
+                    bytes: 2048,
+                    hops: 1,
+                    start: 60,
+                    end: 100,
+                },
+            ),
+            (
+                105,
+                Event::DmaTriggerFire {
+                    chunk: 0,
+                    bytes: 1024,
+                },
+            ),
+            (
+                140,
+                Event::ChunkSend {
+                    chunk: 0,
+                    bytes: 1024,
+                    hops: 1,
+                    start: 120,
+                    end: 140,
+                },
+            ),
+            (150, Event::LlcSample { hits: 1, misses: 0 }),
+        ];
+        events
+            .iter()
+            .enumerate()
+            .map(|(i, &(cycle, event))| Record {
+                seq: i as u64,
+                cycle,
+                event,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn analysis_partitions_the_run() {
+        let a = Analysis::from_records(&synthetic_records());
+        assert_eq!(a.total_cycles, 150);
+        assert_eq!(a.compute_cycles, 100);
+        assert_eq!(a.memory_stall_cycles, 10);
+        assert_eq!(a.collective_busy_cycles, 60);
+        assert_eq!(a.overlapped_cycles, 40);
+        assert_eq!(a.exposed_collective_cycles, 20);
+        assert_eq!(a.dma_fabric_cycles, 15);
+        assert_eq!(a.idle_cycles, 15);
+        assert_eq!(a.overlap_permille, 666);
+        // The labeled partition covers the run exactly.
+        assert_eq!(a.critical_path.first().map(|s| s.start), Some(0));
+        assert_eq!(a.critical_path.last().map(|s| s.end), Some(150));
+        for w in a.critical_path.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_ne!(w[0].kind, w[1].kind, "adjacent segments must merge");
+        }
+        let labeled: u64 = a.critical_path.iter().map(|s| s.end - s.start).sum();
+        assert_eq!(labeled, a.total_cycles);
+    }
+
+    #[test]
+    fn render_is_stable_and_integer_only() {
+        let a = Analysis::from_records(&synthetic_records());
+        let text = render(&a);
+        assert!(text.contains("overlap fraction          : 66.6%"));
+        assert!(text.contains("[105..120) dma/fabric (15 cycles)"));
+        assert!(text.contains("[140..150) idle (10 cycles)"));
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_zeroes() {
+        let a = Analysis::from_records(&[]);
+        assert_eq!(a.total_cycles, 0);
+        assert_eq!(a.overlap_permille, 0);
+        assert!(a.critical_path.is_empty());
+    }
+}

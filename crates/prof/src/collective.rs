@@ -1,0 +1,259 @@
+//! Per-collective structured records with a stable canonical form.
+//!
+//! Every [`Event::ChunkSend`] in a trace becomes one
+//! [`CollectiveRecord`]: which chunk moved, how many bytes over how
+//! many fabric hops, the Tracker trigger that launched it (matched by
+//! chunk id, oldest fire first), the wire occupancy window, and how
+//! many of those wire cycles were *exposed* (no producer compute over
+//! them). [`CollectiveRecord::describe`] renders one record as a
+//! single stable line — the canonical form golden tests pin — so any
+//! change to collective timing or attribution shows up as a readable
+//! one-line diff.
+
+use std::fmt::Write as _;
+
+use crate::analyze::IntervalSet;
+use t3_trace::{Event, Record};
+
+/// One collective chunk transfer, fully attributed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveRecord {
+    /// Index of the record in wire order (send completion, then
+    /// trace sequence).
+    pub seq: u64,
+    /// The collective operation. The fused engines model T3's
+    /// reduce-scatter epilogue, so today this is always
+    /// `"reduce-scatter"`.
+    pub op: &'static str,
+    /// How the transfer was driven: `"ring-dma"` when Tracker-
+    /// triggered DMA fires appear in the trace, `"direct"` otherwise
+    /// (topology-derived direct schedules, CU-driven sends).
+    pub schedule: &'static str,
+    /// Chunk (ring position / schedule slot) that moved.
+    pub chunk: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Fabric hops the payload traversed.
+    pub hops: u64,
+    /// Cycle the Tracker trigger fired, when one launched this send.
+    pub trigger: Option<u64>,
+    /// Cycle serialization onto the wire began.
+    pub send_start: u64,
+    /// Cycle the last byte left.
+    pub send_end: u64,
+    /// Wire cycles of this send not hidden under producer compute.
+    pub exposed_cycles: u64,
+}
+
+impl CollectiveRecord {
+    /// The canonical single-line form (stable across releases except
+    /// for deliberate, baseline-refreshing changes).
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "collective#{:02} op={} sched={} chunk={} bytes={} hops={}",
+            self.seq, self.op, self.schedule, self.chunk, self.bytes, self.hops
+        );
+        match self.trigger {
+            Some(cycle) => {
+                let _ = write!(s, " trigger={cycle}");
+            }
+            None => s.push_str(" trigger=-"),
+        }
+        let _ = write!(
+            s,
+            " send=[{}..{}) exposed={}",
+            self.send_start, self.send_end, self.exposed_cycles
+        );
+        s
+    }
+}
+
+/// Extracts the collective records from a run's typed events.
+pub fn collective_records(records: &[Record]) -> Vec<CollectiveRecord> {
+    let mut ordered: Vec<&Record> = records.iter().collect();
+    ordered.sort_by_key(|r| (r.cycle, r.seq));
+
+    let schedule = if ordered
+        .iter()
+        .any(|r| matches!(r.event, Event::DmaTriggerFire { .. }))
+    {
+        "ring-dma"
+    } else {
+        "direct"
+    };
+
+    let compute = IntervalSet::new(
+        ordered
+            .iter()
+            .filter_map(|r| match r.event {
+                Event::GemmStage { start, end, .. } => Some((start, end)),
+                _ => None,
+            })
+            .collect(),
+    );
+
+    let mut fires: Vec<(u64, Vec<u64>)> = Vec::new();
+    let mut out = Vec::new();
+    for r in &ordered {
+        match r.event {
+            Event::DmaTriggerFire { chunk, .. } => {
+                match fires.iter_mut().find(|(c, _)| *c == chunk) {
+                    Some((_, queue)) => queue.push(r.cycle),
+                    None => fires.push((chunk, vec![r.cycle])),
+                }
+            }
+            Event::ChunkSend {
+                chunk,
+                bytes,
+                hops,
+                start,
+                end,
+            } => {
+                let trigger = fires
+                    .iter_mut()
+                    .find(|(c, _)| *c == chunk)
+                    .and_then(|(_, queue)| (!queue.is_empty()).then(|| queue.remove(0)));
+                let exposed_cycles = IntervalSet::new(vec![(start, end)])
+                    .subtract(&compute)
+                    .len_cycles();
+                out.push(CollectiveRecord {
+                    seq: out.len() as u64,
+                    op: "reduce-scatter",
+                    schedule,
+                    chunk,
+                    bytes,
+                    hops,
+                    trigger,
+                    send_start: start,
+                    send_end: end,
+                    exposed_cycles,
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the records as the stable text `t3-prof collectives`
+/// prints: one `describe()` line per record plus a totals line.
+pub fn render(records: &[CollectiveRecord]) -> String {
+    let mut s = String::new();
+    for r in records {
+        let _ = writeln!(s, "{}", r.describe());
+    }
+    let bytes: u64 = records.iter().map(|r| r.bytes).sum();
+    let exposed: u64 = records.iter().map(|r| r.exposed_cycles).sum();
+    let _ = writeln!(
+        s,
+        "total: {} collectives, {} bytes, {} exposed cycles",
+        records.len(),
+        bytes,
+        exposed
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, cycle: u64, event: Event) -> Record {
+        Record { seq, cycle, event }
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            rec(
+                0,
+                100,
+                Event::GemmStage {
+                    stage: 0,
+                    wg_start: 0,
+                    wg_end: 8,
+                    start: 0,
+                    end: 100,
+                    bytes: 4096,
+                    compute_cycles: 90,
+                },
+            ),
+            rec(
+                1,
+                40,
+                Event::DmaTriggerFire {
+                    chunk: 2,
+                    bytes: 1024,
+                },
+            ),
+            rec(
+                2,
+                130,
+                Event::ChunkSend {
+                    chunk: 2,
+                    bytes: 1024,
+                    hops: 3,
+                    start: 50,
+                    end: 130,
+                },
+            ),
+            rec(
+                3,
+                160,
+                Event::ChunkSend {
+                    chunk: 5,
+                    bytes: 512,
+                    hops: 1,
+                    start: 140,
+                    end: 160,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn records_attribute_triggers_and_exposure() {
+        let recs = collective_records(&sample());
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].trigger, Some(40));
+        assert_eq!(recs[0].schedule, "ring-dma");
+        // Send [50,130) under compute [0,100): 30 exposed cycles.
+        assert_eq!(recs[0].exposed_cycles, 30);
+        // The untriggered send is fully exposed.
+        assert_eq!(recs[1].trigger, None);
+        assert_eq!(recs[1].exposed_cycles, 20);
+    }
+
+    #[test]
+    fn describe_is_the_canonical_line() {
+        let recs = collective_records(&sample());
+        assert_eq!(
+            recs[0].describe(),
+            "collective#00 op=reduce-scatter sched=ring-dma chunk=2 bytes=1024 hops=3 \
+             trigger=40 send=[50..130) exposed=30"
+        );
+        assert_eq!(
+            recs[1].describe(),
+            "collective#01 op=reduce-scatter sched=ring-dma chunk=5 bytes=512 hops=1 \
+             trigger=- send=[140..160) exposed=20"
+        );
+    }
+
+    #[test]
+    fn schedule_is_direct_without_fires() {
+        let no_fires: Vec<Record> = sample()
+            .into_iter()
+            .filter(|r| !matches!(r.event, Event::DmaTriggerFire { .. }))
+            .collect();
+        let recs = collective_records(&no_fires);
+        assert!(recs.iter().all(|r| r.schedule == "direct"));
+        assert!(recs.iter().all(|r| r.trigger.is_none()));
+    }
+
+    #[test]
+    fn render_appends_totals() {
+        let text = render(&collective_records(&sample()));
+        assert!(text.ends_with("total: 2 collectives, 1536 bytes, 50 exposed cycles\n"));
+    }
+}

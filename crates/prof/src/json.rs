@@ -1,0 +1,181 @@
+//! A minimal JSON pull parser for the two artifact formats t3-prof
+//! consumes: Chrome trace-event files (`t3-trace::chrome`) and bench
+//! reports (`t3-runtime::report`).
+//!
+//! Like the rest of the workspace this is hand-rolled (offline build,
+//! no serde). Unlike the writers, the parser must *skip* values it
+//! does not care about — trace files carry float `ts`/`dur` fields
+//! and string metadata — so alongside the typed readers there is a
+//! [`Parser::skip_value`] that consumes any well-formed JSON value.
+
+/// A pull parser over a JSON text.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing at the beginning of `text`.
+    pub fn new(text: &'a str) -> Self {
+        Parser { rest: text }
+    }
+
+    /// Skips whitespace.
+    pub fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    /// The next character, without consuming it.
+    pub fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    /// Consumes and returns the next character.
+    pub fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        Some(c)
+    }
+
+    /// Consumes the next character iff it is `want`.
+    pub fn expect(&mut self, want: char) -> Option<()> {
+        (self.bump()? == want).then_some(())
+    }
+
+    /// Consumes `want` if it is next; returns whether it did.
+    pub fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reads an unsigned integer.
+    pub fn number(&mut self) -> Option<u64> {
+        let digits: String = self.rest.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        self.rest = &self.rest[digits.len()..];
+        digits.parse().ok()
+    }
+
+    /// Reads a string literal, resolving escapes.
+    pub fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Some(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let code: String = (0..4).map_while(|_| self.bump()).collect();
+                        let v = u32::from_str_radix(&code, 16).ok()?;
+                        out.push(char::from_u32(v)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Consumes any well-formed JSON value (object, array, string,
+    /// number — including floats and signs — or keyword) without
+    /// interpreting it.
+    pub fn skip_value(&mut self) -> Option<()> {
+        self.skip_ws();
+        match self.peek()? {
+            '{' => {
+                self.bump();
+                loop {
+                    self.skip_ws();
+                    if self.eat('}') {
+                        return Some(());
+                    }
+                    self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    self.skip_value()?;
+                    self.skip_ws();
+                    self.eat(',');
+                }
+            }
+            '[' => {
+                self.bump();
+                loop {
+                    self.skip_ws();
+                    if self.eat(']') {
+                        return Some(());
+                    }
+                    self.skip_value()?;
+                    self.skip_ws();
+                    self.eat(',');
+                }
+            }
+            '"' => self.string().map(|_| ()),
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let len = self
+                    .rest
+                    .find(|c: char| {
+                        !(c.is_ascii_digit()
+                            || c == '-'
+                            || c == '+'
+                            || c == '.'
+                            || c == 'e'
+                            || c == 'E')
+                    })
+                    .unwrap_or(self.rest.len());
+                if len == 0 {
+                    return None;
+                }
+                self.rest = &self.rest[len..];
+                Some(())
+            }
+            _ => {
+                for kw in ["true", "false", "null"] {
+                    if let Some(rest) = self.rest.strip_prefix(kw) {
+                        self.rest = rest;
+                        return Some(());
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_and_strings_parse() {
+        let mut p = Parser::new("42 \"he\\nllo\"");
+        assert_eq!(p.number(), Some(42));
+        p.skip_ws();
+        assert_eq!(p.string().as_deref(), Some("he\nllo"));
+    }
+
+    #[test]
+    fn skip_value_consumes_nested_structures() {
+        let mut p = Parser::new("{\"a\": [1, -2.5e3, \"x\"], \"b\": {\"c\": null}} 7");
+        assert!(p.skip_value().is_some());
+        p.skip_ws();
+        assert_eq!(p.number(), Some(7));
+    }
+
+    #[test]
+    fn skip_value_rejects_garbage() {
+        assert!(Parser::new("nonsense").skip_value().is_none());
+        assert!(Parser::new("").skip_value().is_none());
+    }
+}

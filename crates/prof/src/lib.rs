@@ -1,0 +1,58 @@
+//! # t3-prof — trace analytics and perf gates for the T3 simulator
+//!
+//! The consumption side of the workspace's observability: where
+//! `t3-trace` *produces* event streams and `t3-runtime` *produces*
+//! bench reports, this crate turns both into the numbers T3's
+//! evaluation argues about.
+//!
+//! * [`load`] — parses an exported Chrome trace back into typed
+//!   [`t3_trace::Record`]s, losslessly (the exporter embeds exact
+//!   integer cycles in each event's args for exactly this purpose).
+//! * [`analyze`] — builds busy-interval sets from the happens-before
+//!   event graph and extracts the critical path: compute vs.
+//!   exposed-collective vs. DMA/fabric vs. idle cycles, and the
+//!   overlap fraction, all in integer arithmetic.
+//! * [`collective`] — per-collective structured records (op,
+//!   schedule, bytes, hops, trigger, wire window, exposed cycles)
+//!   with a stable one-line [`collective::CollectiveRecord::describe`]
+//!   canonical form for golden tests.
+//! * [`mod@check`] — the perf-trajectory regression gate: diffs a fresh
+//!   `figures --report` run against a checked-in `BENCH_*.json`
+//!   baseline with per-job tolerance bands and a machine-readable
+//!   verdict.
+//!
+//! The `t3-prof` binary exposes all three as `analyze <trace>`,
+//! `collectives <trace>`, and `check <report> <baseline>`.
+//!
+//! ```
+//! use t3_prof::analyze::Analysis;
+//! use t3_trace::{Event, Record};
+//!
+//! let records = [Record {
+//!     seq: 0,
+//!     cycle: 100,
+//!     event: Event::GemmStage {
+//!         stage: 0,
+//!         wg_start: 0,
+//!         wg_end: 8,
+//!         start: 0,
+//!         end: 100,
+//!         bytes: 4096,
+//!         compute_cycles: 80,
+//!     },
+//! }];
+//! let a = Analysis::from_records(&records);
+//! assert_eq!((a.total_cycles, a.compute_cycles), (100, 100));
+//! assert_eq!(a.memory_stall_cycles, 20);
+//! ```
+
+pub mod analyze;
+pub mod check;
+pub mod collective;
+pub mod json;
+pub mod load;
+
+pub use analyze::{Analysis, IntervalSet, Segment, SegmentKind};
+pub use check::{check, parse_report, GateStatus, GateVerdict, JobCycles};
+pub use collective::{collective_records, CollectiveRecord};
+pub use load::parse_chrome_trace;

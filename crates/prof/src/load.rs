@@ -1,0 +1,296 @@
+//! Loads an exported Chrome trace back into typed [`Record`]s.
+//!
+//! The exporter (`t3-trace::chrome`) embeds every record's exact
+//! integer cycles in its `args` object (`cycle`, `cycle_start`,
+//! `cycle_end`) precisely so this loader never has to convert rounded
+//! microsecond floats back into cycle counts — the round trip
+//! `records → JSON → records` is lossless for every field analytics
+//! read. Metadata events (`ph: "M"`) are skipped; sequence numbers
+//! are reassigned in file order, which the exporter guarantees is
+//! sorted by span start then original sequence.
+
+use std::collections::BTreeMap;
+
+use crate::json::Parser;
+use t3_trace::{Event, Record};
+
+/// Parses a Chrome trace-event JSON string into typed records.
+///
+/// Returns an error naming the first malformed construct; an event
+/// whose `name` is not part of the t3-trace taxonomy is an error too,
+/// so analytics never silently ignore a track they were not written
+/// for.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<Record>, String> {
+    let mut p = Parser::new(text);
+    p.skip_ws();
+    p.expect('{').ok_or("expected top-level object")?;
+    let mut records = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string().ok_or("expected object key")?;
+        p.skip_ws();
+        p.expect(':').ok_or("expected ':'")?;
+        p.skip_ws();
+        if key == "traceEvents" {
+            p.expect('[').ok_or("traceEvents must be an array")?;
+            loop {
+                p.skip_ws();
+                if p.eat(']') {
+                    break;
+                }
+                if let Some(event) = parse_trace_event(&mut p)? {
+                    let seq = records.len() as u64;
+                    records.push(make_record(seq, event)?);
+                }
+                p.skip_ws();
+                p.eat(',');
+            }
+        } else {
+            p.skip_value().ok_or("malformed value")?;
+        }
+        p.skip_ws();
+        p.eat(',');
+    }
+    Ok(records)
+}
+
+/// One parsed trace-event object: its `name` and integer `args`.
+/// `None` for metadata events, which carry no simulation payload.
+type ParsedEvent = (String, BTreeMap<String, u64>);
+
+fn parse_trace_event(p: &mut Parser) -> Result<Option<ParsedEvent>, String> {
+    p.expect('{').ok_or("expected event object")?;
+    let mut name = None;
+    let mut phase = None;
+    let mut args = BTreeMap::new();
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string().ok_or("expected event key")?;
+        p.skip_ws();
+        p.expect(':').ok_or("expected ':' in event")?;
+        p.skip_ws();
+        match key.as_str() {
+            "name" => name = Some(p.string().ok_or("event name must be a string")?),
+            "ph" => phase = Some(p.string().ok_or("ph must be a string")?),
+            "args" => {
+                p.expect('{').ok_or("args must be an object")?;
+                loop {
+                    p.skip_ws();
+                    if p.eat('}') {
+                        break;
+                    }
+                    let k = p.string().ok_or("expected arg key")?;
+                    p.skip_ws();
+                    p.expect(':').ok_or("expected ':' in args")?;
+                    p.skip_ws();
+                    if p.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        let v = p.number().ok_or("bad arg number")?;
+                        args.insert(k, v);
+                    } else {
+                        // Metadata args carry strings (process names).
+                        p.skip_value().ok_or("bad arg value")?;
+                    }
+                    p.skip_ws();
+                    p.eat(',');
+                }
+            }
+            _ => {
+                p.skip_value().ok_or("malformed event value")?;
+            }
+        }
+        p.skip_ws();
+        p.eat(',');
+    }
+    let name = name.ok_or("event missing name")?;
+    if phase.as_deref() == Some("M") {
+        return Ok(None);
+    }
+    Ok(Some((name, args)))
+}
+
+/// Rebuilds the typed record from an event's name and integer args.
+fn make_record(seq: u64, (name, args): (String, BTreeMap<String, u64>)) -> Result<Record, String> {
+    let get = |k: &str| -> Result<u64, String> {
+        args.get(k)
+            .copied()
+            .ok_or_else(|| format!("event '{name}' missing arg '{k}'"))
+    };
+    let (cycle, event) = match name.as_str() {
+        "gemm_stage" => {
+            let end = get("cycle_end")?;
+            (
+                end,
+                Event::GemmStage {
+                    stage: get("stage")?,
+                    wg_start: get("wg_start")?,
+                    wg_end: get("wg_end")?,
+                    start: get("cycle_start")?,
+                    end,
+                    bytes: get("bytes")?,
+                    compute_cycles: get("compute_cycles")?,
+                },
+            )
+        }
+        "chunk_send" => {
+            let end = get("cycle_end")?;
+            (
+                end,
+                Event::ChunkSend {
+                    chunk: get("chunk")?,
+                    bytes: get("bytes")?,
+                    hops: get("hops")?,
+                    start: get("cycle_start")?,
+                    end,
+                },
+            )
+        }
+        "chunk_recv" => (
+            get("cycle")?,
+            Event::ChunkRecv {
+                chunk: get("chunk")?,
+                bytes: get("bytes")?,
+            },
+        ),
+        "dma_trigger" => (
+            get("cycle")?,
+            Event::DmaTriggerFire {
+                chunk: get("chunk")?,
+                bytes: get("bytes")?,
+            },
+        ),
+        "tracker_update" => (
+            get("cycle")?,
+            Event::TrackerUpdate {
+                wg: get("wg")?,
+                wf: get("wf")?,
+                addr: get("addr")?,
+            },
+        ),
+        "mc_queue_depth" => (
+            get("cycle")?,
+            Event::McQueueDepth {
+                depth: get("depth")?,
+                comm_depth: get("comm_depth")?,
+                capacity: get("capacity")?,
+            },
+        ),
+        "llc" => (
+            get("cycle")?,
+            Event::LlcSample {
+                hits: get("hits")?,
+                misses: get("misses")?,
+            },
+        ),
+        "link_busy" => {
+            let end = get("cycle_end")?;
+            (
+                end,
+                Event::LinkBusy {
+                    start: get("cycle_start")?,
+                    end,
+                    bytes: get("bytes")?,
+                },
+            )
+        }
+        other => return Err(format!("unknown event name '{other}'")),
+    };
+    Ok(Record { seq, cycle, event })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_trace::chrome::chrome_trace_json;
+    use t3_trace::Tracer;
+
+    fn sample_records() -> Vec<Record> {
+        let mut t = Tracer::new();
+        t.record(
+            100,
+            Event::GemmStage {
+                stage: 0,
+                wg_start: 0,
+                wg_end: 8,
+                start: 10,
+                end: 100,
+                bytes: 4096,
+                compute_cycles: 60,
+            },
+        );
+        t.record(
+            40,
+            Event::DmaTriggerFire {
+                chunk: 1,
+                bytes: 2048,
+            },
+        );
+        t.record(
+            90,
+            Event::ChunkSend {
+                chunk: 1,
+                bytes: 2048,
+                hops: 2,
+                start: 50,
+                end: 90,
+            },
+        );
+        t.record(
+            120,
+            Event::LlcSample {
+                hits: 10,
+                misses: 2,
+            },
+        );
+        t.records().to_vec()
+    }
+
+    #[test]
+    fn round_trips_through_chrome_json() {
+        let records = sample_records();
+        let json = chrome_trace_json(&records, 1.8);
+        let back = parse_chrome_trace(&json).expect("parses");
+        assert_eq!(back.len(), records.len());
+        // The exporter sorts by span start: the trigger (cycle 40)
+        // comes after the GEMM span (start 10) but before the send
+        // (start 50). Events and cycles survive exactly.
+        let mut expected: Vec<&Record> = records.iter().collect();
+        expected.sort_by_key(|r| {
+            let start = match r.event.phase() {
+                t3_trace::Phase::Span { start, .. } => start,
+                _ => r.cycle,
+            };
+            (start, r.seq)
+        });
+        for (got, want) in back.iter().zip(expected) {
+            assert_eq!(got.event, want.event);
+            assert_eq!(got.cycle, want.cycle);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_events_and_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        let alien = "{\"traceEvents\":[{\"name\":\"mystery\",\"ph\":\"X\",\"args\":{}}]}";
+        assert!(parse_chrome_trace(alien).is_err());
+        let missing =
+            "{\"traceEvents\":[{\"name\":\"chunk_recv\",\"ph\":\"i\",\"args\":{\"cycle\":1,\"chunk\":0}}]}";
+        assert!(parse_chrome_trace(missing)
+            .expect_err("missing arg")
+            .contains("bytes"));
+    }
+
+    #[test]
+    fn metadata_events_are_skipped() {
+        let records = sample_records();
+        let json = chrome_trace_json(&records, 1.0);
+        assert!(json.contains("process_name"));
+        let back = parse_chrome_trace(&json).expect("parses");
+        assert_eq!(back.len(), records.len());
+    }
+}

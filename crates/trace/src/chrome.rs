@@ -25,23 +25,37 @@ fn ts_us(cycle: Cycle, clock_ghz: f64) -> f64 {
 
 fn push_args(out: &mut String, record: &Record) {
     out.push_str("\"args\":{");
-    let mut first = true;
-    record.event.visit_args(|k, v| {
-        if !first {
-            out.push(',');
+    // Exact integer cycles lead the args: `ts`/`dur` are rounded
+    // microsecond floats, so trace analytics (t3-prof) reconstruct
+    // timing from these instead of parsing floats back into cycles.
+    match record.event.phase() {
+        Phase::Span { start, end } => {
+            let _ = write!(out, "\"cycle_start\":{start},\"cycle_end\":{end}");
         }
-        first = false;
-        let _ = write!(out, "\"{k}\":{v}");
+        Phase::Instant | Phase::Counter => {
+            let _ = write!(out, "\"cycle\":{}", record.cycle);
+        }
+    }
+    record.event.visit_args(|k, v| {
+        let _ = write!(out, ",\"{k}\":{v}");
     });
     out.push('}');
 }
 
-/// Renders the records as a Chrome trace-event JSON string.
+/// Renders the records as a Chrome trace-event JSON string, using the
+/// default [`PROCESS_NAME`] for the process metadata event.
 ///
 /// Events are sorted by start timestamp (then sequence number) so the
 /// output is monotonic in `ts` even though span records are emitted at
 /// completion time.
 pub fn chrome_trace_json(records: &[Record], clock_ghz: f64) -> String {
+    chrome_trace_json_named(records, clock_ghz, PROCESS_NAME)
+}
+
+/// [`chrome_trace_json`] with a caller-supplied process label, so a
+/// trace exported for a specific workload/device reads as e.g.
+/// `"tnlg (device 0)"` in Perfetto instead of the generic name.
+pub fn chrome_trace_json_named(records: &[Record], clock_ghz: f64, process_name: &str) -> String {
     assert!(clock_ghz > 0.0, "clock must be positive");
     let mut ordered: Vec<&Record> = records.iter().collect();
     ordered.sort_by_key(|r| {
@@ -57,7 +71,7 @@ pub fn chrome_trace_json(records: &[Record], clock_ghz: f64) -> String {
     let _ = write!(
         out,
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
-        escape_json(PROCESS_NAME)
+        escape_json(process_name)
     );
     for track in Track::ALL {
         let _ = write!(
@@ -132,6 +146,7 @@ mod tests {
                 start: 10,
                 end: 100,
                 bytes: 4096,
+                compute_cycles: 60,
             },
         );
         t.record(
@@ -145,6 +160,7 @@ mod tests {
             60,
             Event::McQueueDepth {
                 depth: 12,
+                comm_depth: 5,
                 capacity: 64,
             },
         );
@@ -199,6 +215,26 @@ mod tests {
         for track in Track::ALL {
             assert!(json.contains(track.name()));
         }
+    }
+
+    #[test]
+    fn args_carry_exact_integer_cycles() {
+        let t = sample_tracer();
+        let json = chrome_trace_json(t.records(), 1.0);
+        // Span: the GEMM stage ran over cycles [10, 100).
+        assert!(json.contains("\"args\":{\"cycle_start\":10,\"cycle_end\":100,"));
+        // Instant: the DMA trigger fired at cycle 40.
+        assert!(json.contains("\"args\":{\"cycle\":40,"));
+        // Counter: the MC sample at cycle 60.
+        assert!(json.contains("\"args\":{\"cycle\":60,"));
+    }
+
+    #[test]
+    fn named_export_overrides_process_label() {
+        let t = sample_tracer();
+        let json = chrome_trace_json_named(t.records(), 1.0, "tnlg (device 0)");
+        assert!(json.contains("\"args\":{\"name\":\"tnlg (device 0)\"}"));
+        assert!(!json.contains(PROCESS_NAME));
     }
 
     #[test]

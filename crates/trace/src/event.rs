@@ -30,6 +30,9 @@ pub enum Event {
         end: Cycle,
         /// Output bytes stored by the stage.
         bytes: Bytes,
+        /// Roofline compute latency of the stage (no memory stalls);
+        /// the span length minus this is memory-stall time.
+        compute_cycles: Cycle,
     },
     /// A reduce-scatter / all-gather chunk occupied the outbound link.
     ChunkSend {
@@ -37,6 +40,9 @@ pub enum Event {
         chunk: u64,
         /// Payload bytes.
         bytes: Bytes,
+        /// Fabric hops the payload traverses (1 on a direct
+        /// neighbour link; the route length on multi-hop fabrics).
+        hops: u64,
         /// Cycle serialization onto the link began.
         start: Cycle,
         /// Cycle the last byte left the link.
@@ -72,6 +78,9 @@ pub enum Event {
     McQueueDepth {
         /// Transactions in the DRAM queue at the sample point.
         depth: u64,
+        /// Of those, transactions from the communication stream —
+        /// the collective's share of the queue pressure.
+        comm_depth: u64,
         /// DRAM queue capacity.
         capacity: u64,
     },
@@ -226,16 +235,21 @@ impl Event {
                 wg_start,
                 wg_end,
                 bytes,
+                compute_cycles,
                 ..
             } => {
                 f("stage", stage);
                 f("wg_start", wg_start);
                 f("wg_end", wg_end);
                 f("bytes", bytes);
+                f("compute_cycles", compute_cycles);
             }
-            Event::ChunkSend { chunk, bytes, .. } => {
+            Event::ChunkSend {
+                chunk, bytes, hops, ..
+            } => {
                 f("chunk", chunk);
                 f("bytes", bytes);
+                f("hops", hops);
             }
             Event::ChunkRecv { chunk, bytes } => {
                 f("chunk", chunk);
@@ -250,8 +264,13 @@ impl Event {
                 f("wf", wf);
                 f("addr", addr);
             }
-            Event::McQueueDepth { depth, capacity } => {
+            Event::McQueueDepth {
+                depth,
+                comm_depth,
+                capacity,
+            } => {
                 f("depth", depth);
+                f("comm_depth", comm_depth);
                 f("capacity", capacity);
             }
             Event::LlcSample { hits, misses } => {
@@ -297,6 +316,7 @@ mod tests {
             start: 10,
             end: 20,
             bytes: 64,
+            compute_cycles: 8,
         };
         assert_eq!(span.phase(), Phase::Span { start: 10, end: 20 });
         assert_eq!(span.bytes(), 64);
@@ -307,6 +327,7 @@ mod tests {
         assert_eq!(instant.phase(), Phase::Instant);
         let counter = Event::McQueueDepth {
             depth: 3,
+            comm_depth: 1,
             capacity: 64,
         };
         assert_eq!(counter.phase(), Phase::Counter);
@@ -318,6 +339,7 @@ mod tests {
         let e = Event::ChunkSend {
             chunk: 2,
             bytes: 1024,
+            hops: 1,
             start: 0,
             end: 8,
         };

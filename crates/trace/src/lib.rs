@@ -24,7 +24,7 @@
 //! use t3_trace::{chrome, Event, Instruments};
 //!
 //! let mut ins = Instruments::full();
-//! ins.record(10, Event::ChunkSend { chunk: 0, bytes: 4096, start: 10, end: 42 });
+//! ins.record(10, Event::ChunkSend { chunk: 0, bytes: 4096, hops: 1, start: 10, end: 42 });
 //! ins.add("dma.chunks_sent", 1);
 //! let tracer = ins.tracer.as_ref().unwrap();
 //! let json = chrome::chrome_trace_json(tracer.records(), 1.0);

@@ -26,6 +26,10 @@
 //!   fingerprinted job graphs, a panic-isolated worker pool with
 //!   submission-order output merging, and a content-addressed result
 //!   cache.
+//! * [`prof`] — trace analytics: happens-before event graph,
+//!   critical-path extraction (compute vs. exposed-collective vs.
+//!   DMA/fabric cycles, overlap fraction), per-collective records,
+//!   and the perf-trajectory regression gate over bench reports.
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@ pub use t3_gpu as gpu;
 pub use t3_mem as mem;
 pub use t3_models as models;
 pub use t3_net as net;
+pub use t3_prof as prof;
 pub use t3_runtime as runtime;
 pub use t3_sim as sim;
 pub use t3_topo as topo;
