@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
-//! fig18 fig19 fig20 multinode all`. `--fast` shrinks workloads 8x in
-//! the token dimension for smoke runs.
+//! fig18 fig19 fig20 multinode extensions sweep serving serving-fused
+//! all`. `--fast` shrinks workloads 8x in the token dimension for
+//! smoke runs.
 //!
 //! Targets run as jobs on the `t3-runtime` worker pool: `--jobs N`
 //! sets the pool width (default: available parallelism) and outputs
@@ -32,6 +33,12 @@
 //! prints the `t3-prof` critical-path breakdown and per-collective
 //! records to stdout. Any of the three may be given alone or with
 //! targets.
+//!
+//! `--trace-serving <file>` runs the instrumented high-load serving
+//! point (ring fabric, bursty arrivals, T3-fused engine) and writes
+//! its Chrome trace — request lifecycles and engine iterations —
+//! which `t3-prof requests` turns back into the canonical request
+//! log and latency percentiles.
 //!
 //! Exit codes: 0 on success, 1 when jobs fail or outputs cannot be
 //! written, 2 on usage errors.
@@ -70,6 +77,10 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage(&e),
     };
+    let trace_serving_path = match flag_value(&args, "--trace-serving") {
+        Ok(v) => v,
+        Err(e) => return usage(&e),
+    };
     let topology = match flag_value(&args, "--topology") {
         Ok(v) => v,
         Err(e) => return usage(&e),
@@ -99,7 +110,12 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => return usage(&e),
     };
-    if targets.is_empty() && trace_path.is_none() && metrics_path.is_none() && !analyze {
+    if targets.is_empty()
+        && trace_path.is_none()
+        && metrics_path.is_none()
+        && trace_serving_path.is_none()
+        && !analyze
+    {
         return usage("no targets given");
     }
 
@@ -195,6 +211,28 @@ fn main() -> ExitCode {
             eprintln!("wrote metrics to {path}");
         }
     }
+    if let Some(path) = trace_serving_path {
+        let (ins, row, clock_ghz) = t3_serve::study::traced_serving(scale.token_divisor);
+        let workload = format!(
+            "serving {} @{}% load ({}, {})",
+            row.topology,
+            row.load_permille / 10,
+            row.arrival.label(),
+            row.mode.label()
+        );
+        let tracer = ins.tracer.as_ref().expect("full instruments");
+        eprintln!(
+            "traced {workload}: {} cycles, {} events",
+            row.run.makespan,
+            tracer.len()
+        );
+        let json = chrome_trace_json_named(tracer.records(), clock_ghz, &workload);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(EXIT_FAILED_JOBS);
+        }
+        eprintln!("wrote serving trace to {path} (analyze with `t3-prof requests {path}`)");
+    }
     if failed {
         ExitCode::from(EXIT_FAILED_JOBS)
     } else {
@@ -205,7 +243,7 @@ fn main() -> ExitCode {
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|all> ...] [flags]"
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|serving|serving-fused|all> ...] [flags]"
     );
     eprintln!("flags:");
     eprintln!("  --fast                 shrink workloads 8x in the token dimension");
@@ -215,6 +253,7 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("  --report <file>        write a JSON run report (per-job wall time + cycles)");
     eprintln!("  --topology <name>      fabric for multinode/traced runs: ring, fully-connected, switch, torus, hierarchical");
     eprintln!("  --trace <out.json>     write a Chrome trace of an instrumented fused GEMM-RS");
+    eprintln!("  --trace-serving <out.json>    write a Chrome trace of the instrumented high-load serving point");
     eprintln!("  --metrics <out.json|out.csv>  write the traced run's metrics registry");
     eprintln!("  --analyze              print the traced run's critical-path breakdown and per-collective records");
     ExitCode::from(EXIT_USAGE)
@@ -239,6 +278,7 @@ fn targets(args: &[String]) -> Result<Vec<String>, String> {
     while i < args.len() {
         let a = &args[i];
         if a == "--trace"
+            || a == "--trace-serving"
             || a == "--metrics"
             || a == "--topology"
             || a == "--jobs"

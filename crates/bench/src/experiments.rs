@@ -16,6 +16,8 @@ use t3_gpu::gemm::{GemmGrid, GemmShape};
 use t3_models::e2e::{self, E2eParams, Phase};
 use t3_models::moe::{moe_combine_study, scheduled_all_to_all_cycles, MoeConfig};
 use t3_models::zoo::{self, ModelConfig, Sublayer};
+use t3_serve::cost::EngineMode;
+use t3_serve::study as serve_study;
 use t3_sim::config::{LinkConfig, SystemConfig};
 use t3_sim::geomean;
 use t3_sim::stats::TrafficClass;
@@ -999,6 +1001,110 @@ pub fn traced_tnlg_sublayer(
     (ins, run, sys.gpu.clock_ghz)
 }
 
+// ---------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------
+
+/// The headline serving study: baseline vs. T3-fused tail latency on
+/// every (fabric, load point) cell of [`serve_study::serving_study`],
+/// with two tenants sharing the fabric. Both engines serve
+/// byte-identical seeded request traces, so every latency delta is
+/// attributable to the execution mode alone.
+pub fn serving(scale: ExperimentScale) -> Table {
+    let clock = serve_study::serve_system().gpu.clock_ghz;
+    let rows = serve_study::serving_study(scale.token_divisor);
+    let mut t = Table::new(
+        "Serving: baseline vs. T3-fused tail latency",
+        &[
+            "fabric",
+            "load",
+            "arrival",
+            "engine",
+            "contention",
+            "ttft p99 (us)",
+            "e2e p50 (us)",
+            "e2e p95 (us)",
+            "e2e p99 (us)",
+            "tok/s/GPU",
+        ],
+    );
+    for row in &rows {
+        t.row(vec![
+            row.topology.to_string(),
+            format!("{}%", row.load_permille / 10),
+            row.arrival.label().to_string(),
+            row.mode.label().to_string(),
+            x(row.contention_permille as f64 / 1000.0),
+            us(row.ttft.p99, clock),
+            us(row.e2e.p50, clock),
+            us(row.e2e.p95, clock),
+            us(row.e2e.p99, clock),
+            format!("{:.0}", row.tokens_per_sec_per_gpu(clock)),
+        ]);
+        t.tally_cycles(row.run.makespan);
+    }
+    for pair in rows.chunks(2) {
+        let (base, fused) = (&pair[0], &pair[1]);
+        if base.load_permille >= 900 {
+            t.note(format!(
+                "{} @{}% load: fused cuts e2e p99 by {} ({} requests, {} tenants)",
+                base.topology,
+                base.load_permille / 10,
+                x(base.e2e.p99 as f64 / fused.e2e.p99 as f64),
+                base.run.outcomes.len(),
+                base.tenants,
+            ));
+        }
+    }
+    t.note(
+        "open-loop seeded traffic; gaps calibrated to baseline decode \
+         capacity so both engines serve identical traces",
+    );
+    t
+}
+
+/// The fused deep-dive behind `figures serving-fused`: the high-load
+/// bursty point on the ring swept over tenant counts, showing how the
+/// fused engine's p99 advantage holds up as fabric contention grows.
+pub fn serving_fused(scale: ExperimentScale) -> Table {
+    let clock = serve_study::serve_system().gpu.clock_ghz;
+    let rows = serve_study::tenant_sweep(scale.token_divisor);
+    let mut t = Table::new(
+        "Serving-fused: tenant sweep at high load (ring, bursty)",
+        &[
+            "tenants",
+            "engine",
+            "contention",
+            "ttft p99 (us)",
+            "e2e p99 (us)",
+            "tok/s/GPU",
+            "p99 vs baseline",
+        ],
+    );
+    for pair in rows.chunks(2) {
+        let base = &pair[0];
+        debug_assert_eq!(base.mode, EngineMode::Baseline);
+        for row in pair {
+            let gain = base.e2e.p99 as f64 / row.e2e.p99 as f64;
+            t.row(vec![
+                row.tenants.to_string(),
+                row.mode.label().to_string(),
+                x(row.contention_permille as f64 / 1000.0),
+                us(row.ttft.p99, clock),
+                us(row.e2e.p99, clock),
+                format!("{:.0}", row.tokens_per_sec_per_gpu(clock)),
+                x(gain),
+            ]);
+            t.tally_cycles(row.run.makespan);
+        }
+    }
+    t.note(
+        "contention priced by staggered co-tenant reduce-scatter \
+         schedules on one shared fabric (t3-serve interference model)",
+    );
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1097,6 +1203,25 @@ mod tests {
         let metrics = ins.metrics.as_ref().expect("metrics on");
         assert_eq!(metrics.counter("run.cycles"), run.cycles);
         assert_eq!(metrics.counter("link.bytes_sent"), run.link_bytes_sent);
+    }
+
+    #[test]
+    fn serving_table_shows_fused_winning_tails() {
+        let t = serving(ExperimentScale::FAST);
+        assert_eq!(t.len(), 8);
+        let text = t.to_string();
+        assert!(text.contains("baseline") && text.contains("t3-fused"));
+        assert!(text.contains("fused cuts e2e p99"));
+        assert!(t.sim_cycles() > 0);
+    }
+
+    #[test]
+    fn serving_fused_table_sweeps_tenants() {
+        let t = serving_fused(ExperimentScale::FAST);
+        assert_eq!(t.len(), 6);
+        let text = t.to_string();
+        assert!(text.contains("tenants"));
+        assert!(text.contains("p99 vs baseline"));
     }
 
     #[test]

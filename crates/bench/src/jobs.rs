@@ -40,15 +40,18 @@ pub const ALL_TARGETS: &[&str] = &[
     "multinode",
     "extensions",
     "sweep",
+    "serving",
+    "serving-fused",
 ];
 
 /// A cheap-but-representative target subset for smoke tests of the
-/// parallel path: the analytic tables plus two genuinely simulating
-/// targets (the fig4 overlap anatomy and the fig14 validation runs).
-/// Kept fast enough for debug-profile test binaries — the heavy
+/// parallel path: the analytic tables plus three genuinely simulating
+/// targets (the fig4 overlap anatomy, the fig14 validation runs, and
+/// the serving study so the perf gate covers serving cycles). Kept
+/// fast enough for debug-profile test binaries — the heavy
 /// matrix/multinode targets are exercised by `figures all` in CI's
 /// release smoke run instead.
-pub const SMOKE_TARGETS: &[&str] = &["table1", "table2", "table3", "fig4", "fig14"];
+pub const SMOKE_TARGETS: &[&str] = &["table1", "table2", "table3", "fig4", "fig14", "serving"];
 
 /// The canonical config fingerprint of one target's job. `topology`
 /// participates only for the `multinode` target — the only one whose
@@ -113,6 +116,8 @@ pub fn job_for(target: &str, scale: ExperimentScale, topology: Option<&str>) -> 
         "multinode" => Box::new(move || experiments::multinode(scale, topology.as_deref())),
         "extensions" => Box::new(move || experiments::extensions(scale)),
         "sweep" => Box::new(experiments::sweep),
+        "serving" => Box::new(move || experiments::serving(scale)),
+        "serving-fused" => Box::new(move || experiments::serving_fused(scale)),
         _ => return None,
     };
     Some(Job::new(target, fp, move || render(&table())))

@@ -1,0 +1,27 @@
+// Fixture: the two nondeterminism classes a serving subsystem could
+// smuggle in — a wall-clock read inside the request-arrival
+// generator (arrival times must come from the seeded RNG alone), and
+// a hash-ordered container in batch assembly whose iteration order
+// would leak into admission order and every latency percentile.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn generate_arrivals(n: u64) -> Vec<u64> {
+    let epoch = Instant::now();
+    (0..n)
+        .map(|_| epoch.elapsed().as_nanos() as u64)
+        .collect()
+}
+
+pub fn assemble_batch(waiting: &HashMap<u64, u64>, budget: u64) -> Vec<u64> {
+    let mut batch = Vec::new();
+    let mut tokens = 0;
+    for (&id, &prompt) in waiting.iter() {
+        if tokens + prompt > budget {
+            break;
+        }
+        tokens += prompt;
+        batch.push(id);
+    }
+    batch
+}

@@ -20,6 +20,9 @@ use crate::lexer::TokKind;
 /// legitimately measure host-side scheduler wall time. `prof` is in
 /// scope: analytics re-derive cycle quantities from traces, and a
 /// wall-clock read there would contaminate golden-pinned output.
+/// `serve` is in scope: its arrival generator and engine produce the
+/// request timelines behind the serving figures, so a host-clock read
+/// there would make the tail-latency percentiles irreproducible.
 pub const TIMING_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -29,6 +32,7 @@ pub const TIMING_CRATES: &[&str] = &[
     "topo",
     "collectives",
     "models",
+    "serve",
     "runtime",
     "prof",
 ];
@@ -38,7 +42,9 @@ pub const TIMING_CRATES: &[&str] = &[
 /// the facade's `src/` and `tests/` (golden pipelines). `runtime`
 /// qualifies through its merged stdout, cache entries and run
 /// reports — all byte-exact artifacts; `prof` through its analysis,
-/// collective-record, and gate-verdict renderings, all golden-pinned.
+/// collective-record, and gate-verdict renderings, all golden-pinned;
+/// `serve` through the canonical request log and batch assembly —
+/// hash-ordered admission would leak into every latency percentile.
 pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -49,6 +55,7 @@ pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "collectives",
     "models",
     "trace",
+    "serve",
     "runtime",
     "prof",
 ];

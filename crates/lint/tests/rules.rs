@@ -65,6 +65,22 @@ fn prof_crate_is_in_both_scopes() {
 }
 
 #[test]
+fn serve_crate_is_in_both_scopes() {
+    // The serving subsystem's arrival generator and batch assembly
+    // feed the tail-latency figures: host time or hash order there
+    // would make the request log and percentiles irreproducible.
+    let diags = lint_source("crates/serve/src/fx.rs", &fixture("serve_bad.rs"));
+    let mut rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    assert_eq!(rules, vec!["hash-iteration", "wall-clock"], "{diags:?}");
+    let diags = lint_source("crates/serve/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["wall-clock"]);
+    let diags = lint_source("crates/serve/src/fx.rs", &fixture("hash_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["hash-iteration"]);
+}
+
+#[test]
 fn wall_clock_out_of_scope_in_bench_crate() {
     // The bench harness measures host wall time by design.
     let diags = lint_source("crates/bench/src/fx.rs", &fixture("wall_clock_bad.rs"));

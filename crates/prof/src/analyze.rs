@@ -254,6 +254,12 @@ impl Analysis {
                         None => fires.push((chunk, vec![r.cycle])),
                     }
                 }
+                // Serving spans are scheduler-level bookkeeping over
+                // the same underlying compute/wire activity; the
+                // dedicated `requests` analytics pass consumes them.
+                Event::ServeIteration { end, .. } | Event::RequestLifecycle { end, .. } => {
+                    total_cycles = total_cycles.max(end);
+                }
                 Event::ChunkRecv { .. }
                 | Event::TrackerUpdate { .. }
                 | Event::McQueueDepth { .. }

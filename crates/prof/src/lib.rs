@@ -20,9 +20,13 @@
 //!   `figures --report` run against a checked-in `BENCH_*.json`
 //!   baseline with per-job tolerance bands and a machine-readable
 //!   verdict.
+//! * [`serve`] — per-request serving analytics: rebuilds exact
+//!   request lifecycles from `t3-serve` traces and summarises queue /
+//!   time-to-first-token / end-to-end tail latency.
 //!
-//! The `t3-prof` binary exposes all three as `analyze <trace>`,
-//! `collectives <trace>`, and `check <report> <baseline>`.
+//! The `t3-prof` binary exposes these as `analyze <trace>`,
+//! `collectives <trace>`, `requests <trace>`, and
+//! `check <report> <baseline>`.
 //!
 //! ```
 //! use t3_prof::analyze::Analysis;
@@ -51,8 +55,10 @@ pub mod check;
 pub mod collective;
 pub mod json;
 pub mod load;
+pub mod serve;
 
 pub use analyze::{Analysis, IntervalSet, Segment, SegmentKind};
 pub use check::{check, parse_report, GateStatus, GateVerdict, JobCycles};
 pub use collective::{collective_records, CollectiveRecord};
 pub use load::parse_chrome_trace;
+pub use serve::{iteration_stats, request_outcomes, IterationStats};

@@ -198,6 +198,35 @@ fn make_record(seq: u64, (name, args): (String, BTreeMap<String, u64>)) -> Resul
                 },
             )
         }
+        "serve_iteration" => {
+            let end = get("cycle_end")?;
+            (
+                end,
+                Event::ServeIteration {
+                    kind: get("kind")?,
+                    batch: get("batch")?,
+                    tokens: get("tokens")?,
+                    start: get("cycle_start")?,
+                    end,
+                },
+            )
+        }
+        "request" => {
+            let end = get("cycle_end")?;
+            (
+                end,
+                Event::RequestLifecycle {
+                    id: get("id")?,
+                    tenant: get("tenant")?,
+                    prompt_tokens: get("prompt_tokens")?,
+                    output_tokens: get("output_tokens")?,
+                    admitted: get("admitted")?,
+                    first_token: get("first_token")?,
+                    start: get("cycle_start")?,
+                    end,
+                },
+            )
+        }
         other => return Err(format!("unknown event name '{other}'")),
     };
     Ok(Record { seq, cycle, event })
@@ -283,6 +312,58 @@ mod tests {
         assert!(parse_chrome_trace(missing)
             .expect_err("missing arg")
             .contains("bytes"));
+    }
+
+    #[test]
+    fn serving_events_round_trip() {
+        let mut t = Tracer::new();
+        t.record(
+            500,
+            Event::ServeIteration {
+                kind: 0,
+                batch: 4,
+                tokens: 240,
+                start: 100,
+                end: 500,
+            },
+        );
+        t.record(
+            900,
+            Event::RequestLifecycle {
+                id: 3,
+                tenant: 1,
+                prompt_tokens: 64,
+                output_tokens: 16,
+                admitted: 120,
+                first_token: 500,
+                start: 90,
+                end: 900,
+            },
+        );
+        let json = chrome_trace_json(t.records(), 1.8);
+        let back = parse_chrome_trace(&json).expect("parses");
+        assert_eq!(back.len(), 2);
+        let events: Vec<Event> = back.iter().map(|r| r.event).collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::ServeIteration {
+                kind: 0,
+                batch: 4,
+                tokens: 240,
+                start: 100,
+                end: 500,
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::RequestLifecycle {
+                id: 3,
+                tenant: 1,
+                admitted: 120,
+                end: 900,
+                ..
+            }
+        )));
     }
 
     #[test]

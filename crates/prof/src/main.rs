@@ -2,7 +2,7 @@
 
 use std::process::ExitCode;
 
-use t3_prof::{analyze, check, collective, load};
+use t3_prof::{analyze, check, collective, load, serve};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -16,6 +16,11 @@ USAGE:
 
   t3-prof collectives <trace.json>
       Per-collective records: one canonical line per chunk transfer.
+
+  t3-prof requests <trace.json>
+      Per-request serving analytics from a traced t3-serve run: the
+      canonical request log, iteration totals, and exact-integer
+      queue/ttft/e2e percentiles.
 
   t3-prof check <report.json> <baseline.json> [--tolerance <permille>] [--json]
       Diff a fresh `figures --report` run against a checked-in
@@ -78,6 +83,16 @@ fn main() -> ExitCode {
                     "{}",
                     collective::render(&collective::collective_records(&records))
                 );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("t3-prof: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        ["requests", path] => match load_records(path) {
+            Ok(records) => {
+                print!("{}", serve::render(&records));
                 ExitCode::SUCCESS
             }
             Err(e) => {

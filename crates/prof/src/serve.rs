@@ -1,0 +1,201 @@
+//! Per-request serving analytics: reconstructs request lifecycles
+//! from a trace and summarises tail latency.
+//!
+//! A traced serving run (`t3-serve`) emits one
+//! [`Event::RequestLifecycle`] span per request and one
+//! [`Event::ServeIteration`] span per engine iteration. This pass
+//! rebuilds the exact [`RequestOutcome`]s the engine produced — the
+//! round trip `engine → chrome JSON → outcomes` is lossless — and
+//! renders the canonical request log plus nearest-rank p50/p95/p99
+//! summaries, so a trace file alone is enough to re-derive every
+//! serving headline number.
+
+use std::fmt::Write as _;
+
+use t3_serve::engine::ITER_KIND_PREFILL;
+use t3_serve::request::{request_log, LatencySummary, Request, RequestOutcome};
+use t3_trace::{Event, Record};
+
+/// Aggregate iteration activity of one traced serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IterationStats {
+    /// Prefill iterations observed.
+    pub prefill_iterations: u64,
+    /// Decode iterations observed.
+    pub decode_iterations: u64,
+    /// Total cycles the engine spent inside iterations.
+    pub busy_cycles: u64,
+    /// Tokens processed across all iterations.
+    pub tokens: u64,
+}
+
+/// Rebuilds every request's lifecycle from a trace, in canonical
+/// `(tenant, id)` order.
+pub fn request_outcomes(records: &[Record]) -> Vec<RequestOutcome> {
+    let mut out: Vec<RequestOutcome> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::RequestLifecycle {
+                id,
+                tenant,
+                prompt_tokens,
+                output_tokens,
+                admitted,
+                first_token,
+                start,
+                end,
+            } => Some(RequestOutcome {
+                request: Request {
+                    id,
+                    tenant,
+                    arrival: start,
+                    prompt_tokens,
+                    output_tokens,
+                },
+                admitted,
+                first_token,
+                completed: end,
+            }),
+            _ => None,
+        })
+        .collect();
+    out.sort_by_key(|o| (o.request.tenant, o.request.id));
+    out
+}
+
+/// Sums iteration spans from a trace.
+pub fn iteration_stats(records: &[Record]) -> IterationStats {
+    let mut stats = IterationStats::default();
+    for r in records {
+        if let Event::ServeIteration {
+            kind,
+            tokens,
+            start,
+            end,
+            ..
+        } = r.event
+        {
+            if kind == ITER_KIND_PREFILL {
+                stats.prefill_iterations += 1;
+            } else {
+                stats.decode_iterations += 1;
+            }
+            stats.busy_cycles += end - start;
+            stats.tokens += tokens;
+        }
+    }
+    stats
+}
+
+/// Renders the stable text `t3-prof requests` prints: the canonical
+/// request log, iteration totals, and exact-integer latency
+/// percentiles.
+pub fn render(records: &[Record]) -> String {
+    let outcomes = request_outcomes(records);
+    let stats = iteration_stats(records);
+    let mut s = request_log(&outcomes);
+    let _ = writeln!(
+        s,
+        "iterations: {} prefill, {} decode, {} busy cycles, {} tokens",
+        stats.prefill_iterations, stats.decode_iterations, stats.busy_cycles, stats.tokens
+    );
+    if outcomes.is_empty() {
+        s.push_str("no requests in trace\n");
+        return s;
+    }
+    let summarise = |label: &str, samples: &[u64], s: &mut String| {
+        let sum = LatencySummary::of(samples);
+        let _ = writeln!(
+            s,
+            "{label}: p50={} p95={} p99={} max={}",
+            sum.p50, sum.p95, sum.p99, sum.max
+        );
+    };
+    let ttft: Vec<u64> = outcomes.iter().map(|o| o.ttft_cycles()).collect();
+    let e2e: Vec<u64> = outcomes.iter().map(|o| o.e2e_cycles()).collect();
+    let queue: Vec<u64> = outcomes.iter().map(|o| o.queue_cycles()).collect();
+    summarise("queue (cycles)", &queue, &mut s);
+    summarise("ttft  (cycles)", &ttft, &mut s);
+    summarise("e2e   (cycles)", &e2e, &mut s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t3_serve::engine::ITER_KIND_DECODE;
+
+    fn lifecycle(id: u64, start: u64) -> Record {
+        Record {
+            seq: id,
+            cycle: start + 300,
+            event: Event::RequestLifecycle {
+                id,
+                tenant: 0,
+                prompt_tokens: 64,
+                output_tokens: 8,
+                admitted: start + 10,
+                first_token: start + 100,
+                start,
+                end: start + 300,
+            },
+        }
+    }
+
+    fn iteration(kind: u64, start: u64) -> Record {
+        Record {
+            seq: 100 + start,
+            cycle: start + 50,
+            event: Event::ServeIteration {
+                kind,
+                batch: 4,
+                tokens: 4,
+                start,
+                end: start + 50,
+            },
+        }
+    }
+
+    #[test]
+    fn outcomes_round_trip_and_sort() {
+        let records = vec![lifecycle(1, 500), lifecycle(0, 0)];
+        let out = request_outcomes(&records);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].request.id, 0);
+        assert_eq!(out[1].request.id, 1);
+        assert_eq!(out[1].ttft_cycles(), 100);
+        assert_eq!(out[1].e2e_cycles(), 300);
+    }
+
+    #[test]
+    fn iteration_stats_split_by_kind() {
+        let records = vec![
+            iteration(ITER_KIND_PREFILL, 0),
+            iteration(ITER_KIND_DECODE, 100),
+            iteration(ITER_KIND_DECODE, 200),
+        ];
+        let stats = iteration_stats(&records);
+        assert_eq!(stats.prefill_iterations, 1);
+        assert_eq!(stats.decode_iterations, 2);
+        assert_eq!(stats.busy_cycles, 150);
+        assert_eq!(stats.tokens, 12);
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let records = vec![lifecycle(0, 0), iteration(ITER_KIND_PREFILL, 0)];
+        let text = render(&records);
+        assert!(text.starts_with(
+            "req t0#0000 prompt=64 out=8 arrival=0 admitted=10 first_token=100 completed=300\n"
+        ));
+        assert!(text.contains("iterations: 1 prefill, 0 decode, 50 busy cycles, 4 tokens"));
+        assert!(text.contains("ttft  (cycles): p50=100 p95=100 p99=100 max=100"));
+        assert!(text.contains("e2e   (cycles): p50=300"));
+    }
+
+    #[test]
+    fn empty_trace_renders_gracefully() {
+        let text = render(&[]);
+        assert!(text.contains("no requests in trace"));
+    }
+}

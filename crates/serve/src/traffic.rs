@@ -1,0 +1,260 @@
+//! Deterministic open-loop request traffic.
+//!
+//! A [`TrafficConfig`] plus a seed fully determine a request trace:
+//! prompt/output token lengths are drawn first from bucketed mixture
+//! distributions, then arrival gaps are drawn relative to the engine's
+//! estimated decode capacity, so a `load_permille` of 900 means "90%
+//! of what the decode engine can sustain at full batch". Everything
+//! flows from one [`SplitMix64`] stream — equal seeds give equal
+//! traces, byte for byte, on any host.
+
+use t3_sim::rng::SplitMix64;
+use t3_sim::Cycle;
+
+use crate::request::Request;
+
+/// The inter-arrival process shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Poisson arrivals: exponential inter-arrival gaps around the
+    /// configured mean.
+    Poisson,
+    /// Bursty arrivals: the trace alternates ON windows (gaps 1/4 of
+    /// the mean) and OFF windows (gaps 7/4 of the mean) of
+    /// [`BURST_WINDOW_GAPS`] requests each — the window means average
+    /// back to the configured mean, so the long-run rate matches
+    /// Poisson's while the ON clumps are 7x denser.
+    Bursty,
+}
+
+impl ArrivalKind {
+    /// Canonical label for reports and fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArrivalKind::Poisson => "poisson",
+            ArrivalKind::Bursty => "bursty",
+        }
+    }
+}
+
+/// Requests per ON/OFF window of the bursty process.
+pub const BURST_WINDOW_GAPS: u64 = 8;
+
+/// Shape of one tenant's request stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficConfig {
+    /// Number of requests in the trace.
+    pub requests: usize,
+    /// Inter-arrival process.
+    pub arrival: ArrivalKind,
+    /// Mean inter-arrival gap in cycles (derived from the engine's
+    /// capacity estimate by [`mean_gap_cycles`]).
+    pub mean_gap_cycles: Cycle,
+    /// Divides every sampled token length (mirrors
+    /// `ExperimentScale::token_divisor` so `--fast` smoke runs stay
+    /// quick).
+    pub token_divisor: u64,
+}
+
+/// Mean inter-arrival gap for a target load: the decode engine
+/// sustains roughly `max_batch` tokens per `decode_iter_cycles`, so a
+/// request costing `avg_output_tokens` decode steps arrives every
+/// `decode_iter_cycles * avg_output_tokens / (max_batch * load)`
+/// cycles at `load_permille / 1000` of capacity. Pure integer math.
+pub fn mean_gap_cycles(
+    decode_iter_cycles: Cycle,
+    avg_output_tokens: u64,
+    max_batch: u64,
+    load_permille: u64,
+) -> Cycle {
+    assert!(load_permille > 0, "load must be positive");
+    assert!(max_batch > 0, "batch must be positive");
+    let num = decode_iter_cycles as u128 * avg_output_tokens.max(1) as u128 * 1000;
+    let den = max_batch as u128 * load_permille as u128;
+    (num / den).max(1) as Cycle
+}
+
+/// Samples a prompt length (tokens): 70% short (64..256), 25% medium
+/// (256..1024), 5% long (1024..2048), then scaled down by
+/// `token_divisor` with a floor of 16.
+fn sample_prompt_tokens(rng: &mut SplitMix64, token_divisor: u64) -> u64 {
+    let class = rng.gen_range(0, 100);
+    let raw = if class < 70 {
+        rng.gen_range(64, 256)
+    } else if class < 95 {
+        rng.gen_range(256, 1024)
+    } else {
+        rng.gen_range(1024, 2048)
+    };
+    (raw / token_divisor).max(16)
+}
+
+/// Samples an output length (tokens): 50% short (16..64), 40% medium
+/// (64..256), 10% long (256..512), scaled by `token_divisor` with a
+/// floor of 4.
+fn sample_output_tokens(rng: &mut SplitMix64, token_divisor: u64) -> u64 {
+    let class = rng.gen_range(0, 100);
+    let raw = if class < 50 {
+        rng.gen_range(16, 64)
+    } else if class < 90 {
+        rng.gen_range(64, 256)
+    } else {
+        rng.gen_range(256, 512)
+    };
+    (raw / token_divisor).max(4)
+}
+
+/// One exponential inter-arrival gap around `mean` cycles, clamped to
+/// at least one cycle.
+fn sample_gap(rng: &mut SplitMix64, mean: Cycle) -> Cycle {
+    // 53 uniform mantissa bits in (0, 1]; `1 - u` stays away from 0 so
+    // ln() is finite.
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+    // t3-lint: allow(float-cycles) -- seeded exponential sample: one rounding per arrival gap, never accumulated across requests
+    let gap = (-u.ln() * mean as f64) as Cycle;
+    gap.max(1)
+}
+
+/// Generates one tenant's request trace. `tenant` tags every request
+/// and perturbs nothing else — the caller derives a distinct seed per
+/// tenant. Arrival cycles are strictly increasing (gaps are >= 1).
+pub fn generate_requests(cfg: &TrafficConfig, tenant: u64, seed: u64) -> Vec<Request> {
+    let mut rng = SplitMix64::new(seed);
+    // Phase 1: lengths. Drawn before gaps so the same seed gives the
+    // same workload mix regardless of the arrival process.
+    let lengths: Vec<(u64, u64)> = (0..cfg.requests)
+        .map(|_| {
+            (
+                sample_prompt_tokens(&mut rng, cfg.token_divisor),
+                sample_output_tokens(&mut rng, cfg.token_divisor),
+            )
+        })
+        .collect();
+    // Phase 2: arrival cycles.
+    let mut now: Cycle = 0;
+    lengths
+        .into_iter()
+        .enumerate()
+        .map(|(i, (prompt_tokens, output_tokens))| {
+            let mean = match cfg.arrival {
+                ArrivalKind::Poisson => cfg.mean_gap_cycles,
+                ArrivalKind::Bursty => {
+                    // Alternate ON (mean/4) and OFF (7*mean/4)
+                    // windows; the two means average back to the
+                    // configured mean, preserving the long-run rate.
+                    let window = (i as u64 / BURST_WINDOW_GAPS) % 2;
+                    if window == 0 {
+                        (cfg.mean_gap_cycles / 4).max(1)
+                    } else {
+                        7 * cfg.mean_gap_cycles / 4
+                    }
+                }
+            };
+            now += sample_gap(&mut rng, mean);
+            Request {
+                id: i as u64,
+                tenant,
+                arrival: now,
+                prompt_tokens,
+                output_tokens,
+            }
+        })
+        .collect()
+}
+
+/// Mean output length of the workload mix for a divisor, computed by
+/// sampling the distribution itself with a fixed internal seed — the
+/// capacity estimate and the trace then agree on what "average
+/// request" means without hand-maintained constants.
+pub fn expected_output_tokens(token_divisor: u64) -> u64 {
+    let mut rng = SplitMix64::new(0x5EED_CA11);
+    let n = 512u64;
+    let sum: u64 = (0..n)
+        .map(|_| sample_output_tokens(&mut rng, token_divisor))
+        .sum();
+    (sum / n).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(arrival: ArrivalKind) -> TrafficConfig {
+        TrafficConfig {
+            requests: 64,
+            arrival,
+            mean_gap_cycles: 10_000,
+            token_divisor: 1,
+        }
+    }
+
+    #[test]
+    fn equal_seeds_give_identical_traces() {
+        let a = generate_requests(&cfg(ArrivalKind::Poisson), 0, 42);
+        let b = generate_requests(&cfg(ArrivalKind::Poisson), 0, 42);
+        assert_eq!(a, b);
+        let c = generate_requests(&cfg(ArrivalKind::Poisson), 0, 43);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase_and_ids_are_dense() {
+        let reqs = generate_requests(&cfg(ArrivalKind::Bursty), 3, 7);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.tenant, 3);
+            assert!(r.prompt_tokens >= 16 && r.output_tokens >= 4);
+        }
+        for w in reqs.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn bursty_same_long_run_rate_worse_clumping() {
+        let mut poisson = cfg(ArrivalKind::Poisson);
+        let mut bursty = cfg(ArrivalKind::Bursty);
+        poisson.requests = 256;
+        bursty.requests = 256;
+        let p = generate_requests(&poisson, 0, 11);
+        let b = generate_requests(&bursty, 0, 11);
+        let span = |r: &[Request]| r.last().expect("non-empty").arrival;
+        // Long-run rates within 2x of each other.
+        let (ps, bs) = (span(&p), span(&b));
+        assert!(bs < ps * 2 && ps < bs * 2, "poisson {ps} vs bursty {bs}");
+        // Bursty has a much smaller minimum gap (ON windows clump).
+        let min_gap = |r: &[Request]| {
+            r.windows(2)
+                .map(|w| w[1].arrival - w[0].arrival)
+                .min()
+                .expect("gaps")
+        };
+        assert!(min_gap(&b) <= min_gap(&p));
+    }
+
+    #[test]
+    fn token_divisor_shrinks_lengths() {
+        let full = generate_requests(&cfg(ArrivalKind::Poisson), 0, 5);
+        let mut small_cfg = cfg(ArrivalKind::Poisson);
+        small_cfg.token_divisor = 8;
+        let small = generate_requests(&small_cfg, 0, 5);
+        let sum = |r: &[Request]| r.iter().map(|q| q.prompt_tokens).sum::<u64>();
+        assert!(sum(&small) < sum(&full));
+    }
+
+    #[test]
+    fn mean_gap_is_integer_and_monotone_in_load() {
+        let low = mean_gap_cycles(1_000_000, 100, 16, 300);
+        let high = mean_gap_cycles(1_000_000, 100, 16, 900);
+        assert!(low > high, "higher load must mean shorter gaps");
+        assert!(high >= 1);
+    }
+
+    #[test]
+    fn expected_output_tokens_tracks_divisor() {
+        let full = expected_output_tokens(1);
+        let eighth = expected_output_tokens(8);
+        assert!(full > eighth);
+        assert!(eighth >= 4);
+    }
+}

@@ -101,6 +101,38 @@ pub enum Event {
         /// Bytes serialized.
         bytes: Bytes,
     },
+    /// One serving-engine iteration (a prefill or decode batch).
+    ServeIteration {
+        /// 0 = prefill, 1 = decode (see `t3-serve`'s iteration kinds).
+        kind: u64,
+        /// Requests in the batch.
+        batch: u64,
+        /// Tokens processed by the iteration.
+        tokens: u64,
+        /// Cycle the iteration began.
+        start: Cycle,
+        /// Cycle the iteration finished.
+        end: Cycle,
+    },
+    /// A served request's lifecycle, arrival to completion.
+    RequestLifecycle {
+        /// Request id within its tenant's trace.
+        id: u64,
+        /// Tenant (request stream) the request belongs to.
+        tenant: u64,
+        /// Prompt length in tokens.
+        prompt_tokens: u64,
+        /// Generated tokens.
+        output_tokens: u64,
+        /// Cycle the scheduler admitted the request.
+        admitted: Cycle,
+        /// Cycle the first token was produced.
+        first_token: Cycle,
+        /// Arrival cycle (span start).
+        start: Cycle,
+        /// Completion cycle (span end).
+        end: Cycle,
+    },
 }
 
 /// How an event renders in the Chrome trace-event format.
@@ -134,17 +166,23 @@ pub enum Track {
     Llc,
     /// Link busy intervals.
     Link,
+    /// Serving-engine iterations (prefill/decode batches).
+    Serve,
+    /// Per-request lifecycle spans.
+    Request,
 }
 
 impl Track {
     /// All tracks, in `tid` order.
-    pub const ALL: [Track; 6] = [
+    pub const ALL: [Track; 8] = [
         Track::Gemm,
         Track::Tracker,
         Track::Dma,
         Track::MemoryController,
         Track::Llc,
         Track::Link,
+        Track::Serve,
+        Track::Request,
     ];
 
     /// Stable Chrome `tid` for this track.
@@ -156,6 +194,8 @@ impl Track {
             Track::MemoryController => 4,
             Track::Llc => 5,
             Track::Link => 6,
+            Track::Serve => 7,
+            Track::Request => 8,
         }
     }
 
@@ -168,6 +208,8 @@ impl Track {
             Track::MemoryController => "Memory controller",
             Track::Llc => "LLC",
             Track::Link => "Link",
+            Track::Serve => "Serving engine",
+            Track::Request => "Requests",
         }
     }
 }
@@ -184,6 +226,8 @@ impl Event {
             Event::McQueueDepth { .. } => "mc_queue_depth",
             Event::LlcSample { .. } => "llc",
             Event::LinkBusy { .. } => "link_busy",
+            Event::ServeIteration { .. } => "serve_iteration",
+            Event::RequestLifecycle { .. } => "request",
         }
     }
 
@@ -198,6 +242,8 @@ impl Event {
             Event::McQueueDepth { .. } => Track::MemoryController,
             Event::LlcSample { .. } => Track::Llc,
             Event::LinkBusy { .. } => Track::Link,
+            Event::ServeIteration { .. } => Track::Serve,
+            Event::RequestLifecycle { .. } => Track::Request,
         }
     }
 
@@ -206,7 +252,9 @@ impl Event {
         match *self {
             Event::GemmStage { start, end, .. }
             | Event::ChunkSend { start, end, .. }
-            | Event::LinkBusy { start, end, .. } => Phase::Span { start, end },
+            | Event::LinkBusy { start, end, .. }
+            | Event::ServeIteration { start, end, .. }
+            | Event::RequestLifecycle { start, end, .. } => Phase::Span { start, end },
             Event::ChunkRecv { .. }
             | Event::DmaTriggerFire { .. }
             | Event::TrackerUpdate { .. } => Phase::Instant,
@@ -222,7 +270,11 @@ impl Event {
             | Event::ChunkRecv { bytes, .. }
             | Event::DmaTriggerFire { bytes, .. }
             | Event::LinkBusy { bytes, .. } => bytes,
-            Event::TrackerUpdate { .. } | Event::McQueueDepth { .. } | Event::LlcSample { .. } => 0,
+            Event::TrackerUpdate { .. }
+            | Event::McQueueDepth { .. }
+            | Event::LlcSample { .. }
+            | Event::ServeIteration { .. }
+            | Event::RequestLifecycle { .. } => 0,
         }
     }
 
@@ -279,6 +331,32 @@ impl Event {
             }
             Event::LinkBusy { bytes, .. } => {
                 f("bytes", bytes);
+            }
+            Event::ServeIteration {
+                kind,
+                batch,
+                tokens,
+                ..
+            } => {
+                f("kind", kind);
+                f("batch", batch);
+                f("tokens", tokens);
+            }
+            Event::RequestLifecycle {
+                id,
+                tenant,
+                prompt_tokens,
+                output_tokens,
+                admitted,
+                first_token,
+                ..
+            } => {
+                f("id", id);
+                f("tenant", tenant);
+                f("prompt_tokens", prompt_tokens);
+                f("output_tokens", output_tokens);
+                f("admitted", admitted);
+                f("first_token", first_token);
             }
         }
     }

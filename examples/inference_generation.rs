@@ -1,37 +1,71 @@
 //! The paper's Section-7 extensions in action: the token-generation
-//! phase of inference (Section 7.3), all-gather → consumer-GEMM
-//! overlap (Section 7.2), and near-memory execution of the ops that
-//! follow an all-reduce (Section 7.6).
+//! phase of inference (Section 7.3) promoted to a full serving
+//! engine, all-gather → consumer-GEMM overlap (Section 7.2), and
+//! near-memory execution of the ops that follow an all-reduce
+//! (Section 7.6).
+//!
+//! The generation-phase numbers route through the **same** `t3-serve`
+//! cost model and study functions as the `figures serving` target, so
+//! this example and the figures table cannot drift apart.
 //!
 //! ```text
 //! cargo run --release --example inference_generation
 //! ```
 
 use t3::core::agfuse::{run_fused_ag_gemm, sequential_ag_gemm, AgFuseOptions};
-use t3::core::study::{generation_phase_study, nmc_following_ops_study};
+use t3::core::study::nmc_following_ops_study;
 use t3::gpu::gemm::{GemmGrid, GemmShape};
+use t3::serve::cost::EngineMode;
+use t3::serve::study::{self, SERVE_TENANTS};
 use t3::sim::config::SystemConfig;
 use t3::sim::cycles_to_us;
+
+/// Token divisor for the serving trace — mirrors `figures --fast`.
+const SCALE: u64 = 8;
 
 fn main() {
     let sys = SystemConfig::paper_default();
     let clock = sys.gpu.clock_ghz;
 
-    println!("Section 7.3 — generation phase (T-NLG FC-2-like, TP=8):");
+    println!("Section 7.3 — generation-phase iterations (serve cost model, TP=8):");
     println!(
-        "  {:<10} {:>14} {:>12} {:>9}",
-        "tokens", "sequential(us)", "T3-MCA(us)", "speedup"
+        "  {:<10} {:>13} {:>12} {:>9}",
+        "tokens", "baseline(us)", "t3-fused(us)", "speedup"
     );
+    let mut cost = study::serve_cost_model();
     for tokens in [8u64, 32, 128, 512, 2048] {
-        let row = generation_phase_study(&sys, 4256, tokens, 8);
+        let base = cost.iteration_cycles(EngineMode::Baseline, tokens, 1000);
+        let fused = cost.iteration_cycles(EngineMode::Fused, tokens, 1000);
         println!(
-            "  {:<10} {:>14.1} {:>12.1} {:>8.2}x",
-            row.tokens,
-            cycles_to_us(row.sequential_cycles, clock),
-            cycles_to_us(row.t3_cycles, clock),
-            row.speedup
+            "  {:<10} {:>13.1} {:>12.1} {:>8.2}x",
+            tokens,
+            cycles_to_us(base, clock),
+            cycles_to_us(fused, clock),
+            base as f64 / fused as f64
         );
     }
+
+    println!("\nContinuous-batching serving study (same code path as `figures serving`):");
+    println!(
+        "  {:<13} {:>5} {:>8} {:>9} {:>13} {:>12} {:>10}",
+        "fabric", "load", "arrival", "engine", "ttft p99(us)", "e2e p99(us)", "tok/s/GPU"
+    );
+    let serve_clock = study::serve_system().gpu.clock_ghz;
+    for row in study::serving_study(SCALE) {
+        println!(
+            "  {:<13} {:>4}% {:>8} {:>9} {:>13.1} {:>12.1} {:>10.0}",
+            row.topology,
+            row.load_permille / 10,
+            row.arrival.label(),
+            row.mode.label(),
+            cycles_to_us(row.ttft.p99, serve_clock),
+            cycles_to_us(row.e2e.p99, serve_clock),
+            row.tokens_per_sec_per_gpu(serve_clock)
+        );
+    }
+    println!(
+        "  ({SERVE_TENANTS} tenants share each fabric; both engines serve identical seeded traces)"
+    );
 
     println!("\nSection 7.2 — all-gather overlapped with its consumer GEMM:");
     let grid = GemmGrid::new(&sys.gpu, GemmShape::new(8192, 1024, 1024));

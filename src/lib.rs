@@ -22,6 +22,10 @@
 //!   analytical model (Figures 4 and 19).
 //! * [`trace`] — structured event tracing, metrics registry, and
 //!   Chrome trace-event export for the cycle simulator.
+//! * [`serve`] — the inference-serving subsystem: deterministic
+//!   request traffic, a continuous-batching engine with
+//!   prefill/decode phase switching, per-request tail-latency
+//!   accounting, and multi-tenant fabric interference.
 //! * [`runtime`] — the deterministic parallel experiment runtime:
 //!   fingerprinted job graphs, a panic-isolated worker pool with
 //!   submission-order output merging, and a content-addressed result
@@ -57,6 +61,7 @@ pub use t3_models as models;
 pub use t3_net as net;
 pub use t3_prof as prof;
 pub use t3_runtime as runtime;
+pub use t3_serve as serve;
 pub use t3_sim as sim;
 pub use t3_topo as topo;
 pub use t3_trace as trace;

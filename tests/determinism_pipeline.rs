@@ -85,12 +85,74 @@ fn multinode_trace_and_metrics_are_bit_identical_across_runs() {
     );
 }
 
-/// Runs the smoke-target job graph through the runtime scheduler.
-fn smoke_run(workers: usize, cache: Option<CacheConfig>) -> RunSummary {
-    let targets: Vec<String> = jobs::SMOKE_TARGETS.iter().map(|t| t.to_string()).collect();
+/// One traced serving run's complete exported byte set: the Chrome
+/// trace plus the canonical request log.
+fn serving_artifacts() -> (u64, String, String) {
+    let (ins, row, clock_ghz) =
+        t3_serve::study::traced_serving(ExperimentScale::FAST.token_divisor);
+    let tracer = ins
+        .tracer
+        .as_ref()
+        .expect("full instruments carry a tracer");
+    (
+        row.run.makespan,
+        chrome_trace_json(tracer.records(), clock_ghz),
+        t3_serve::request_log(&row.run.outcomes),
+    )
+}
+
+#[test]
+fn serving_trace_and_request_log_are_bit_identical_across_runs() {
+    let (makespan_a, trace_a, log_a) = serving_artifacts();
+    let (makespan_b, trace_b, log_b) = serving_artifacts();
+    assert_eq!(makespan_a, makespan_b, "serving makespan drifted");
+    assert_eq!(trace_a, trace_b, "serving Chrome trace drifted");
+    assert_eq!(log_a, log_b, "serving request log drifted");
+    assert!(!log_a.is_empty(), "request log must not be empty");
+}
+
+#[test]
+fn serving_trace_round_trips_to_the_same_request_log() {
+    // A serving trace file alone must re-derive the exact request
+    // outcomes the engine produced: engine → chrome JSON → t3-prof
+    // outcomes is lossless.
+    let (_, trace, log) = serving_artifacts();
+    let records = t3_prof::parse_chrome_trace(&trace).expect("serving trace parses");
+    let outcomes = t3_prof::request_outcomes(&records);
+    assert_eq!(t3_serve::request_log(&outcomes), log);
+    let stats = t3_prof::iteration_stats(&records);
+    assert!(stats.prefill_iterations > 0 && stats.decode_iterations > 0);
+}
+
+/// Runs the given figure targets through the runtime scheduler.
+fn figures_run(targets: &[&str], workers: usize, cache: Option<CacheConfig>) -> RunSummary {
+    let targets: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
     let graph =
         jobs::figure_job_graph(&targets, ExperimentScale::FAST, None).expect("known targets");
     t3_runtime::run(graph, &RunOptions { workers, cache })
+}
+
+/// Runs the smoke-target job graph through the runtime scheduler.
+fn smoke_run(workers: usize, cache: Option<CacheConfig>) -> RunSummary {
+    figures_run(jobs::SMOKE_TARGETS, workers, cache)
+}
+
+#[test]
+fn serving_report_is_byte_identical_at_any_width() {
+    // The ISSUE's acceptance pin: the full serving report — both
+    // serving tables — must be byte-identical across runs and across
+    // worker-pool widths.
+    let narrow = figures_run(&["serving", "serving-fused"], 1, None);
+    let wide = figures_run(&["serving", "serving-fused"], 4, None);
+    assert!(narrow.ok() && wide.ok(), "serving jobs must succeed");
+    assert_eq!(
+        narrow.merged_stdout(),
+        wide.merged_stdout(),
+        "serving report must not depend on the pool width"
+    );
+    assert_eq!(narrow.total_sim_cycles(), wide.total_sim_cycles());
+    let text = narrow.merged_stdout();
+    assert!(text.contains("t3-fused") && text.contains("baseline"));
 }
 
 #[test]
