@@ -11,8 +11,11 @@ cargo fmt --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> t3-lint (determinism & fidelity gate)"
-cargo run --release -q -p t3-lint
+echo "==> t3-lint (determinism & fidelity gate, SARIF artifact)"
+# Fails on any diagnostic not grandfathered in lint-baseline.txt;
+# baselined findings stay visible in the output and in the SARIF
+# artifact (note-level results with suppression records).
+cargo run --release -q -p t3-lint -- --sarif target/t3-lint.sarif
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
@@ -29,12 +32,12 @@ echo "==> figures smoke run (parallel runtime, fresh cache)"
 rm -rf target/t3-cache
 ./target/release/figures all --fast --jobs 2 --report target/bench_report.json
 
-echo "==> t3-prof perf-trajectory gate (vs BENCH_7.json)"
+echo "==> t3-prof perf-trajectory gate (vs BENCH_8.json)"
 # Simulated-cycle regression gate against the checked-in baseline.
 # For an intentional perf change, run with T3_PROF_NO_GATE=1 and
 # refresh the baseline in the same change:
-#   ./target/release/figures all --fast --jobs 2 --report BENCH_7.json
-./target/release/t3-prof check target/bench_report.json BENCH_7.json
+#   ./target/release/figures all --fast --jobs 2 --report BENCH_8.json
+./target/release/t3-prof check target/bench_report.json BENCH_8.json
 
 rm -rf target/t3-cache target/bench_report.json
 

@@ -1,0 +1,24 @@
+//! T3L006 fixture: the abort is not IN the hot entry (T3L004 cannot
+//! see it) but two frames below it.
+
+pub struct Sweep {
+    queue: Vec<u64>,
+}
+
+impl Sweep {
+    pub fn run_sweep(&mut self) -> u64 {
+        self.drain_all()
+    }
+
+    fn drain_all(&mut self) -> u64 {
+        let mut total = 0;
+        while !self.queue.is_empty() {
+            total += self.take_one();
+        }
+        total
+    }
+
+    fn take_one(&mut self) -> u64 {
+        self.queue.pop().unwrap()
+    }
+}

@@ -1,0 +1,35 @@
+//! T3L006 clean twin: the helper surfaces a modeled error instead of
+//! aborting, and test-only code may panic freely.
+
+pub struct Sweep {
+    queue: Vec<u64>,
+}
+
+impl Sweep {
+    pub fn run_sweep(&mut self) -> Result<u64, String> {
+        self.drain_all()
+    }
+
+    fn drain_all(&mut self) -> Result<u64, String> {
+        let mut total = 0;
+        while !self.queue.is_empty() {
+            total += self.take_one().ok_or("queue drained concurrently")?;
+        }
+        Ok(total)
+    }
+
+    fn take_one(&mut self) -> Option<u64> {
+        self.queue.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains() {
+        let mut s = Sweep { queue: vec![1, 2] };
+        assert_eq!(s.run_sweep().unwrap(), 3);
+    }
+}

@@ -1,0 +1,23 @@
+//! T3L009 fixture, consume half (BAD): the `gemm_stage` arm asks for
+//! `stage_id`, but the emit side writes `stage` — a renamed arg key
+//! that would silently corrupt every trace round-trip. Lint at path
+//! `crates/prof/src/load.rs` together with `schema_emit.rs`.
+
+pub struct Record {
+    pub stage: u64,
+    pub depth: u64,
+}
+
+pub fn make_record(name: &str, get: impl Fn(&str) -> Option<u64>) -> Option<Record> {
+    match name {
+        "gemm_stage" => Some(Record {
+            stage: get("stage_id")?,
+            depth: get("cycle_start")?,
+        }),
+        "queue_depth" => Some(Record {
+            stage: get("depth")?,
+            depth: get("cycle")?,
+        }),
+        _ => None,
+    }
+}

@@ -1,0 +1,26 @@
+//! T3L009 fixture, consume half (CLEAN): every arm consumes exactly
+//! what the emit side writes, plus the phase-appropriate exporter
+//! cycle keys (span events get cycle_start/cycle_end, counters get
+//! cycle).
+
+pub struct Record {
+    pub stage: u64,
+    pub lo: u64,
+    pub hi: u64,
+}
+
+pub fn make_record(name: &str, get: impl Fn(&str) -> Option<u64>) -> Option<Record> {
+    match name {
+        "gemm_stage" => Some(Record {
+            stage: get("stage")?,
+            lo: get("cycle_start")?,
+            hi: get("cycle_end")?,
+        }),
+        "queue_depth" => Some(Record {
+            stage: get("depth")?,
+            lo: get("cycle")?,
+            hi: 0,
+        }),
+        _ => None,
+    }
+}

@@ -1,0 +1,41 @@
+//! T3L009 fixture, emit half: a miniature of t3-trace's `event.rs` —
+//! `name()` / `visit_args()` / `phase()` define the wire schema.
+//! Lint at path `crates/trace/src/event.rs` together with one of the
+//! consume fixtures.
+
+pub enum Event {
+    GemmStage { stage: u64, start: u64, end: u64 },
+    QueueDepth { depth: u64, at: u64 },
+}
+
+pub enum Phase {
+    Span { start: u64, end: u64 },
+    Counter { at: u64 },
+}
+
+impl Event {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::GemmStage { .. } => "gemm_stage",
+            Event::QueueDepth { .. } => "queue_depth",
+        }
+    }
+
+    pub fn visit_args(&self, f: &mut dyn FnMut(&'static str, u64)) {
+        match *self {
+            Event::GemmStage { stage, .. } => {
+                f("stage", stage);
+            }
+            Event::QueueDepth { depth, .. } => {
+                f("depth", depth);
+            }
+        }
+    }
+
+    pub fn phase(&self) -> Phase {
+        match *self {
+            Event::GemmStage { start, end, .. } => Phase::Span { start, end },
+            Event::QueueDepth { at, .. } => Phase::Counter { at },
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! T3L008 fixture: cross-unit +, -, and comparison — each
+//! type-checks (all u64) and silently corrupts whichever counter
+//! receives it.
+
+pub fn mix(start_cycles: u64, payload_bytes: u64, budget_tokens: u64, load_permille: u64) -> u64 {
+    let deadline_cycles = start_cycles + payload_bytes;
+    let drift = budget_tokens - load_permille;
+    if payload_bytes < budget_tokens {
+        deadline_cycles + drift
+    } else {
+        deadline_cycles
+    }
+}

@@ -1,0 +1,14 @@
+//! T3L008 clean twin: same-unit arithmetic, cross-unit ratios
+//! (legitimate — bytes per cycle is bandwidth), and an explicit cast
+//! marking the one intended conversion.
+
+pub fn combine(start_cycles: u64, more_cycles: u64, payload_bytes: u64, window_cycles: u64) -> u64 {
+    let total_cycles = start_cycles + more_cycles;
+    let bandwidth = payload_bytes / window_cycles;
+    let adjusted = total_cycles + payload_bytes as u64;
+    adjusted + bandwidth
+}
+
+pub fn same_unit_compare(a_bytes: u64, b_bytes: u64) -> bool {
+    a_bytes < b_bytes
+}

@@ -1,0 +1,9 @@
+//! T3L007 fixture, entry half: a timing-crate `run_*` entry that
+//! calls a helper living OUTSIDE the timing scope (where T3L001 is
+//! silent). Lint together with `wcr_helper_bad.rs`.
+
+use t3_bench::host::now_marker;
+
+pub fn run_probe() -> u64 {
+    now_marker()
+}

@@ -1,0 +1,9 @@
+//! T3L007 fixture, helper half: a non-timing crate reads the host
+//! clock. Legal on its own (bench measures wall time by design) —
+//! illegal when a timing-crate entry can reach it.
+
+use std::time::Instant;
+
+pub fn now_marker() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+//! T3L007 clean twin: the helper derives its marker from a seeded
+//! counter, so the reachable chain carries no host time.
+
+pub fn now_marker() -> u64 {
+    static mut COUNTER: u64 = 0;
+    // Fixture-only: a deterministic monotone source stands in for the
+    // simulated clock.
+    unsafe {
+        COUNTER += 1;
+        COUNTER
+    }
+}

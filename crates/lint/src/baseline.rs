@@ -1,0 +1,203 @@
+//! The checked-in violation baseline (`lint-baseline.txt`).
+//!
+//! A baseline entry grandfathers one *audited* pre-existing finding:
+//! the diagnostic is still computed and still printed (marked
+//! `baselined`), but it no longer fails the run — new violations do.
+//! Entries match on `(code, path, anchor)`, never on line numbers, so
+//! unrelated edits to a file cannot silently decouple the baseline
+//! from the finding it excuses.
+//!
+//! Format, one entry per line (`#` comments and blank lines ignored):
+//!
+//! ```text
+//! T3L006 crates/net/src/link.rs drain.unwrap -- queue non-empty by construction (pushed this cycle)
+//! ```
+//!
+//! The baseline polices itself exactly like inline directives do: an
+//! entry with no `-- reason`, an unknown rule code, or one that no
+//! longer matches any finding is itself a `naked-allow` diagnostic,
+//! so the file can only shrink to what is truly needed.
+
+use crate::diag::Diagnostic;
+use crate::rules;
+
+/// One parsed baseline line.
+#[derive(Debug, Clone)]
+pub struct BaselineEntry {
+    /// 1-based line in the baseline file.
+    pub line: u32,
+    /// Rule code (`T3L006`).
+    pub code: String,
+    /// Workspace-relative path the finding lands in.
+    pub path: String,
+    /// The diagnostic's line-independent anchor.
+    pub anchor: String,
+    /// The mandatory justification.
+    pub reason: Option<String>,
+}
+
+/// Parses the baseline text. Unparseable lines are reported through
+/// `bad` as (line, message) and skipped.
+pub fn parse(text: &str, bad: &mut Vec<(u32, String)>) -> Vec<BaselineEntry> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = (i + 1) as u32;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = match trimmed.split_once("--") {
+            Some((h, r)) => (h.trim(), {
+                let r = r.trim();
+                (!r.is_empty()).then(|| r.to_string())
+            }),
+            None => (trimmed, None),
+        };
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let [code, path, anchor] = fields.as_slice() else {
+            bad.push((
+                line,
+                "malformed baseline entry; expected `T3LXXX <path> <anchor> -- <reason>`"
+                    .to_string(),
+            ));
+            continue;
+        };
+        out.push(BaselineEntry {
+            line,
+            code: code.to_string(),
+            path: path.to_string(),
+            anchor: anchor.to_string(),
+            reason,
+        });
+    }
+    out
+}
+
+/// The outcome of applying a baseline to a diagnostic set.
+pub struct Applied {
+    /// Findings with no baseline entry — these fail the run.
+    pub failing: Vec<Diagnostic>,
+    /// Findings excused by an entry — printed, but non-failing.
+    pub baselined: Vec<Diagnostic>,
+}
+
+/// Splits `diags` against `entries`. Baseline hygiene failures
+/// (malformed lines via `bad`, unknown codes, missing reasons, stale
+/// entries) are appended to `failing` as `naked-allow` diagnostics at
+/// `baseline_path` — the baseline cannot hide its own rot.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    entries: &[BaselineEntry],
+    bad: &[(u32, String)],
+    baseline_path: &str,
+) -> Applied {
+    let naked = rules::rule_by_name("naked-allow").expect("registered");
+    let mut used = vec![false; entries.len()];
+    let mut applied = Applied {
+        failing: Vec::new(),
+        baselined: Vec::new(),
+    };
+    for d in diags {
+        let mut hit = false;
+        for (k, e) in entries.iter().enumerate() {
+            if e.code == d.code && e.path == d.path && e.anchor == d.anchor {
+                hit = true;
+                used[k] = true;
+            }
+        }
+        if hit {
+            applied.baselined.push(d);
+        } else {
+            applied.failing.push(d);
+        }
+    }
+    for (line, msg) in bad {
+        applied.failing.push(Diagnostic {
+            path: baseline_path.to_string(),
+            line: *line,
+            rule: naked.name,
+            code: naked.code,
+            anchor: "baseline".to_string(),
+            message: msg.clone(),
+        });
+    }
+    for (k, e) in entries.iter().enumerate() {
+        let mut problems: Vec<String> = Vec::new();
+        if !rules::RULES.iter().any(|r| r.code == e.code) {
+            problems.push(format!("unknown rule code `{}`", e.code));
+        }
+        if e.reason.is_none() {
+            problems.push("missing `-- <reason>`".to_string());
+        }
+        if !used[k] && problems.is_empty() {
+            problems.push(format!(
+                "matches no current finding ({} {} {}); remove the stale entry",
+                e.code, e.path, e.anchor
+            ));
+        }
+        for p in problems {
+            applied.failing.push(Diagnostic {
+                path: baseline_path.to_string(),
+                line: e.line,
+                rule: naked.name,
+                code: naked.code,
+                anchor: format!("baseline.{}", e.anchor),
+                message: format!("baseline entry: {p}"),
+            });
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(code: &'static str, path: &str, anchor: &str) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line: 10,
+            rule: "panic-reachable",
+            code,
+            anchor: anchor.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn matching_entry_excuses_and_stale_entry_fails() {
+        let text = "# comment\n\
+                    T3L006 crates/net/src/a.rs f.unwrap -- audited\n\
+                    T3L006 crates/net/src/b.rs g.unwrap -- gone\n";
+        let mut bad = Vec::new();
+        let entries = parse(text, &mut bad);
+        assert_eq!(entries.len(), 2);
+        assert!(bad.is_empty());
+        let applied = apply(
+            vec![d("T3L006", "crates/net/src/a.rs", "f.unwrap")],
+            &entries,
+            &bad,
+            "lint-baseline.txt",
+        );
+        assert_eq!(applied.baselined.len(), 1);
+        assert_eq!(applied.failing.len(), 1, "{:?}", applied.failing);
+        assert!(applied.failing[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn reasonless_and_malformed_entries_fail() {
+        let mut bad = Vec::new();
+        let entries = parse("T3L006 a.rs x\ntwo fields\n", &mut bad);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(bad.len(), 1);
+        let applied = apply(
+            vec![d("T3L006", "a.rs", "x")],
+            &entries,
+            &bad,
+            "lint-baseline.txt",
+        );
+        assert_eq!(applied.baselined.len(), 1);
+        // one malformed-line failure + one missing-reason failure
+        assert_eq!(applied.failing.len(), 2, "{:?}", applied.failing);
+    }
+}

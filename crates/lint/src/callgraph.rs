@@ -1,0 +1,305 @@
+//! The workspace call graph and the transitive-reachability rules.
+//!
+//! T3L006 (`panic-reachable`) and T3L007 (`wall-clock-reachable`)
+//! answer the question the token-local rules cannot: *can this
+//! hot-path entry point transitively hit an abort or a wall-clock
+//! read through any chain of helpers?* Nodes are every non-test `fn`
+//! recovered by [`crate::parser`]; edges are conservative name-based
+//! resolution of its call sites:
+//!
+//! 1. a call to `name` first resolves to `fn name` in the same file,
+//! 2. then to any `fn name` in the same crate,
+//! 3. then through the file's `use` edges (an import of `name` from
+//!    `t3_gpu` restricts candidates to that crate; an import from
+//!    `std`/`core`/`alloc` marks the call external),
+//! 4. and otherwise to *every* workspace `fn` with that name —
+//!    over-approximation can widen reachability but never hide it.
+//!
+//! Hot-path entry points are `step*`/`tick*`/`advance*`/`run_*`
+//! functions defined outside test code in TIMING-scoped crates
+//! ([`crate::rules::TIMING_CRATES`]). Diagnostics anchor at the sink
+//! site (the `unwrap` / `Instant` itself) and print the full call
+//! chain from the entry, so one suppression at a genuinely-justified
+//! sink covers every entry that reaches it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::engine::{is_hot_fn_name, FileAnalysis};
+use crate::rules::{self, TIMING_CRATES};
+
+/// One sink occurrence inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Sink {
+    line: u32,
+    /// What was hit: `unwrap`, `expect`, `panic`, `Instant`, ...
+    what: String,
+}
+
+/// One graph node: a non-test `fn` in a non-test file.
+struct Node {
+    /// Index into the engine's file list.
+    file: usize,
+    /// Index into that file's `parsed.fns`.
+    fn_idx: usize,
+    name: String,
+    line: u32,
+    panic_sinks: Vec<Sink>,
+    clock_sinks: Vec<Sink>,
+    /// Resolved callee node indices, deduplicated, in stable order.
+    callees: Vec<usize>,
+}
+
+/// True when the entry name qualifies a function as a hot-path root.
+fn is_entry_name(name: &str) -> bool {
+    is_hot_fn_name(name) || name.starts_with("run_")
+}
+
+fn is_panic_sink_call(name: &str) -> bool {
+    matches!(name, "unwrap" | "expect")
+}
+
+fn is_clock_ident(name: &str) -> bool {
+    matches!(name, "Instant" | "SystemTime" | "RandomState")
+}
+
+/// Maps a `use` first segment to a crate directory name:
+/// `t3_gpu` → `gpu`; `crate`/`self`/`super` → the file's own crate.
+fn use_crate<'a>(first: &'a str, own: Option<&'a str>) -> Option<&'a str> {
+    match first {
+        "crate" | "self" | "super" => own,
+        other => other.strip_prefix("t3_"),
+    }
+}
+
+/// Builds the graph and runs both reachability rules over `files`.
+pub fn check(files: &[FileAnalysis], out: &mut Vec<Diagnostic>) {
+    // ---- nodes -------------------------------------------------------
+    let mut nodes: Vec<Node> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if f.is_test_code {
+            continue;
+        }
+        for (ki, fun) in f.parsed.fns.iter().enumerate() {
+            if fun.in_test {
+                continue;
+            }
+            let mut panic_sinks: Vec<Sink> = fun
+                .calls
+                .iter()
+                .filter(|c| is_panic_sink_call(&c.name))
+                .map(|c| Sink {
+                    line: c.line,
+                    what: c.name.clone(),
+                })
+                .collect();
+            panic_sinks.extend(
+                fun.macros
+                    .iter()
+                    .filter(|m| m.name == "panic")
+                    .map(|m| Sink {
+                        line: m.line,
+                        what: m.name.clone(),
+                    }),
+            );
+            let clock_sinks: Vec<Sink> = f.lexed.tokens[fun.body.0..fun.body.1]
+                .iter()
+                .filter_map(|t| {
+                    t.ident().filter(|id| is_clock_ident(id)).map(|id| Sink {
+                        line: t.line,
+                        what: id.to_string(),
+                    })
+                })
+                .collect();
+            nodes.push(Node {
+                file: fi,
+                fn_idx: ki,
+                name: fun.name.clone(),
+                line: fun.line,
+                panic_sinks,
+                clock_sinks,
+                callees: Vec::new(),
+            });
+        }
+    }
+
+    // Name → node indices, for resolution.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        by_name.entry(n.name.as_str()).or_default().push(ni);
+    }
+
+    // ---- edges -------------------------------------------------------
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+    for n in &nodes {
+        let f = &files[n.file];
+        let fun = &f.parsed.fns[n.fn_idx];
+        let mut callees: BTreeSet<usize> = BTreeSet::new();
+        for call in &fun.calls {
+            if is_panic_sink_call(&call.name) {
+                continue; // modeled as a sink, not an edge
+            }
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue; // external (std or dependency-free helper)
+            };
+            // `use std::…::name` marks the call external; `use
+            // t3_x::…::name` restricts candidates to that crate.
+            let mut hint: Option<&str> = None;
+            let mut external = false;
+            for u in &f.parsed.uses {
+                if u.names.iter().any(|s| s == &call.name) {
+                    match u.first.as_str() {
+                        "std" | "core" | "alloc" => external = true,
+                        _ => hint = use_crate(&u.first, f.crate_name.as_deref()),
+                    }
+                }
+            }
+            if external && hint.is_none() {
+                continue;
+            }
+            let same_file: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| nodes[c].file == n.file)
+                .collect();
+            let chosen: Vec<usize> = if !same_file.is_empty() {
+                same_file
+            } else {
+                let same_crate: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        f.crate_name.is_some() && files[nodes[c].file].crate_name == f.crate_name
+                    })
+                    .collect();
+                if !same_crate.is_empty() {
+                    same_crate
+                } else if let Some(h) = hint {
+                    let hinted: Vec<usize> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| files[nodes[c].file].crate_name.as_deref() == Some(h))
+                        .collect();
+                    if hinted.is_empty() {
+                        cands.clone()
+                    } else {
+                        hinted
+                    }
+                } else {
+                    cands.clone()
+                }
+            };
+            callees.extend(chosen);
+        }
+        edges.push(callees.into_iter().collect());
+    }
+    for (ni, callees) in edges.into_iter().enumerate() {
+        nodes[ni].callees = callees;
+    }
+
+    // ---- reachability ------------------------------------------------
+    // Entries in deterministic (path, line) order; per sink site the
+    // first entry to reach it owns the diagnostic, with the shortest
+    // chain from that entry (BFS order).
+    let mut entry_order: Vec<usize> = (0..nodes.len())
+        .filter(|&ni| {
+            let f = &files[nodes[ni].file];
+            is_entry_name(&nodes[ni].name)
+                && f.crate_name
+                    .as_deref()
+                    .is_some_and(|c| TIMING_CRATES.contains(&c))
+        })
+        .collect();
+    entry_order.sort_by(|&a, &b| {
+        (&files[nodes[a].file].path, nodes[a].line)
+            .cmp(&(&files[nodes[b].file].path, nodes[b].line))
+    });
+
+    let panic_info = rules::rule_by_name("panic-reachable").expect("registered");
+    let clock_info = rules::rule_by_name("wall-clock-reachable").expect("registered");
+    let mut claimed: BTreeSet<(usize, Sink, &'static str)> = BTreeSet::new();
+
+    for &entry in &entry_order {
+        // BFS with parent pointers for chain reconstruction.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([entry]);
+        let mut seen: BTreeSet<usize> = BTreeSet::from([entry]);
+        while let Some(ni) = queue.pop_front() {
+            let chain = chain_of(&nodes, &parent, ni);
+            let node = &nodes[ni];
+            let node_file = &files[node.file];
+            let node_is_hot_body = is_hot_fn_name(&node.name);
+            let in_timing_crate = node_file
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| TIMING_CRATES.contains(&c));
+            // T3L006: panic sinks anywhere reachable, except inside
+            // `step`/`tick`/`advance` bodies — those are T3L004's.
+            if !node_is_hot_body {
+                for s in &node.panic_sinks {
+                    if claimed.insert((ni, s.clone(), "panic-reachable")) {
+                        out.push(Diagnostic {
+                            path: node_file.path.clone(),
+                            line: s.line,
+                            rule: panic_info.name,
+                            code: panic_info.code,
+                            anchor: format!("{}.{}", node.name, s.what),
+                            message: format!(
+                                "`{}` in `fn {}` is reachable from hot-path entry `{}` ({}:{}): {}; hot paths must not abort — return a modeled error or prove the invariant below the entry",
+                                s.what,
+                                node.name,
+                                nodes[entry].name,
+                                files[nodes[entry].file].path,
+                                nodes[entry].line,
+                                &chain,
+                            ),
+                        });
+                    }
+                }
+            }
+            // T3L007: wall-clock sinks in crates T3L001 does not
+            // already police (non-TIMING crates and the facade).
+            if !in_timing_crate {
+                for s in &node.clock_sinks {
+                    if claimed.insert((ni, s.clone(), "wall-clock-reachable")) {
+                        out.push(Diagnostic {
+                            path: node_file.path.clone(),
+                            line: s.line,
+                            rule: clock_info.name,
+                            code: clock_info.code,
+                            anchor: format!("{}.{}", node.name, s.what),
+                            message: format!(
+                                "`{}` in `fn {}` is reachable from timing-crate entry `{}` ({}:{}): {}; host time/entropy must never feed a simulated-cycle path, even through a non-timing crate",
+                                s.what,
+                                node.name,
+                                nodes[entry].name,
+                                files[nodes[entry].file].path,
+                                nodes[entry].line,
+                                &chain,
+                            ),
+                        });
+                    }
+                }
+            }
+            for &c in &nodes[ni].callees {
+                if seen.insert(c) {
+                    parent.insert(c, ni);
+                    queue.push_back(c);
+                }
+            }
+        }
+    }
+}
+
+/// Reconstructs the entry→node call chain from BFS parent pointers.
+fn chain_of(nodes: &[Node], parent: &BTreeMap<usize, usize>, ni: usize) -> String {
+    let mut path = vec![ni];
+    while let Some(&p) = parent.get(path.last().expect("non-empty")) {
+        path.push(p);
+    }
+    path.reverse();
+    path.iter()
+        .map(|&x| nodes[x].name.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}

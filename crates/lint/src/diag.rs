@@ -16,6 +16,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Stable rule code (`T3L001`...).
     pub code: &'static str,
+    /// A line-number-independent key for the finding — the offending
+    /// identifier, `fn.sink` pair, unit pair, or `event.key` — used by
+    /// the baseline file so entries survive unrelated edits.
+    pub anchor: String,
     /// Human-readable explanation of the finding.
     pub message: String,
 }
@@ -30,8 +34,9 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Escapes a string for embedding in a JSON document.
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in a JSON document (shared with the
+/// SARIF exporter).
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -51,7 +56,7 @@ fn escape_json(s: &str) -> String {
 
 /// Renders diagnostics as a JSON array, one object per finding, in a
 /// stable order (the caller sorts). The schema is
-/// `{"file", "line", "rule", "code", "message"}`.
+/// `{"file", "line", "rule", "code", "anchor", "message"}`.
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[\n");
     for (i, d) in diags.iter().enumerate() {
@@ -59,11 +64,12 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"code\": \"{}\", \"message\": \"{}\"}}",
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"code\": \"{}\", \"anchor\": \"{}\", \"message\": \"{}\"}}",
             escape_json(&d.path),
             d.line,
             d.rule,
             d.code,
+            escape_json(&d.anchor),
             escape_json(&d.message)
         ));
     }
@@ -82,6 +88,7 @@ mod tests {
             line: 7,
             rule: "wall-clock",
             code: "T3L001",
+            anchor: "Instant".to_string(),
             message: "uses \"Instant\"".to_string(),
         };
         let json = to_json(std::slice::from_ref(&d));

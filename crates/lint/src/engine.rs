@@ -7,12 +7,14 @@
 //! deterministic (sorted) order, so output and exit codes are stable
 //! run-to-run — the lint holds itself to the invariant it enforces.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::diag::Diagnostic;
 use crate::lexer::{self, Lexed, Token};
-use crate::rules;
+use crate::parser::{self, ParsedFile};
+use crate::{callgraph, rules, schema, units};
 
 /// A parsed `t3-lint: allow(rule) -- reason` comment directive.
 #[derive(Debug, Clone)]
@@ -24,7 +26,8 @@ pub struct Directive {
     pub reason: Option<String>,
 }
 
-/// Everything a rule needs to know about one file.
+/// Everything a token-local rule needs to know about one file — a
+/// borrowed view into a [`FileAnalysis`].
 pub struct FileCtx<'a> {
     /// Workspace-relative path with `/` separators.
     pub path: &'a str,
@@ -35,10 +38,10 @@ pub struct FileCtx<'a> {
     pub is_test_code: bool,
     pub lexed: &'a Lexed,
     /// Token-index ranges covered by `#[cfg(test)]` items.
-    pub test_regions: Vec<(usize, usize)>,
+    pub test_regions: &'a [(usize, usize)],
     /// Token-index body ranges of per-cycle functions, with the
     /// function name.
-    pub hot_fns: Vec<(usize, usize, String)>,
+    pub hot_fns: &'a [(usize, usize, String)],
 }
 
 impl FileCtx<'_> {
@@ -59,6 +62,73 @@ impl FileCtx<'_> {
             .comments
             .iter()
             .any(|c| (c.line == line || c.line + 1 == line) && comment_reason(&c.text).is_some())
+    }
+}
+
+/// The fully-analyzed form of one source file: everything the
+/// token-local rules read through [`FileCtx`], plus the parsed item
+/// structure the workspace-wide rules ([`crate::callgraph`],
+/// [`crate::schema`]) consume, plus the file's suppression
+/// directives.
+pub struct FileAnalysis {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// `crates/<name>/...` → `Some(name)`.
+    pub crate_name: Option<String>,
+    /// True for integration-test and bench sources.
+    pub is_test_code: bool,
+    pub lexed: Lexed,
+    /// Items recovered by the lightweight parser.
+    pub parsed: ParsedFile,
+    /// Token-index ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Token-index body ranges of per-cycle functions, with name.
+    pub hot_fns: Vec<(usize, usize, String)>,
+    /// Well-formed `t3-lint:` directives, in comment order.
+    pub directives: Vec<Directive>,
+    /// Malformed directives: (line, message).
+    pub bad_directives: Vec<(u32, String)>,
+}
+
+impl FileAnalysis {
+    /// Lexes, parses and region-maps one file.
+    pub fn analyze(path: &str, source: &str) -> FileAnalysis {
+        let lexed = lexer::lex(source);
+        let test_regions = test_regions(&lexed.tokens);
+        let parsed = parser::parse(&lexed.tokens, &|i| {
+            test_regions.iter().any(|&(lo, hi)| i >= lo && i < hi)
+        });
+        let hot_fns = hot_fns(&lexed.tokens);
+        let mut bad_directives = Vec::new();
+        let directives = parse_directives(&lexed, &mut bad_directives);
+        FileAnalysis {
+            path: path.to_string(),
+            crate_name: path
+                .strip_prefix("crates/")
+                .and_then(|r| r.split('/').next())
+                .map(str::to_string),
+            is_test_code: path.starts_with("tests/")
+                || path.contains("/tests/")
+                || path.contains("/benches/"),
+            lexed,
+            parsed,
+            test_regions,
+            hot_fns,
+            directives,
+            bad_directives,
+        }
+    }
+
+    /// The borrowed view the token-local rules take.
+    pub fn ctx(&self) -> FileCtx<'_> {
+        FileCtx {
+            path: &self.path,
+            crate_name: self.crate_name.as_deref(),
+            is_test_code: self.is_test_code,
+            lexed: &self.lexed,
+            test_regions: &self.test_regions,
+            hot_fns: &self.hot_fns,
+        }
     }
 }
 
@@ -237,7 +307,7 @@ fn test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
 }
 
 /// True when `name` denotes a per-cycle hot-path function.
-fn is_hot_fn_name(name: &str) -> bool {
+pub fn is_hot_fn_name(name: &str) -> bool {
     name == "step"
         || name == "tick"
         || name == "advance"
@@ -269,111 +339,139 @@ fn hot_fns(toks: &[Token]) -> Vec<(usize, usize, String)> {
 
 /// Lints one file's source text. `path` is the workspace-relative
 /// path (forward slashes) used for crate scoping and reporting.
+/// Workspace-wide rules run too — over a universe of one file — so
+/// single-file fixtures can exercise the call-graph rules, while the
+/// trace-schema rule stays silent (its anchor files are absent).
 pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(source);
-    let ctx = FileCtx {
-        path,
-        crate_name: path
-            .strip_prefix("crates/")
-            .and_then(|r| r.split('/').next()),
-        is_test_code: path.starts_with("tests/")
-            || path.contains("/tests/")
-            || path.contains("/benches/"),
-        test_regions: test_regions(&lexed.tokens),
-        hot_fns: hot_fns(&lexed.tokens),
-        lexed: &lexed,
-    };
+    lint_files(&[(path.to_string(), source.to_string())])
+}
+
+/// Lints a set of `(path, source)` files as one universe: per-file
+/// rules, then the workspace-wide rules (call-graph reachability,
+/// trace-schema consistency), then suppression and directive hygiene.
+pub fn lint_files(inputs: &[(String, String)]) -> Vec<Diagnostic> {
+    let files: Vec<FileAnalysis> = inputs
+        .iter()
+        .map(|(p, s)| FileAnalysis::analyze(p, s))
+        .collect();
 
     let mut raw = Vec::new();
-    rules::check_wall_clock(&ctx, &mut raw);
-    rules::check_hash_iteration(&ctx, &mut raw);
-    rules::check_float_cycles(&ctx, &mut raw);
-    rules::check_panic_hot_path(&ctx, &mut raw);
-
-    let mut hygiene = Vec::new();
-    rules::check_naked_allow_attrs(&ctx, &mut hygiene);
-
-    let mut bad = Vec::new();
-    let directives = parse_directives(&lexed, &mut bad);
-    let mut used = vec![false; directives.len()];
+    for f in &files {
+        let ctx = f.ctx();
+        rules::check_wall_clock(&ctx, &mut raw);
+        rules::check_hash_iteration(&ctx, &mut raw);
+        rules::check_float_cycles(&ctx, &mut raw);
+        rules::check_panic_hot_path(&ctx, &mut raw);
+        units::check_unit_confusion(&ctx, &mut raw);
+    }
+    callgraph::check(&files, &mut raw);
+    schema::check(&files, &mut raw);
 
     // Suppression: a directive covers its own line and the next line
-    // (trailing comment, or standalone comment above the site);
-    // `allow-file` covers the whole file. `naked-allow` findings are
-    // never suppressible — the escape hatch cannot hide its own rot.
+    // (trailing comment, or standalone comment above the site) in the
+    // file the diagnostic lands in; `allow-file` covers that whole
+    // file. Workspace-rule diagnostics anchor at the sink site, so a
+    // directive there covers every entry that reaches the sink.
+    let by_path: BTreeMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = files
+        .iter()
+        .map(|f| vec![false; f.directives.len()])
+        .collect();
     let mut out: Vec<Diagnostic> = Vec::new();
     for d in raw {
         let mut suppressed = false;
-        for (k, dir) in directives.iter().enumerate() {
-            if dir.rule == d.rule && (dir.file_wide || dir.line == d.line || dir.line + 1 == d.line)
-            {
-                suppressed = true;
-                used[k] = true;
+        if let Some(&fi) = by_path.get(d.path.as_str()) {
+            for (k, dir) in files[fi].directives.iter().enumerate() {
+                if dir.rule == d.rule
+                    && (dir.file_wide || dir.line == d.line || dir.line + 1 == d.line)
+                {
+                    suppressed = true;
+                    used[fi][k] = true;
+                }
             }
         }
         if !suppressed {
             out.push(d);
         }
     }
-    out.extend(hygiene);
 
+    // Hygiene after suppression: `naked-allow` findings are never
+    // suppressible — the escape hatch cannot hide its own rot.
     let naked = rules::rule_by_name("naked-allow").expect("registered");
-    for (line, msg) in bad {
-        out.push(Diagnostic {
-            path: path.to_string(),
-            line,
-            rule: naked.name,
-            code: naked.code,
-            message: msg,
-        });
-    }
-    for (k, dir) in directives.iter().enumerate() {
-        let what = if dir.file_wide { "allow-file" } else { "allow" };
-        if rules::rule_by_name(&dir.rule).is_none() {
+    for (fi, f) in files.iter().enumerate() {
+        rules::check_naked_allow_attrs(&f.ctx(), &mut out);
+        for (line, msg) in &f.bad_directives {
             out.push(Diagnostic {
-                path: path.to_string(),
-                line: dir.line,
+                path: f.path.clone(),
+                line: *line,
                 rule: naked.name,
                 code: naked.code,
-                message: format!(
-                    "t3-lint: {what}({}) names an unknown rule; known rules: {}",
-                    dir.rule,
-                    rules::RULES
-                        .iter()
-                        .map(|r| r.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ),
-            });
-            continue;
-        }
-        if dir.reason.is_none() {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: dir.line,
-                rule: naked.name,
-                code: naked.code,
-                message: format!(
-                    "t3-lint: {what}({}) without a `-- <reason>`; every suppression must say why it is sound",
-                    dir.rule
-                ),
+                anchor: "directive".to_string(),
+                message: msg.clone(),
             });
         }
-        if !used[k] {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: dir.line,
-                rule: naked.name,
-                code: naked.code,
-                message: format!(
-                    "t3-lint: {what}({}) suppresses nothing here; remove the stale directive",
-                    dir.rule
-                ),
-            });
+        for (k, dir) in f.directives.iter().enumerate() {
+            let what = if dir.file_wide { "allow-file" } else { "allow" };
+            if rules::rule_by_name(&dir.rule).is_none() {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: dir.line,
+                    rule: naked.name,
+                    code: naked.code,
+                    anchor: format!("allow.{}", dir.rule),
+                    message: format!(
+                        "t3-lint: {what}({}) names an unknown rule; known rules: {}",
+                        dir.rule,
+                        rules::RULES
+                            .iter()
+                            .map(|r| r.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+                continue;
+            }
+            if dir.reason.is_none() {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: dir.line,
+                    rule: naked.name,
+                    code: naked.code,
+                    anchor: format!("allow.{}", dir.rule),
+                    message: format!(
+                        "t3-lint: {what}({}) without a `-- <reason>`; every suppression must say why it is sound",
+                        dir.rule
+                    ),
+                });
+            }
+            if !used[fi][k] {
+                out.push(Diagnostic {
+                    path: f.path.clone(),
+                    line: dir.line,
+                    rule: naked.name,
+                    code: naked.code,
+                    anchor: format!("allow.{}", dir.rule),
+                    message: format!(
+                        "t3-lint: {what}({}) suppresses nothing here; remove the stale directive",
+                        dir.rule
+                    ),
+                });
+            }
         }
     }
 
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.code, a.anchor.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.code,
+            b.anchor.as_str(),
+        ))
+    });
     out
 }
 
@@ -415,18 +513,18 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root`. Paths in diagnostics
-/// are reported relative to `root`.
+/// Lints the whole workspace rooted at `root` as one universe (the
+/// call-graph and schema rules see every file at once). Paths in
+/// diagnostics are reported relative to `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+    let mut inputs = Vec::new();
     for file in workspace_files(root)? {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = fs::read_to_string(&file)?;
-        out.extend(lint_source(&rel, &source));
+        inputs.push((rel, fs::read_to_string(&file)?));
     }
-    Ok(out)
+    Ok(lint_files(&inputs))
 }

@@ -6,10 +6,11 @@
 //! streams from a source file:
 //!
 //! * [`Token`]s — identifiers, literals and punctuation with 1-based
-//!   line numbers. String/char literal *contents* are dropped (only a
-//!   [`TokKind::Str`] marker remains), which is what lets the lint
-//!   crate embed violating fixtures as string literals without
-//!   flagging itself.
+//!   line numbers. String/char literal contents are carried opaquely
+//!   in [`TokKind::Str`]: identifier-matching rules never look inside
+//!   them (which is what lets the lint crate embed violating fixtures
+//!   as string literals without flagging itself), while the
+//!   trace-schema analysis reads them explicitly.
 //! * [`Comment`]s — one entry per comment *line* (block comments are
 //!   split), which is where `t3-lint: allow(...)` directives live.
 //!
@@ -29,8 +30,14 @@ pub enum TokKind {
     Int,
     /// Float literal (`1.0`, `2e9`, `3f64`); the text is dropped.
     Float,
-    /// String, byte-string or char literal; the contents are dropped.
-    Str,
+    /// String, byte-string or char literal. The *raw* contents (no
+    /// unescaping, quotes and fences stripped) are kept so that
+    /// workspace analyses — notably the trace-schema rule, which
+    /// compares emitted event/arg literals against consumed ones —
+    /// can read them. Rules that only match identifiers still never
+    /// see inside strings, which is what lets the lint crate embed
+    /// violating fixtures as string literals without flagging itself.
+    Str(String),
     /// A lifetime such as `'a` or `'static`.
     Lifetime,
     /// Any single punctuation character (`{`, `;`, `#`, ...).
@@ -56,6 +63,15 @@ impl Token {
     /// True when this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// The raw string-literal contents, if this token is a string,
+    /// byte-string or char literal.
+    pub fn str_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 }
 
@@ -127,9 +143,9 @@ pub fn lex(source: &str) -> Lexed {
             b'/' if cur.peek_at(1) == Some(b'/') => lex_line_comment(&mut cur, &mut out),
             b'/' if cur.peek_at(1) == Some(b'*') => lex_block_comment(&mut cur, &mut out),
             b'"' => {
-                lex_string(&mut cur);
+                let text = lex_string(&mut cur);
                 out.tokens.push(Token {
-                    kind: TokKind::Str,
+                    kind: TokKind::Str(text),
                     line,
                 });
             }
@@ -212,9 +228,12 @@ fn lex_block_comment(cur: &mut Cursor, out: &mut Lexed) {
     });
 }
 
-/// Consumes a cooked (escaped) string starting at the opening `"`.
-fn lex_string(cur: &mut Cursor) {
+/// Consumes a cooked (escaped) string starting at the opening `"`,
+/// returning the raw contents (escapes are *not* processed).
+fn lex_string(cur: &mut Cursor) -> String {
     cur.bump();
+    let start = cur.pos;
+    let mut end = cur.pos;
     while let Some(b) = cur.bump() {
         match b {
             b'\\' => {
@@ -223,16 +242,22 @@ fn lex_string(cur: &mut Cursor) {
             b'"' => break,
             _ => {}
         }
+        end = cur.pos;
     }
+    core::str::from_utf8(&cur.src[start..end])
+        .unwrap_or("")
+        .to_string()
 }
 
 /// Consumes a raw string starting at `r`/`br`/`cr` with `hashes` `#`
 /// fence characters already counted; the cursor sits on the opening
-/// `"`.
-fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
+/// `"`. Returns the contents between the fences.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) -> String {
     cur.bump();
+    let start = cur.pos;
     while cur.peek().is_some() {
         if cur.peek() == Some(b'"') {
+            let end = cur.pos;
             cur.bump();
             let mut seen = 0usize;
             while seen < hashes && cur.peek() == Some(b'#') {
@@ -240,20 +265,36 @@ fn lex_raw_string(cur: &mut Cursor, hashes: usize) {
                 seen += 1;
             }
             if seen == hashes {
-                return;
+                return core::str::from_utf8(&cur.src[start..end])
+                    .unwrap_or("")
+                    .to_string();
             }
         } else {
             cur.bump();
         }
     }
+    core::str::from_utf8(&cur.src[start..cur.pos])
+        .unwrap_or("")
+        .to_string()
 }
 
 /// Disambiguates `'a` (lifetime) from `'x'` (char literal) at a `'`.
+///
+/// A quote followed by an identifier-start byte is only a lifetime
+/// when the whole identifier-continue run after it is *not* closed by
+/// another quote. Checking just one byte ahead — the old heuristic —
+/// misclassified multi-byte char literals like `'é'` as lifetimes,
+/// which desynchronised the lexer for the rest of the file (the
+/// trailing quote opened a phantom literal that swallowed real code).
 fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
-    let next = cur.peek_at(1);
-    let after = cur.peek_at(2);
-    let lifetime = match (next, after) {
-        (Some(n), a) if is_ident_start(n) => a != Some(b'\''),
+    let lifetime = match cur.peek_at(1) {
+        Some(n) if is_ident_start(n) => {
+            let mut k = 2usize;
+            while cur.peek_at(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            cur.peek_at(k) != Some(b'\'')
+        }
         _ => false,
     };
     if lifetime {
@@ -267,6 +308,8 @@ fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
         });
     } else {
         cur.bump();
+        let start = cur.pos;
+        let mut end = cur.pos;
         while let Some(b) = cur.bump() {
             match b {
                 b'\\' => {
@@ -275,9 +318,13 @@ fn lex_quote(cur: &mut Cursor, out: &mut Lexed, line: u32) {
                 b'\'' => break,
                 _ => {}
             }
+            end = cur.pos;
         }
+        let text = core::str::from_utf8(&cur.src[start..end])
+            .unwrap_or("")
+            .to_string();
         out.tokens.push(Token {
-            kind: TokKind::Str,
+            kind: TokKind::Str(text),
             line,
         });
     }
@@ -348,16 +395,18 @@ fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
     let is_str_prefix = matches!(text, "r" | "b" | "br" | "rb" | "c" | "cr" | "cb");
     match cur.peek() {
         Some(b'"') if is_str_prefix => {
-            lex_raw_string_or_cooked(cur, text, 0);
+            let s = lex_raw_string_or_cooked(cur, text, 0);
             out.tokens.push(Token {
-                kind: TokKind::Str,
+                kind: TokKind::Str(s),
                 line,
             });
         }
         Some(b'\'') if text == "b" => {
             lex_quote(cur, out, line);
             if let Some(last) = out.tokens.last_mut() {
-                last.kind = TokKind::Str;
+                if !matches!(last.kind, TokKind::Str(_)) {
+                    last.kind = TokKind::Str(String::new());
+                }
             }
         }
         Some(b'#') if is_str_prefix && text != "b" && text != "c" => {
@@ -371,9 +420,9 @@ fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
                 for _ in 0..hashes {
                     cur.bump();
                 }
-                lex_raw_string(cur, hashes);
+                let s = lex_raw_string(cur, hashes);
                 out.tokens.push(Token {
-                    kind: TokKind::Str,
+                    kind: TokKind::Str(s),
                     line,
                 });
             } else if text == "r" && hashes == 1 && cur.peek_at(1).is_some_and(is_ident_start) {
@@ -405,11 +454,11 @@ fn lex_ident_or_prefixed(cur: &mut Cursor, out: &mut Lexed, line: u32) {
 
 /// Dispatches `r"` / `b"` / `br"` string forms once the prefix has
 /// been consumed and the cursor sits on the `"`.
-fn lex_raw_string_or_cooked(cur: &mut Cursor, prefix: &str, hashes: usize) {
+fn lex_raw_string_or_cooked(cur: &mut Cursor, prefix: &str, hashes: usize) -> String {
     if prefix.contains('r') {
-        lex_raw_string(cur, hashes);
+        lex_raw_string(cur, hashes)
     } else {
-        lex_string(cur);
+        lex_string(cur)
     }
 }
 
@@ -438,8 +487,15 @@ mod tests {
         assert_eq!(toks, vec!["let", "s", "after"]);
         // The `r` prefix is folded into the string token.
         let lexed = lex("let s = r#\"x\"#;");
-        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Str));
+        assert!(lexed.tokens.iter().any(|t| t.str_text() == Some("x")));
         assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("r")));
+    }
+
+    #[test]
+    fn string_contents_are_preserved_verbatim() {
+        let lexed = lex("f(\"gemm_stage\"); g(r#\"chunk \" send\"#); h('k');");
+        let texts: Vec<_> = lexed.tokens.iter().filter_map(|t| t.str_text()).collect();
+        assert_eq!(texts, vec!["gemm_stage", "chunk \" send", "k"]);
     }
 
     #[test]
@@ -477,10 +533,58 @@ mod tests {
         let chars = lexed
             .tokens
             .iter()
-            .filter(|t| t.kind == TokKind::Str)
+            .filter(|t| matches!(t.kind, TokKind::Str(_)))
             .count();
         assert_eq!(lifetimes, 2);
         assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn multibyte_char_literal_is_not_a_lifetime() {
+        // Regression: `'é'` used to be classified as a lifetime (the
+        // one-byte lookahead saw a continuation byte, not the closing
+        // quote), leaving the trailing `'` to open a phantom literal
+        // that swallowed the rest of the file — including `Instant`.
+        let lexed = lex("let c = '\u{e9}'; use std::time::Instant;");
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("Instant")));
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        // Longer multi-byte scalars and plain lifetimes still work.
+        let lexed = lex("fn f<'a>(x: &'a str) { let h = '\u{2665}'; }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.str_text() == Some("\u{2665}")));
+    }
+
+    #[test]
+    fn raw_string_fences_with_excess_hashes_inside() {
+        // Regression coverage: a `"#` sequence inside an `r##` string
+        // must not terminate it, and unterminated raw strings consume
+        // to EOF without panicking.
+        let toks = idents("let s = r##\"a\"# Instant \"##; after");
+        assert_eq!(toks, vec!["let", "s", "after"]);
+        let lexed = lex("let s = r#\"never closed");
+        assert!(lexed.tokens.iter().any(|t| t.str_text().is_some()));
+    }
+
+    #[test]
+    fn nested_block_comment_terminators_inside_strings() {
+        // Regression coverage: `*/` inside a nested comment's inner
+        // level must close only that level, and `/*` appearing after
+        // the comment (in code position, inside a string) is opaque.
+        let lexed = lex("/* a /* b */ still comment */ fn x() { let s = \"/* not a comment\"; }");
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("fn")));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.str_text() == Some("/* not a comment")));
+        assert!(!lexed.tokens.iter().any(|t| t.ident() == Some("still")));
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! and `t3-topo::fabric`). The classic ways GPU simulators rot are
 //! not caught by the compiler: wall-clock or OS entropy leaking into
 //! timing paths, hash-map iteration order deciding arbitration ties,
-//! or float accumulation order silently shifting cycle counts. This
-//! crate enforces those invariants statically, with zero external
-//! dependencies:
+//! float accumulation order silently shifting cycle counts, a helper
+//! three frames below `step()` that unwraps, or a renamed trace-arg
+//! key that desynchronizes the emit and consume sides of the trace
+//! pipeline. This crate enforces those invariants statically, with
+//! zero external dependencies:
 //!
 //! | rule | code | what it forbids |
 //! |------|------|-----------------|
@@ -16,6 +18,16 @@
 //! | `float-cycles` | T3L003 | float expressions truncated into `u64`/`Cycle`/`Bytes` counters |
 //! | `panic-hot-path` | T3L004 | `unwrap`/`expect`/`panic!` inside per-cycle `step`/`tick`/`advance` |
 //! | `naked-allow` | T3L005 | any suppression without a written `-- reason` |
+//! | `panic-reachable` | T3L006 | aborts *transitively* reachable from hot-path entries (call graph) |
+//! | `wall-clock-reachable` | T3L007 | host time reachable from timing entries through non-timing crates |
+//! | `unit-confusion` | T3L008 | `_cycles`/`_bytes`/`_permille`/`_tokens` mixed via `+`/`-`/comparison |
+//! | `trace-schema` | T3L009 | t3-trace emit side diverging from t3-prof's consume side |
+//!
+//! T3L001–T3L005 and T3L008 are token-local. T3L006/T3L007 run on a
+//! workspace call graph built by a lightweight item parser
+//! ([`parser`]) with conservative name-based resolution
+//! ([`callgraph`]); T3L009 cross-checks string literals between
+//! crates ([`schema`]).
 //!
 //! Suppressions are comment directives with mandatory justification:
 //!
@@ -27,15 +39,26 @@
 //! A directive covers its own line and the next; `allow-file` covers
 //! the file. Directives that name unknown rules, omit the reason, or
 //! suppress nothing are themselves diagnostics, so the allowlist can
-//! only shrink to what is truly needed. Run `t3-lint --list` for the rule
-//! table and `t3-lint --json` for machine-readable output; `ci.sh`
-//! gates on a clean pass.
+//! only shrink to what is truly needed. Pre-existing audited findings
+//! can instead live in the checked-in [`baseline`] file
+//! (`lint-baseline.txt`): still printed, no longer failing, policed
+//! for staleness. Run `t3-lint --list` for the rule table, `t3-lint
+//! --explain T3L006` for any rule's rationale and sanctioned
+//! suppression, `--json` / `--sarif <path>` for machine-readable
+//! output; `ci.sh` gates on a clean pass.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod schema;
+pub mod units;
 
 pub use diag::{to_json, Diagnostic};
-pub use engine::{lint_source, lint_workspace, workspace_files};
+pub use engine::{lint_files, lint_source, lint_workspace, workspace_files, FileAnalysis};
 pub use rules::{RuleInfo, RULES};
+pub use sarif::to_sarif;

@@ -1,0 +1,363 @@
+//! A lightweight item parser on top of the lexer.
+//!
+//! The line/token-local rules of t3-lint v1 could not see a hot path
+//! that calls a helper three frames deep. This module recovers just
+//! enough structure from the token stream — modules, `fn` items with
+//! their body extents, the calls and macro invocations inside each
+//! body, and `use` edges — for the workspace call graph
+//! ([`crate::callgraph`]) and the trace-schema analysis
+//! ([`crate::schema`]) to reason across files.
+//!
+//! Like the lexer, the parser is deliberately forgiving: it never
+//! fails, and constructs it does not model (trait objects, closures,
+//! macro definitions) degrade to conservative over-approximation. A
+//! closure's calls are attributed to the enclosing function; a nested
+//! `fn`'s calls are attributed to both the nested and the enclosing
+//! function, which can only widen reachability, never hide it.
+
+use crate::lexer::Token;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called simple name (`helper`, `unwrap`, `run_schedule`).
+    /// Path qualifiers are dropped: resolution is name-based.
+    pub name: String,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// True for `.name(...)` method-call syntax.
+    pub method: bool,
+}
+
+/// One macro invocation (`name!(...)` / `name![...]` / `name!{...}`)
+/// inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroSite {
+    /// Macro name without the `!`.
+    pub name: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// One recovered `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's simple name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Enclosing in-file module path (`["tests"]` for
+    /// `mod tests { fn f() {} }`).
+    pub module: Vec<String>,
+    /// Token-index range of the body: `body.0` is the `{`, `body.1`
+    /// the matching `}` (exclusive end is `body.1`).
+    pub body: (usize, usize),
+    /// Calls made inside the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Macro invocations inside the body, in source order.
+    pub macros: Vec<MacroSite>,
+    /// True when the item sits inside a `#[cfg(test)]`/`#[test]`
+    /// region — test-only code is excluded from hot-path reachability.
+    pub in_test: bool,
+}
+
+/// One `use` declaration, flattened: the leading path segment (the
+/// crate, or `crate`/`super`/`self`) plus every identifier the
+/// declaration mentions. `use t3_gpu::engine::{run_gemm, GemmEngine}`
+/// yields `first = "t3_gpu"`, `names = [engine, run_gemm, GemmEngine]`.
+/// Call-graph resolution uses this as a hint: a call to `run_gemm` in
+/// a file that imports it from `t3_gpu` resolves into that crate.
+#[derive(Debug, Clone)]
+pub struct UseEdge {
+    /// Line of the `use` keyword.
+    pub line: u32,
+    /// First path segment.
+    pub first: String,
+    /// Every identifier mentioned anywhere in the declaration.
+    pub names: Vec<String>,
+}
+
+/// The parse of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every recovered `fn`, in source order.
+    pub fns: Vec<FnDef>,
+    /// Every `use` declaration.
+    pub uses: Vec<UseEdge>,
+    /// Every in-file `mod name {` with its line, in source order.
+    pub mods: Vec<(String, u32)>,
+}
+
+/// Keywords that can precede a `(` without being a call.
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "as"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "extern"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+    )
+}
+
+/// Token index of the `}` matching the `{` at `open`, or `toks.len()`
+/// if unbalanced.
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0isize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// From item-keyword position, the index of the `{` opening its body —
+/// `None` when a `;` ends the item first (trait method, `mod x;`).
+/// Braces inside intervening expressions (const generics, where
+/// clauses with closures) are rare enough to accept the first `{`.
+fn body_open(toks: &[Token], from: usize) -> Option<usize> {
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        if t.is_punct('{') {
+            return Some(i);
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Scans a body range for call sites and macro invocations.
+fn scan_body(
+    toks: &[Token],
+    lo: usize,
+    hi: usize,
+    calls: &mut Vec<CallSite>,
+    macros: &mut Vec<MacroSite>,
+) {
+    let mut i = lo;
+    while i < hi {
+        let Some(name) = toks[i].ident() else {
+            i += 1;
+            continue;
+        };
+        if is_keyword(name) {
+            i += 1;
+            continue;
+        }
+        let next = toks.get(i + 1);
+        if next.is_some_and(|t| t.is_punct('!'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+        {
+            macros.push(MacroSite {
+                name: name.to_string(),
+                line: toks[i].line,
+            });
+            i += 2;
+            continue;
+        }
+        if next.is_some_and(|t| t.is_punct('(')) {
+            // `fn name(` is a declaration, not a call.
+            let declared = i > 0 && toks[i - 1].ident() == Some("fn");
+            if !declared {
+                let method = i > 0 && toks[i - 1].is_punct('.');
+                calls.push(CallSite {
+                    name: name.to_string(),
+                    line: toks[i].line,
+                    method,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses one file's token stream. `in_test` is a predicate over token
+/// indices (the engine's `#[cfg(test)]` region map).
+pub fn parse(toks: &[Token], in_test: &dyn Fn(usize) -> bool) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Module scope stack: (name, close-brace token index).
+    let mut mod_stack: Vec<(String, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while mod_stack.last().is_some_and(|&(_, end)| i >= end) {
+            mod_stack.pop();
+        }
+        let Some(id) = toks[i].ident() else {
+            i += 1;
+            continue;
+        };
+        match id {
+            "use" => {
+                let line = toks[i].line;
+                let mut j = i + 1;
+                let mut names = Vec::new();
+                while j < toks.len() && !toks[j].is_punct(';') {
+                    if let Some(seg) = toks[j].ident() {
+                        if seg != "as" {
+                            names.push(seg.to_string());
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(first) = names.first().cloned() {
+                    out.uses.push(UseEdge { line, first, names });
+                }
+                i = j + 1;
+            }
+            "mod" => {
+                let name = toks.get(i + 1).and_then(|t| t.ident());
+                match (name, body_open(toks, i + 1)) {
+                    (Some(name), Some(open)) => {
+                        let end = match_brace(toks, open);
+                        out.mods.push((name.to_string(), toks[i].line));
+                        mod_stack.push((name.to_string(), end));
+                        i = open + 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            "fn" => {
+                let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+                    i += 1;
+                    continue;
+                };
+                let Some(open) = body_open(toks, i + 2) else {
+                    i += 2;
+                    continue;
+                };
+                let close = match_brace(toks, open);
+                let mut calls = Vec::new();
+                let mut macros = Vec::new();
+                scan_body(toks, open + 1, close, &mut calls, &mut macros);
+                out.fns.push(FnDef {
+                    name: name.to_string(),
+                    line: toks[i].line,
+                    module: mod_stack.iter().map(|(n, _)| n.clone()).collect(),
+                    body: (open, close),
+                    calls,
+                    macros,
+                    in_test: in_test(i),
+                });
+                // Continue scanning *inside* the body so nested fns
+                // are recovered too (their calls are double-counted
+                // into the outer fn — conservative by design).
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        parse(&lexed.tokens, &|_| false)
+    }
+
+    #[test]
+    fn recovers_fns_calls_and_methods() {
+        let p = parse_src(
+            "fn step(&mut self) { self.helper(); compute(3); }\n\
+             fn helper(&self) { queue.pop().unwrap(); }\n",
+        );
+        assert_eq!(p.fns.len(), 2);
+        let step = &p.fns[0];
+        assert_eq!(step.name, "step");
+        let names: Vec<_> = step.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "compute"]);
+        assert!(step.calls[0].method);
+        assert!(!step.calls[1].method);
+        let helper = &p.fns[1];
+        let names: Vec<_> = helper.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["pop", "unwrap"]);
+    }
+
+    #[test]
+    fn recovers_macros_not_as_calls() {
+        let p = parse_src("fn f() { panic!(\"boom\"); vec![1]; assert_eq!(a, b); }");
+        let macros: Vec<_> = p.fns[0].macros.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(macros, vec!["panic", "vec", "assert_eq"]);
+        assert!(p.fns[0].calls.is_empty());
+    }
+
+    #[test]
+    fn recovers_modules_and_use_edges() {
+        let p = parse_src(
+            "use t3_gpu::engine::{run_gemm, GemmEngine};\n\
+             use crate::helper;\n\
+             mod inner { fn f() { g(); } }\n\
+             fn outer() {}\n",
+        );
+        assert_eq!(p.uses.len(), 2);
+        assert_eq!(p.uses[0].first, "t3_gpu");
+        assert!(p.uses[0].names.iter().any(|n| n == "run_gemm"));
+        assert_eq!(p.mods, vec![("inner".to_string(), 3)]);
+        assert_eq!(p.fns[0].module, vec!["inner".to_string()]);
+        assert!(p.fns[1].module.is_empty());
+    }
+
+    #[test]
+    fn fn_decl_is_not_a_call_and_paths_flatten() {
+        let p = parse_src("fn f() { Fabric::run_schedule(x); t3_gpu::engine::run_gemm(); }");
+        let names: Vec<_> = p.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["run_schedule", "run_gemm"]);
+    }
+
+    #[test]
+    fn trait_methods_without_bodies_are_skipped() {
+        let p = parse_src("trait T { fn a(&self); fn b(&self) { self.a(); } }");
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].name, "b");
+    }
+
+    #[test]
+    fn test_regions_mark_fns() {
+        let lexed = lex("fn prod() {} fn test_only() { x.unwrap(); }");
+        // Mark everything past token 4 as test code.
+        let p = parse(&lexed.tokens, &|i| i > 4);
+        assert!(!p.fns[0].in_test);
+        assert!(p.fns[1].in_test);
+    }
+}

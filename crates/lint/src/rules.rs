@@ -60,11 +60,19 @@ pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "prof",
 ];
 
-/// Static description of one rule, for `--list` and the docs table.
+/// Static description of one rule: the `--list` line plus the longer
+/// `--explain` material (rationale, an example violation, and the
+/// sanctioned suppression form).
 pub struct RuleInfo {
     pub name: &'static str,
     pub code: &'static str,
     pub summary: &'static str,
+    /// Why the rule exists — what rots when it is violated.
+    pub rationale: &'static str,
+    /// A minimal example that fires the rule.
+    pub example: &'static str,
+    /// The sanctioned way to suppress a justified occurrence.
+    pub suppression: &'static str,
 }
 
 /// The rule registry, in code order.
@@ -74,29 +82,122 @@ pub const RULES: &[RuleInfo] = &[
         code: "T3L001",
         summary: "std::time::Instant / SystemTime / RandomState forbidden in timing crates \
                   (host time and OS entropy must never reach simulated cycles)",
+        rationale: "Every headline figure rests on bit-identical simulated cycle counts. A host \
+                    clock read or OS-seeded hash state anywhere in a timing crate lets wall-time \
+                    jitter or process entropy shape simulated results, breaking run-to-run \
+                    byte-identity and every pinned seed timing.",
+        example: "    let t0 = std::time::Instant::now(); // in crates/gpu",
+        suppression: "// t3-lint: allow(wall-clock) -- <why host time cannot reach cycles>\n\
+                      (or allow-file for a module that legitimately measures host time)",
     },
     RuleInfo {
         name: "hash-iteration",
         code: "T3L002",
         summary: "HashMap/HashSet forbidden where iteration order can reach timing or exported \
                   output; use BTreeMap/BTreeSet",
+        rationale: "std hash containers iterate in RandomState order, different every process. \
+                    If that order decides an arbitration tie or the order of exported records, \
+                    output differs run to run while every individual value looks correct.",
+        example: "    let mut queues: HashMap<StreamId, Vec<Txn>> = HashMap::new();",
+        suppression: "// t3-lint: allow(hash-iteration) -- <why iteration order is never observed>",
     },
     RuleInfo {
         name: "float-cycles",
         code: "T3L003",
         summary: "float expression cast into a cycle/byte counter (u64/Cycle/Bytes) without a \
                   justified allow directive",
+        rationale: "Float accumulation order and rounding direction silently shape integer cycle \
+                    counts: (a+b)+c != a+(b+c) in f64, and `as u64` truncates toward zero. A \
+                    justified cast must state why the value is exact or the rounding direction \
+                    is the documented semantic.",
+        example: "    let cycles = (bytes as f64 / bw).ceil() as u64;",
+        suppression: "// t3-lint: allow(float-cycles) -- <why the rounding is deterministic and \
+                      direction-explicit>",
     },
     RuleInfo {
         name: "panic-hot-path",
         code: "T3L004",
         summary: "unwrap()/expect()/panic! inside a per-cycle step/tick/advance body",
+        rationale: "step/tick/advance run once per simulated cycle. An abort there takes down \
+                    the whole sweep (and, under the parallel runtime, poisons a worker) instead \
+                    of surfacing a modeled error the harness can report.",
+        example: "    fn step(&mut self) { let txn = self.queue.pop().unwrap(); }",
+        suppression: "// t3-lint: allow(panic-hot-path) -- <why the invariant provably holds>",
     },
     RuleInfo {
         name: "naked-allow",
         code: "T3L005",
         summary: "#[allow(...)] or t3-lint: allow(...) without a `-- reason`, an unknown rule \
                   name, or a suppression that matches nothing",
+        rationale: "Suppressions rot: an allow without a written reason cannot be audited, an \
+                    allow naming an unknown rule guards nothing, and a stale allow hides that \
+                    the violation it excused is gone. The escape hatch polices itself so the \
+                    allowlist can only shrink to what is truly needed.",
+        example: "    #[allow(dead_code)]  // no reason given",
+        suppression: "This rule is not suppressible; write the `-- <reason>` (or `reason = \
+                      \"...\"` attribute field) it demands, or delete the stale directive.",
+    },
+    RuleInfo {
+        name: "panic-reachable",
+        code: "T3L006",
+        summary: "unwrap()/expect()/panic! transitively reachable from a hot-path entry \
+                  (step*/tick*/advance*/run_* in a timing crate), any call depth",
+        rationale: "T3L004 sees a panic typed directly into a step() body; it cannot see a hot \
+                    path that calls a helper three frames deep that unwraps. The workspace call \
+                    graph closes that hole: any abort reachable from a per-cycle or run_* entry \
+                    in a timing crate can kill a sweep mid-experiment. The diagnostic prints \
+                    the full call chain and anchors at the sink, so one justified suppression \
+                    at a provably-safe unwrap covers every entry that reaches it.",
+        example: "    fn step(&mut self) { self.drain(); }\n\
+                  \x20   fn drain(&mut self) { self.queue.pop().unwrap(); } // reachable abort",
+        suppression: "// t3-lint: allow(panic-reachable) -- <why the invariant provably holds>\n\
+                      (placed at the sink line; or a lint-baseline.txt entry for pre-existing \
+                      audited sites)",
+    },
+    RuleInfo {
+        name: "wall-clock-reachable",
+        code: "T3L007",
+        summary: "Instant/SystemTime/RandomState transitively reachable from a timing-crate \
+                  entry through helpers in non-timing crates",
+        rationale: "T3L001 polices timing crates themselves, but a hot path may call into a \
+                    crate outside the timing scope (trace, bench, the facade) whose helper \
+                    reads the host clock — contaminating simulated results through the back \
+                    door. Reachability closes the gap without forcing the whole workspace into \
+                    wall-clock scope.",
+        example: "    // crates/gpu: fn run_sweep() { t3_bench::now_marker(); }\n\
+                  \x20   // crates/bench: pub fn now_marker() -> Instant { Instant::now() }",
+        suppression: "// t3-lint: allow(wall-clock-reachable) -- <why host time cannot reach \
+                      simulated cycles on this chain>",
+    },
+    RuleInfo {
+        name: "unit-confusion",
+        code: "T3L008",
+        summary: "identifiers of different units (_cycles/_bytes/_permille/_tokens) combined \
+                  with +, -, or a comparison, without an explicit cast",
+        rationale: "The simulator's integers carry implicit units. Adding a byte count to a \
+                    cycle count, or comparing tokens against permille, type-checks fine (both \
+                    are u64) and produces numbers that look plausible — the class of bug no \
+                    test catches until a figure drifts. Cross-unit * and / are legitimate \
+                    (bytes/cycle = bandwidth) and exempt.",
+        example: "    let deadline_cycles = start_cycles + payload_bytes; // bytes are not cycles",
+        suppression: "// t3-lint: allow(unit-confusion) -- <why the mixed-unit arithmetic is \
+                      intended>, or make the conversion explicit with `as`",
+    },
+    RuleInfo {
+        name: "trace-schema",
+        code: "T3L009",
+        summary: "trace event/arg literals emitted by t3-trace must exactly match what \
+                  t3-prof's parser consumes (names, arg keys, span-vs-instant cycle keys)",
+        rationale: "The emit side (Event::name/visit_args/phase in t3-trace) and the consume \
+                    side (t3-prof's make_record) are string-keyed and compiled independently: \
+                    rename an arg key on one side and every trace round-trip silently drops or \
+                    mis-reads a field, corrupting the BENCH_* gate inputs downstream. This rule \
+                    cross-checks both sides (and the Event variants t3-prof analytics match on) \
+                    at lint time.",
+        example: "    // t3-trace:  f(\"comm_depth\", comm_depth);\n\
+                  \x20   // t3-prof:   comm_depth: get(\"queue_comm_depth\")?,  // key mismatch",
+        suppression: "// t3-lint: allow(trace-schema) -- <why the asymmetry is intended> \
+                      (e.g. an arg emitted for human trace viewers only)",
     },
 ];
 
@@ -105,13 +206,20 @@ pub fn rule_by_name(name: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.name == name)
 }
 
-fn diag(ctx: &FileCtx, line: u32, rule: &'static str, message: String) -> Diagnostic {
+fn diag(
+    ctx: &FileCtx,
+    line: u32,
+    rule: &'static str,
+    anchor: String,
+    message: String,
+) -> Diagnostic {
     let info = rule_by_name(rule).expect("rule registered");
     Diagnostic {
         path: ctx.path.to_string(),
         line,
         rule: info.name,
         code: info.code,
+        anchor,
         message,
     }
 }
@@ -131,6 +239,7 @@ pub fn check_wall_clock(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 ctx,
                 tok.line,
                 "wall-clock",
+                name.to_string(),
                 format!("`{name}` leaks host time/entropy into a timing crate; derive everything from simulated cycles (t3-sim) or a seeded SplitMix64 (t3_sim::rng)"),
             ));
         }
@@ -160,6 +269,7 @@ pub fn check_hash_iteration(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 ctx,
                 tok.line,
                 "hash-iteration",
+                name.to_string(),
                 format!("`{name}` iteration order is randomized per-process (RandomState); use `{fix}` so arbitration ties and exported output stay bit-identical"),
             ));
         }
@@ -237,6 +347,7 @@ fn scan_statement(
                                 ctx,
                                 next.line,
                                 "float-cycles",
+                                ty.to_string(),
                                 format!("float expression truncated into `{ty}`: accumulation order and rounding direction silently shape cycle counts; restructure as integer math or justify with `t3-lint: allow(float-cycles) -- <reason>`"),
                             ));
                         }
@@ -257,7 +368,7 @@ fn scan_statement(
 /// whole sweep down instead of surfacing a modeled error.
 pub fn check_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     let toks = &ctx.lexed.tokens;
-    for (lo, hi, fn_name) in &ctx.hot_fns {
+    for (lo, hi, fn_name) in ctx.hot_fns {
         for i in *lo..*hi {
             if ctx.in_test_region(i) {
                 continue;
@@ -274,6 +385,7 @@ pub fn check_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                     ctx,
                     tok.line,
                     "panic-hot-path",
+                    format!("{fn_name}.{name}"),
                     format!("`{name}` in per-cycle `fn {fn_name}`: hot-path aborts kill the whole sweep; return a modeled error or make the invariant unrepresentable"),
                 ));
             }
@@ -309,6 +421,7 @@ pub fn check_naked_allow_attrs(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                         ctx,
                         line,
                         "naked-allow",
+                        "attr".to_string(),
                         "`#[allow(...)]` without a written reason; append `reason = \"...\"` or a `// -- <reason>` comment on the same or previous line".to_string(),
                     ));
                 }

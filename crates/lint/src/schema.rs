@@ -1,0 +1,398 @@
+//! T3L009 `trace-schema` — cross-crate trace-schema consistency.
+//!
+//! The trace pipeline is string-keyed at its seam: `t3-trace` renders
+//! events through `Event::name()` / `Event::visit_args()` (plus the
+//! exporter's `cycle`/`cycle_start`/`cycle_end` keys chosen by
+//! `Event::phase()`), and `t3-prof` re-reads them in `make_record`
+//! with `get("key")` lookups keyed by event-name match arms. The two
+//! sides live in different crates and compile independently, so a
+//! renamed arg key ships silently and corrupts every downstream
+//! analysis — including the `BENCH_*.json` perf gate.
+//!
+//! This rule extracts both sides from the token streams and fails on
+//! any shape mismatch:
+//!
+//! * an event name consumed by `make_record` that t3-trace never
+//!   emits (or vice versa: emitted but never consumed);
+//! * an arg key consumed by an event's arm that the event does not
+//!   emit (accounting for the exporter's phase-dependent cycle keys);
+//! * an arg key emitted but never consumed by the arm;
+//! * an `Event::Variant` matched by t3-prof analytics passes
+//!   (`serve.rs`, `analyze.rs`, ...) that the emit side does not
+//!   define.
+//!
+//! The analysis only runs when both sides are present in the linted
+//! file set, so single-file fixture lints stay silent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Diagnostic;
+use crate::engine::FileAnalysis;
+use crate::lexer::Token;
+use crate::rules::rule_by_name;
+
+/// The emit-side path (event taxonomy + arg rendering).
+pub const EMIT_PATH: &str = "crates/trace/src/event.rs";
+/// The consume-side path (t3-prof's trace parser).
+pub const CONSUME_PATH: &str = "crates/prof/src/load.rs";
+
+/// What one side of the schema says about an event.
+#[derive(Debug, Default, Clone)]
+struct EventShape {
+    /// Line the event name / arm was declared on.
+    line: u32,
+    /// Arg keys with the line each was seen on, in source order.
+    keys: Vec<(String, u32)>,
+}
+
+/// Span / instant / counter, as recovered from `Event::phase()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    Span,
+    Point,
+}
+
+fn push_diag(out: &mut Vec<Diagnostic>, path: &str, line: u32, anchor: String, message: String) {
+    let info = rule_by_name("trace-schema").expect("registered");
+    out.push(Diagnostic {
+        path: path.to_string(),
+        line,
+        rule: info.name,
+        code: info.code,
+        anchor,
+        message,
+    });
+}
+
+/// True when `toks[i..]` starts an `Event::Variant` path; returns the
+/// variant name token index.
+fn event_variant_at(toks: &[Token], i: usize) -> Option<usize> {
+    if toks.get(i).and_then(|t| t.ident()) == Some("Event")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).and_then(|t| t.ident()).is_some()
+    {
+        Some(i + 3)
+    } else {
+        None
+    }
+}
+
+/// The token range of `fn <name>`'s body in `f`, if present. When the
+/// file defines several fns with that name (`Event::name` vs
+/// `Track::name`), the one whose body mentions `Event::` wins.
+fn fn_body(f: &FileAnalysis, name: &str) -> Option<(usize, usize)> {
+    let mut fallback = None;
+    for fun in &f.parsed.fns {
+        if fun.name != name || fun.in_test {
+            continue;
+        }
+        let (lo, hi) = fun.body;
+        let mentions_event = (lo..hi).any(|i| event_variant_at(&f.lexed.tokens, i).is_some());
+        if mentions_event {
+            return Some(fun.body);
+        }
+        fallback.get_or_insert(fun.body);
+    }
+    fallback
+}
+
+/// The emit-side schema: event name → shape, plus variant → phase and
+/// the full set of declared variants.
+#[derive(Debug, Default)]
+struct EmitSchema {
+    /// Chrome `name` → (variant, shape).
+    events: BTreeMap<String, (String, EventShape)>,
+    /// Variant → span-ness (drives which cycle keys the exporter adds).
+    phases: BTreeMap<String, PhaseKind>,
+    /// Every variant that appears anywhere in the emit file.
+    variants: BTreeSet<String>,
+}
+
+fn extract_emit(f: &FileAnalysis) -> EmitSchema {
+    let toks = &f.lexed.tokens;
+    let mut schema = EmitSchema::default();
+    for i in 0..toks.len() {
+        if let Some(v) = event_variant_at(toks, i) {
+            if let Some(name) = toks[v].ident() {
+                schema.variants.insert(name.to_string());
+            }
+        }
+    }
+    // fn name(): `Event::Variant { .. } => "literal"`.
+    if let Some((lo, hi)) = fn_body(f, "name") {
+        let mut current: Option<String> = None;
+        let mut i = lo;
+        while i < hi {
+            if let Some(v) = event_variant_at(toks, i) {
+                current = toks[v].ident().map(str::to_string);
+                i = v + 1;
+                continue;
+            }
+            if toks[i].is_punct('=') && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+                if let (Some(variant), Some(tok)) = (current.take(), toks.get(i + 2)) {
+                    if let Some(text) = tok.str_text() {
+                        schema.events.insert(
+                            text.to_string(),
+                            (
+                                variant,
+                                EventShape {
+                                    line: tok.line,
+                                    keys: Vec::new(),
+                                },
+                            ),
+                        );
+                    }
+                }
+                i += 2;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    // fn visit_args(): keys are `f("key", ...)` under the last-seen
+    // arm's variant group.
+    if let Some((lo, hi)) = fn_body(f, "visit_args") {
+        let mut pending: Vec<String> = Vec::new();
+        let mut current: Vec<String> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            if let Some(v) = event_variant_at(toks, i) {
+                if let Some(name) = toks[v].ident() {
+                    pending.push(name.to_string());
+                }
+                i = v + 1;
+                continue;
+            }
+            if toks[i].is_punct('=') && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+                if !pending.is_empty() {
+                    current = core::mem::take(&mut pending);
+                }
+                i += 2;
+                continue;
+            }
+            if toks[i].ident() == Some("f") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                if let Some(key_tok) = toks.get(i + 2) {
+                    if let Some(key) = key_tok.str_text() {
+                        for variant in &current {
+                            for (v, shape) in schema.events.values_mut() {
+                                if v == variant {
+                                    shape.keys.push((key.to_string(), key_tok.line));
+                                }
+                            }
+                        }
+                    }
+                }
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    // fn phase(): variant groups mapped to Span / Instant / Counter.
+    if let Some((lo, hi)) = fn_body(f, "phase") {
+        let mut pending: Vec<String> = Vec::new();
+        let mut current: Vec<String> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            if let Some(v) = event_variant_at(toks, i) {
+                if let Some(name) = toks[v].ident() {
+                    pending.push(name.to_string());
+                }
+                i = v + 1;
+                continue;
+            }
+            if toks[i].is_punct('=') && toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+                if !pending.is_empty() {
+                    current = core::mem::take(&mut pending);
+                }
+                i += 2;
+                continue;
+            }
+            if let Some(kind) = toks[i].ident() {
+                let kind = match kind {
+                    "Span" => Some(PhaseKind::Span),
+                    "Instant" | "Counter" => Some(PhaseKind::Point),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    for variant in current.drain(..) {
+                        schema.phases.insert(variant, kind);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    schema
+}
+
+/// The consume-side schema: event name → shape, from `make_record`'s
+/// `"name" => … get("key")? …` arms.
+fn extract_consume(f: &FileAnalysis) -> BTreeMap<String, EventShape> {
+    let toks = &f.lexed.tokens;
+    let mut out: BTreeMap<String, EventShape> = BTreeMap::new();
+    let Some((lo, hi)) = f
+        .parsed
+        .fns
+        .iter()
+        .find(|fun| fun.name == "make_record" && !fun.in_test)
+        .map(|fun| fun.body)
+    else {
+        return out;
+    };
+    let mut current: Option<String> = None;
+    let mut i = lo;
+    while i < hi {
+        // `"name" =>` starts an arm.
+        if let Some(text) = toks[i].str_text() {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('='))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('>'))
+            {
+                out.insert(
+                    text.to_string(),
+                    EventShape {
+                        line: toks[i].line,
+                        keys: Vec::new(),
+                    },
+                );
+                current = Some(text.to_string());
+                i += 3;
+                continue;
+            }
+        }
+        if toks[i].ident() == Some("get") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(key_tok) = toks.get(i + 2) {
+                if let (Some(key), Some(arm)) = (key_tok.str_text(), current.as_ref()) {
+                    if let Some(shape) = out.get_mut(arm) {
+                        shape.keys.push((key.to_string(), key_tok.line));
+                    }
+                }
+            }
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Runs the trace-schema consistency check over the linted file set.
+pub fn check(files: &[FileAnalysis], out: &mut Vec<Diagnostic>) {
+    let Some(emit_file) = files.iter().find(|f| f.path == EMIT_PATH) else {
+        return;
+    };
+    let Some(consume_file) = files.iter().find(|f| f.path == CONSUME_PATH) else {
+        return;
+    };
+    let emit = extract_emit(emit_file);
+    let consume = extract_consume(consume_file);
+    if emit.events.is_empty() || consume.is_empty() {
+        // Extraction failed wholesale — a refactor moved the seam.
+        // Surface one loud diagnostic instead of many misleading ones.
+        let (path, line) = if emit.events.is_empty() {
+            (EMIT_PATH, 1)
+        } else {
+            (CONSUME_PATH, 1)
+        };
+        push_diag(
+            out,
+            path,
+            line,
+            "schema-extraction".to_string(),
+            "trace-schema extraction found no events here; if the emit/consume seam moved, update EMIT_PATH/CONSUME_PATH in the lint's schema analysis".to_string(),
+        );
+        return;
+    }
+
+    for (name, shape) in &consume {
+        let Some((variant, emitted)) = emit.events.get(name) else {
+            push_diag(
+                out,
+                CONSUME_PATH,
+                shape.line,
+                format!("event.{name}"),
+                format!(
+                    "t3-prof consumes event '{name}' which t3-trace never emits; parser and taxonomy have diverged"
+                ),
+            );
+            continue;
+        };
+        // Exporter-provided cycle keys depend on the variant's phase;
+        // unknown phase (extraction miss) conservatively allows all.
+        let phase = emit.phases.get(variant).copied();
+        let allowed_cycle = |k: &str| match phase {
+            Some(PhaseKind::Span) => k == "cycle_start" || k == "cycle_end",
+            Some(PhaseKind::Point) => k == "cycle",
+            None => k == "cycle" || k == "cycle_start" || k == "cycle_end",
+        };
+        let emitted_keys: BTreeSet<&str> = emitted.keys.iter().map(|(k, _)| k.as_str()).collect();
+        let consumed_keys: BTreeSet<&str> = shape.keys.iter().map(|(k, _)| k.as_str()).collect();
+        for (k, line) in &shape.keys {
+            if !emitted_keys.contains(k.as_str()) && !allowed_cycle(k) {
+                push_diag(
+                    out,
+                    CONSUME_PATH,
+                    *line,
+                    format!("{name}.{k}"),
+                    format!(
+                        "event '{name}' arm consumes arg '{k}' which the emit side never writes (emitted: {}); a renamed key silently corrupts every trace round-trip",
+                        emitted_keys.iter().copied().collect::<Vec<_>>().join(", "),
+                    ),
+                );
+            }
+        }
+        for (k, line) in &emitted.keys {
+            if !consumed_keys.contains(k.as_str()) {
+                push_diag(
+                    out,
+                    EMIT_PATH,
+                    *line,
+                    format!("{name}.{k}"),
+                    format!(
+                        "event '{name}' emits arg '{k}' which t3-prof's parser never consumes; either read it back in make_record or justify the viewer-only arg"
+                    ),
+                );
+            }
+        }
+    }
+    for (name, (_, shape)) in &emit.events {
+        if !consume.contains_key(name) {
+            push_diag(
+                out,
+                EMIT_PATH,
+                shape.line,
+                format!("event.{name}"),
+                format!(
+                    "event '{name}' is emitted but t3-prof's parser has no arm for it; analytics would reject every trace containing one"
+                ),
+            );
+        }
+    }
+    // Analytics passes must only match variants the taxonomy defines.
+    for f in files {
+        if !f.path.starts_with("crates/prof/src/") || f.path == CONSUME_PATH {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        let mut reported: BTreeSet<String> = BTreeSet::new();
+        for i in 0..toks.len() {
+            if let Some(v) = event_variant_at(toks, i) {
+                let Some(variant) = toks[v].ident() else {
+                    continue;
+                };
+                if !emit.variants.contains(variant) && reported.insert(variant.to_string()) {
+                    push_diag(
+                        out,
+                        &f.path,
+                        toks[v].line,
+                        format!("variant.{variant}"),
+                        format!(
+                            "analytics matches Event::{variant}, which the t3-trace taxonomy does not define"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! T3L008 `unit-confusion` — units-flow checking over arithmetic.
+//!
+//! The workspace's integers carry implicit units in their names:
+//! `_cycles`, `_bytes`, `_permille`, `_tokens` (and the bare words).
+//! Mixing them with `+`, `-`, or a comparison type-checks fine — both
+//! sides are `u64` — and yields plausible-looking numbers, which is
+//! exactly the class of bug no test catches until a figure drifts.
+//!
+//! The analysis is statement-local and pattern-based: it flags
+//! `a_cycles <op> b_bytes` where the two operands are *directly
+//! adjacent* to the operator (modulo a `recv.` / `self.` field-access
+//! prefix on the right operand) and their unit suffixes differ.
+//! Deliberately exempt:
+//!
+//! * `*` and `/` — cross-unit products and ratios are the legitimate
+//!   way units combine (`bytes / cycles` is bandwidth);
+//! * operands followed by an explicit `as` cast — the conversion is
+//!   visible at the site;
+//! * test code, and everything outside the TIMING crate scope.
+//!
+//! Like every heuristic here, adjacency trades recall for precision:
+//! a mixed-unit expression routed through a temporary is out of
+//! reach, but every flagged site is a real mixed-unit operation.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::lexer::Token;
+use crate::rules::{rule_by_name, TIMING_CRATES};
+
+/// The unit a name carries, if any: `start_cycles` → `cycles`,
+/// bare `bytes` → `bytes`.
+fn unit_of(name: &str) -> Option<&'static str> {
+    for unit in ["cycles", "bytes", "permille", "tokens"] {
+        if name == unit || name.ends_with(&format!("_{unit}")) {
+            return Some(unit);
+        }
+    }
+    None
+}
+
+/// The binary operator starting at token `i`, with its token length.
+/// `None` for non-operators and for the exempt/ambiguous forms
+/// (`*`, `/`, `->`, `=>`, `<<`, `>>`, generics are excluded by the
+/// both-sides-must-be-units requirement anyway).
+fn operator_at(toks: &[Token], i: usize) -> Option<(&'static str, usize)> {
+    let p = |k: usize, c: char| toks.get(k).is_some_and(|t| t.is_punct(c));
+    if p(i, '+') {
+        return Some(if p(i + 1, '=') { ("+=", 2) } else { ("+", 1) });
+    }
+    if p(i, '-') {
+        if p(i + 1, '>') {
+            return None; // arrow
+        }
+        return Some(if p(i + 1, '=') { ("-=", 2) } else { ("-", 1) });
+    }
+    if p(i, '=') {
+        if p(i + 1, '=') {
+            return Some(("==", 2));
+        }
+        return None; // assignment / `=>` are out of scope
+    }
+    if p(i, '!') && p(i + 1, '=') {
+        return Some(("!=", 2));
+    }
+    if p(i, '<') {
+        if p(i + 1, '<') {
+            return None; // shift
+        }
+        return Some(if p(i + 1, '=') { ("<=", 2) } else { ("<", 1) });
+    }
+    if p(i, '>') {
+        if p(i + 1, '>') {
+            return None;
+        }
+        return Some(if p(i + 1, '=') { (">=", 2) } else { (">", 1) });
+    }
+    None
+}
+
+/// T3L008 — flags directly-adjacent cross-unit `+`/`-`/comparison.
+pub fn check_unit_confusion(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.crate_in(TIMING_CRATES) || ctx.is_test_code {
+        return;
+    }
+    let info = rule_by_name("unit-confusion").expect("registered");
+    let toks = &ctx.lexed.tokens;
+    let mut i = 1usize;
+    while i < toks.len() {
+        let Some((op, len)) = operator_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        // Left operand: the identifier immediately before the operator.
+        let Some(left_unit) = toks[i - 1].ident().and_then(unit_of) else {
+            i += len;
+            continue;
+        };
+        if ctx.in_test_region(i) {
+            i += len;
+            continue;
+        }
+        // Right operand: skip a field-access path (`self.x.`, `recv.`).
+        let mut j = i + len;
+        while toks.get(j).and_then(|t| t.ident()).is_some()
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+        {
+            j += 2;
+        }
+        let Some(right_name) = toks.get(j).and_then(|t| t.ident()) else {
+            i += len;
+            continue;
+        };
+        let Some(right_unit) = unit_of(right_name) else {
+            i += len;
+            continue;
+        };
+        // An explicit cast on the right operand is a visible,
+        // intentional conversion.
+        let casted = toks.get(j + 1).and_then(|t| t.ident()) == Some("as");
+        if left_unit != right_unit && !casted {
+            let left_name = toks[i - 1].ident().unwrap_or_default();
+            out.push(Diagnostic {
+                path: ctx.path.to_string(),
+                line: toks[i].line,
+                rule: info.name,
+                code: info.code,
+                anchor: format!("{left_unit}{op}{right_unit}"),
+                message: format!(
+                    "`{left_name} {op} {right_name}` mixes units ({left_unit} vs {right_unit}): both are integers, so this type-checks and silently corrupts whichever counter receives it; convert explicitly with `as` plus a named temporary, or justify with `t3-lint: allow(unit-confusion) -- <reason>`"
+                ),
+            });
+        }
+        i += len;
+    }
+}

@@ -199,23 +199,214 @@ fn json_output_is_stable_and_parseable_shaped() {
     assert!(json.contains("\"file\": \"crates/net/src/fx.rs\""));
 }
 
-/// The CI gate's twin: the actual workspace must stay clean, with
-/// every suppression justified. Fails here = fails `./ci.sh`.
+// ---------------------------------------------------------------
+// Call-graph rules (T3L006 / T3L007)
+// ---------------------------------------------------------------
+
 #[test]
-fn workspace_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn panic_reachable_fires_through_helper_chain() {
+    let diags = lint_source("crates/gpu/src/fx.rs", &fixture("panic_reachable_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["panic-reachable"], "{diags:?}");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "T3L006");
+    assert_eq!(diags[0].anchor, "take_one.unwrap");
+    // The full chain from the entry is printed in the diagnostic.
+    assert!(
+        diags[0]
+            .message
+            .contains("run_sweep -> drain_all -> take_one"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn panic_reachable_silent_on_modeled_errors_and_test_code() {
+    let diags = lint_source("crates/gpu/src/fx.rs", &fixture("panic_reachable_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn wall_clock_reachable_crosses_crate_boundaries() {
+    // The helper lives in `bench`, where T3L001 is deliberately
+    // silent; reachability from a timing-crate entry still flags it.
+    let diags = t3_lint::lint_files(&[
+        (
+            "crates/gpu/src/probe.rs".to_string(),
+            fixture("wcr_entry.rs"),
+        ),
+        (
+            "crates/bench/src/host.rs".to_string(),
+            fixture("wcr_helper_bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        rules_fired(&diags),
+        vec!["wall-clock-reachable"],
+        "{diags:?}"
+    );
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code, "T3L007");
+    assert_eq!(diags[0].path, "crates/bench/src/host.rs");
+    assert_eq!(diags[0].anchor, "now_marker.Instant");
+    assert!(diags[0].message.contains("run_probe -> now_marker"));
+}
+
+#[test]
+fn wall_clock_reachable_silent_when_chain_is_deterministic() {
+    let diags = t3_lint::lint_files(&[
+        (
+            "crates/gpu/src/probe.rs".to_string(),
+            fixture("wcr_entry.rs"),
+        ),
+        (
+            "crates/bench/src/host.rs".to_string(),
+            fixture("wcr_helper_clean.rs"),
+        ),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------
+// Units flow (T3L008)
+// ---------------------------------------------------------------
+
+#[test]
+fn unit_confusion_fires_on_cross_unit_arithmetic() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("unit_confusion_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["unit-confusion"], "{diags:?}");
+    let anchors: Vec<&str> = diags.iter().map(|d| d.anchor.as_str()).collect();
+    assert_eq!(
+        anchors,
+        vec!["cycles+bytes", "tokens-permille", "bytes<tokens"],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unit_confusion_exempts_ratios_casts_and_same_unit() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("unit_confusion_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    // Out of scope entirely in non-timing crates.
+    let diags = lint_source("crates/bench/src/fx.rs", &fixture("unit_confusion_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------
+// Trace schema (T3L009)
+// ---------------------------------------------------------------
+
+#[test]
+fn trace_schema_catches_renamed_arg_key() {
+    let diags = t3_lint::lint_files(&[
+        (
+            "crates/trace/src/event.rs".to_string(),
+            fixture("schema_emit.rs"),
+        ),
+        (
+            "crates/prof/src/load.rs".to_string(),
+            fixture("schema_consume_bad.rs"),
+        ),
+    ]);
+    assert_eq!(rules_fired(&diags), vec!["trace-schema"], "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    // The consume side asks for a key the emit side never writes...
+    assert_eq!(diags[0].path, "crates/prof/src/load.rs");
+    assert_eq!(diags[0].anchor, "gemm_stage.stage_id");
+    // ...and the emitted key is, symmetrically, never consumed.
+    assert_eq!(diags[1].path, "crates/trace/src/event.rs");
+    assert_eq!(diags[1].anchor, "gemm_stage.stage");
+}
+
+#[test]
+fn trace_schema_clean_when_sides_agree() {
+    let diags = t3_lint::lint_files(&[
+        (
+            "crates/trace/src/event.rs".to_string(),
+            fixture("schema_emit.rs"),
+        ),
+        (
+            "crates/prof/src/load.rs".to_string(),
+            fixture("schema_consume_clean.rs"),
+        ),
+    ]);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn trace_schema_silent_without_both_anchor_files() {
+    // A single-file lint (fixtures, editors) must not fire the rule.
+    let diags = lint_source("crates/prof/src/load.rs", &fixture("schema_consume_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    let diags = lint_source("crates/trace/src/event.rs", &fixture("schema_emit.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------
+// Registry, workspace gate, determinism
+// ---------------------------------------------------------------
+
+#[test]
+fn every_rule_has_full_explain_material() {
+    assert_eq!(t3_lint::RULES.len(), 9, "nine rules T3L001..T3L009");
+    for r in t3_lint::RULES {
+        assert!(!r.summary.is_empty(), "{} summary", r.code);
+        assert!(!r.rationale.is_empty(), "{} rationale", r.code);
+        assert!(!r.example.is_empty(), "{} example", r.code);
+        assert!(!r.suppression.is_empty(), "{} suppression", r.code);
+    }
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels under the workspace root")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+fn apply_baseline(root: &Path, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("checked-in lint-baseline.txt");
+    let mut bad = Vec::new();
+    let entries = t3_lint::baseline::parse(&text, &mut bad);
+    let applied = t3_lint::baseline::apply(diags, &entries, &bad, "lint-baseline.txt");
+    (applied.failing, applied.baselined)
+}
+
+/// The CI gate's twin: the actual workspace must stay clean modulo
+/// the checked-in baseline, with every suppression justified and
+/// every baseline entry still matching a live finding. Fails here =
+/// fails `./ci.sh`.
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
     let diags = t3_lint::lint_workspace(&root).expect("walk workspace");
+    let (failing, _baselined) = apply_baseline(&root, diags);
     assert!(
-        diags.is_empty(),
+        failing.is_empty(),
         "t3-lint violations in the workspace:\n{}",
-        diags
+        failing
             .iter()
             .map(|d| d.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// Double-run byte-identity: the lint holds itself to the invariant
+/// it enforces — JSON and SARIF artifacts are byte-identical across
+/// runs over the same tree.
+#[test]
+fn json_and_sarif_output_byte_identical_across_runs() {
+    let root = workspace_root();
+    let run_a = t3_lint::lint_workspace(&root).expect("walk workspace");
+    let run_b = t3_lint::lint_workspace(&root).expect("walk workspace");
+    assert_eq!(to_json(&run_a), to_json(&run_b));
+    let (fail_a, base_a) = apply_baseline(&root, run_a);
+    let (fail_b, base_b) = apply_baseline(&root, run_b);
+    let sarif_a = t3_lint::to_sarif(&fail_a, &base_a);
+    let sarif_b = t3_lint::to_sarif(&fail_b, &base_b);
+    assert_eq!(sarif_a, sarif_b, "SARIF export must be byte-identical");
+    assert!(sarif_a.contains("\"version\": \"2.1.0\""));
 }
