@@ -32,12 +32,12 @@ echo "==> figures smoke run (parallel runtime, fresh cache)"
 rm -rf target/t3-cache
 ./target/release/figures all --fast --jobs 2 --report target/bench_report.json
 
-echo "==> t3-prof perf-trajectory gate (vs BENCH_8.json)"
+echo "==> t3-prof perf-trajectory gate (vs BENCH_9.json)"
 # Simulated-cycle regression gate against the checked-in baseline.
 # For an intentional perf change, run with T3_PROF_NO_GATE=1 and
 # refresh the baseline in the same change:
-#   ./target/release/figures all --fast --jobs 2 --report BENCH_8.json
-./target/release/t3-prof check target/bench_report.json BENCH_8.json
+#   ./target/release/figures all --fast --jobs 2 --report BENCH_9.json
+./target/release/t3-prof check target/bench_report.json BENCH_9.json
 
 rm -rf target/t3-cache target/bench_report.json
 

@@ -7,8 +7,8 @@
 //!
 //! Targets: `table1 table2 table3 fig4 fig6 fig14 fig15 fig16 fig17
 //! fig18 fig19 fig20 multinode extensions sweep serving serving-fused
-//! all`. `--fast` shrinks workloads 8x in the token dimension for
-//! smoke runs.
+//! ff-speedup all`. `--fast` shrinks workloads 8x in the token
+//! dimension for smoke runs.
 //!
 //! Targets run as jobs on the `t3-runtime` worker pool: `--jobs N`
 //! sets the pool width (default: available parallelism) and outputs
@@ -243,7 +243,7 @@ fn main() -> ExitCode {
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|serving|serving-fused|all> ...] [flags]"
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|serving|serving-fused|ff-speedup|all> ...] [flags]"
     );
     eprintln!("flags:");
     eprintln!("  --fast                 shrink workloads 8x in the token dimension");

@@ -18,12 +18,12 @@
 
 use crate::engine::{run_fused_gemm_rs, FusedOptions, PolicyChoice};
 use t3_gpu::collective::{CollectiveKind, RingCollective};
-use t3_gpu::engine::{run_gemm_isolated, WritePolicy};
+use t3_gpu::engine::{run_gemm_isolated_in_mode, WritePolicy};
 use t3_gpu::gemm::{GemmGrid, GemmShape};
 use t3_mem::nmc::ReductionSubstrate;
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::TrafficStats;
-use t3_sim::Cycle;
+use t3_sim::{Cycle, SimMode};
 
 /// One of the paper's evaluated configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,12 +79,24 @@ impl Configuration {
     /// assert!(t3.total_cycles < seq.total_cycles);
     /// ```
     pub fn run(self, sys: &SystemConfig, shape: &GemmShape) -> SublayerOutcome {
+        self.run_in_mode(sys, shape, SimMode::default())
+    }
+
+    /// [`Configuration::run`] with an explicit [`SimMode`] for the
+    /// cycle-stepped components (the collective baselines are analytic
+    /// and mode-independent). Both modes are byte-identical.
+    pub fn run_in_mode(
+        self,
+        sys: &SystemConfig,
+        shape: &GemmShape,
+        mode: SimMode,
+    ) -> SublayerOutcome {
         let grid = GemmGrid::new(&sys.gpu, *shape);
         let payload = shape.output_bytes();
         let ag = RingCollective::baseline(CollectiveKind::AllGather, payload, sys).simulate(sys);
         match self {
             Configuration::Sequential => {
-                let gemm = run_gemm_isolated(sys, grid, WritePolicy::CachedLocal);
+                let gemm = run_gemm_isolated_in_mode(sys, grid, WritePolicy::CachedLocal, mode);
                 let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, sys)
                     .simulate(sys);
                 let mut stats = gemm.stats.clone();
@@ -110,6 +122,7 @@ impl Configuration {
                     grid,
                     &FusedOptions {
                         policy,
+                        mode,
                         ..FusedOptions::default()
                     },
                 );
@@ -125,7 +138,7 @@ impl Configuration {
                 }
             }
             Configuration::IdealOverlap | Configuration::IdealRsNmc => {
-                let gemm = run_gemm_isolated(sys, grid, WritePolicy::CachedLocal);
+                let gemm = run_gemm_isolated_in_mode(sys, grid, WritePolicy::CachedLocal, mode);
                 let rs = RingCollective::baseline(CollectiveKind::ReduceScatter, payload, sys)
                     .with_nmc(self == Configuration::IdealRsNmc)
                     .simulate(sys);
@@ -153,12 +166,14 @@ impl Configuration {
                 substrate: ReductionSubstrate::NearMemory,
                 stagger: true,
                 timeseries_bucket: None,
+                mode: SimMode::default(),
             }),
             Configuration::T3Mca => Some(FusedOptions {
                 policy: PolicyChoice::McaDynamic,
                 substrate: ReductionSubstrate::NearMemory,
                 stagger: true,
                 timeseries_bucket: None,
+                mode: SimMode::default(),
             }),
             _ => None,
         }

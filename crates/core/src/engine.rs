@@ -43,7 +43,7 @@ use t3_net::ring::Ring;
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
 use t3_sim::timeseries::TimeSeries;
-use t3_sim::{Bytes, Cycle};
+use t3_sim::{Bytes, Cycle, SimMode};
 use t3_trace::{reborrow, Event, Instruments};
 
 /// One-time lookup of the `T3_TRACE` debug-print switch. The cycle
@@ -91,6 +91,10 @@ pub struct FusedOptions {
     pub stagger: bool,
     /// Record a DRAM-traffic time series with this bucket width.
     pub timeseries_bucket: Option<Cycle>,
+    /// How the engine loop advances time. Both modes are
+    /// byte-identical; [`SimMode::Stepped`] is the reference path kept
+    /// for the equivalence tests.
+    pub mode: SimMode,
 }
 
 impl Default for FusedOptions {
@@ -100,7 +104,17 @@ impl Default for FusedOptions {
             substrate: ReductionSubstrate::NearMemory,
             stagger: true,
             timeseries_bucket: None,
+            mode: SimMode::default(),
         }
+    }
+}
+
+/// Minimum of two optional event cycles (`None` = no event).
+pub(crate) fn min_event(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 
@@ -513,7 +527,27 @@ pub fn run_fused_gemm_rs_instrumented(
             break;
         }
 
-        now += 1;
+        // Fast-forward: with the controller quiescent, nothing can
+        // happen before the earliest component event — leap straight to
+        // it, replaying the skipped controller bookkeeping. A tracker
+        // fire can only follow a controller service or a GEMM store,
+        // both of which require an event first, so no fire is skipped.
+        now = if opts.mode == SimMode::FastForward && mc.is_idle() {
+            let pending_at = pending_incoming.iter().map(|p| p.at.max(now + 1)).min();
+            let target = min_event(
+                min_event(gemm.next_event(now, &mc), dma.next_event(now, &mc)),
+                pending_at,
+            );
+            match target {
+                Some(t) if t > now + 1 => {
+                    mc.skip_idle(now + 1, t, reborrow(&mut ins));
+                    t
+                }
+                _ => now + 1,
+            }
+        } else {
+            now + 1
+        };
         assert!(now < 4_000_000_000, "fused run failed to converge");
     }
 
@@ -734,7 +768,19 @@ pub fn run_fused_gemm_direct_rs(
         {
             break;
         }
-        now += 1;
+        now = if opts.mode == SimMode::FastForward && mc.is_idle() {
+            let pending_at = pending_incoming.iter().map(|p| p.0.max(now + 1)).min();
+            let link_at = links.iter().filter_map(|l| l.next_event(now)).min();
+            match min_event(min_event(gemm.next_event(now, &mc), link_at), pending_at) {
+                Some(t) if t > now + 1 => {
+                    mc.skip_idle(now + 1, t, None);
+                    t
+                }
+                _ => now + 1,
+            }
+        } else {
+            now + 1
+        };
         if debug_trace() && now.is_multiple_of(500_000) {
             eprintln!(
                 "[{now}] direct: gemm_done={gemm_done} trig={triggered_wfs}/{expected_wfs} pend={} feed={} mc_idle={} links_idle={}",
@@ -859,7 +905,19 @@ pub fn run_fused_gemm_all_to_all(
         if gemm_done && pending_incoming.is_empty() && links_idle && mc.is_idle() {
             break;
         }
-        now += 1;
+        now = if opts.mode == SimMode::FastForward && mc.is_idle() {
+            let pending_at = pending_incoming.iter().map(|p| p.0.max(now + 1)).min();
+            let link_at = links.iter().filter_map(|l| l.next_event(now)).min();
+            match min_event(min_event(gemm.next_event(now, &mc), link_at), pending_at) {
+                Some(t) if t > now + 1 => {
+                    mc.skip_idle(now + 1, t, None);
+                    t
+                }
+                _ => now + 1,
+            }
+        } else {
+            now + 1
+        };
         assert!(now < 4_000_000_000, "all-to-all fusion failed to converge");
     }
     let _ = incoming_enqueued;

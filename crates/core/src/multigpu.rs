@@ -28,11 +28,32 @@
 //!   incoming passes have been counted by the Tracker. No DMAs are
 //!   needed; messages crossing a shared switch port or a slow
 //!   inter-node link contend in the fabric's per-link serialisers.
+//!
+//! # Engines
+//!
+//! Three byte-identical ways to advance time:
+//!
+//! * **Stepped** ([`t3_sim::SimMode::Stepped`]): the reference loop —
+//!   every device steps every cycle.
+//! * **Fast-forward** ([`t3_sim::SimMode::FastForward`], the default):
+//!   when every memory controller is idle, the loop leaps `now`
+//!   straight to the minimum of each component's
+//!   `next_event` — GEMM stage boundaries, fabric inbox arrivals —
+//!   replaying the skipped idle cycles' side effects (tracer samples,
+//!   arbiter wait counters, credit regeneration) exactly.
+//! * **Sharded** ([`run_multi_gpu_fused_rs_sharded`]): devices are
+//!   partitioned across worker threads and simulate windows of
+//!   `1 + min link latency` cycles independently (no message sent
+//!   inside a window can arrive within it), buffering outgoing sends;
+//!   each window barrier replays the buffered sends into the shared
+//!   fabric in the exact order the sequential loop would have used.
 
 use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::thread;
 
 use crate::addrmap::{ChunkRoute, OutputConfig};
-use crate::engine::{FusedOptions, FusedRunResult};
+use crate::engine::{min_event, FusedOptions, FusedRunResult};
 use crate::tracker::{Tracker, TrackerConfig, WfId};
 use t3_gpu::engine::{GemmEngine, GemmEvent};
 use t3_gpu::gemm::GemmGrid;
@@ -41,8 +62,8 @@ use t3_mem::llc::Llc;
 use t3_net::ring::Ring;
 use t3_sim::config::SystemConfig;
 use t3_sim::stats::{TrafficClass, TrafficStats};
-use t3_sim::{Bytes, Cycle};
-use t3_topo::{Fabric, Schedule, Topology};
+use t3_sim::{Bytes, Cycle, SimMode};
+use t3_topo::{Arrival, Fabric, Schedule, Topology};
 use t3_trace::{reborrow, Event, Instruments};
 
 /// Result of an explicit multi-GPU fused run.
@@ -137,6 +158,118 @@ struct Incoming {
     bytes: Bytes,
 }
 
+impl From<Arrival> for Incoming {
+    fn from(a: Arrival) -> Self {
+        Incoming {
+            global_chunk: a.tag as usize,
+            bytes: a.bytes,
+        }
+    }
+}
+
+/// A fabric send a sharded worker buffered during its window, replayed
+/// at the barrier in `(cycle, device, program order)`.
+#[derive(Debug, Clone, Copy)]
+struct SendIntent {
+    cycle: Cycle,
+    src: usize,
+    dst: usize,
+    tag: u64,
+    bytes: Bytes,
+}
+
+/// Where a device's outgoing fabric traffic goes: straight onto the
+/// shared fabric (sequential engines) or into a per-worker buffer for
+/// deterministic replay at the window barrier (sharded engine — which
+/// never instruments, so the buffered variant ignores `ins`).
+enum SendSink<'a> {
+    Fabric(&'a mut Fabric),
+    Buffer(&'a mut Vec<SendIntent>),
+}
+
+impl SendSink<'_> {
+    /// A fine-grained remote-update stream send.
+    fn send_update(
+        &mut self,
+        now: Cycle,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: Bytes,
+        ins: Option<&mut Instruments>,
+    ) {
+        match self {
+            SendSink::Fabric(fabric) => {
+                fabric.send_traced(now, src, dst, tag, bytes, ins);
+            }
+            SendSink::Buffer(intents) => {
+                debug_assert!(ins.is_none(), "sharded windows are uninstrumented");
+                intents.push(SendIntent {
+                    cycle: now,
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                });
+            }
+        }
+    }
+
+    /// A Tracker-fired DMA chunk send; records the chunk's wire span
+    /// as a [`Event::ChunkSend`] when instrumented.
+    fn send_dma(
+        &mut self,
+        now: Cycle,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        bytes: Bytes,
+        mut ins: Option<&mut Instruments>,
+    ) {
+        match self {
+            SendSink::Fabric(fabric) => {
+                let out_port = fabric.topo().route(src, dst)[0];
+                let hops = fabric.topo().route(src, dst).len() as u64;
+                let start = fabric.link(out_port).busy_until().max(now);
+                fabric.send_traced(now, src, dst, tag, bytes, reborrow(&mut ins));
+                if let Some(ins) = ins {
+                    let end = fabric.link(out_port).busy_until();
+                    ins.record(
+                        end,
+                        Event::ChunkSend {
+                            chunk: tag,
+                            bytes,
+                            hops,
+                            start,
+                            end,
+                        },
+                    );
+                    ins.add("dma.chunks_sent", 1);
+                }
+            }
+            SendSink::Buffer(intents) => {
+                debug_assert!(ins.is_none(), "sharded windows are uninstrumented");
+                intents.push(SendIntent {
+                    cycle: now,
+                    src,
+                    dst,
+                    tag,
+                    bytes,
+                });
+            }
+        }
+    }
+}
+
+/// Read-only per-run geometry shared by every device step.
+struct StepCtx<'a> {
+    grid: &'a GemmGrid,
+    global_bounds: &'a [(u64, u64)],
+    elem_bytes: u64,
+    update_cost: f64,
+    mode: SimMode,
+}
+
 /// Runs the fused GEMM-RS with every GPU simulated explicitly, on the
 /// ring fabric the paper evaluates.
 ///
@@ -170,24 +303,18 @@ pub fn run_multi_gpu_fused_rs_instrumented(
     run_multi_gpu_fused_rs_on(sys, grid, opts, &topo, ins)
 }
 
-/// Runs the fused GEMM + reduce-scatter with every GPU simulated
-/// explicitly over an arbitrary fabric. A ring topology reproduces
-/// [`run_multi_gpu_fused_rs`] exactly; any other fabric runs the
-/// direct schedule with multi-hop, per-link-contended traffic (see
-/// the module docs).
+/// Builds the per-device simulation state and the shared fabric.
 ///
 /// # Panics
 ///
-/// Panics if the topology's GPU count differs from `sys.num_gpus`, if
-/// the substrate cannot reduce in memory, or on non-convergence
-/// (internal error).
-pub fn run_multi_gpu_fused_rs_on(
+/// Panics on the option/topology preconditions shared by every engine
+/// entry point (see [`run_multi_gpu_fused_rs_on`]).
+fn build_run(
     sys: &SystemConfig,
-    grid: GemmGrid,
+    grid: &GemmGrid,
     opts: &FusedOptions,
     topo: &Topology,
-    mut ins: Option<&mut Instruments>,
-) -> MultiGpuResult {
+) -> (Vec<Gpu>, Fabric, Vec<(u64, u64)>) {
     assert!(
         opts.substrate.reduces_in_memory(),
         "fused T3 requires an in-memory reduction substrate"
@@ -206,16 +333,14 @@ pub fn run_multi_gpu_fused_rs_on(
     let configs: Vec<OutputConfig> = (0..n)
         .map(|d| OutputConfig::from_reduce_scatter_schedule(&sched, d))
         .collect();
-    let mut fabric = Fabric::new(topo);
-    let elem_bytes = grid.shape().elem_bytes;
-    let update_cost = opts.substrate.update_cost_multiplier(&sys.mem);
+    let fabric = Fabric::new(topo);
 
     // Global chunk geometry.
     let global_bounds: Vec<(u64, u64)> = (0..n)
         .map(|c| grid.chunk_wg_bounds(n as u64, c as u64))
         .collect();
 
-    let mut gpus: Vec<Gpu> = (0..n)
+    let gpus: Vec<Gpu> = (0..n)
         .map(|d| {
             // Local execution order: positions 0..n. On a ring,
             // position p is global chunk (d + p) % n and everything
@@ -252,7 +377,7 @@ pub fn run_multi_gpu_fused_rs_on(
                     incoming_passes,
                     triggered_wfs: 0,
                     expected_wfs: if route.tracked() {
-                        count_nonempty_wfs(&grid, g0, g1)
+                        count_nonempty_wfs(grid, g0, g1)
                     } else {
                         0
                     },
@@ -278,296 +403,265 @@ pub fn run_multi_gpu_fused_rs_on(
             }
         })
         .collect();
+    (gpus, fabric, global_bounds)
+}
 
-    let mut now: Cycle = 0;
-    loop {
-        // Phase A: drain fabric deliveries per destination GPU.
-        let mut arrivals: Vec<Vec<Incoming>> = vec![Vec::new(); n];
-        for (d, list) in arrivals.iter_mut().enumerate() {
-            for delivery in fabric.deliveries_until(d, now) {
-                list.push(Incoming {
-                    global_chunk: delivery.tag as usize,
-                    bytes: delivery.bytes,
-                });
+/// Feeds one device's fabric arrivals for this cycle into its memory
+/// controller (phase A of the stepped loop). `ins` must be `Some`
+/// only for the instrumented device.
+fn deliver_incoming(
+    gpu: &mut Gpu,
+    now: Cycle,
+    incoming: &[Incoming],
+    ctx: &StepCtx,
+    mut ins: Option<&mut Instruments>,
+) {
+    for &inc in incoming {
+        if let Some(ins) = reborrow(&mut ins) {
+            ins.record(
+                now,
+                Event::ChunkRecv {
+                    chunk: inc.global_chunk as u64,
+                    bytes: inc.bytes,
+                },
+            );
+            ins.add("chunks.received", 1);
+        }
+        let pos = gpu
+            .chunks
+            .iter()
+            .position(|c| c.global_chunk == inc.global_chunk)
+            .expect("chunk routed to wrong GPU");
+        if !gpu.chunks[pos].feed_built {
+            for _ in 0..gpu.chunks[pos].incoming_passes {
+                build_feed(
+                    ctx.grid,
+                    ctx.global_bounds[inc.global_chunk],
+                    pos,
+                    &mut gpu.feed,
+                    ctx.elem_bytes,
+                );
+            }
+            gpu.chunks[pos].feed_built = true;
+        }
+        gpu.mc.enqueue(
+            StreamId::Comm,
+            TrafficClass::RsUpdate,
+            inc.bytes,
+            ctx.update_cost,
+        );
+    }
+}
+
+/// One device's full per-cycle step: memory controller, incoming
+/// update attribution, GEMM progress, DMA engine, trigger fires and
+/// completion bookkeeping. Outgoing traffic goes through `sink` so
+/// the sharded engine can defer it to its window barrier. `ins` must
+/// be `Some` only for the instrumented device.
+fn step_device(
+    gpu: &mut Gpu,
+    d: usize,
+    now: Cycle,
+    ctx: &StepCtx,
+    sink: &mut SendSink,
+    mut ins: Option<&mut Instruments>,
+) {
+    gpu.mc.step_traced(now, None, reborrow(&mut ins));
+
+    // Attribute serviced incoming updates.
+    let serviced = gpu.mc.stats().bytes(TrafficClass::RsUpdate);
+    if serviced > gpu.rs_update_seen {
+        let mut delta = serviced - gpu.rs_update_seen;
+        gpu.rs_update_seen = serviced;
+        while delta > 0 {
+            let entry = gpu.feed.front_mut().expect("serviced more than announced");
+            let take = delta.min(entry.region_bytes - entry.consumed_bytes);
+            entry.consumed_bytes += take;
+            delta -= take;
+            if entry.consumed_bytes == entry.region_bytes {
+                let e = *entry;
+                gpu.feed.pop_front();
+                let region_elems = e.region_bytes / ctx.elem_bytes;
+                let updates = gpu.chunks[e.position].route.updates_per_element();
+                if gpu
+                    .tracker
+                    .record_update(e.wf, e.addr, region_elems, region_elems, updates)
+                    .is_some()
+                {
+                    gpu.chunks[e.position].triggered_wfs += 1;
+                }
             }
         }
-        for (d, incoming_list) in arrivals.into_iter().enumerate() {
-            let gpu = &mut gpus[d];
-            for incoming in incoming_list {
-                if d == 0 {
-                    if let Some(ins) = reborrow(&mut ins) {
-                        ins.record(
-                            now,
-                            Event::ChunkRecv {
-                                chunk: incoming.global_chunk as u64,
-                                bytes: incoming.bytes,
-                            },
-                        );
-                        ins.add("chunks.received", 1);
-                    }
-                }
+    }
+
+    // GEMM progress.
+    match gpu.gemm.step(now, &mut gpu.mc, &mut gpu.llc) {
+        GemmEvent::Idle => {}
+        GemmEvent::Finished => gpu.gemm_done = true,
+        GemmEvent::StageStoresIssued {
+            stage,
+            wg_start,
+            wg_end,
+            bytes,
+            started,
+            compute_cycles,
+        } => {
+            if let Some(ins) = reborrow(&mut ins) {
+                ins.record(
+                    now,
+                    Event::GemmStage {
+                        stage,
+                        wg_start,
+                        wg_end,
+                        start: started,
+                        end: now,
+                        bytes,
+                        compute_cycles,
+                    },
+                );
+                ins.add("gemm.stages", 1);
+            }
+            if !gpu.first_stage_done {
+                let frac = gpu.mc.avg_occupancy_fraction();
+                gpu.mc.observe_compute_intensity(frac);
+                gpu.first_stage_done = true;
+            }
+            let mut wg = wg_start;
+            while wg < wg_end {
                 let pos = gpu
                     .chunks
                     .iter()
-                    .position(|c| c.global_chunk == incoming.global_chunk)
-                    .expect("chunk routed to wrong GPU");
-                if !gpu.chunks[pos].feed_built {
-                    for _ in 0..gpu.chunks[pos].incoming_passes {
-                        build_feed(
-                            &grid,
-                            global_bounds[incoming.global_chunk],
-                            pos,
-                            &mut gpu.feed,
-                            elem_bytes,
+                    .position(|c| wg >= c.wg_bounds.0 && wg < c.wg_bounds.1)
+                    .expect("wg outside chunk space");
+                let upper = gpu.chunks[pos].wg_bounds.1.min(wg_end);
+                // Bytes via the *global* chunk's tiles: local WG
+                // index offsets map 1:1 onto the rotated global
+                // range.
+                let (g0, _) = ctx.global_bounds[gpu.chunks[pos].global_chunk];
+                let local0 = gpu.chunks[pos].wg_bounds.0;
+                let bytes = ctx
+                    .grid
+                    .wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
+                match gpu.chunks[pos].route {
+                    ChunkRoute::RemoteUpdate { .. } => {
+                        let dest = gpu.chunks[pos]
+                            .dest
+                            .expect("remote chunk has a destination");
+                        sink.send_update(
+                            now,
+                            d,
+                            dest,
+                            gpu.chunks[pos].global_chunk as u64,
+                            bytes,
+                            reborrow(&mut ins),
                         );
                     }
-                    gpu.chunks[pos].feed_built = true;
+                    ChunkRoute::LocalOnly { .. } | ChunkRoute::LocalThenDmaUpdate { .. } => {
+                        gpu.mc.enqueue(
+                            StreamId::Compute,
+                            TrafficClass::GemmWrite,
+                            bytes,
+                            ctx.update_cost,
+                        );
+                        record_local(
+                            ctx.grid,
+                            gpu,
+                            pos,
+                            g0 + (wg - local0),
+                            g0 + (upper - local0),
+                            ctx.elem_bytes,
+                        );
+                    }
+                    _ => unreachable!("fused RS uses no other routes"),
                 }
-                gpu.mc.enqueue(
-                    StreamId::Comm,
-                    TrafficClass::RsUpdate,
-                    incoming.bytes,
-                    update_cost,
-                );
+                wg = upper;
             }
         }
-
-        for (d, gpu) in gpus.iter_mut().enumerate() {
-            if d == 0 {
-                gpu.mc.step_traced(now, None, reborrow(&mut ins));
-            } else {
-                gpu.mc.step(now, None);
-            }
-
-            // Attribute serviced incoming updates.
-            let serviced = gpu.mc.stats().bytes(TrafficClass::RsUpdate);
-            if serviced > gpu.rs_update_seen {
-                let mut delta = serviced - gpu.rs_update_seen;
-                gpu.rs_update_seen = serviced;
-                while delta > 0 {
-                    let entry = gpu.feed.front_mut().expect("serviced more than announced");
-                    let take = delta.min(entry.region_bytes - entry.consumed_bytes);
-                    entry.consumed_bytes += take;
-                    delta -= take;
-                    if entry.consumed_bytes == entry.region_bytes {
-                        let e = *entry;
-                        gpu.feed.pop_front();
-                        let region_elems = e.region_bytes / elem_bytes;
-                        let updates = gpu.chunks[e.position].route.updates_per_element();
-                        if gpu
-                            .tracker
-                            .record_update(e.wf, e.addr, region_elems, region_elems, updates)
-                            .is_some()
-                        {
-                            gpu.chunks[e.position].triggered_wfs += 1;
-                        }
-                    }
-                }
-            }
-
-            // GEMM progress.
-            match gpu.gemm.step(now, &mut gpu.mc, &mut gpu.llc) {
-                GemmEvent::Idle => {}
-                GemmEvent::Finished => gpu.gemm_done = true,
-                GemmEvent::StageStoresIssued {
-                    stage,
-                    wg_start,
-                    wg_end,
-                    bytes,
-                    started,
-                    compute_cycles,
-                } => {
-                    if d == 0 {
-                        if let Some(ins) = reborrow(&mut ins) {
-                            ins.record(
-                                now,
-                                Event::GemmStage {
-                                    stage,
-                                    wg_start,
-                                    wg_end,
-                                    start: started,
-                                    end: now,
-                                    bytes,
-                                    compute_cycles,
-                                },
-                            );
-                            ins.add("gemm.stages", 1);
-                        }
-                    }
-                    if !gpu.first_stage_done {
-                        let frac = gpu.mc.avg_occupancy_fraction();
-                        gpu.mc.observe_compute_intensity(frac);
-                        gpu.first_stage_done = true;
-                    }
-                    let mut wg = wg_start;
-                    while wg < wg_end {
-                        let pos = gpu
-                            .chunks
-                            .iter()
-                            .position(|c| wg >= c.wg_bounds.0 && wg < c.wg_bounds.1)
-                            .expect("wg outside chunk space");
-                        let upper = gpu.chunks[pos].wg_bounds.1.min(wg_end);
-                        // Bytes via the *global* chunk's tiles: local WG
-                        // index offsets map 1:1 onto the rotated global
-                        // range.
-                        let (g0, _) = global_bounds[gpu.chunks[pos].global_chunk];
-                        let local0 = gpu.chunks[pos].wg_bounds.0;
-                        let bytes =
-                            grid.wg_range_output_bytes(g0 + (wg - local0), g0 + (upper - local0));
-                        match gpu.chunks[pos].route {
-                            ChunkRoute::RemoteUpdate { .. } => {
-                                let dest = gpu.chunks[pos]
-                                    .dest
-                                    .expect("remote chunk has a destination");
-                                let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
-                                fabric.send_traced(
-                                    now,
-                                    d,
-                                    dest,
-                                    gpu.chunks[pos].global_chunk as u64,
-                                    bytes,
-                                    link_ins,
-                                );
-                            }
-                            ChunkRoute::LocalOnly { .. }
-                            | ChunkRoute::LocalThenDmaUpdate { .. } => {
-                                gpu.mc.enqueue(
-                                    StreamId::Compute,
-                                    TrafficClass::GemmWrite,
-                                    bytes,
-                                    update_cost,
-                                );
-                                record_local(
-                                    &grid,
-                                    gpu,
-                                    pos,
-                                    g0 + (wg - local0),
-                                    g0 + (upper - local0),
-                                    elem_bytes,
-                                );
-                            }
-                            _ => unreachable!("fused RS uses no other routes"),
-                        }
-                        wg = upper;
-                    }
-                }
-            }
-
-            // DMA engine: one source read in flight, then the fabric.
-            if let Some((pos, target)) = gpu.dma_reading {
-                if gpu.mc.stats().bytes(TrafficClass::RsRead) >= target {
-                    let chunk = gpu.chunks[pos].global_chunk as u64;
-                    let payload = gpu.chunks[pos].bytes;
-                    let dest = gpu.chunks[pos].dest.expect("DMA chunk has a destination");
-                    let out_port = topo.route(d, dest)[0];
-                    let start = fabric.link(out_port).busy_until().max(now);
-                    let link_ins = if d == 0 { reborrow(&mut ins) } else { None };
-                    fabric.send_traced(now, d, dest, chunk, payload, link_ins);
-                    if d == 0 {
-                        if let Some(ins) = reborrow(&mut ins) {
-                            let end = fabric.link(out_port).busy_until();
-                            ins.record(
-                                end,
-                                Event::ChunkSend {
-                                    chunk,
-                                    bytes: payload,
-                                    hops: topo.route(d, dest).len() as u64,
-                                    start,
-                                    end,
-                                },
-                            );
-                            ins.add("dma.chunks_sent", 1);
-                        }
-                    }
-                    gpu.dma_transfers += 1;
-                    gpu.dma_reading = None;
-                }
-            }
-            if gpu.dma_reading.is_none() {
-                if let Some(pos) = gpu.dma_queue.pop_front() {
-                    let target = gpu.mc.stats().bytes(TrafficClass::RsRead) + gpu.chunks[pos].bytes;
-                    gpu.mc.enqueue(
-                        StreamId::Comm,
-                        TrafficClass::RsRead,
-                        gpu.chunks[pos].bytes,
-                        1.0,
-                    );
-                    gpu.dma_reading = Some((pos, target));
-                }
-            }
-            // Fire DMAs for completed steady-state chunks.
-            for pos in 0..gpu.chunks.len() {
-                let c = &mut gpu.chunks[pos];
-                if c.route.uses_dma() && !c.dma_fired && c.triggered_wfs == c.expected_wfs {
-                    c.dma_fired = true;
-                    if d == 0 {
-                        if let Some(ins) = reborrow(&mut ins) {
-                            ins.record(
-                                now,
-                                Event::DmaTriggerFire {
-                                    chunk: c.global_chunk as u64,
-                                    bytes: c.bytes,
-                                },
-                            );
-                            ins.add("dma.triggers_fired", 1);
-                        }
-                    }
-                    gpu.dma_queue.push_back(pos);
-                }
-            }
-
-            // Completion bookkeeping (fabric payloads may still be in
-            // flight toward a peer; that time belongs to the receiver,
-            // which cannot finish before consuming them).
-            let chunks_done = gpu
-                .chunks
-                .iter()
-                .all(|c| !c.route.tracked() || c.triggered_wfs == c.expected_wfs);
-            if gpu.finished_at.is_none()
-                && gpu.gemm_done
-                && chunks_done
-                && gpu.feed.is_empty()
-                && gpu.dma_reading.is_none()
-                && gpu.dma_queue.is_empty()
-                && gpu.mc.is_idle()
-            {
-                gpu.finished_at = Some(now);
-            }
-        }
-
-        let all_done = gpus.iter().all(|g| g.finished_at.is_some()) && fabric.busy_until() <= now;
-        if all_done {
-            break;
-        }
-        now += 1;
-        assert!(now < 4_000_000_000, "multi-GPU run failed to converge");
     }
 
+    // DMA engine: one source read in flight, then the fabric.
+    if let Some((pos, target)) = gpu.dma_reading {
+        if gpu.mc.stats().bytes(TrafficClass::RsRead) >= target {
+            let chunk = gpu.chunks[pos].global_chunk as u64;
+            let payload = gpu.chunks[pos].bytes;
+            let dest = gpu.chunks[pos].dest.expect("DMA chunk has a destination");
+            sink.send_dma(now, d, dest, chunk, payload, reborrow(&mut ins));
+            gpu.dma_transfers += 1;
+            gpu.dma_reading = None;
+        }
+    }
+    if gpu.dma_reading.is_none() {
+        if let Some(pos) = gpu.dma_queue.pop_front() {
+            let target = gpu.mc.stats().bytes(TrafficClass::RsRead) + gpu.chunks[pos].bytes;
+            gpu.mc.enqueue(
+                StreamId::Comm,
+                TrafficClass::RsRead,
+                gpu.chunks[pos].bytes,
+                1.0,
+            );
+            gpu.dma_reading = Some((pos, target));
+        }
+    }
+    // Fire DMAs for completed steady-state chunks.
+    for pos in 0..gpu.chunks.len() {
+        let c = &mut gpu.chunks[pos];
+        if c.route.uses_dma() && !c.dma_fired && c.triggered_wfs == c.expected_wfs {
+            c.dma_fired = true;
+            if let Some(ins) = reborrow(&mut ins) {
+                ins.record(
+                    now,
+                    Event::DmaTriggerFire {
+                        chunk: c.global_chunk as u64,
+                        bytes: c.bytes,
+                    },
+                );
+                ins.add("dma.triggers_fired", 1);
+            }
+            gpu.dma_queue.push_back(pos);
+        }
+    }
+
+    // Completion bookkeeping (fabric payloads may still be in
+    // flight toward a peer; that time belongs to the receiver,
+    // which cannot finish before consuming them).
+    let chunks_done = gpu
+        .chunks
+        .iter()
+        .all(|c| !c.route.tracked() || c.triggered_wfs == c.expected_wfs);
+    if gpu.finished_at.is_none()
+        && gpu.gemm_done
+        && chunks_done
+        && gpu.feed.is_empty()
+        && gpu.dma_reading.is_none()
+        && gpu.dma_queue.is_empty()
+        && gpu.mc.is_idle()
+    {
+        gpu.finished_at = Some(now);
+    }
+}
+
+/// The next cycle strictly after `now` at which stepping this device
+/// can change its observable state, assuming nothing new arrives from
+/// the fabric. `None` when the device is inert until external input.
+///
+/// A pending DMA (queued or reading) pins the very next cycle: the
+/// engine polls it every cycle and an un-serviced source read keeps
+/// the memory controller busy anyway.
+fn device_next_event(gpu: &Gpu, now: Cycle) -> Option<Cycle> {
+    if gpu.dma_reading.is_some() || !gpu.dma_queue.is_empty() {
+        return Some(now + 1);
+    }
+    min_event(gpu.mc.next_event(now), gpu.gemm.next_event(now, &gpu.mc))
+}
+
+/// Assembles the run result once every device has finished.
+fn finish_result(gpus: &[Gpu], fabric: &Fabric) -> MultiGpuResult {
     let per_gpu_cycles: Vec<Cycle> = gpus
         .iter()
         .map(|g| g.finished_at.expect("all finished"))
         .collect();
     let max = *per_gpu_cycles.iter().max().expect("non-empty");
     let min = *per_gpu_cycles.iter().min().expect("non-empty");
-    if let Some(ins) = reborrow(&mut ins) {
-        let gpu0 = &gpus[0];
-        ins.record(
-            max,
-            Event::LlcSample {
-                hits: gpu0.llc.hits(),
-                misses: gpu0.llc.misses(),
-            },
-        );
-        if let Some(m) = ins.metrics.as_mut() {
-            m.set("run.cycles", max);
-            m.set("run.skew", max - min);
-            m.set("dma.transfers", gpus.iter().map(|g| g.dma_transfers).sum());
-            m.set("tracker.peak_entries", gpu0.tracker.peak_entries() as u64);
-            m.set("llc.hits", gpu0.llc.hits());
-            m.set("llc.misses", gpu0.llc.misses());
-            m.record_traffic(gpu0.mc.stats());
-        }
-    }
     MultiGpuResult {
         cycles: max,
         skew: max - min,
@@ -576,6 +670,259 @@ pub fn run_multi_gpu_fused_rs_on(
         link_bytes: fabric.link_bytes(),
         per_gpu_cycles,
     }
+}
+
+/// Runs the fused GEMM + reduce-scatter with every GPU simulated
+/// explicitly over an arbitrary fabric. A ring topology reproduces
+/// [`run_multi_gpu_fused_rs`] exactly; any other fabric runs the
+/// direct schedule with multi-hop, per-link-contended traffic (see
+/// the module docs).
+///
+/// `opts.mode` selects stepped or fast-forward time advancement; the
+/// two are byte-identical (the stepped path is the reference kept for
+/// the equivalence tests).
+///
+/// # Panics
+///
+/// Panics if the topology's GPU count differs from `sys.num_gpus`, if
+/// the substrate cannot reduce in memory, or on non-convergence
+/// (internal error).
+pub fn run_multi_gpu_fused_rs_on(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+    topo: &Topology,
+    mut ins: Option<&mut Instruments>,
+) -> MultiGpuResult {
+    let (mut gpus, mut fabric, global_bounds) = build_run(sys, &grid, opts, topo);
+    let ctx = StepCtx {
+        grid: &grid,
+        global_bounds: &global_bounds,
+        elem_bytes: grid.shape().elem_bytes,
+        update_cost: opts.substrate.update_cost_multiplier(&sys.mem),
+        mode: opts.mode,
+    };
+
+    let mut now: Cycle = 0;
+    loop {
+        for (d, gpu) in gpus.iter_mut().enumerate() {
+            let mut dev_ins = if d == 0 { reborrow(&mut ins) } else { None };
+            let incoming: Vec<Incoming> = fabric
+                .deliveries_until(d, now)
+                .into_iter()
+                .map(Incoming::from)
+                .collect();
+            deliver_incoming(gpu, now, &incoming, &ctx, reborrow(&mut dev_ins));
+            step_device(
+                gpu,
+                d,
+                now,
+                &ctx,
+                &mut SendSink::Fabric(&mut fabric),
+                dev_ins,
+            );
+        }
+
+        let all_done = gpus.iter().all(|g| g.finished_at.is_some()) && fabric.busy_until() <= now;
+        if all_done {
+            break;
+        }
+        // Fast-forward leap: with every memory controller drained the
+        // only future events are GEMM phase boundaries and fabric
+        // arrivals; jump straight to the earliest one, replaying the
+        // skipped idle cycles on each controller.
+        now = if ctx.mode == SimMode::FastForward && gpus.iter().all(|g| g.mc.is_idle()) {
+            let device_events = gpus.iter().filter_map(|g| device_next_event(g, now)).min();
+            match min_event(device_events, fabric.next_event(now)) {
+                Some(t) if t > now + 1 => {
+                    for (d, gpu) in gpus.iter_mut().enumerate() {
+                        let skip_ins = if d == 0 { reborrow(&mut ins) } else { None };
+                        gpu.mc.skip_idle(now + 1, t, skip_ins);
+                    }
+                    t
+                }
+                _ => now + 1,
+            }
+        } else {
+            now + 1
+        };
+        assert!(now < 4_000_000_000, "multi-GPU run failed to converge");
+    }
+
+    let result = finish_result(&gpus, &fabric);
+    if let Some(ins) = reborrow(&mut ins) {
+        let gpu0 = &gpus[0];
+        ins.record(
+            result.cycles,
+            Event::LlcSample {
+                hits: gpu0.llc.hits(),
+                misses: gpu0.llc.misses(),
+            },
+        );
+        if let Some(m) = ins.metrics.as_mut() {
+            m.set("run.cycles", result.cycles);
+            m.set("run.skew", result.skew);
+            m.set("dma.transfers", result.dma_transfers);
+            m.set("tracker.peak_entries", gpu0.tracker.peak_entries() as u64);
+            m.set("llc.hits", gpu0.llc.hits());
+            m.set("llc.misses", gpu0.llc.misses());
+            m.record_traffic(gpu0.mc.stats());
+        }
+    }
+    result
+}
+
+/// Simulates one device across the window `[t0, t_end)`, consuming its
+/// pre-popped fabric arrivals and buffering outgoing sends into
+/// `intents`. Fast-forward mode leaps idle gaps inside the window
+/// exactly as the sequential engine does, clamped to the window end.
+fn simulate_device_window(
+    gpu: &mut Gpu,
+    d: usize,
+    t0: Cycle,
+    t_end: Cycle,
+    pend: &mut VecDeque<Arrival>,
+    ctx: &StepCtx,
+    intents: &mut Vec<SendIntent>,
+) {
+    let mut now = t0;
+    while now < t_end {
+        let mut incoming = Vec::new();
+        while pend.front().is_some_and(|a| a.arrival <= now) {
+            let a = pend.pop_front().expect("peeked entry exists");
+            incoming.push(Incoming::from(a));
+        }
+        deliver_incoming(gpu, now, &incoming, ctx, None);
+        step_device(gpu, d, now, ctx, &mut SendSink::Buffer(intents), None);
+
+        let mut next = now + 1;
+        if ctx.mode == SimMode::FastForward && gpu.mc.is_idle() {
+            let pend_at = pend.front().map(|a| a.arrival.max(now + 1));
+            let target =
+                min_event(device_next_event(gpu, now), pend_at).map_or(t_end, |t| t.min(t_end));
+            if target > next {
+                gpu.mc.skip_idle(next, target, None);
+                next = target;
+            }
+        }
+        now = next;
+    }
+}
+
+/// [`run_multi_gpu_fused_rs_on`] sharded across a pool of worker
+/// threads with deterministic cycle-window barriers.
+///
+/// Devices are partitioned into contiguous shards, one per worker.
+/// Each window spans `1 + min link latency` cycles — short enough
+/// that no message sent inside a window can arrive within it (every
+/// hop costs at least one serialisation cycle plus the link latency),
+/// so a window's arrivals are fully known at its start. Workers
+/// simulate their devices independently through the window, buffering
+/// outgoing fabric sends; at the barrier the coordinator replays the
+/// buffered sends into the shared fabric in the exact
+/// `(cycle, device, program order)` the sequential loop would have
+/// used, making the run byte-identical to the sequential engines at
+/// every thread width.
+///
+/// Worker panics are re-raised on the coordinator in shard order
+/// (lowest devices first) — the same ordered-merge discipline as
+/// `t3-runtime`'s scheduler pool. Instrumentation is not supported on
+/// this path; use [`run_multi_gpu_fused_rs_on`] to trace device 0.
+///
+/// # Panics
+///
+/// As [`run_multi_gpu_fused_rs_on`], plus any panic raised inside a
+/// worker.
+pub fn run_multi_gpu_fused_rs_sharded(
+    sys: &SystemConfig,
+    grid: GemmGrid,
+    opts: &FusedOptions,
+    topo: &Topology,
+    threads: usize,
+) -> MultiGpuResult {
+    let n = sys.num_gpus;
+    let threads = threads.clamp(1, n);
+    let (mut gpus, mut fabric, global_bounds) = build_run(sys, &grid, opts, topo);
+    let ctx = StepCtx {
+        grid: &grid,
+        global_bounds: &global_bounds,
+        elem_bytes: grid.shape().elem_bytes,
+        update_cost: opts.substrate.update_cost_multiplier(&sys.mem),
+        mode: opts.mode,
+    };
+    let window: Cycle = 1 + topo
+        .links()
+        .iter()
+        .map(|l| l.cfg.latency_cycles())
+        .min()
+        .unwrap_or(0);
+    let per = n.div_ceil(threads);
+
+    let mut t0: Cycle = 0;
+    loop {
+        let t_end = t0 + window;
+        // Pre-pop every arrival landing inside this window; nothing
+        // sent during the window can land before `t_end`.
+        let mut pending: Vec<VecDeque<Arrival>> = (0..n)
+            .map(|d| fabric.deliveries_until(d, t_end - 1).into())
+            .collect();
+
+        let outcomes: Vec<thread::Result<Vec<SendIntent>>> = thread::scope(|scope| {
+            let handles: Vec<_> = gpus
+                .chunks_mut(per)
+                .zip(pending.chunks_mut(per))
+                .enumerate()
+                .map(|(w, (gpu_shard, pend_shard))| {
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        let mut intents = Vec::new();
+                        for (i, (gpu, pend)) in
+                            gpu_shard.iter_mut().zip(pend_shard.iter_mut()).enumerate()
+                        {
+                            simulate_device_window(
+                                gpu,
+                                w * per + i,
+                                t0,
+                                t_end,
+                                pend,
+                                ctx,
+                                &mut intents,
+                            );
+                        }
+                        intents
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        // Ordered merge: replay every worker's buffered sends in the
+        // sequential loop's (cycle, device, program order); re-raise
+        // the first panic in shard order.
+        let mut merged: Vec<SendIntent> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(intents) => merged.extend(intents),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        merged.sort_by_key(|i| (i.cycle, i.src));
+        for it in &merged {
+            fabric.send_traced(it.cycle, it.src, it.dst, it.tag, it.bytes, None);
+        }
+        debug_assert!(
+            pending.iter().all(VecDeque::is_empty),
+            "window left arrivals unconsumed"
+        );
+
+        t0 = t_end;
+        if gpus.iter().all(|g| g.finished_at.is_some()) && fabric.is_idle(t0 - 1) {
+            break;
+        }
+        assert!(t0 < 4_000_000_000, "multi-GPU run failed to converge");
+    }
+
+    finish_result(&gpus, &fabric)
 }
 
 fn build_policy(
@@ -677,6 +1024,13 @@ mod tests {
         GemmGrid::new(&sys.gpu, GemmShape::new(2048, 2048, 512))
     }
 
+    fn opts_in(mode: SimMode) -> FusedOptions {
+        FusedOptions {
+            mode,
+            ..FusedOptions::default()
+        }
+    }
+
     #[test]
     fn all_gpus_complete_with_zero_skew() {
         // Fully homogeneous inputs: every GPU must finish at the same
@@ -704,6 +1058,104 @@ mod tests {
         let r4 = run_multi_gpu_fused_rs(&s4, g4, &FusedOptions::default());
         assert_eq!(r4.cycles, 120_365);
         assert_eq!(r4.dma_transfers, 8);
+    }
+
+    #[test]
+    fn fast_forward_run_is_byte_identical_to_stepped() {
+        // The default engine leaps idle gaps; the stepped reference
+        // walks every cycle. Their results must agree bit for bit.
+        let mut s = sys();
+        s.num_gpus = 4;
+        let grid = small_grid(&s);
+        let stepped = run_multi_gpu_fused_rs(&s, grid.clone(), &opts_in(SimMode::Stepped));
+        let fast = run_multi_gpu_fused_rs(&s, grid, &opts_in(SimMode::FastForward));
+        assert_eq!(format!("{stepped:?}"), format!("{fast:?}"));
+    }
+
+    #[test]
+    fn instrumented_fast_forward_traces_match_stepped() {
+        // Skipped idle cycles must replay their side effects exactly:
+        // the tracer's sampled MC depth stream, event sequence numbers
+        // and every metrics counter have to match the stepped run.
+        let mut s = sys();
+        s.num_gpus = 4;
+        let grid = small_grid(&s);
+        let mut a = Instruments::full();
+        let mut b = Instruments::full();
+        let stepped = run_multi_gpu_fused_rs_instrumented(
+            &s,
+            grid.clone(),
+            &opts_in(SimMode::Stepped),
+            Some(&mut a),
+        );
+        let fast = run_multi_gpu_fused_rs_instrumented(
+            &s,
+            grid,
+            &opts_in(SimMode::FastForward),
+            Some(&mut b),
+        );
+        assert_eq!(stepped.cycles, fast.cycles);
+        let ta = a.tracer.as_ref().expect("tracer on").records();
+        let tb = b.tracer.as_ref().expect("tracer on").records();
+        assert_eq!(format!("{ta:?}"), format!("{tb:?}"));
+        let ma = a.metrics.as_ref().expect("metrics on").to_json();
+        let mb = b.metrics.as_ref().expect("metrics on").to_json();
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_at_every_width() {
+        let mut s = sys();
+        s.num_gpus = 4;
+        let grid = small_grid(&s);
+        let topo = Topology::ring(s.num_gpus, &s.link);
+        let seq =
+            run_multi_gpu_fused_rs_on(&s, grid.clone(), &FusedOptions::default(), &topo, None);
+        for threads in [1, 2, 3, 8] {
+            let sh = run_multi_gpu_fused_rs_sharded(
+                &s,
+                grid.clone(),
+                &FusedOptions::default(),
+                &topo,
+                threads,
+            );
+            assert_eq!(
+                format!("{seq:?}"),
+                format!("{sh:?}"),
+                "threads={threads} diverged from the sequential engine"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_on_a_switch_fabric() {
+        // Multi-hop routes share switch ports across devices; the
+        // barrier replay must reproduce that contention exactly, in
+        // both time-advancement modes.
+        let mut s = sys();
+        s.num_gpus = 4;
+        let grid = small_grid(&s);
+        let topo = Topology::switch(s.num_gpus, &s.link);
+        for mode in [SimMode::Stepped, SimMode::FastForward] {
+            let seq = run_multi_gpu_fused_rs_on(&s, grid.clone(), &opts_in(mode), &topo, None);
+            let sh = run_multi_gpu_fused_rs_sharded(&s, grid.clone(), &opts_in(mode), &topo, 2);
+            assert_eq!(
+                format!("{seq:?}"),
+                format!("{sh:?}"),
+                "{} diverged",
+                mode.label()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_reproduces_the_pinned_ring_timing() {
+        let s = sys();
+        let topo = Topology::ring(s.num_gpus, &s.link);
+        let r = run_multi_gpu_fused_rs_sharded(&s, grid_of(&s), &FusedOptions::default(), &topo, 4);
+        assert_eq!(r.cycles, 438_774);
+        assert_eq!(r.skew, 0);
+        assert_eq!(r.dma_transfers, 48);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use t3_mem::controller::{MemoryController, StreamId};
 use t3_mem::llc::{AccessKind, Llc};
 use t3_sim::config::GpuConfig;
 use t3_sim::stats::TrafficClass;
-use t3_sim::{Bytes, Cycle};
+use t3_sim::{Bytes, Cycle, SimMode};
 
 /// What happened during one engine step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +170,36 @@ impl GemmEngine {
         }
     }
 
+    /// The next cycle strictly after `now` (already stepped) at which
+    /// stepping this engine can change phase or emit an event:
+    ///
+    /// * `Launch { until }` / `Compute { until }` — the transition
+    ///   consumes the step at exactly `until` (clamped forward if that
+    ///   step already ran);
+    /// * `StartStage`, a satisfied `WaitReads`, and an unreported
+    ///   `Done` — the very next step;
+    /// * an unsatisfied read target — `None`: the memory controller
+    ///   still holds the un-serviced transactions, so it is busy and
+    ///   itself pins the next event at `now + 1`;
+    /// * reported `Done` — `None`, the engine is inert.
+    pub fn next_event(&self, now: Cycle, mc: &MemoryController) -> Option<Cycle> {
+        if !self.launched {
+            // The first step re-anchors the launch delay; it must run.
+            return Some(now + 1);
+        }
+        let reads_done = |target: Bytes| mc.serviced_bytes(StreamId::Compute) >= target;
+        match self.phase {
+            Phase::Launch { until } => Some(until.max(now + 1)),
+            Phase::StartStage => Some(now + 1),
+            Phase::WaitReads { target } => reads_done(target).then(|| now + 1),
+            Phase::Compute { until } => Some(until.max(now + 1)),
+            Phase::ComputeWithReads { until, target } => {
+                reads_done(target).then(|| until.max(now + 1))
+            }
+            Phase::Done { reported } => (!reported).then(|| now + 1),
+        }
+    }
+
     /// Advances one cycle at time `now`. Reads are issued through
     /// `llc` into `mc`'s compute stream. See [`GemmEvent`] for the
     /// caller's obligations.
@@ -282,6 +312,16 @@ pub fn run_gemm_isolated(
     run_gemm_isolated_traced(sys, grid, write_policy, None).0
 }
 
+/// As [`run_gemm_isolated`], with an explicit [`SimMode`].
+pub fn run_gemm_isolated_in_mode(
+    sys: &t3_sim::config::SystemConfig,
+    grid: GemmGrid,
+    write_policy: WritePolicy,
+    mode: SimMode,
+) -> IsolatedGemmRun {
+    run_gemm_isolated_traced_in_mode(sys, grid, write_policy, None, mode).0
+}
+
 /// As [`run_gemm_isolated`], optionally recording a DRAM-traffic time
 /// series with `bucket` cycle resolution (Figure 17a's baseline GEMM
 /// timeline).
@@ -290,6 +330,22 @@ pub fn run_gemm_isolated_traced(
     grid: GemmGrid,
     write_policy: WritePolicy,
     bucket: Option<t3_sim::Cycle>,
+) -> (IsolatedGemmRun, Option<t3_sim::timeseries::TimeSeries>) {
+    run_gemm_isolated_traced_in_mode(sys, grid, write_policy, bucket, SimMode::default())
+}
+
+/// The isolated runner with an explicit [`SimMode`]. In
+/// [`SimMode::FastForward`] the loop leaps `now` to the engine's next
+/// event whenever the memory controller is idle (compute phases with no
+/// traffic in flight), replaying the skipped controller bookkeeping via
+/// [`MemoryController::skip_idle`]; results are byte-identical to
+/// [`SimMode::Stepped`].
+pub fn run_gemm_isolated_traced_in_mode(
+    sys: &t3_sim::config::SystemConfig,
+    grid: GemmGrid,
+    write_policy: WritePolicy,
+    bucket: Option<t3_sim::Cycle>,
+    mode: SimMode,
 ) -> (IsolatedGemmRun, Option<t3_sim::timeseries::TimeSeries>) {
     let mut mc = MemoryController::new(
         &sys.mem,
@@ -324,7 +380,16 @@ pub fn run_gemm_isolated_traced(
                 finished = true;
             }
         }
-        now += 1;
+        let mut next = now + 1;
+        if mode == SimMode::FastForward && mc.is_idle() {
+            if let Some(target) = engine.next_event(now, &mc) {
+                if target > next {
+                    mc.skip_idle(next, target, None);
+                    next = target;
+                }
+            }
+        }
+        now = next;
         assert!(now < 2_000_000_000, "isolated GEMM failed to converge");
     }
     (
@@ -536,6 +601,95 @@ mod tests {
             prefetch.stats.bytes(TrafficClass::GemmRead),
             serial.stats.bytes(TrafficClass::GemmRead)
         );
+    }
+
+    #[test]
+    fn next_event_matches_the_stepped_phase_transitions() {
+        let s = sys();
+        let grid = grid_of(2048, 2048, 256);
+        let mut mc =
+            MemoryController::new(&s.mem, Box::new(t3_mem::arbiter::ComputeFirstPolicy::new()));
+        let mut llc = Llc::new(&s.mem);
+        let mut engine = GemmEngine::new(&s.gpu, grid);
+        // Step the run to completion, recording every cycle at which
+        // the engine changed phase or emitted an event, plus the
+        // prediction made right after each step.
+        let mut changes = Vec::new();
+        let mut predictions = Vec::new();
+        let mut now = 0;
+        loop {
+            mc.step(now, None);
+            let before = (engine.phase, engine.stage);
+            let ev = engine.step(now, &mut mc, &mut llc);
+            if let GemmEvent::StageStoresIssued {
+                wg_start, wg_end, ..
+            } = ev
+            {
+                route_stage_stores(
+                    engine.grid(),
+                    wg_start,
+                    wg_end,
+                    WritePolicy::BypassLocal,
+                    &mut mc,
+                    &mut llc,
+                );
+            }
+            if (engine.phase, engine.stage) != before || ev != GemmEvent::Idle {
+                changes.push(now);
+            }
+            predictions.push((now, engine.next_event(now, &mc), mc.is_idle()));
+            now += 1;
+            if engine.is_finished() && mc.is_idle() {
+                break;
+            }
+            assert!(now < 100_000_000);
+        }
+        // Whenever the memory controller was idle (the only situation
+        // in which the fast-forward loop leaps), the prediction must be
+        // EXACTLY the next cycle the stepped engine changed state.
+        let mut checked = 0;
+        for (asked, predicted, mc_idle) in predictions {
+            if !mc_idle {
+                continue;
+            }
+            let actual = changes.iter().copied().find(|&c| c > asked);
+            assert_eq!(
+                predicted, actual,
+                "prediction after cycle {asked} must match the stepped run"
+            );
+            checked += 1;
+        }
+        assert!(
+            checked > 100,
+            "compute phases must expose idle-controller cycles, saw {checked}"
+        );
+    }
+
+    #[test]
+    fn fast_forward_isolated_run_is_byte_identical_to_stepped() {
+        for prefetch in [false, true] {
+            let mut s = sys();
+            s.gpu.gemm_prefetch = prefetch;
+            for shape in [
+                GemmShape::new(2048, 2048, 256),
+                GemmShape::new(4096, 4256, 2128),
+            ] {
+                let run = |mode: SimMode| {
+                    run_gemm_isolated_traced_in_mode(
+                        &s,
+                        GemmGrid::new(&s.gpu, shape),
+                        WritePolicy::CachedLocal,
+                        Some(2000),
+                        mode,
+                    )
+                };
+                let (stepped, ts_s) = run(SimMode::Stepped);
+                let (fast, ts_f) = run(SimMode::FastForward);
+                assert_eq!(stepped.cycles, fast.cycles, "prefetch={prefetch} {shape:?}");
+                assert_eq!(format!("{:?}", stepped.stats), format!("{:?}", fast.stats));
+                assert_eq!(format!("{ts_s:?}"), format!("{ts_f:?}"));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Fast-forward predictors that re-derive their deadlines instead of
+//! returning the stepped path's stored ones. The floor division in
+//! `next_event` predicts the *final* drain cycle while the stepped
+//! engine frees queue space (and emits side effects) every cycle in
+//! between; the float comparison in `device_next_event` rounds the
+//! same way the wire model does not.
+
+pub struct DrainQueue {
+    pub queued_bytes: u64,
+    pub chunk_bytes: u64,
+}
+
+impl DrainQueue {
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        if self.queued_bytes == 0 {
+            return None;
+        }
+        Some(now + self.queued_bytes / self.chunk_bytes)
+    }
+
+    pub fn device_next_event(&self, now: u64) -> Option<u64> {
+        if (self.queued_bytes as f64) < 1.5 {
+            return None;
+        }
+        self.next_event(now)
+    }
+}

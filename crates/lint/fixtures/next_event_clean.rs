@@ -1,0 +1,23 @@
+//! A sound fast-forward predictor: events come from stored integer
+//! deadlines (arrival cycles, `now + 1`), never re-derived rates.
+//! Division elsewhere in the file is legal — only predictor bodies
+//! are in scope.
+
+pub struct Wire {
+    pub arrivals: Vec<u64>,
+    pub queued_bytes: u64,
+}
+
+impl Wire {
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        self.arrivals
+            .iter()
+            .copied()
+            .map(|a| a.max(now + 1))
+            .min()
+    }
+
+    pub fn occupancy_permille(&self, capacity_bytes: u64) -> u64 {
+        self.queued_bytes * 1000 / capacity_bytes
+    }
+}

@@ -1,7 +1,8 @@
 //! The per-file analysis pipeline and the workspace walker.
 //!
 //! For each file: lex → compute regions (`#[cfg(test)]` spans,
-//! hot-path `fn step*`/`tick*`/`advance*` bodies) → run rules →
+//! hot-path `fn step*`/`tick*`/`advance*` bodies, fast-forward
+//! `fn next_event*` predictor bodies) → run rules →
 //! apply `t3-lint: allow` suppressions → emit directive-hygiene
 //! diagnostics. The walker visits every workspace source set in a
 //! deterministic (sorted) order, so output and exit codes are stable
@@ -42,6 +43,9 @@ pub struct FileCtx<'a> {
     /// Token-index body ranges of per-cycle functions, with the
     /// function name.
     pub hot_fns: &'a [(usize, usize, String)],
+    /// Token-index body ranges of fast-forward event predictors
+    /// (`next_event`/`next_arrival`/`*_next_event`), with name.
+    pub next_event_fns: &'a [(usize, usize, String)],
 }
 
 impl FileCtx<'_> {
@@ -84,6 +88,8 @@ pub struct FileAnalysis {
     pub test_regions: Vec<(usize, usize)>,
     /// Token-index body ranges of per-cycle functions, with name.
     pub hot_fns: Vec<(usize, usize, String)>,
+    /// Token-index body ranges of fast-forward event predictors.
+    pub next_event_fns: Vec<(usize, usize, String)>,
     /// Well-formed `t3-lint:` directives, in comment order.
     pub directives: Vec<Directive>,
     /// Malformed directives: (line, message).
@@ -98,7 +104,8 @@ impl FileAnalysis {
         let parsed = parser::parse(&lexed.tokens, &|i| {
             test_regions.iter().any(|&(lo, hi)| i >= lo && i < hi)
         });
-        let hot_fns = hot_fns(&lexed.tokens);
+        let hot_fns = fn_bodies(&lexed.tokens, is_hot_fn_name);
+        let next_event_fns = fn_bodies(&lexed.tokens, is_next_event_fn_name);
         let mut bad_directives = Vec::new();
         let directives = parse_directives(&lexed, &mut bad_directives);
         FileAnalysis {
@@ -114,6 +121,7 @@ impl FileAnalysis {
             parsed,
             test_regions,
             hot_fns,
+            next_event_fns,
             directives,
             bad_directives,
         }
@@ -128,6 +136,7 @@ impl FileAnalysis {
             lexed: &self.lexed,
             test_regions: &self.test_regions,
             hot_fns: &self.hot_fns,
+            next_event_fns: &self.next_event_fns,
         }
     }
 }
@@ -316,8 +325,18 @@ pub fn is_hot_fn_name(name: &str) -> bool {
         || name.starts_with("advance_")
 }
 
-/// Finds the token-range bodies of `fn step*`/`tick*`/`advance*`.
-fn hot_fns(toks: &[Token]) -> Vec<(usize, usize, String)> {
+/// True when `name` denotes a fast-forward event predictor: the
+/// `next_event` methods themselves plus the `next_arrival` and
+/// `*_next_event` variants. Test names that merely *start* with
+/// `next_event_` (e.g. `next_event_is_exact`) are deliberately not
+/// matched — they assert on predictors rather than being one.
+pub fn is_next_event_fn_name(name: &str) -> bool {
+    name == "next_event" || name == "next_arrival" || name.ends_with("_next_event")
+}
+
+/// Finds the token-range bodies of functions whose name satisfies
+/// `pred` (hot-path `step*`/`tick*`/`advance*`, event predictors).
+fn fn_bodies(toks: &[Token], pred: fn(&str) -> bool) -> Vec<(usize, usize, String)> {
     let mut out = Vec::new();
     for i in 0..toks.len() {
         if toks[i].ident() != Some("fn") {
@@ -326,7 +345,7 @@ fn hot_fns(toks: &[Token]) -> Vec<(usize, usize, String)> {
         let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
             continue;
         };
-        if !is_hot_fn_name(name) {
+        if !pred(name) {
             continue;
         }
         if let Some(open) = body_open(toks, i + 2) {
@@ -362,6 +381,7 @@ pub fn lint_files(inputs: &[(String, String)]) -> Vec<Diagnostic> {
         rules::check_hash_iteration(&ctx, &mut raw);
         rules::check_float_cycles(&ctx, &mut raw);
         rules::check_panic_hot_path(&ctx, &mut raw);
+        rules::check_next_event_drift(&ctx, &mut raw);
         units::check_unit_confusion(&ctx, &mut raw);
     }
     callgraph::check(&files, &mut raw);

@@ -1,4 +1,4 @@
-//! The five determinism & fidelity rules.
+//! The determinism & fidelity rules.
 //!
 //! Every rule works on the token/comment streams produced by
 //! [`crate::lexer`] plus the region maps computed by
@@ -199,6 +199,25 @@ pub const RULES: &[RuleInfo] = &[
         suppression: "// t3-lint: allow(trace-schema) -- <why the asymmetry is intended> \
                       (e.g. an arg emitted for human trace viewers only)",
     },
+    RuleInfo {
+        name: "next-event-drift",
+        code: "T3L010",
+        summary: "division or float math inside a `next_event`/`next_arrival` fast-forward \
+                  predictor body in a timing crate",
+        rationale: "The fast-forward engines leap `now` straight to the minimum predicted next \
+                    event and replay the skipped cycles in closed form. A predictor stays sound \
+                    only when it reuses the stepped path's exact integer arithmetic: a \
+                    hand-rolled division (floor) or float round can predict a cycle *after* the \
+                    real state change, and the leap then silently jumps over it — the stepped \
+                    and fast-forward runs diverge with no panic, just wrong bytes. Predictors \
+                    must derive events from stored integer deadlines (arrival cycles, `until` \
+                    phases, `now + 1`), never re-derive them by dividing rates.",
+        example: "    fn next_event(&self, now: Cycle) -> Option<Cycle> {\n\
+                  \x20       Some(now + self.queued_bytes / self.chunk_bytes) // floor: too late\n\
+                  \x20   }",
+        suppression: "// t3-lint: allow(next-event-drift) -- <why the arithmetic cannot predict \
+                      later than the true event cycle>",
+    },
 ];
 
 /// Looks up a rule by name.
@@ -389,6 +408,44 @@ pub fn check_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                     format!("`{name}` in per-cycle `fn {fn_name}`: hot-path aborts kill the whole sweep; return a modeled error or make the invariant unrepresentable"),
                 ));
             }
+        }
+    }
+}
+
+/// T3L010 — no re-derived arithmetic in fast-forward predictors.
+///
+/// Fires on any `/` or `%` operator, float literal, or float marker
+/// (`f32`/`f64`/`ceil`/`floor`/`round`/`powi`/`powf`) inside the body
+/// of a `fn next_event`/`next_arrival`/`*_next_event` in a timing
+/// crate, outside test code. The stepped engines compute transfer and
+/// stage durations once, at enqueue time, with direction-explicit
+/// rounding; a predictor that divides or rounds again can disagree
+/// with that stored deadline and return a too-late cycle — the one
+/// failure mode the leap cannot detect, because it simply never steps
+/// the cycle where the real event fired.
+pub fn check_next_event_drift(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !ctx.crate_in(TIMING_CRATES) || ctx.is_test_code {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (lo, hi, fn_name) in ctx.next_event_fns {
+        for (i, tok) in toks.iter().enumerate().take(*hi).skip(*lo) {
+            if ctx.in_test_region(i) {
+                continue;
+            }
+            let what = match &tok.kind {
+                TokKind::Punct(c @ ('/' | '%')) => c.to_string(),
+                TokKind::Float => "float literal".to_string(),
+                TokKind::Ident(name) if is_float_marker(name) => name.clone(),
+                _ => continue,
+            };
+            out.push(diag(
+                ctx,
+                tok.line,
+                "next-event-drift",
+                format!("{fn_name}.{what}"),
+                format!("`{what}` inside fast-forward predictor `fn {fn_name}`: re-derived rounding can predict a too-late cycle and make the leap skip a real state change; return stored integer deadlines, or justify with `t3-lint: allow(next-event-drift) -- <reason>`"),
+            ));
         }
     }
 }

@@ -1,6 +1,6 @@
-//! Fixture-based self-tests: each of the five rules must fire on its
-//! violating fixture and stay silent on the suppressed/clean one, and
-//! the real workspace must be clean (the CI gate's twin).
+//! Fixture-based self-tests: each rule must fire on its violating
+//! fixture and stay silent on the suppressed/clean one, and the real
+//! workspace must be clean (the CI gate's twin).
 
 use std::path::Path;
 
@@ -343,12 +343,49 @@ fn trace_schema_silent_without_both_anchor_files() {
 }
 
 // ---------------------------------------------------------------
+// Fast-forward predictors (T3L010)
+// ---------------------------------------------------------------
+
+#[test]
+fn next_event_drift_fires_on_rederived_arithmetic() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("next_event_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["next-event-drift"], "{diags:?}");
+    // One floor division in next_event, an `f64` cast and a float
+    // literal in device_next_event.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert_eq!(diags[0].code, "T3L010");
+    assert_eq!(diags[0].anchor, "next_event./");
+    let anchors: Vec<&str> = diags.iter().map(|d| d.anchor.as_str()).collect();
+    assert!(
+        anchors.contains(&"device_next_event.f64")
+            && anchors.contains(&"device_next_event.float literal"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn next_event_drift_scopes_to_predictor_bodies_and_timing_crates() {
+    // Division outside the predictor body is legal...
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("next_event_clean.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    // ...and so is the whole file outside the timing-crate scope.
+    let diags = lint_source("crates/bench/src/fx.rs", &fixture("next_event_bad.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn next_event_drift_suppression_honoured() {
+    let diags = lint_source("crates/net/src/fx.rs", &fixture("next_event_allowed.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// ---------------------------------------------------------------
 // Registry, workspace gate, determinism
 // ---------------------------------------------------------------
 
 #[test]
 fn every_rule_has_full_explain_material() {
-    assert_eq!(t3_lint::RULES.len(), 9, "nine rules T3L001..T3L009");
+    assert_eq!(t3_lint::RULES.len(), 10, "ten rules T3L001..T3L010");
     for r in t3_lint::RULES {
         assert!(!r.summary.is_empty(), "{} summary", r.code);
         assert!(!r.rationale.is_empty(), "{} rationale", r.code);

@@ -45,13 +45,23 @@ pub struct ArbiterState {
 
 /// An arbitration policy deciding, per issue slot, which stream may
 /// place a transaction into the DRAM queue.
-pub trait ArbitrationPolicy: fmt::Debug {
+pub trait ArbitrationPolicy: fmt::Debug + Send {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
 
     /// Called once per controller cycle (before any issue slots), so
     /// policies can advance starvation counters.
     fn tick(&mut self) {}
+
+    /// Advances the policy by `cycles` ticks at once — the closed-form
+    /// replay the fast-forward engine uses when it leaps over idle
+    /// cycles. The default loops [`ArbitrationPolicy::tick`]; policies
+    /// with per-tick state override it with an exact O(1) form.
+    fn tick_many(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
 
     /// Chooses a stream for the next issue slot, or `None` to leave the
     /// slot idle this cycle.
@@ -201,6 +211,11 @@ impl ArbitrationPolicy for McaPolicy {
         self.comm_wait_cycles = self.comm_wait_cycles.saturating_add(1);
     }
 
+    fn tick_many(&mut self, cycles: u64) {
+        // N saturating increments collapse to one saturating add.
+        self.comm_wait_cycles = self.comm_wait_cycles.saturating_add(cycles);
+    }
+
     fn choose(&mut self, state: &ArbiterState) -> Option<StreamId> {
         let starved = state.comm_pending && self.comm_wait_cycles > self.starvation_limit;
         if starved {
@@ -321,6 +336,24 @@ mod tests {
         assert_eq!(p.threshold(), 30);
         p.observe_compute_intensity(0.0);
         assert_eq!(p.threshold(), usize::MAX);
+    }
+
+    #[test]
+    fn tick_many_matches_looped_ticks() {
+        let cfg = SystemConfig::paper_default().mem;
+        for n in [0u64, 1, 7, 5_000] {
+            let mut looped = McaPolicy::new(&cfg).with_starvation_limit(3);
+            let mut jumped = McaPolicy::new(&cfg).with_starvation_limit(3);
+            for _ in 0..n {
+                looped.tick();
+            }
+            jumped.tick_many(n);
+            assert_eq!(looped.comm_wait_cycles, jumped.comm_wait_cycles, "n={n}");
+        }
+        // The trait default covers stateless policies trivially.
+        let mut rr = RoundRobinPolicy::new();
+        rr.tick_many(1000);
+        assert_eq!(rr.choose(&state(true, false, 0)), Some(StreamId::Compute));
     }
 
     #[test]

@@ -291,6 +291,68 @@ impl MemoryController {
         self.compute_q.is_empty() && self.comm_q.is_empty() && self.dram_q.is_empty()
     }
 
+    /// The next cycle at which stepping this controller can change
+    /// observable state, seen from cycle `now` (already stepped):
+    /// `Some(now + 1)` while any queue holds work — a busy controller
+    /// issues or services every cycle — and `None` when idle, because
+    /// an idle controller only changes state through an external
+    /// [`MemoryController::enqueue`].
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_idle() {
+            None
+        } else {
+            Some(now + 1)
+        }
+    }
+
+    /// Replays the idle cycles `[from, to)` in closed form — exactly
+    /// the side effects `to - from` calls of
+    /// [`MemoryController::step_traced`] would have had with every
+    /// queue empty: queue-depth samples at the tracer's due cycles,
+    /// policy starvation ticks, issue-credit saturation, the
+    /// service-credit reset, and occupancy sampling. The fast-forward
+    /// engines call this before leaping `now`.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle, ins: Option<&mut Instruments>) {
+        debug_assert!(self.is_idle(), "skip_idle on a busy controller");
+        if to <= from {
+            return;
+        }
+        let cycles = to - from;
+        if let Some(ins) = ins {
+            let mut samples = 0u64;
+            if let Some(tracer) = ins.tracer.as_mut() {
+                while let Some(due) = tracer.mc_sample_due_in(from, to) {
+                    tracer.record(
+                        due,
+                        Event::McQueueDepth {
+                            depth: 0,
+                            comm_depth: 0,
+                            capacity: self.dram_capacity as u64,
+                        },
+                    );
+                    samples += 1;
+                }
+            }
+            for _ in 0..samples {
+                ins.observe("mc.queue_depth", 0);
+            }
+        }
+        self.policy.tick_many(cycles);
+        // With both stream FIFOs empty the issue loop moves nothing
+        // and the credit just saturates: each idle step applies the
+        // same clamped add, reaching the exact f64 fixed point
+        // `issue_rate * 2.0` within two applications (credit is
+        // non-negative, so one add already lands at or above
+        // `issue_rate`, and the second clamps).
+        for _ in 0..cycles.min(2) {
+            self.issue_credit = (self.issue_credit + self.issue_rate).min(self.issue_rate * 2.0);
+        }
+        // An empty DRAM queue resets banked service bandwidth every
+        // stepped cycle; the last skipped cycle leaves it at zero.
+        self.service_credit = 0.0;
+        self.occupancy_samples += cycles;
+    }
+
     /// Current DRAM queue occupancy in transactions.
     pub fn dram_occupancy(&self) -> usize {
         self.dram_q.len()
@@ -575,6 +637,106 @@ mod tests {
             now
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn next_event_is_the_exact_next_state_change() {
+        let cfg = mem_cfg();
+        let mut mc = MemoryController::new(&cfg, Box::new(ComputeFirstPolicy::new()));
+        assert_eq!(mc.next_event(7), None, "idle controller has no events");
+        mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 1_000, 1.0);
+        let mut now = 0;
+        while !mc.is_idle() {
+            assert_eq!(mc.next_event(now), Some(now + 1));
+            let before = (
+                mc.serviced_bytes(StreamId::Compute),
+                mc.pending_bytes(StreamId::Compute),
+                mc.dram_occupancy(),
+                mc.issue_credit.to_bits(),
+                mc.service_credit.to_bits(),
+            );
+            mc.step(now, None);
+            let after = (
+                mc.serviced_bytes(StreamId::Compute),
+                mc.pending_bytes(StreamId::Compute),
+                mc.dram_occupancy(),
+                mc.issue_credit.to_bits(),
+                mc.service_credit.to_bits(),
+            );
+            assert_ne!(
+                before, after,
+                "a busy controller must change state at cycle {now}"
+            );
+            now += 1;
+        }
+        assert_eq!(mc.next_event(now), None, "drained controller has no events");
+    }
+
+    #[test]
+    fn skip_idle_matches_stepping_idle_cycles_exactly() {
+        let cfg = mem_cfg();
+        let build = || {
+            let mut mc = MemoryController::new(&cfg, Box::new(McaPolicy::with_fixed_threshold(5)));
+            let mut ins = Instruments::full();
+            // Busy prefix so credits, the tracer schedule, and the
+            // arbitration policy all hold mid-run values.
+            mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 100_000, 1.0);
+            mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, 50_000, 1.5);
+            let mut now = 0;
+            while !mc.is_idle() {
+                mc.step_traced(now, None, Some(&mut ins));
+                now += 1;
+            }
+            (mc, ins, now)
+        };
+        let records = |ins: &Instruments| {
+            ins.tracer
+                .as_ref()
+                .expect("tracer on")
+                .records()
+                .iter()
+                .map(|r| (r.seq, r.cycle, format!("{:?}", r.event)))
+                .collect::<Vec<_>>()
+        };
+        // Drain more work after the gap: identical arbitration and
+        // cycle counts prove the policy state also matched.
+        let resume = |mc: &mut MemoryController, from: Cycle| {
+            mc.enqueue(StreamId::Comm, TrafficClass::RsUpdate, 80_000, 1.5);
+            mc.enqueue(StreamId::Compute, TrafficClass::GemmRead, 40_000, 1.0);
+            let mut now = from;
+            while !mc.is_idle() {
+                mc.step(now, None);
+                now += 1;
+            }
+            now
+        };
+        for gap in [1u64, 2, 3, 1023, 1024, 5000] {
+            let (mut stepped, mut ins_s, idle_at) = build();
+            for now in idle_at..idle_at + gap {
+                stepped.step_traced(now, None, Some(&mut ins_s));
+            }
+            let (mut leaped, mut ins_l, idle_at_l) = build();
+            assert_eq!(idle_at, idle_at_l);
+            leaped.skip_idle(idle_at, idle_at + gap, Some(&mut ins_l));
+            assert_eq!(
+                stepped.issue_credit.to_bits(),
+                leaped.issue_credit.to_bits(),
+                "issue credit, gap {gap}"
+            );
+            assert_eq!(
+                stepped.service_credit.to_bits(),
+                leaped.service_credit.to_bits(),
+                "service credit, gap {gap}"
+            );
+            assert_eq!(stepped.occupancy_accum, leaped.occupancy_accum);
+            assert_eq!(stepped.occupancy_samples, leaped.occupancy_samples);
+            assert_eq!(records(&ins_s), records(&ins_l), "trace records, gap {gap}");
+            assert_eq!(
+                resume(&mut stepped, idle_at + gap),
+                resume(&mut leaped, idle_at + gap),
+                "post-gap drain, gap {gap}"
+            );
+        }
     }
 
     #[test]

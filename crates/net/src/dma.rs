@@ -158,6 +158,28 @@ impl DmaEngine {
         self.queue.is_empty() && self.reading.is_none() && self.link.is_idle(now)
     }
 
+    /// The next cycle strictly after `now` at which stepping this
+    /// engine can change state: the head in-flight link arrival, a
+    /// completed source read starting its transmission (`now + 1`), or
+    /// a queued command starting its read (`now + 1`). `None` when
+    /// nothing is pending — an in-flight source read that the memory
+    /// controller has not finished servicing reports `None` here
+    /// because the controller itself is busy (it holds the un-serviced
+    /// transactions) and already pins the next event at `now + 1`.
+    pub fn next_event(&self, now: Cycle, mc: &MemoryController) -> Option<Cycle> {
+        let read_event = match self.reading {
+            Some(r) if mc.stats().bytes(r.cmd.read_class) >= r.target => Some(now + 1),
+            Some(_) => None,
+            None if !self.queue.is_empty() => Some(now + 1),
+            None => None,
+        };
+        match (self.link.next_event(now), read_event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
     /// Commands whose payload has been handed to the link (plus
     /// zero-byte commands completed eagerly).
     pub fn sent_commands(&self) -> u64 {
@@ -297,6 +319,91 @@ mod tests {
         });
         assert!(engine.is_idle(0));
         assert_eq!(engine.sent_commands(), 1);
+    }
+
+    #[test]
+    fn next_event_matches_the_stepped_state_changes() {
+        let (mut engine, mut mc) = setup();
+        assert_eq!(engine.next_event(0, &mc), None, "idle engine has no events");
+        for id in 0..2 {
+            engine.trigger(DmaCommand {
+                id,
+                bytes: 100_000,
+                read_class: TrafficClass::RsRead,
+            });
+        }
+        // Queued command: starts its read on the very next step.
+        assert_eq!(engine.next_event(0, &mc), Some(1));
+        // Step the run to completion, recording every cycle at which
+        // the engine observably changed, plus the prediction made right
+        // after each step.
+        let snapshot = |e: &DmaEngine| (e.queue.len(), e.reading.is_some(), e.sent_commands);
+        let mut changes = Vec::new();
+        let mut predictions = Vec::new();
+        let mut now = 0;
+        while !(engine.is_idle(now) && mc.is_idle()) {
+            mc.step(now, None);
+            let before = snapshot(&engine);
+            let delivered = !engine.step(now, &mut mc).is_empty();
+            if snapshot(&engine) != before || delivered {
+                changes.push(now);
+            }
+            predictions.push((now, engine.next_event(now, &mc), mc.is_idle()));
+            now += 1;
+            assert!(now < 100_000_000);
+        }
+        assert!(changes.len() >= 4, "reads, sends, and deliveries occurred");
+        // Whenever the memory controller was idle (the only situation
+        // in which the fast-forward loop leaps), the prediction must be
+        // EXACTLY the next cycle the stepped engine changed state.
+        let mut checked = 0;
+        for (asked, predicted, mc_idle) in predictions {
+            if !mc_idle {
+                continue;
+            }
+            let actual = changes.iter().copied().find(|&c| c > asked);
+            assert_eq!(
+                predicted, actual,
+                "prediction after cycle {asked} must match the stepped run"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "the run must contain idle-controller cycles");
+        assert_eq!(engine.next_event(now, &mc), None);
+    }
+
+    #[test]
+    fn next_event_pinpoints_link_arrival() {
+        // After the payload is on the wire and the controller has
+        // drained, the only event left is the link arrival — the
+        // predicted cycle must be exactly the delivery cycle.
+        let (mut engine, mut mc) = setup();
+        engine.trigger(DmaCommand {
+            id: 7,
+            bytes: 50_000,
+            read_class: TrafficClass::RsRead,
+        });
+        let mut now = 0;
+        while !(engine.reading.is_none() && engine.queue.is_empty() && mc.is_idle()) {
+            mc.step(now, None);
+            engine.step(now, &mut mc);
+            now += 1;
+            assert!(now < 100_000_000);
+        }
+        // Payload handed to the link, nothing else pending.
+        let predicted = engine
+            .next_event(now, &mc)
+            .expect("payload still in flight");
+        let mut first = None;
+        while now <= predicted {
+            mc.step(now, None);
+            if !engine.step(now, &mut mc).is_empty() {
+                first = Some(now);
+                break;
+            }
+            now += 1;
+        }
+        assert_eq!(first, Some(predicted));
     }
 
     #[test]

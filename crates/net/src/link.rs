@@ -118,6 +118,16 @@ impl Link {
         self.free_at
     }
 
+    /// The next cycle strictly after `now` at which polling
+    /// [`Link::deliveries_until`] can return something new: the head
+    /// in-flight arrival, clamped forward to `now + 1` (a head already
+    /// due pops on the very next poll). `None` when nothing is in
+    /// flight — an empty link only changes state through a new
+    /// [`Link::send`].
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.in_flight.front().map(|d| d.arrival.max(now + 1))
+    }
+
     /// True when nothing is queued or in flight.
     pub fn is_idle(&self, now: Cycle) -> bool {
         self.in_flight.is_empty() && self.free_at <= now
@@ -208,6 +218,33 @@ mod tests {
     #[should_panic(expected = "empty message")]
     fn empty_send_panics() {
         link().send(0, 0, 0);
+    }
+
+    #[test]
+    fn next_event_is_the_exact_delivery_cycle() {
+        let mut l = link();
+        assert_eq!(l.next_event(0), None, "idle link has no events");
+        let arrival = l.send(0, 1, 10_000);
+        // Stepping from cycle 1: the first cycle at which
+        // deliveries_until returns anything must equal next_event.
+        let predicted = l.next_event(0).expect("message in flight");
+        let mut probe = l.clone();
+        let mut first = None;
+        for now in 1..=arrival {
+            if !probe.deliveries_until(now).is_empty() {
+                first = Some(now);
+                break;
+            }
+        }
+        assert_eq!(first, Some(predicted));
+        assert_eq!(predicted, arrival);
+        // An overdue head clamps forward to now + 1.
+        let mut l2 = link();
+        let a2 = l2.send(0, 2, 107);
+        assert_eq!(l2.next_event(a2 + 50), Some(a2 + 51));
+        // Drained link: no events again.
+        l.deliveries_until(arrival);
+        assert_eq!(l.next_event(arrival), None);
     }
 
     #[test]

@@ -182,6 +182,14 @@ pub struct Analysis {
     pub dma_fabric_cycles: u64,
     /// Cycles where nothing modeled was busy.
     pub idle_cycles: u64,
+    /// Critical-path segments where neither compute nor the wire is
+    /// busy — pure timer/idle waits a fast-forward engine crosses in
+    /// a single leap each.
+    pub fast_forward_leaps: u64,
+    /// Cycles those leapable segments cover (`dma_fabric_cycles +
+    /// idle_cycles`): the stepped engine burns one iteration per
+    /// cycle here; the event-driven engine skips straight over them.
+    pub fast_forwardable_cycles: u64,
     /// `overlapped / collective_busy`, in permille (0 when no
     /// collective ran).
     pub overlap_permille: u64,
@@ -283,6 +291,15 @@ impl Analysis {
             .checked_div(collective_busy_cycles)
             .unwrap_or(0);
 
+        let critical_path = critical_path(total_cycles, &compute, &wire, &dma);
+        let leapable = |k: SegmentKind| matches!(k, SegmentKind::DmaFabric | SegmentKind::Idle);
+        let fast_forward_leaps = critical_path.iter().filter(|s| leapable(s.kind)).count() as u64;
+        let fast_forwardable_cycles = critical_path
+            .iter()
+            .filter(|s| leapable(s.kind))
+            .map(|s| s.end - s.start)
+            .sum();
+
         Analysis {
             total_cycles,
             gemm_stages,
@@ -293,10 +310,12 @@ impl Analysis {
             exposed_collective_cycles: exposed.len_cycles(),
             dma_fabric_cycles: dma_only.len_cycles(),
             idle_cycles: total_cycles - any.len_cycles(),
+            fast_forward_leaps,
+            fast_forwardable_cycles,
             overlap_permille,
             chunk_sends,
             collective_bytes,
-            critical_path: critical_path(total_cycles, &compute, &wire, &dma),
+            critical_path,
         }
     }
 }
@@ -386,6 +405,13 @@ pub fn render(a: &Analysis) -> String {
     );
     let _ = writeln!(s, "dma/fabric-only cycles    : {}", a.dma_fabric_cycles);
     let _ = writeln!(s, "idle cycles               : {}", a.idle_cycles);
+    let _ = writeln!(
+        s,
+        "fast-forward leaps        : {} ({} skippable cycles, {} of total)",
+        a.fast_forward_leaps,
+        a.fast_forwardable_cycles,
+        percent(a.fast_forwardable_cycles, a.total_cycles)
+    );
     let _ = writeln!(
         s,
         "overlap fraction          : {}.{}%",
@@ -517,6 +543,10 @@ mod tests {
         assert_eq!(a.exposed_collective_cycles, 20);
         assert_eq!(a.dma_fabric_cycles, 15);
         assert_eq!(a.idle_cycles, 15);
+        // Leapable waits: idle [100,105), dma-only [105,120), idle
+        // [140,150) — three leaps over 30 timer-bound cycles.
+        assert_eq!(a.fast_forward_leaps, 3);
+        assert_eq!(a.fast_forwardable_cycles, 30);
         assert_eq!(a.overlap_permille, 666);
         // The labeled partition covers the run exactly.
         assert_eq!(a.critical_path.first().map(|s| s.start), Some(0));
@@ -534,6 +564,9 @@ mod tests {
         let a = Analysis::from_records(&synthetic_records());
         let text = render(&a);
         assert!(text.contains("overlap fraction          : 66.6%"));
+        assert!(
+            text.contains("fast-forward leaps        : 3 (30 skippable cycles, 20.0% of total)")
+        );
         assert!(text.contains("[105..120) dma/fabric (15 cycles)"));
         assert!(text.contains("[140..150) idle (10 cycles)"));
     }

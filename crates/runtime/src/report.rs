@@ -68,8 +68,9 @@ impl BenchSample {
 
 /// Renders a [`RunSummary`] as the `bench_report.json` artifact:
 /// per-job rows (submission order) with status, fingerprint, wall
-/// time and simulated cycles, plus run-level totals and cache
-/// statistics.
+/// time, simulated cycles and any free-form job metrics (e.g. the
+/// `ff-speedup` target's `speedup_wall_permille`), plus run-level
+/// totals and cache statistics.
 pub fn report_json(summary: &RunSummary) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"schema\": {REPORT_SCHEMA},");
@@ -97,6 +98,18 @@ pub fn report_json(summary: &RunSummary) -> String {
             r.status.label(),
             BenchSample::single(r.wall_ns).json(),
         );
+        if let Some(metrics) = r.output.as_ref().map(|o| &o.metrics) {
+            if !metrics.is_empty() {
+                s.push_str(", \"metrics\": {");
+                for (j, (k, v)) in metrics.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "\"{}\": {v}", escape(k));
+                }
+                s.push('}');
+            }
+        }
         match &r.status {
             JobStatus::Failed(msg) | JobStatus::Skipped(msg) => {
                 let _ = write!(s, ", \"error\": \"{}\"", escape(msg));
@@ -166,6 +179,7 @@ mod tests {
         g.add(Job::new("ok_job", fp("ok"), || {
             let mut o = JobOutput::text("fine\n");
             o.sim_cycles = 1000;
+            o.metrics.insert("speedup_wall_permille".into(), 2500);
             o
         }));
         g.add(Job::new("bad_job", fp("bad"), || panic!("report me")));
@@ -177,6 +191,7 @@ mod tests {
         assert!(json.contains("\"status\": \"failed\""));
         assert!(json.contains("\"error\": \"report me\""));
         assert!(json.contains("\"sim_cycles\": 1000"));
+        assert!(json.contains("\"metrics\": {\"speedup_wall_permille\": 2500}"));
         assert!(json.contains("\"jobs_failed\": 1"));
         let opens = json.matches(['{', '[']).count();
         let closes = json.matches(['}', ']']).count();

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use t3_core::configs::Configuration;
 use t3_gpu::gemm::GemmShape;
 use t3_sim::config::SystemConfig;
-use t3_sim::Cycle;
+use t3_sim::{Cycle, SimMode};
 
 /// Which execution mode the serving engine prices iterations with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +67,7 @@ pub struct CostModel {
     hidden: u64,
     layers: u64,
     tp: u64,
+    mode: SimMode,
     cache: BTreeMap<u64, LayerCosts>,
 }
 
@@ -90,6 +91,24 @@ impl CostModel {
     ///
     /// Panics if `tp` or `layers` is zero.
     pub fn new(sys: &SystemConfig, hidden: u64, layers: u64, tp: u64) -> Self {
+        Self::new_in_mode(sys, hidden, layers, tp, SimMode::default())
+    }
+
+    /// [`CostModel::new`] with an explicit sublayer simulation mode.
+    /// Stepped and fast-forward price every bucket identically — the
+    /// determinism pipeline asserts it — so this only exists to run
+    /// the equivalence tests and to benchmark the two engines.
+    ///
+    /// # Panics
+    ///
+    /// As [`CostModel::new`].
+    pub fn new_in_mode(
+        sys: &SystemConfig,
+        hidden: u64,
+        layers: u64,
+        tp: u64,
+        mode: SimMode,
+    ) -> Self {
         assert!(tp > 0, "TP degree must be positive");
         assert!(layers > 0, "model must have layers");
         CostModel {
@@ -97,6 +116,7 @@ impl CostModel {
             hidden,
             layers,
             tp,
+            mode,
             cache: BTreeMap::new(),
         }
     }
@@ -119,8 +139,8 @@ impl CostModel {
         // The FC-2-style sliced sublayer: full `tokens x hidden`
         // output, K shrunk by the TP degree (Megatron slicing).
         let shape = GemmShape::new(bucket, self.hidden, (4 * self.hidden).div_ceil(self.tp));
-        let seq = Configuration::Sequential.run(&self.sys, &shape);
-        let fused = Configuration::T3Mca.run(&self.sys, &shape);
+        let seq = Configuration::Sequential.run_in_mode(&self.sys, &shape, self.mode);
+        let fused = Configuration::T3Mca.run_in_mode(&self.sys, &shape, self.mode);
         let costs = LayerCosts {
             seq_gemm: seq.gemm_cycles,
             seq_rs: seq.rs_cycles,
@@ -255,5 +275,19 @@ mod tests {
     #[should_panic(expected = "below parity")]
     fn contention_below_parity_rejected() {
         let _ = model().iteration_cycles(EngineMode::Baseline, 8, 999);
+    }
+
+    #[test]
+    fn stepped_and_fast_forward_price_buckets_identically() {
+        let sys = SystemConfig::paper_default();
+        let mut stepped = CostModel::new_in_mode(&sys, 1024, 4, 8, SimMode::Stepped);
+        let mut fast = CostModel::new_in_mode(&sys, 1024, 4, 8, SimMode::FastForward);
+        for tokens in [8u64, 64, 512] {
+            assert_eq!(
+                stepped.layer_costs(tokens),
+                fast.layer_costs(tokens),
+                "bucket for {tokens} tokens diverged between engines"
+            );
+        }
     }
 }

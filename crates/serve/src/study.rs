@@ -12,7 +12,7 @@
 //! runs on.
 
 use t3_sim::config::SystemConfig;
-use t3_sim::Cycle;
+use t3_sim::{Cycle, SimMode};
 use t3_topo::graph::Topology;
 use t3_trace::Instruments;
 
@@ -192,11 +192,25 @@ pub fn serve_cost_model() -> CostModel {
     CostModel::new(&serve_system(), SERVE_HIDDEN, SERVE_LAYERS, SERVE_TP)
 }
 
+/// [`serve_cost_model`] pricing its sublayer buckets with an explicit
+/// simulation mode (stepped reference vs fast-forward); the modes are
+/// byte-identical, which the determinism pipeline asserts through
+/// [`serving_study_in_mode`].
+pub fn serve_cost_model_in_mode(mode: SimMode) -> CostModel {
+    CostModel::new_in_mode(&serve_system(), SERVE_HIDDEN, SERVE_LAYERS, SERVE_TP, mode)
+}
+
 /// The headline serving study: every fabric × load point × engine
 /// mode, [`SERVE_TENANTS`] tenants, in deterministic row order
 /// (fabric-major, then load, then baseline before fused).
 pub fn serving_study(token_divisor: u64) -> Vec<ServingRow> {
-    let mut cost = serve_cost_model();
+    serving_study_in_mode(token_divisor, SimMode::default())
+}
+
+/// [`serving_study`] with the sublayer simulations running in an
+/// explicit mode. Every row must be identical across modes.
+pub fn serving_study_in_mode(token_divisor: u64, mode: SimMode) -> Vec<ServingRow> {
+    let mut cost = serve_cost_model_in_mode(mode);
     let mut rows = Vec::new();
     for topology in SERVE_TOPOLOGIES {
         for (load, arrival) in SERVE_LOAD_POINTS {
@@ -246,7 +260,13 @@ pub fn tenant_sweep(token_divisor: u64) -> Vec<ServingRow> {
 /// and the determinism pipeline. Returns the populated instruments,
 /// the measured row, and the core clock.
 pub fn traced_serving(token_divisor: u64) -> (Instruments, ServingRow, f64) {
-    let mut cost = serve_cost_model();
+    traced_serving_in_mode(token_divisor, SimMode::default())
+}
+
+/// [`traced_serving`] with the sublayer simulations priced under an
+/// explicit mode; exported bytes must not depend on it.
+pub fn traced_serving_in_mode(token_divisor: u64, mode: SimMode) -> (Instruments, ServingRow, f64) {
+    let mut cost = serve_cost_model_in_mode(mode);
     let mut ins = Instruments::full();
     let (load, arrival) = SERVE_LOAD_POINTS[1];
     let row = serving_point(
@@ -298,6 +318,15 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stepped_and_fast_forward_studies_agree() {
+        assert_eq!(
+            serving_study_in_mode(FAST, SimMode::Stepped),
+            serving_study_in_mode(FAST, SimMode::FastForward),
+            "serving rows must not depend on the time-advancement mode"
+        );
     }
 
     #[test]

@@ -40,6 +40,34 @@ pub type Cycle = u64;
 /// A size or traffic volume, in bytes.
 pub type Bytes = u64;
 
+/// How an orchestrating engine loop advances simulated time.
+///
+/// Both modes produce byte-identical results — cycle counts, traces,
+/// metrics, timeseries. [`SimMode::FastForward`] merely leaps `now`
+/// over provably-idle gaps: whenever no component has work before the
+/// minimum `next_event` cycle, the loop replays the skipped cycles'
+/// bookkeeping in closed form and jumps. [`SimMode::Stepped`] is the
+/// original cycle-by-cycle reference path, kept behind this flag as
+/// the equivalence oracle for the determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimMode {
+    /// Advance one cycle at a time (the reference engine).
+    Stepped,
+    /// Leap over idle gaps to the next interesting cycle.
+    #[default]
+    FastForward,
+}
+
+impl SimMode {
+    /// Canonical label for reports and fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimMode::Stepped => "stepped",
+            SimMode::FastForward => "fast-forward",
+        }
+    }
+}
+
 /// Converts a bandwidth in GB/s (decimal: 1e9 bytes/s) into bytes per
 /// core cycle at the given clock.
 ///
@@ -142,5 +170,12 @@ mod tests {
     #[test]
     fn cycles_to_us_at_one_ghz() {
         assert!((cycles_to_us(1000, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_mode_defaults_to_fast_forward() {
+        assert_eq!(SimMode::default(), SimMode::FastForward);
+        assert_eq!(SimMode::Stepped.label(), "stepped");
+        assert_eq!(SimMode::FastForward.label(), "fast-forward");
     }
 }

@@ -166,6 +166,26 @@ impl Fabric {
         self.links.iter().all(|l| l.is_idle(now)) && self.inboxes.iter().all(BinaryHeap::is_empty)
     }
 
+    /// The next cycle strictly after `now` at which polling
+    /// [`Fabric::deliveries_until`] for GPU `gpu` can return something
+    /// new: the head inbox arrival, clamped forward to `now + 1` (a
+    /// head already due pops on the very next poll). `None` when the
+    /// inbox is empty. Sends record their arrival eagerly, so inbox
+    /// heads are the fabric's only future events.
+    pub fn next_arrival(&self, gpu: usize, now: Cycle) -> Option<Cycle> {
+        self.inboxes[gpu]
+            .peek()
+            .map(|Reverse(p)| p.arrival.max(now + 1))
+    }
+
+    /// The next cycle strictly after `now` at which any GPU's inbox can
+    /// deliver; `None` when the whole fabric has nothing in flight.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (0..self.inboxes.len())
+            .filter_map(|gpu| self.next_arrival(gpu, now))
+            .min()
+    }
+
     /// Executes `sched` as a standalone collective over `payload_bytes`
     /// and returns the finish cycle (latest arrival).
     ///
@@ -388,6 +408,32 @@ mod tests {
             .expect("metrics on")
             .counter("link.bytes_sent");
         assert_eq!(traced, fabric.total_wire_bytes());
+    }
+
+    #[test]
+    fn next_event_is_the_exact_inbox_arrival() {
+        let topo = Topology::fully_connected(4, &cfg());
+        let mut fabric = Fabric::new(&topo);
+        assert_eq!(fabric.next_event(0), None, "idle fabric has no events");
+        let slow = fabric.send(0, 1, 0, 10, 500_000);
+        let fast = fabric.send(0, 2, 3, 20, 1_000);
+        assert!(fast < slow);
+        // Global minimum across inboxes, and exact per GPU.
+        assert_eq!(fabric.next_event(0), Some(fast));
+        assert_eq!(fabric.next_arrival(0, 0), Some(slow));
+        assert_eq!(fabric.next_arrival(3, 0), Some(fast));
+        assert_eq!(fabric.next_arrival(1, 0), None);
+        // Stepping deliveries cycle by cycle pops exactly at the
+        // predicted cycles.
+        for now in 1..fast {
+            assert!(fabric.deliveries_until(3, now).is_empty());
+        }
+        assert_eq!(fabric.deliveries_until(3, fast).len(), 1);
+        assert_eq!(fabric.next_event(0), Some(slow));
+        // An overdue head clamps forward to now + 1.
+        assert_eq!(fabric.next_arrival(0, slow + 10), Some(slow + 11));
+        fabric.deliveries_until(0, slow);
+        assert_eq!(fabric.next_event(slow), None);
     }
 
     #[test]

@@ -83,6 +83,21 @@ impl Tracer {
         }
     }
 
+    /// The next cycle in `[from, to)` at which a queue-depth sample
+    /// falls due, advancing the schedule past it — the closed-form
+    /// replay of calling [`Tracer::mc_sample_due`] once per cycle over
+    /// the range. Returns `None` (schedule untouched) when no sample
+    /// is due in the range.
+    pub fn mc_sample_due_in(&mut self, from: Cycle, to: Cycle) -> Option<Cycle> {
+        let due = self.next_mc_sample.max(from);
+        if due < to {
+            self.next_mc_sample = due + self.mc_sample_interval;
+            Some(due)
+        } else {
+            None
+        }
+    }
+
     /// The recorded events, in emission order.
     pub fn records(&self) -> &[Record] {
         &self.records
@@ -176,6 +191,38 @@ mod tests {
         assert!(!t.mc_sample_due(50));
         assert!(t.mc_sample_due(100));
         assert!(t.mc_sample_due(1000));
+    }
+
+    #[test]
+    fn ranged_sampling_replays_the_stepped_schedule() {
+        // Stepping cycle by cycle and replaying ranges must fire
+        // samples at identical cycles and leave identical state.
+        let fire_stepped = |range: std::ops::Range<Cycle>| -> Vec<Cycle> {
+            let mut t = Tracer::new().with_mc_sample_interval(100);
+            range.filter(|&c| t.mc_sample_due(c)).collect()
+        };
+        let fire_ranged = |range: std::ops::Range<Cycle>| -> Vec<Cycle> {
+            let mut t = Tracer::new().with_mc_sample_interval(100);
+            let mut out = Vec::new();
+            while let Some(c) = t.mc_sample_due_in(range.start, range.end) {
+                out.push(c);
+            }
+            out
+        };
+        for range in [0..1, 0..100, 0..101, 5..350, 100..100, 250..251] {
+            assert_eq!(
+                fire_stepped(range.clone()),
+                fire_ranged(range.clone()),
+                "{range:?}"
+            );
+        }
+        // Mixed use: a step, then a leap, then a step.
+        let mut t = Tracer::new().with_mc_sample_interval(100);
+        assert!(t.mc_sample_due(0));
+        assert_eq!(t.mc_sample_due_in(1, 250), Some(100));
+        assert_eq!(t.mc_sample_due_in(1, 250), Some(200));
+        assert_eq!(t.mc_sample_due_in(1, 250), None);
+        assert!(t.mc_sample_due(300));
     }
 
     #[test]

@@ -18,11 +18,13 @@
 use t3_bench::experiments::{self, ExperimentScale};
 use t3_bench::jobs;
 use t3_runtime::{CacheConfig, RunOptions, RunSummary};
+use t3_sim::SimMode;
 use t3_trace::chrome::chrome_trace_json;
 
 /// One traced run's complete exported byte set.
-fn tnlg_artifacts() -> (u64, String, String, String) {
-    let (ins, run, clock_ghz) = experiments::traced_tnlg_sublayer(ExperimentScale::FAST);
+fn tnlg_artifacts_in_mode(mode: SimMode) -> (u64, String, String, String) {
+    let (ins, run, clock_ghz) =
+        experiments::traced_tnlg_sublayer_in_mode(ExperimentScale::FAST, mode);
     let tracer = ins
         .tracer
         .as_ref()
@@ -39,8 +41,13 @@ fn tnlg_artifacts() -> (u64, String, String, String) {
     )
 }
 
-fn multinode_artifacts(topology: &str) -> (u64, String, String) {
-    let (ins, run, clock_ghz) = experiments::traced_multinode(ExperimentScale::FAST, topology);
+fn tnlg_artifacts() -> (u64, String, String, String) {
+    tnlg_artifacts_in_mode(SimMode::default())
+}
+
+fn multinode_artifacts_in_mode(topology: &str, mode: SimMode) -> (u64, String, String) {
+    let (ins, run, clock_ghz) =
+        experiments::traced_multinode_in_mode(ExperimentScale::FAST, topology, mode);
     let tracer = ins
         .tracer
         .as_ref()
@@ -54,6 +61,10 @@ fn multinode_artifacts(topology: &str) -> (u64, String, String) {
         chrome_trace_json(tracer.records(), clock_ghz),
         metrics.to_json(),
     )
+}
+
+fn multinode_artifacts(topology: &str) -> (u64, String, String) {
+    multinode_artifacts_in_mode(topology, SimMode::default())
 }
 
 #[test]
@@ -87,9 +98,9 @@ fn multinode_trace_and_metrics_are_bit_identical_across_runs() {
 
 /// One traced serving run's complete exported byte set: the Chrome
 /// trace plus the canonical request log.
-fn serving_artifacts() -> (u64, String, String) {
+fn serving_artifacts_in_mode(mode: SimMode) -> (u64, String, String) {
     let (ins, row, clock_ghz) =
-        t3_serve::study::traced_serving(ExperimentScale::FAST.token_divisor);
+        t3_serve::study::traced_serving_in_mode(ExperimentScale::FAST.token_divisor, mode);
     let tracer = ins
         .tracer
         .as_ref()
@@ -99,6 +110,78 @@ fn serving_artifacts() -> (u64, String, String) {
         chrome_trace_json(tracer.records(), clock_ghz),
         t3_serve::request_log(&row.run.outcomes),
     )
+}
+
+fn serving_artifacts() -> (u64, String, String) {
+    serving_artifacts_in_mode(SimMode::default())
+}
+
+// ---------------------------------------------------------------------
+// Stepped vs. fast-forward: the event-driven engine must replay every
+// skipped cycle's side effects exactly, so the two time-advancement
+// modes export byte-identical artifacts on every traced workload.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tnlg_fast_forward_artifacts_are_byte_identical_to_stepped() {
+    let stepped = tnlg_artifacts_in_mode(SimMode::Stepped);
+    let fast = tnlg_artifacts_in_mode(SimMode::FastForward);
+    assert_eq!(stepped.0, fast.0, "tnlg cycle count diverged across modes");
+    assert_eq!(stepped.1, fast.1, "tnlg Chrome trace diverged across modes");
+    assert_eq!(stepped.2, fast.2, "tnlg metrics JSON diverged across modes");
+    assert_eq!(stepped.3, fast.3, "tnlg metrics CSV diverged across modes");
+}
+
+#[test]
+fn multinode_fast_forward_artifacts_are_byte_identical_to_stepped() {
+    for topology in ["ring", "switch"] {
+        let stepped = multinode_artifacts_in_mode(topology, SimMode::Stepped);
+        let fast = multinode_artifacts_in_mode(topology, SimMode::FastForward);
+        assert_eq!(stepped.0, fast.0, "{topology}: cycle count diverged");
+        assert_eq!(stepped.1, fast.1, "{topology}: Chrome trace diverged");
+        assert_eq!(stepped.2, fast.2, "{topology}: metrics JSON diverged");
+    }
+}
+
+#[test]
+fn serving_fast_forward_artifacts_are_byte_identical_to_stepped() {
+    let stepped = serving_artifacts_in_mode(SimMode::Stepped);
+    let fast = serving_artifacts_in_mode(SimMode::FastForward);
+    assert_eq!(stepped.0, fast.0, "serving makespan diverged across modes");
+    assert_eq!(
+        stepped.1, fast.1,
+        "serving Chrome trace diverged across modes"
+    );
+    assert_eq!(
+        stepped.2, fast.2,
+        "serving request log diverged across modes"
+    );
+}
+
+#[test]
+fn sharded_engine_matches_sequential_at_every_width() {
+    use t3_core::engine::FusedOptions;
+    use t3_core::multigpu::{run_multi_gpu_fused_rs_on, run_multi_gpu_fused_rs_sharded};
+
+    let sys = t3_sim::config::SystemConfig::paper_default().with_num_gpus(16);
+    let topo = t3_topo::Topology::ring(16, &sys.link);
+    let grid = t3_gpu::gemm::GemmGrid::new(&sys.gpu, t3_gpu::gemm::GemmShape::new(256, 2048, 512));
+    for mode in [SimMode::Stepped, SimMode::FastForward] {
+        let opts = FusedOptions {
+            mode,
+            ..FusedOptions::default()
+        };
+        let seq = run_multi_gpu_fused_rs_on(&sys, grid.clone(), &opts, &topo, None);
+        for threads in [2, 16] {
+            let sharded = run_multi_gpu_fused_rs_sharded(&sys, grid.clone(), &opts, &topo, threads);
+            assert_eq!(
+                format!("{seq:?}"),
+                format!("{sharded:?}"),
+                "sharded engine diverged at {threads} threads ({} mode)",
+                mode.label()
+            );
+        }
+    }
 }
 
 #[test]

@@ -104,6 +104,7 @@ collective busy cycles    : 76390 (14 sends, 7626752 bytes)
   exposed                 : 5201 (2.6% of total)
 dma/fabric-only cycles    : 2853
 idle cycles               : 3598
+fast-forward leaps        : 5 (6451 skippable cycles, 3.2% of total)
 overlap fraction          : 93.1%
 critical path             : 11 segments
   [0..2001) idle (2001 cycles)
@@ -146,8 +147,8 @@ total: 14 collectives, 7626752 bytes, 5200 exposed cycles
 /// band fails it.
 #[test]
 fn bench_baseline_gates_regressions() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_8.json");
-    let text = std::fs::read_to_string(&path).expect("BENCH_8.json is checked in");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_9.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_9.json is checked in");
     let baseline = check::parse_report(&text).expect("baseline parses");
     assert!(!baseline.is_empty());
     assert!(
