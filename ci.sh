@@ -28,17 +28,28 @@ cargo test -q --workspace
 
 echo "==> figures smoke run (parallel runtime, fresh cache)"
 # Smoke artifacts live under target/ so a CI pass leaves the working
-# tree clean.
+# tree clean. The spec pair appends the 3D sweep rows to the legacy
+# target list, so the report carries both for the perf gate.
 rm -rf target/t3-cache
-./target/release/figures all --fast --jobs 2 --report target/bench_report.json
+./target/release/figures all examples/specs/gpt3_3d_sweep.t3w \
+    examples/specs/hierarchical.t3s --fast --jobs 2 \
+    --report target/bench_report.json
 
-echo "==> t3-prof perf-trajectory gate (vs BENCH_9.json)"
+echo "==> figures sweep smoke (spec frontend, --report)"
+# The spec-only path: expand a small checked-in workload/system pair
+# and run it through the runtime with a report artifact.
+./target/release/figures sweep examples/specs/tnlg_tp.t3w \
+    examples/specs/ring.t3s --fast --jobs 2 \
+    --report target/sweep_report.json
+
+echo "==> t3-prof perf-trajectory gate (vs BENCH_10.json)"
 # Simulated-cycle regression gate against the checked-in baseline.
 # For an intentional perf change, run with T3_PROF_NO_GATE=1 and
 # refresh the baseline in the same change:
-#   ./target/release/figures all --fast --jobs 2 --report BENCH_9.json
-./target/release/t3-prof check target/bench_report.json BENCH_9.json
+#   ./target/release/figures all examples/specs/gpt3_3d_sweep.t3w \
+#       examples/specs/hierarchical.t3s --fast --jobs 2 --report BENCH_10.json
+./target/release/t3-prof check target/bench_report.json BENCH_10.json
 
-rm -rf target/t3-cache target/bench_report.json
+rm -rf target/t3-cache target/bench_report.json target/sweep_report.json
 
 echo "CI OK"

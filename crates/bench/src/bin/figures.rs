@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p t3-bench --bin figures -- <target> [--fast] [--jobs N]
+//! cargo run --release -p t3-bench --bin figures -- sweep <workload.t3w> <system.t3s>
 //! cargo run --release -p t3-bench --bin figures -- --trace out.json
 //! ```
 //!
@@ -9,6 +10,17 @@
 //! fig18 fig19 fig20 multinode extensions sweep serving serving-fused
 //! ff-speedup all`. `--fast` shrinks workloads 8x in the token
 //! dimension for smoke runs.
+//!
+//! Positional arguments ending in `.t3w` / `.t3s` are declarative
+//! spec files (see `examples/specs/` and ARCHITECTURE §11): exactly
+//! one workload and one system spec expand into the 3D-parallelism
+//! sweep — one runtime job per TP×PP×DP×EP point, fingerprinted from
+//! the spec content. With a spec pair, the `sweep` target names that
+//! expansion (`figures sweep w.t3w s.t3s` runs exactly the sweep);
+//! without an explicit `sweep` target the sweep jobs append after the
+//! named targets, and `all` keeps its historical meaning. After the
+//! rows, every sequential/T3-fused point pair prints one speedup
+//! line.
 //!
 //! Targets run as jobs on the `t3-runtime` worker pool: `--jobs N`
 //! sets the pool width (default: available parallelism) and outputs
@@ -106,11 +118,34 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => return usage(&e),
     };
-    let targets = match targets(&args) {
+    let positionals = match targets(&args) {
         Ok(t) => t,
         Err(e) => return usage(&e),
     };
+    // Positionals ending in .t3w/.t3s are declarative spec files; the
+    // rest are figure targets.
+    let mut workload_specs = Vec::new();
+    let mut system_specs = Vec::new();
+    let mut targets = Vec::new();
+    for p in positionals {
+        if p.ends_with(".t3w") {
+            workload_specs.push(p);
+        } else if p.ends_with(".t3s") {
+            system_specs.push(p);
+        } else {
+            targets.push(p);
+        }
+    }
+    let sweep_plan = match (workload_specs.as_slice(), system_specs.as_slice()) {
+        ([], []) => None,
+        ([w], [s]) => match jobs::load_sweep_plan(w, s) {
+            Ok(plan) => Some(plan),
+            Err(e) => return usage(&e),
+        },
+        _ => return usage("a sweep needs exactly one workload (.t3w) and one system (.t3s) spec"),
+    };
     if targets.is_empty()
+        && sweep_plan.is_none()
         && trace_path.is_none()
         && metrics_path.is_none()
         && trace_serving_path.is_none()
@@ -120,8 +155,13 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
-    if !targets.is_empty() {
-        let graph = match jobs::figure_job_graph(&targets, scale, topology.as_deref()) {
+    if !targets.is_empty() || sweep_plan.is_some() {
+        let graph = match jobs::figure_job_graph_with_sweep(
+            &targets,
+            scale,
+            topology.as_deref(),
+            sweep_plan.as_ref(),
+        ) {
             Ok(g) => g,
             Err(e) => return usage(&e),
         };
@@ -131,6 +171,24 @@ fn main() -> ExitCode {
         };
         let summary = t3_runtime::run(graph, &opts);
         print!("{}", summary.merged_stdout());
+        if sweep_plan.is_some() {
+            // Pair each sequential point with its T3-fused twin. The
+            // iteration cycles come from job metrics, which survive
+            // the result cache, so these lines are byte-stable across
+            // pool widths and cache state.
+            let rows: Vec<(String, u64)> = summary
+                .results
+                .iter()
+                .filter_map(|r| {
+                    let label = r.name.strip_prefix("sweep[")?.strip_suffix(']')?;
+                    let iter = *r.output.as_ref()?.metrics.get("iter_cycles")?;
+                    Some((label.to_string(), iter))
+                })
+                .collect();
+            for line in t3_spec::exec::speedup_summary(&rows) {
+                println!("{line}");
+            }
+        }
         for result in &summary.results {
             let reason = match &result.status {
                 JobStatus::Failed(e) => e,
@@ -243,7 +301,12 @@ fn main() -> ExitCode {
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!(
-        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|serving|serving-fused|ff-speedup|all> ...] [flags]"
+        "usage: figures [<table1|table2|table3|fig4|fig6|fig14|fig15|fig16|fig17|fig18|fig19|fig20|multinode|extensions|sweep|serving|serving-fused|ff-speedup|all> ...] [<workload.t3w> <system.t3s>] [flags]"
+    );
+    eprintln!("spec sweeps:");
+    eprintln!("  figures sweep <workload.t3w> <system.t3s>   expand the spec pair into one job per TP*PP*DP*EP point");
+    eprintln!(
+        "  (example specs live in examples/specs/; grammar in docs/ARCHITECTURE.md section 11)"
     );
     eprintln!("flags:");
     eprintln!("  --fast                 shrink workloads 8x in the token dimension");

@@ -877,14 +877,7 @@ pub const TOPOLOGY_NAMES: &[&str] = &["ring", "fully-connected", "switch", "toru
 /// names (the CLI turns that into a usage error).
 pub fn topology_by_name(name: &str, n: usize, sys: &SystemConfig) -> Option<Topology> {
     let link = &sys.link;
-    Some(match name {
-        "ring" => Topology::ring(n, link),
-        "fully-connected" => Topology::fully_connected(n, link),
-        "switch" => Topology::switch(n, link),
-        "torus" => Topology::torus2d(2, n / 2, link),
-        "hierarchical" => Topology::hierarchical(2, n / 2, link, &inter_node_link(link)),
-        _ => return None,
-    })
+    Topology::by_label(name, n, link, &inter_node_link(link))
 }
 
 /// The fabric joining nodes in the hierarchical topology (think

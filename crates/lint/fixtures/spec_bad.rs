@@ -1,0 +1,16 @@
+// Fixture: the nondeterminism a spec frontend could smuggle in — a
+// sweep expander that collects axes into a HashMap and enumerates
+// points by iterating it. Point order is the row order of the emitted
+// sweep table, so hash-ordered expansion would scramble a byte-pinned
+// artifact run to run.
+use std::collections::HashMap;
+
+pub fn expand_points(axes: &HashMap<String, Vec<u64>>) -> Vec<(String, u64)> {
+    let mut points = Vec::new();
+    for (key, values) in axes.iter() {
+        for &v in values {
+            points.push((key.clone(), v));
+        }
+    }
+    points
+}

@@ -23,6 +23,9 @@ use crate::lexer::TokKind;
 /// `serve` is in scope: its arrival generator and engine produce the
 /// request timelines behind the serving figures, so a host-clock read
 /// there would make the tail-latency percentiles irreproducible.
+/// `spec` is in scope: its point executor prices sweep rows in cycles,
+/// so a wall-clock or float-truncated counter there would corrupt the
+/// sweep figures the specs exist to reproduce.
 pub const TIMING_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -35,6 +38,7 @@ pub const TIMING_CRATES: &[&str] = &[
     "serve",
     "runtime",
     "prof",
+    "spec",
 ];
 
 /// Crates (and root dirs) whose iteration order reaches timing or
@@ -45,6 +49,9 @@ pub const TIMING_CRATES: &[&str] = &[
 /// collective-record, and gate-verdict renderings, all golden-pinned;
 /// `serve` through the canonical request log and batch assembly —
 /// hash-ordered admission would leak into every latency percentile.
+/// `spec` qualifies through sweep enumeration: point order is the row
+/// order of the emitted sweep table, so hash-map iteration anywhere in
+/// axis expansion would scramble a byte-pinned artifact.
 pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "sim",
     "gpu",
@@ -58,6 +65,7 @@ pub const ORDERED_OUTPUT_CRATES: &[&str] = &[
     "serve",
     "runtime",
     "prof",
+    "spec",
 ];
 
 /// Static description of one rule: the `--list` line plus the longer

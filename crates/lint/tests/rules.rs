@@ -81,6 +81,21 @@ fn serve_crate_is_in_both_scopes() {
 }
 
 #[test]
+fn spec_crate_is_in_both_scopes() {
+    // Sweep enumeration order is the row order of the emitted table:
+    // a hash-ordered axis map would scramble nothing visibly in one
+    // run yet break byte-identity across runs, so T3L002 must fire.
+    let diags = lint_source("crates/spec/src/fx.rs", &fixture("spec_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["hash-iteration"], "{diags:?}");
+    // The point executor prices rows in simulated cycles, so the
+    // timing rules cover the crate too.
+    let diags = lint_source("crates/spec/src/fx.rs", &fixture("wall_clock_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["wall-clock"]);
+    let diags = lint_source("crates/spec/src/fx.rs", &fixture("float_bad.rs"));
+    assert_eq!(rules_fired(&diags), vec!["float-cycles"]);
+}
+
+#[test]
 fn wall_clock_out_of_scope_in_bench_crate() {
     // The bench harness measures host wall time by design.
     let diags = lint_source("crates/bench/src/fx.rs", &fixture("wall_clock_bad.rs"));

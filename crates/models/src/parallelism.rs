@@ -11,7 +11,8 @@
 
 use crate::zoo::ModelConfig;
 use t3_sim::config::SystemConfig;
-use t3_sim::Cycle;
+use t3_sim::{Bytes, Cycle};
+use t3_topo::{Fabric, Schedule, Topology};
 
 /// A GPipe-style pipeline-parallel schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,128 @@ impl PipelineConfig {
     pub fn p2p_hidden(&self, sys: &SystemConfig, model: &ModelConfig, stage_cycles: Cycle) -> bool {
         self.p2p_cycles(sys, model) <= stage_cycles
     }
+
+    /// Event-driven GPipe makespan over a fabric: forward fill then
+    /// backward drain across `stages` devices, each micro-batch
+    /// costing `stage_fwd`/`stage_bwd` cycles per stage, with the
+    /// inter-stage activation hand-off of `bytes` priced by
+    /// [`Fabric::send`] on `fabric`. `None` makes hand-offs
+    /// instantaneous — the ideal bound, so the exposed pipeline
+    /// communication of a point is `makespan(Some(f)) -
+    /// makespan(None)`. With instantaneous hand-offs and uniform stage
+    /// times this reduces to the GPipe closed form
+    /// `(S + M - 1) · (fwd + bwd)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fabric is given whose GPU count differs from
+    /// `stages`.
+    pub fn fabric_makespan(
+        &self,
+        mut fabric: Option<&mut Fabric>,
+        stage_fwd: Cycle,
+        stage_bwd: Cycle,
+        bytes: Bytes,
+    ) -> Cycle {
+        if let Some(f) = fabric.as_deref() {
+            assert_eq!(
+                f.topo().num_gpus() as u64,
+                self.stages,
+                "pipeline fabric must have one GPU per stage"
+            );
+        }
+        let stages = self.stages as usize;
+        let mbs = self.microbatches as usize;
+        let mut stage_free = vec![0u64; stages];
+        // When each micro-batch's data becomes available at the stage
+        // currently processing it (activations forward, gradients
+        // backward).
+        let mut arrive = vec![0u64; mbs];
+        let mut tag = 0u64;
+        let mut hand_off = |f: &mut Option<&mut Fabric>, now: Cycle, src: usize, dst: usize| {
+            tag += 1;
+            match f {
+                Some(fab) => fab.send(now, src, dst, tag, bytes),
+                None => now,
+            }
+        };
+        for (stage, free) in stage_free.iter_mut().enumerate() {
+            for arr in arrive.iter_mut() {
+                let done = (*free).max(*arr) + stage_fwd;
+                *free = done;
+                *arr = if stage + 1 < stages {
+                    hand_off(&mut fabric, done, stage, stage + 1)
+                } else {
+                    done
+                };
+            }
+        }
+        for (stage, free) in stage_free.iter_mut().enumerate().rev() {
+            for arr in arrive.iter_mut() {
+                let done = (*free).max(*arr) + stage_bwd;
+                *free = done;
+                *arr = if stage > 0 {
+                    hand_off(&mut fabric, done, stage, stage - 1)
+                } else {
+                    done
+                };
+            }
+        }
+        stage_free.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Reduce-scatter time over an arbitrary fabric: the wire term
+/// executes the topology-derived schedule on a [`Fabric`] (per-hop
+/// serialisation, shared ports, slow inter-node links), and the memory
+/// term adds the DRAM cost of landing and reducing the `N-1` incoming
+/// chunks plus one kernel launch — the RS analogue of
+/// [`crate::moe::scheduled_all_to_all_cycles`]. This is the exposed
+/// collective a sequential data-parallel gradient exchange pays; T3
+/// instead overlaps it with backward compute.
+///
+/// # Panics
+///
+/// Panics if the topology's GPU count differs from `sys.num_gpus`.
+pub fn scheduled_reduce_scatter_cycles(
+    sys: &SystemConfig,
+    topo: &Topology,
+    payload_bytes: u64,
+) -> Cycle {
+    scheduled_collective_cycles(sys, topo, &Schedule::reduce_scatter(topo), payload_bytes)
+}
+
+/// All-gather time over an arbitrary fabric; see
+/// [`scheduled_reduce_scatter_cycles`] for the cost terms.
+///
+/// # Panics
+///
+/// Panics if the topology's GPU count differs from `sys.num_gpus`.
+pub fn scheduled_all_gather_cycles(
+    sys: &SystemConfig,
+    topo: &Topology,
+    payload_bytes: u64,
+) -> Cycle {
+    scheduled_collective_cycles(sys, topo, &Schedule::all_gather(topo), payload_bytes)
+}
+
+fn scheduled_collective_cycles(
+    sys: &SystemConfig,
+    topo: &Topology,
+    sched: &Schedule,
+    payload_bytes: u64,
+) -> Cycle {
+    assert_eq!(
+        topo.num_gpus(),
+        sys.num_gpus,
+        "topology and system disagree on GPU count"
+    );
+    let n = sys.num_gpus as u64;
+    let wire = Fabric::new(topo).run_schedule(sched, payload_bytes, None);
+    let chunk = payload_bytes / n;
+    let dram = ((n - 1) * chunk) as f64 / sys.mem.bytes_per_cycle();
+    // t3-lint: allow(float-cycles) -- DRAM drain bound: single ceil of a bandwidth ratio added to integer wire time
+    wire + dram.ceil() as Cycle + sys.gpu.kernel_launch_cycles
 }
 
 /// ZeRO-3 / FSDP weight sharding: every layer's weights are
@@ -166,5 +289,59 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_stages_rejected() {
         let _ = PipelineConfig::new(0, 4);
+    }
+
+    #[test]
+    fn ideal_makespan_matches_the_gpipe_closed_form() {
+        for (s, m) in [(1u64, 4u64), (2, 1), (4, 12), (8, 16)] {
+            let pp = PipelineConfig::new(s, m);
+            let got = pp.fabric_makespan(None, 700, 1_300, 1 << 20);
+            assert_eq!(got, (s + m - 1) * (700 + 1_300), "S={s} M={m}");
+        }
+    }
+
+    #[test]
+    fn fabric_hand_offs_expose_pipeline_communication() {
+        let s = sys().with_num_gpus(4);
+        let topo = Topology::ring(4, &s.link);
+        let pp = PipelineConfig::new(4, 8);
+        let ideal = pp.fabric_makespan(None, 10_000, 20_000, 1 << 22);
+        let mut fabric = Fabric::new(&topo);
+        let priced = pp.fabric_makespan(Some(&mut fabric), 10_000, 20_000, 1 << 22);
+        assert!(
+            priced > ideal,
+            "a 4 MiB hand-off on a real link must cost something: {priced} vs {ideal}"
+        );
+        // Determinism: a fresh fabric replays the same makespan.
+        let mut again = Fabric::new(&topo);
+        assert_eq!(
+            pp.fabric_makespan(Some(&mut again), 10_000, 20_000, 1 << 22),
+            priced
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one GPU per stage")]
+    fn pipeline_fabric_must_match_stage_count() {
+        let s = sys().with_num_gpus(8);
+        let topo = Topology::ring(8, &s.link);
+        let mut fabric = Fabric::new(&topo);
+        let _ = PipelineConfig::new(4, 4).fabric_makespan(Some(&mut fabric), 1, 1, 1);
+    }
+
+    #[test]
+    fn scheduled_rs_and_ag_price_wire_dram_and_launch() {
+        let s = sys().with_num_gpus(8);
+        let ring = Topology::ring(8, &s.link);
+        let payload = 8 << 20;
+        let rs = scheduled_reduce_scatter_cycles(&s, &ring, payload);
+        let ag = scheduled_all_gather_cycles(&s, &ring, payload);
+        assert!(rs > s.gpu.kernel_launch_cycles);
+        assert!(ag > s.gpu.kernel_launch_cycles);
+        // A slower fabric exposes more collective time.
+        let mut slow = s.clone();
+        slow.link.link_gb_s /= 4.0;
+        let slow_ring = Topology::ring(8, &slow.link);
+        assert!(scheduled_reduce_scatter_cycles(&slow, &slow_ring, payload) > rs);
     }
 }

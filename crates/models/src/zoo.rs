@@ -207,6 +207,42 @@ pub fn futuristic_10t() -> ModelConfig {
     }
 }
 
+/// Spec-file spellings of the zoo models, in Table 2 / Figure 4
+/// order. `by_name` accepts exactly these.
+pub const NAMES: [&str; 7] = ["mega-gpt2", "t-nlg", "gpt3", "palm", "mt-nlg", "1t", "10t"];
+
+/// Looks up a zoo model by its spec-file spelling (see [`NAMES`]).
+pub fn by_name(name: &str) -> Option<ModelConfig> {
+    match name {
+        "mega-gpt2" => Some(mega_gpt2()),
+        "t-nlg" => Some(t_nlg()),
+        "gpt3" => Some(gpt3()),
+        "palm" => Some(palm()),
+        "mt-nlg" => Some(mt_nlg()),
+        "1t" => Some(futuristic_1t()),
+        "10t" => Some(futuristic_10t()),
+        _ => None,
+    }
+}
+
+/// A custom model outside the zoo (spec files with explicit
+/// `hidden`/`layers`). Sequence length and batch default to the
+/// paper's usual 1K×2 and are meant to be overridden; the parameter
+/// estimate is the standard 12·L·H².
+pub fn custom(hidden: u64, layers: u64) -> ModelConfig {
+    let mut m = ModelConfig {
+        name: "custom",
+        hidden,
+        layers,
+        seq_len: 1024,
+        batch: 2,
+        tp_degrees: &[],
+        approx_params: 0.0,
+    };
+    m.approx_params = m.estimated_params();
+    m
+}
+
 /// The models of Table 2, in reporting order.
 pub fn table2_models() -> Vec<ModelConfig> {
     vec![mega_gpt2(), t_nlg(), gpt3(), palm(), mt_nlg()]
@@ -291,6 +327,18 @@ mod tests {
             "MT-NLG needs ~32-way slicing, got {mt}"
         );
         assert!(futuristic_10t().min_tp_for_capacity(hbm, 1.5) > 32);
+    }
+
+    #[test]
+    fn zoo_names_round_trip() {
+        for name in NAMES {
+            let m = by_name(name).unwrap_or_else(|| panic!("{name} resolves"));
+            assert!(m.hidden > 0);
+        }
+        assert!(by_name("gpt9").is_none());
+        let c = custom(1024, 12);
+        assert_eq!(c.name, "custom");
+        assert_eq!(c.approx_params, c.estimated_params());
     }
 
     #[test]

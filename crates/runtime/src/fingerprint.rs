@@ -71,6 +71,7 @@ const TAG_STR: u8 = 1;
 const TAG_U64: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_NONE: u8 = 4;
+const TAG_F64: u8 = 5;
 
 /// Builds a [`Fingerprint`] from explicitly ordered, named, typed
 /// fields.
@@ -103,6 +104,15 @@ impl FingerprintBuilder {
     pub fn u64(mut self, name: &str, value: u64) -> Self {
         self.field_header(TAG_U64, name);
         self.h.write_u64(value);
+        self
+    }
+
+    /// Adds an `f64` field via its IEEE-754 bit pattern, so two
+    /// configs differ iff their float bits differ (spec-file link
+    /// bandwidths and latencies feed the sweep cache identity).
+    pub fn f64(mut self, name: &str, value: f64) -> Self {
+        self.field_header(TAG_F64, name);
+        self.h.write(&value.to_bits().to_le_bytes());
         self
     }
 
@@ -199,5 +209,19 @@ mod tests {
         let s = FingerprintBuilder::new().str("v", "1").finish();
         let b = FingerprintBuilder::new().bool("v", true).finish();
         assert_ne!(s, b);
+    }
+
+    #[test]
+    fn f64_fields_hash_their_bit_patterns() {
+        let a = FingerprintBuilder::new().f64("gb_s", 150.0).finish();
+        let same = FingerprintBuilder::new().f64("gb_s", 150.0).finish();
+        let b = FingerprintBuilder::new().f64("gb_s", 150.5).finish();
+        assert_eq!(a, same);
+        assert_ne!(a, b);
+        // A float is not the same identity as the u64 with equal bits.
+        let as_u64 = FingerprintBuilder::new()
+            .u64("gb_s", 150.0_f64.to_bits())
+            .finish();
+        assert_ne!(a, as_u64);
     }
 }

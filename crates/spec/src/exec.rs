@@ -1,0 +1,373 @@
+//! Point execution: lowering one [`ResolvedPoint`] onto the existing
+//! engines and pricing a full 3D-parallel training iteration.
+//!
+//! The cost model composes what the repo already simulates:
+//!
+//! * **TP** — each of the four tensor-sliced sublayer GEMMs runs
+//!   through [`Configuration::run_in_mode`] (the cycle-accurate fused
+//!   or sequential engine) on a `tp`-GPU system, with the
+//!   reduce-scatter and all-gather re-priced on the spec's fabric via
+//!   the scheduled collectives; T3-fused points hide the RS inside the
+//!   fused span and pay only the slow-fabric remainder.
+//! * **EP** — `ep > 1` adds two all-to-alls per layer
+//!   ([`moe::scheduled_all_to_all_cycles`]); T3 fuses the combine into
+//!   the expert GEMM, so fused points pay only what the forward
+//!   compute cannot cover.
+//! * **PP** — stages run the event-driven GPipe fill/drain of
+//!   [`PipelineConfig::fabric_makespan`], with micro-batch activation
+//!   hand-offs priced by [`Fabric::send`] on a `pp`-GPU fabric.
+//! * **DP** — the gradient reduce-scatter + all-gather on a `dp`-GPU
+//!   fabric either serialises after backward (sequential) or overlaps
+//!   with the backward window (T3).
+
+use crate::sweep::ResolvedPoint;
+use crate::system::McPolicy;
+use crate::workload::ExecMode;
+use t3_core::configs::Configuration;
+use t3_models::moe;
+use t3_models::parallelism::{
+    scheduled_all_gather_cycles, scheduled_reduce_scatter_cycles, PipelineConfig,
+};
+use t3_models::zoo::Sublayer;
+use t3_sim::config::SystemConfig;
+use t3_sim::Cycle;
+use t3_topo::{Fabric, Topology};
+
+/// The smallest token dimension any scaled-down GEMM keeps, matching
+/// the bench crate's `--fast` clamp.
+const MIN_TOKENS: u64 = 256;
+
+/// Everything one simulated sweep point reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// The point this outcome prices.
+    pub point: ResolvedPoint,
+    /// End-to-end training-iteration cycles: pipeline makespan plus
+    /// exposed data-parallel communication.
+    pub iter_cycles: Cycle,
+    /// GPipe makespan with fabric-priced stage hand-offs.
+    pub pipeline_cycles: Cycle,
+    /// Pipeline communication on the critical path (makespan minus
+    /// the instant-hand-off ideal).
+    pub pp_exposed_cycles: Cycle,
+    /// Exposed data-parallel gradient-exchange cycles.
+    pub dp_exposed_cycles: Cycle,
+    /// Exposed expert-parallel all-to-all cycles per stage.
+    pub ep_exposed_cycles: Cycle,
+    /// One stage's per-micro-batch forward cycles.
+    pub stage_fwd_cycles: Cycle,
+    /// One stage's per-micro-batch backward cycles.
+    pub stage_bwd_cycles: Cycle,
+    /// Core clock, for cycle→µs rendering.
+    pub clock_ghz: f64,
+}
+
+/// The paper system with the point's link parameters over `n` GPUs.
+fn point_system(point: &ResolvedPoint, n: usize) -> SystemConfig {
+    let mut sys = SystemConfig::paper_default().with_num_gpus(n);
+    sys.link.link_gb_s = point.link_gb_s;
+    sys.link.latency_ns = point.latency_ns;
+    sys
+}
+
+/// The point's fabric over an `n`-GPU group (TP slice, PP stage chain,
+/// or DP/EP replica set). Kinds needing two even halves (`torus`,
+/// `hierarchical`) degrade to `ring` when the group is odd or smaller
+/// than 4 — a group always gets *a* fabric of the spec's link speed.
+fn group_topology(point: &ResolvedPoint, sys: &SystemConfig) -> Topology {
+    let mut inter = sys.link.clone();
+    inter.link_gb_s /= point.inter_bw_div as f64;
+    inter.latency_ns *= point.inter_lat_mult as f64;
+    Topology::by_label(&point.topology, sys.num_gpus, &sys.link, &inter)
+        .unwrap_or_else(|| Topology::ring(sys.num_gpus, &sys.link))
+}
+
+/// Which engine configuration the point's mode + MC policy select.
+fn configuration(point: &ResolvedPoint) -> Configuration {
+    match (point.mode, point.policy) {
+        (ExecMode::Sequential, _) => Configuration::Sequential,
+        (ExecMode::T3Mca, McPolicy::Mca) => Configuration::T3Mca,
+        (ExecMode::T3Mca, McPolicy::RoundRobin) => Configuration::T3,
+    }
+}
+
+/// Prices one resolved point: a full training iteration under the
+/// point's mode, scaled by `token_divisor` (the bench crate's
+/// fast/full switch).
+///
+/// # Panics
+///
+/// Panics if `token_divisor` is zero.
+pub fn simulate_point(point: &ResolvedPoint, token_divisor: u64) -> PointOutcome {
+    assert!(token_divisor > 0, "token divisor must be positive");
+    let model = &point.model;
+    // Tokens one micro-batch carries through a stage, after scaling.
+    let tokens_mb = (model.tokens().div_ceil(point.microbatches) / token_divisor).max(MIN_TOKENS);
+
+    let sys_tp = point_system(point, point.tp as usize);
+    let tp_topo = group_topology(point, &sys_tp);
+    let cfg = configuration(point);
+
+    // Per-layer forward/backward cycles under TP: the two forward and
+    // two backward sliced sublayers, each GEMM from the engine and
+    // each collective from the spec fabric.
+    let mut layer_fwd: Cycle = 0;
+    let mut layer_bwd: Cycle = 0;
+    for sub in Sublayer::ALL {
+        let mut shape = model.sublayer_gemm(sub, point.tp);
+        shape.m = tokens_mb;
+        let outcome = cfg.run_in_mode(&sys_tp, &shape, point.sim);
+        let payload = shape.output_bytes();
+        let rs = scheduled_reduce_scatter_cycles(&sys_tp, &tp_topo, payload);
+        let ag = scheduled_all_gather_cycles(&sys_tp, &tp_topo, payload);
+        let cost = match point.mode {
+            // GEMM, then the full fabric-priced RS, then the AG.
+            ExecMode::Sequential => outcome.gemm_cycles + rs + ag,
+            // The fused span already hides the RS under the GEMM; a
+            // slower fabric exposes only the remainder.
+            ExecMode::T3Mca => outcome.gemm_cycles + rs.saturating_sub(outcome.gemm_cycles) + ag,
+        };
+        if matches!(sub, Sublayer::Op | Sublayer::Fc2) {
+            layer_fwd += cost;
+        } else {
+            layer_bwd += cost;
+        }
+    }
+
+    // Expert parallelism: dispatch + combine all-to-alls per layer; T3
+    // fuses the combine into the expert GEMM, leaving only what the
+    // forward compute cannot cover.
+    let mut ep_layer: Cycle = 0;
+    if point.ep > 1 {
+        let sys_ep = point_system(point, point.ep as usize);
+        let ep_topo = group_topology(point, &sys_ep);
+        let a2a =
+            2 * moe::scheduled_all_to_all_cycles(&sys_ep, &ep_topo, tokens_mb * model.hidden * 2);
+        ep_layer = match point.mode {
+            ExecMode::Sequential => a2a,
+            ExecMode::T3Mca => a2a.saturating_sub(layer_fwd),
+        };
+        layer_fwd += ep_layer;
+    }
+
+    // Pipeline parallelism: GPipe fill/drain over the stage chain,
+    // activations handed off on the point's fabric.
+    let stage_layers = model.layers.div_ceil(point.pp);
+    let stage_fwd = stage_layers * layer_fwd;
+    let stage_bwd = stage_layers * layer_bwd;
+    let pp_cfg = PipelineConfig::new(point.pp, point.microbatches);
+    let p2p_bytes = tokens_mb * model.hidden * 2;
+    let ideal = pp_cfg.fabric_makespan(None, stage_fwd, stage_bwd, p2p_bytes);
+    let pipeline = if point.pp > 1 {
+        let sys_pp = point_system(point, point.pp as usize);
+        let pp_topo = group_topology(point, &sys_pp);
+        pp_cfg.fabric_makespan(
+            Some(&mut Fabric::new(&pp_topo)),
+            stage_fwd,
+            stage_bwd,
+            p2p_bytes,
+        )
+    } else {
+        ideal
+    };
+
+    // Data parallelism: one stage's gradients exchanged per iteration
+    // (reduce-scatter + all-gather); T3 overlaps the exchange with the
+    // whole backward window.
+    let mut dp_exposed: Cycle = 0;
+    if point.dp > 1 {
+        let sys_dp = point_system(point, point.dp as usize);
+        let dp_topo = group_topology(point, &sys_dp);
+        let grad_bytes = stage_layers * 12 * model.hidden * model.hidden * 2 / point.tp;
+        let comm = scheduled_reduce_scatter_cycles(&sys_dp, &dp_topo, grad_bytes)
+            + scheduled_all_gather_cycles(&sys_dp, &dp_topo, grad_bytes);
+        let backward_window = point.microbatches * stage_bwd;
+        dp_exposed = match point.mode {
+            ExecMode::Sequential => comm,
+            ExecMode::T3Mca => comm.saturating_sub(backward_window),
+        };
+    }
+
+    PointOutcome {
+        point: point.clone(),
+        iter_cycles: pipeline + dp_exposed,
+        pipeline_cycles: pipeline,
+        pp_exposed_cycles: pipeline - ideal,
+        dp_exposed_cycles: dp_exposed,
+        ep_exposed_cycles: stage_layers * ep_layer,
+        stage_fwd_cycles: stage_fwd,
+        stage_bwd_cycles: stage_bwd,
+        clock_ghz: sys_tp.gpu.clock_ghz,
+    }
+}
+
+/// Width of the point-label column in sweep rows.
+const LABEL_WIDTH: usize = 46;
+
+/// Width of each numeric column in sweep rows.
+const NUM_WIDTH: usize = 13;
+
+/// Cycles as microseconds with one decimal, for sweep rows.
+fn us(cycles: Cycle, clock_ghz: f64) -> String {
+    format!("{:.1}", cycles as f64 / (clock_ghz * 1e3))
+}
+
+/// The sweep banner plus the fixed-width column header. Fixed widths
+/// (not auto-fit) keep every row renderable in isolation, so each
+/// point can be its own cacheable job.
+pub fn header_lines(workload: &str, system: &str) -> String {
+    format!(
+        "== 3D-parallelism sweep: {workload} on {system} ==\n{:<LABEL_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}\n",
+        "point", "iter (us)", "pp exp (us)", "dp exp (us)", "gpus"
+    )
+}
+
+/// One point's fixed-width row.
+pub fn row_line(out: &PointOutcome) -> String {
+    format!(
+        "{:<LABEL_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}{:>NUM_WIDTH$}\n",
+        out.point.label(),
+        us(out.iter_cycles, out.clock_ghz),
+        us(out.pp_exposed_cycles, out.clock_ghz),
+        us(out.dp_exposed_cycles, out.clock_ghz),
+        out.point.num_gpus()
+    )
+}
+
+/// Pairs every sequential point with its T3-fused twin (same label up
+/// to the trailing mode word) and renders one speedup line per pair,
+/// in first-appearance order. `rows` are `(label, iter_cycles)` in
+/// submission order — exactly what the job metrics replay from cache,
+/// so the summary is byte-stable across pool widths and cache state.
+pub fn speedup_summary(rows: &[(String, u64)]) -> Vec<String> {
+    let strip = |label: &str, mode: ExecMode| -> Option<String> {
+        let suffix = format!(" {}", mode.label());
+        label.strip_suffix(suffix.as_str()).map(str::to_string)
+    };
+    // (base label, sequential iter, fused iter) in appearance order;
+    // linear scans keep the pairing free of hash-map iteration.
+    let mut pairs: Vec<(String, Option<u64>, Option<u64>)> = Vec::new();
+    for (label, iter) in rows {
+        let (base, fused) = match strip(label, ExecMode::Sequential) {
+            Some(base) => (base, false),
+            None => match strip(label, ExecMode::T3Mca) {
+                Some(base) => (base, true),
+                None => continue,
+            },
+        };
+        let slot = match pairs.iter_mut().find(|(b, _, _)| *b == base) {
+            Some(slot) => slot,
+            None => {
+                pairs.push((base, None, None));
+                pairs.last_mut().expect("just pushed")
+            }
+        };
+        if fused {
+            slot.2 = Some(*iter);
+        } else {
+            slot.1 = Some(*iter);
+        }
+    }
+    pairs
+        .into_iter()
+        .filter_map(|(base, seq, fused)| match (seq, fused) {
+            (Some(s), Some(f)) if f > 0 => Some(format!(
+                "t3-fused vs sequential  {base}: {:.2}x",
+                s as f64 / f as f64
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPlan;
+    use crate::system::SystemSpec;
+    use crate::workload::WorkloadSpec;
+
+    fn point(workload_text: &str, system_text: &str) -> ResolvedPoint {
+        let w = WorkloadSpec::parse("w.t3w", workload_text).expect("workload parses");
+        let s = SystemSpec::parse("s.t3s", system_text).expect("system parses");
+        SweepPlan::expand("w.t3w", &w, &s).expect("expands").points[0].clone()
+    }
+
+    const TP_ONLY: &str = "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 8\n";
+
+    #[test]
+    fn fused_beats_sequential_on_a_tp_point() {
+        let mut seq = point(TP_ONLY, "system \"s\"\n");
+        seq.mode = ExecMode::Sequential;
+        let fused = point(TP_ONLY, "system \"s\"\n");
+        let a = simulate_point(&seq, 8);
+        let b = simulate_point(&fused, 8);
+        assert!(
+            b.iter_cycles < a.iter_cycles,
+            "t3mca {} must beat sequential {}",
+            b.iter_cycles,
+            a.iter_cycles
+        );
+        assert_eq!(a.pp_exposed_cycles, 0, "no pipeline, no exposure");
+    }
+
+    #[test]
+    fn pipeline_points_expose_hand_off_cycles() {
+        let text = "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 4\npp = 4\nmicrobatches = 8\n";
+        let out = simulate_point(&point(text, "system \"s\"\n"), 8);
+        assert!(out.pp_exposed_cycles > 0, "fabric hand-offs cost cycles");
+        assert!(out.pipeline_cycles > out.stage_fwd_cycles + out.stage_bwd_cycles);
+        assert_eq!(out.iter_cycles, out.pipeline_cycles);
+    }
+
+    #[test]
+    fn dp_overlap_hides_gradient_exchange() {
+        let text =
+            "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 4\ndp = 4\nmicrobatches = 4\n";
+        let mut seq = point(text, "system \"s\"\n");
+        seq.mode = ExecMode::Sequential;
+        let fused = point(text, "system \"s\"\n");
+        let a = simulate_point(&seq, 8);
+        let b = simulate_point(&fused, 8);
+        assert!(a.dp_exposed_cycles > 0, "sequential pays the full exchange");
+        assert!(
+            b.dp_exposed_cycles < a.dp_exposed_cycles,
+            "overlap must hide gradient traffic under backward"
+        );
+    }
+
+    #[test]
+    fn simulate_point_is_deterministic() {
+        let p = point(TP_ONLY, "system \"s\"\n[topology]\nkind = hierarchical\n");
+        assert_eq!(simulate_point(&p, 8), simulate_point(&p, 8));
+    }
+
+    #[test]
+    fn rows_are_fixed_width() {
+        let out = simulate_point(&point(TP_ONLY, "system \"s\"\n"), 8);
+        let row = row_line(&out);
+        let header = header_lines("w", "s");
+        let header_cols = header.lines().nth(1).expect("column line").len();
+        assert_eq!(row.trim_end_matches('\n').len(), header_cols);
+        assert!(header.starts_with("== 3D-parallelism sweep: w on s ==\n"));
+    }
+
+    #[test]
+    fn speedup_summary_pairs_modes_in_order() {
+        let rows = vec![
+            ("tp=4 pp=1 dp=1 mb=1 ring sequential".to_string(), 1200),
+            ("tp=4 pp=1 dp=1 mb=1 ring t3mca".to_string(), 1000),
+            ("tp=8 pp=1 dp=1 mb=1 ring sequential".to_string(), 900),
+            ("tp=8 pp=1 dp=1 mb=1 ring t3mca".to_string(), 750),
+        ];
+        let lines = speedup_summary(&rows);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "t3-fused vs sequential  tp=4 pp=1 dp=1 mb=1 ring: 1.20x"
+        );
+        assert!(lines[1].starts_with("t3-fused vs sequential  tp=8"));
+        // Unpaired points yield no line.
+        assert!(speedup_summary(&rows[..1]).is_empty());
+    }
+}

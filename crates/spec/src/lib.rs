@@ -1,0 +1,51 @@
+//! t3-spec: the declarative workload/system frontend.
+//!
+//! T3 (ASPLOS 2024) was evaluated only on hand-picked tensor-parallel
+//! slices; every experiment in this repo was likewise a hard-coded
+//! Rust function. This crate splits *what to run* from *what to run it
+//! on* — the ASTRA-sim-style separation — with two tiny, hand-rolled,
+//! zero-dependency text formats:
+//!
+//! * `.t3w` **workload specs**: a model (zoo name or explicit dims) ×
+//!   TP/PP/DP/EP degrees × micro-batching × execution mode, plus an
+//!   optional `[sweep]` block whose list-valued axes cross-product
+//!   into many points.
+//! * `.t3s` **system specs**: topology kind × link bandwidth/latency ×
+//!   memory-controller policy × engine mode.
+//!
+//! Parsing yields `file:line` diagnostics ([`parse::SpecError`]);
+//! expansion ([`sweep::SweepPlan`]) is deterministic (declaration
+//! order, first axis outermost, no hash-ordered containers); and every
+//! point carries a content-derived fingerprint so the `t3-runtime`
+//! cache hits across reruns and textually identical specs. Execution
+//! ([`exec::simulate_point`]) lowers each point onto the existing
+//! engines — the fused/sequential sublayer configurations, the Fabric
+//! GPipe fill/drain, and the scheduled DP/EP collectives — opening the
+//! pipeline- and data-parallel scenarios the paper never measured.
+//!
+//! ```
+//! use t3_spec::{exec, sweep::SweepPlan, system::SystemSpec, workload::WorkloadSpec};
+//!
+//! let w = WorkloadSpec::parse(
+//!     "demo.t3w",
+//!     "workload \"demo\"\n[model]\nzoo = t-nlg\n[sweep]\nmode = [sequential, t3mca]\n",
+//! )
+//! .unwrap();
+//! let s = SystemSpec::parse("demo.t3s", "system \"paper\"\n").unwrap();
+//! let plan = SweepPlan::expand("demo.t3w", &w, &s).unwrap();
+//! assert_eq!(plan.points.len(), 2);
+//! let fused = exec::simulate_point(&plan.points[1], 8);
+//! assert!(fused.iter_cycles > 0);
+//! ```
+
+pub mod exec;
+pub mod parse;
+pub mod sweep;
+pub mod system;
+pub mod workload;
+
+pub use exec::{simulate_point, PointOutcome};
+pub use parse::SpecError;
+pub use sweep::{ResolvedPoint, SweepPlan};
+pub use system::SystemSpec;
+pub use workload::WorkloadSpec;

@@ -1,0 +1,456 @@
+//! The shared line-oriented reader behind both spec kinds.
+//!
+//! A spec file is a header line (`workload "name"` or `system
+//! "name"`), then `[section]` headers with `key = value` entries.
+//! Values are integers, floats, bare idents, quoted strings, or —
+//! inside `[sweep]` — bracketed lists (`tp = [4, 8, 16]`). `#` starts
+//! a comment anywhere outside quotes.
+//!
+//! Every failure is a single [`SpecError`] carrying the file label and
+//! 1-based line number; the parser stops at the first error so the
+//! diagnostic a user sees (and the byte-exact message the robustness
+//! tests pin) is always the earliest problem in the file.
+
+use std::fmt;
+
+/// A parse or validation failure, rendered as `file:line: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The file label given to the parser (usually the path).
+    pub file: String,
+    /// 1-based line of the offending construct (0 for file-level
+    /// errors such as an unreadable file).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    /// A located error.
+    pub fn at(file: &str, line: usize, message: impl Into<String>) -> Self {
+        SpecError {
+            file: file.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}", self.file, self.message)
+        } else {
+            write!(f, "{}:{}: {}", self.file, self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Which of the two file kinds a header declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// A `.t3w` workload spec (`workload "name"`).
+    Workload,
+    /// A `.t3s` system spec (`system "name"`).
+    System,
+}
+
+impl SpecKind {
+    /// The header keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            SpecKind::Workload => "workload",
+            SpecKind::System => "system",
+        }
+    }
+}
+
+/// One parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A float literal (only accepted where a number is expected).
+    Float(f64),
+    /// A bare identifier (enum values, zoo names, topology names).
+    Ident(String),
+    /// A double-quoted string.
+    Str(String),
+    /// A bracketed list of scalars (sweep axes only).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Ident(_) => "an identifier",
+            Value::Str(_) => "a string",
+            Value::List(_) => "a list",
+        }
+    }
+}
+
+/// One `key = value` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawEntry {
+    /// The key left of `=`.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One `[section]` with its entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSection {
+    /// Section name without brackets.
+    pub name: String,
+    /// 1-based line of the `[section]` header.
+    pub line: usize,
+    /// Entries in file order.
+    pub entries: Vec<RawEntry>,
+}
+
+impl RawSection {
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&RawEntry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+
+    /// Errors on the first entry whose key is not in `allowed`,
+    /// listing the accepted keys.
+    pub fn check_keys(&self, file: &str, allowed: &[&str]) -> Result<(), SpecError> {
+        for e in &self.entries {
+            if !allowed.contains(&e.key.as_str()) {
+                return Err(SpecError::at(
+                    file,
+                    e.line,
+                    format!(
+                        "unknown key '{}' in [{}] (expected one of: {})",
+                        e.key,
+                        self.name,
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully tokenized spec file: header plus sections in file order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawSpec {
+    /// Declared kind (`workload` / `system`).
+    pub kind: SpecKind,
+    /// The quoted name from the header line.
+    pub name: String,
+    /// Sections in declaration order (order matters: the sweep
+    /// cross-product enumerates axes exactly as declared).
+    pub sections: Vec<RawSection>,
+}
+
+impl RawSpec {
+    /// The section named `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&RawSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Errors on the first section whose name is not in `allowed`.
+    pub fn check_sections(&self, file: &str, allowed: &[&str]) -> Result<(), SpecError> {
+        for s in &self.sections {
+            if !allowed.contains(&s.name.as_str()) {
+                return Err(SpecError::at(
+                    file,
+                    s.line,
+                    format!(
+                        "unknown section [{}] (expected one of: {})",
+                        s.name,
+                        allowed
+                            .iter()
+                            .map(|a| format!("[{a}]"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Strips a `#` comment (quote-aware) and surrounding whitespace.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return line[..i].trim(),
+            _ => {}
+        }
+    }
+    line.trim()
+}
+
+/// True for the identifier alphabet (letters, digits, `_`, `-`, `.`).
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+/// Parses one scalar value (no lists).
+fn parse_scalar(file: &str, line: usize, text: &str) -> Result<Value, SpecError> {
+    if let Some(body) = text.strip_prefix('"') {
+        return match body.strip_suffix('"') {
+            Some(inner) if !inner.contains('"') => Ok(Value::Str(inner.to_string())),
+            _ => Err(SpecError::at(file, line, "unterminated string value")),
+        };
+    }
+    if let Ok(v) = text.parse::<u64>() {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        if v.is_finite() {
+            return Ok(Value::Float(v));
+        }
+    }
+    if is_ident(text) {
+        return Ok(Value::Ident(text.to_string()));
+    }
+    Err(SpecError::at(
+        file,
+        line,
+        format!(
+            "cannot parse value '{text}' (expected a number, identifier, \"string\", or [list])"
+        ),
+    ))
+}
+
+/// Parses a value, including bracketed lists.
+fn parse_value(file: &str, line: usize, text: &str) -> Result<Value, SpecError> {
+    let Some(body) = text.strip_prefix('[') else {
+        return parse_scalar(file, line, text);
+    };
+    let Some(inner) = body.strip_suffix(']') else {
+        return Err(SpecError::at(file, line, "unterminated list (missing ']')"));
+    };
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Value::List(Vec::new()));
+    }
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Err(SpecError::at(file, line, "empty element in list"));
+        }
+        items.push(parse_scalar(file, line, part)?);
+    }
+    Ok(Value::List(items))
+}
+
+/// Tokenizes `text` (labelled `file` in diagnostics) into a
+/// [`RawSpec`], checking only *structure*: header first, sections
+/// unique, keys unique within a section, values well-formed. Key and
+/// value *meaning* is checked by the typed workload/system layers.
+pub fn parse(file: &str, text: &str) -> Result<RawSpec, SpecError> {
+    let mut header: Option<(SpecKind, String)> = None;
+    let mut sections: Vec<RawSection> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = strip_comment(raw_line);
+        if content.is_empty() {
+            continue;
+        }
+        if header.is_none() {
+            let (keyword, rest) = content
+                .split_once(char::is_whitespace)
+                .unwrap_or((content, ""));
+            let kind = match keyword {
+                "workload" => SpecKind::Workload,
+                "system" => SpecKind::System,
+                _ => {
+                    return Err(SpecError::at(
+                        file,
+                        line,
+                        "expected a `workload \"name\"` or `system \"name\"` header line",
+                    ))
+                }
+            };
+            let name = match parse_scalar(file, line, rest.trim())? {
+                Value::Str(s) if !s.is_empty() => s,
+                _ => {
+                    return Err(SpecError::at(
+                        file,
+                        line,
+                        format!("{} header needs a non-empty quoted name", kind.keyword()),
+                    ))
+                }
+            };
+            header = Some((kind, name));
+            continue;
+        }
+        if let Some(body) = content.strip_prefix('[') {
+            let Some(name) = body.strip_suffix(']') else {
+                return Err(SpecError::at(
+                    file,
+                    line,
+                    "unterminated section header (missing ']')",
+                ));
+            };
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(SpecError::at(
+                    file,
+                    line,
+                    "section name must be an identifier",
+                ));
+            }
+            if let Some(first) = sections.iter().find(|s| s.name == name) {
+                return Err(SpecError::at(
+                    file,
+                    line,
+                    format!(
+                        "duplicate section [{name}] (first defined at line {})",
+                        first.line
+                    ),
+                ));
+            }
+            sections.push(RawSection {
+                name: name.to_string(),
+                line,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else {
+            return Err(SpecError::at(
+                file,
+                line,
+                "expected `key = value` (or a `[section]` header)",
+            ));
+        };
+        let key = key.trim();
+        if !is_ident(key) {
+            return Err(SpecError::at(file, line, "key must be an identifier"));
+        }
+        let Some(section) = sections.last_mut() else {
+            return Err(SpecError::at(
+                file,
+                line,
+                format!("`{key} = ...` appears before any [section] header"),
+            ));
+        };
+        if let Some(first) = section.get(key) {
+            let (name, first_line) = (section.name.clone(), first.line);
+            return Err(SpecError::at(
+                file,
+                line,
+                format!("duplicate key '{key}' in [{name}] (first set at line {first_line})"),
+            ));
+        }
+        let value = parse_value(file, line, value.trim())?;
+        section.entries.push(RawEntry {
+            key: key.to_string(),
+            value,
+            line,
+        });
+    }
+    let Some((kind, name)) = header else {
+        return Err(SpecError::at(
+            file,
+            1,
+            "empty spec: expected a `workload \"name\"` or `system \"name\"` header line",
+        ));
+    };
+    Ok(RawSpec {
+        kind,
+        name,
+        sections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_header_sections_and_values() {
+        let s = parse(
+            "a.t3w",
+            "# leading comment\nworkload \"demo\"\n[model]\nzoo = gpt3 # trailing\nseq_len = 512\nscale = 1.5\nnote = \"hi\"\n[sweep]\ntp = [4, 8]\n",
+        )
+        .expect("parses");
+        assert_eq!(s.kind, SpecKind::Workload);
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.sections.len(), 2);
+        let model = s.section("model").expect("model section");
+        assert_eq!(model.get("zoo").unwrap().value, Value::Ident("gpt3".into()));
+        assert_eq!(model.get("seq_len").unwrap().value, Value::Int(512));
+        assert_eq!(model.get("scale").unwrap().value, Value::Float(1.5));
+        assert_eq!(model.get("note").unwrap().value, Value::Str("hi".into()));
+        let sweep = s.section("sweep").expect("sweep section");
+        assert_eq!(
+            sweep.get("tp").unwrap().value,
+            Value::List(vec![Value::Int(4), Value::Int(8)])
+        );
+    }
+
+    #[test]
+    fn error_lines_are_exact() {
+        let err = parse("x.t3w", "workload \"w\"\n[p]\na = 1\na = 2\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "x.t3w:4: duplicate key 'a' in [p] (first set at line 3)"
+        );
+        let err = parse("x.t3w", "workload \"w\"\n[p]\n[p]\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "x.t3w:3: duplicate section [p] (first defined at line 2)"
+        );
+        let err = parse("x.t3w", "nonsense\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "x.t3w:1: expected a `workload \"name\"` or `system \"name\"` header line"
+        );
+        let err = parse("x.t3w", "workload \"w\"\nk = 1\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "x.t3w:2: `k = ...` appears before any [section] header"
+        );
+    }
+
+    #[test]
+    fn empty_list_is_structurally_fine() {
+        // Meaning (an empty sweep axis is an error) is checked by the
+        // typed layer, which owns the message.
+        let s = parse("x.t3w", "workload \"w\"\n[sweep]\ntp = []\n").expect("parses");
+        assert_eq!(
+            s.section("sweep").unwrap().get("tp").unwrap().value,
+            Value::List(vec![])
+        );
+    }
+
+    #[test]
+    fn malformed_values_error() {
+        assert!(parse("x", "workload \"w\"\n[s]\nk = [4, 8\n").is_err());
+        assert!(parse("x", "workload \"w\"\n[s]\nk = \"open\n").is_err());
+        assert!(parse("x", "workload \"w\"\n[s]\nk = a b\n").is_err());
+        assert!(parse("x", "workload \"w\"\n[s]\nk = [4,,8]\n").is_err());
+    }
+
+    #[test]
+    fn display_includes_file_and_line() {
+        let e = SpecError::at("f.t3s", 7, "boom");
+        assert_eq!(e.to_string(), "f.t3s:7: boom");
+        let e = SpecError::at("f.t3s", 0, "unreadable");
+        assert_eq!(e.to_string(), "f.t3s: unreadable");
+    }
+}

@@ -1,0 +1,352 @@
+//! Deterministic sweep expansion: workload × system → an ordered list
+//! of resolved points.
+//!
+//! Axes cross-product in declaration order with the first axis
+//! outermost (an odometer whose last axis spins fastest), so the job
+//! list — and therefore every row of `figures sweep` output — is a
+//! pure function of the spec bytes. Axis values live in `Vec`s and the
+//! expansion never touches a hash-ordered container.
+
+use crate::parse::{SpecError, Value};
+use crate::system::{McPolicy, SystemSpec};
+use crate::workload::{ExecMode, WorkloadSpec};
+use t3_models::zoo::ModelConfig;
+use t3_runtime::{Fingerprint, FingerprintBuilder};
+use t3_sim::SimMode;
+
+/// Bumped whenever the point cost model changes meaning, so stale
+/// cache entries from older revisions can never be replayed.
+pub const SPEC_REV: u64 = 1;
+
+/// Expansion cap: a sweep may enumerate at most this many points.
+pub const MAX_POINTS: usize = 4096;
+
+/// Per-point cap on `tp × pp × dp × ep`.
+pub const MAX_GPUS: u64 = 1024;
+
+/// One fully resolved sweep point: everything `simulate_point` needs,
+/// with every sweep override already applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPoint {
+    /// Workload-spec name (header).
+    pub workload: String,
+    /// System-spec name (header).
+    pub system: String,
+    /// The model with per-point `seq_len`/`batch` applied.
+    pub model: ModelConfig,
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Pipeline stages.
+    pub pp: u64,
+    /// Data-parallel replicas.
+    pub dp: u64,
+    /// Expert-parallel degree.
+    pub ep: u64,
+    /// Micro-batches per training iteration.
+    pub microbatches: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Topology kind for every fabric in this point.
+    pub topology: String,
+    /// Hierarchical inter-node bandwidth divisor.
+    pub inter_bw_div: u64,
+    /// Hierarchical inter-node latency multiplier.
+    pub inter_lat_mult: u64,
+    /// Per-direction link bandwidth in GB/s.
+    pub link_gb_s: f64,
+    /// One-way link latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Memory-controller policy for fused execution.
+    pub policy: McPolicy,
+    /// Engine time-advancement mode.
+    pub sim: SimMode,
+}
+
+impl ResolvedPoint {
+    /// Human-readable point label, also the job-name suffix:
+    /// `tp=4 pp=2 dp=2 mb=4 hierarchical t3mca` (ep shown only when
+    /// expert parallelism is on).
+    pub fn label(&self) -> String {
+        let ep = if self.ep > 1 {
+            format!(" ep={}", self.ep)
+        } else {
+            String::new()
+        };
+        format!(
+            "tp={} pp={} dp={}{ep} mb={} {} {}",
+            self.tp,
+            self.pp,
+            self.dp,
+            self.microbatches,
+            self.topology,
+            self.mode.label()
+        )
+    }
+
+    /// GPUs this point occupies (`tp × pp × dp × ep`).
+    pub fn num_gpus(&self) -> u64 {
+        self.tp * self.pp * self.dp * self.ep
+    }
+
+    /// The content-derived cache identity of this point. Two points
+    /// hash equal iff every semantic field matches — so textually
+    /// identical specs (and reruns of the same spec pair) hit the
+    /// `t3-runtime` cache, while touching any dim, degree, link
+    /// number, or mode misses.
+    pub fn fingerprint(&self, token_divisor: u64) -> Fingerprint {
+        FingerprintBuilder::new()
+            .u64("spec_rev", SPEC_REV)
+            .str("workload", &self.workload)
+            .str("system", &self.system)
+            .str("model", self.model.name)
+            .u64("hidden", self.model.hidden)
+            .u64("layers", self.model.layers)
+            .u64("seq_len", self.model.seq_len)
+            .u64("batch", self.model.batch)
+            .u64("tp", self.tp)
+            .u64("pp", self.pp)
+            .u64("dp", self.dp)
+            .u64("ep", self.ep)
+            .u64("microbatches", self.microbatches)
+            .str("mode", self.mode.label())
+            .str("topology", &self.topology)
+            .u64("inter_bw_div", self.inter_bw_div)
+            .u64("inter_lat_mult", self.inter_lat_mult)
+            .f64("link_gb_s", self.link_gb_s)
+            .f64("latency_ns", self.latency_ns)
+            .str("policy", self.policy.label())
+            .str("sim", self.sim.label())
+            .u64("token_divisor", token_divisor)
+            .finish()
+    }
+}
+
+/// The expanded sweep: spec names plus points in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Workload-spec name.
+    pub workload: String,
+    /// System-spec name.
+    pub system: String,
+    /// Points in enumeration order (first declared axis outermost).
+    pub points: Vec<ResolvedPoint>,
+}
+
+/// One point's mutable scalar state while the odometer spins.
+#[derive(Clone)]
+struct PointState {
+    tp: u64,
+    pp: u64,
+    dp: u64,
+    ep: u64,
+    microbatches: u64,
+    seq_len: u64,
+    batch: u64,
+    mode: ExecMode,
+    topology: String,
+}
+
+impl SweepPlan {
+    /// Expands the cross-product of `workload`'s sweep axes against
+    /// `system`'s fabric. Without a `[sweep]` block the plan holds the
+    /// single base point. `file` labels expansion-time diagnostics
+    /// (the caps on point count and per-point GPU count).
+    pub fn expand(
+        file: &str,
+        workload: &WorkloadSpec,
+        system: &SystemSpec,
+    ) -> Result<Self, SpecError> {
+        let base_model = workload.base_model();
+        let base = PointState {
+            tp: workload.base.tp,
+            pp: workload.base.pp,
+            dp: workload.base.dp,
+            ep: workload.base.ep,
+            microbatches: workload.base.microbatches,
+            seq_len: base_model.seq_len,
+            batch: base_model.batch,
+            mode: workload.base.mode,
+            topology: system.topology.clone(),
+        };
+
+        let total: usize = workload.sweep.iter().map(|a| a.values.len()).product();
+        if total > MAX_POINTS {
+            let line = workload.sweep.first().map_or(1, |a| a.line);
+            return Err(SpecError::at(
+                file,
+                line,
+                format!("sweep expands to {total} points, which exceeds the cap of {MAX_POINTS}"),
+            ));
+        }
+
+        let mut points = Vec::with_capacity(total.max(1));
+        // Odometer over axis indices: the last declared axis spins
+        // fastest, so the first axis is the outermost grouping.
+        let mut idx = vec![0usize; workload.sweep.len()];
+        loop {
+            let mut state = base.clone();
+            for (axis, &i) in workload.sweep.iter().zip(&idx) {
+                apply_axis(&mut state, &axis.key, &axis.values[i]);
+            }
+            let mut model = base_model.clone();
+            model.seq_len = state.seq_len;
+            model.batch = state.batch;
+            let point = ResolvedPoint {
+                workload: workload.name.clone(),
+                system: system.name.clone(),
+                model,
+                tp: state.tp,
+                pp: state.pp,
+                dp: state.dp,
+                ep: state.ep,
+                microbatches: state.microbatches,
+                mode: state.mode,
+                topology: state.topology,
+                inter_bw_div: system.inter_bw_div,
+                inter_lat_mult: system.inter_lat_mult,
+                link_gb_s: system.link_gb_s,
+                latency_ns: system.latency_ns,
+                policy: system.policy,
+                sim: system.sim,
+            };
+            if point.num_gpus() > MAX_GPUS {
+                let line = workload.sweep.first().map_or(1, |a| a.line);
+                return Err(SpecError::at(
+                    file,
+                    line,
+                    format!(
+                        "point `{}` needs {} GPUs, which exceeds the cap of {MAX_GPUS}",
+                        point.label(),
+                        point.num_gpus()
+                    ),
+                ));
+            }
+            points.push(point);
+
+            // Advance the odometer; done once the first axis wraps.
+            let mut pos = idx.len();
+            loop {
+                if pos == 0 {
+                    return Ok(SweepPlan {
+                        workload: workload.name.clone(),
+                        system: system.name.clone(),
+                        points,
+                    });
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < workload.sweep[pos].values.len() {
+                    break;
+                }
+                idx[pos] = 0;
+            }
+        }
+    }
+}
+
+/// Applies one axis value to the point state. Values were validated at
+/// parse time, so shape mismatches are unreachable here.
+fn apply_axis(state: &mut PointState, key: &str, value: &Value) {
+    match (key, value) {
+        ("mode", Value::Ident(name)) => {
+            state.mode = if name == "sequential" {
+                ExecMode::Sequential
+            } else {
+                ExecMode::T3Mca
+            };
+        }
+        ("topology", Value::Ident(name)) => state.topology = name.clone(),
+        (key, Value::Int(v)) => match key {
+            "tp" => state.tp = *v,
+            "pp" => state.pp = *v,
+            "dp" => state.dp = *v,
+            "ep" => state.ep = *v,
+            "microbatches" => state.microbatches = *v,
+            "batch" => state.batch = *v,
+            _ => state.seq_len = *v,
+        },
+        _ => unreachable!("axis values validated at parse time"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(workload_text: &str, system_text: &str) -> Result<SweepPlan, SpecError> {
+        let w = WorkloadSpec::parse("w.t3w", workload_text).expect("workload parses");
+        let s = SystemSpec::parse("s.t3s", system_text).expect("system parses");
+        SweepPlan::expand("w.t3w", &w, &s)
+    }
+
+    const BASE_W: &str = "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 8\n";
+
+    #[test]
+    fn no_sweep_block_yields_the_base_point() {
+        let p = plan(BASE_W, "system \"s\"\n").expect("expands");
+        assert_eq!(p.points.len(), 1);
+        assert_eq!(p.points[0].tp, 8);
+        assert_eq!(p.points[0].topology, "ring");
+        assert_eq!(p.points[0].label(), "tp=8 pp=1 dp=1 mb=1 ring t3mca");
+    }
+
+    #[test]
+    fn odometer_order_has_first_axis_outermost() {
+        let text = "workload \"w\"\n[model]\nzoo = t-nlg\n[sweep]\ntp = [4, 8]\nmode = [sequential, t3mca]\n";
+        let p = plan(text, "system \"s\"\n").expect("expands");
+        let labels: Vec<String> = p.points.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "tp=4 pp=1 dp=1 mb=1 ring sequential",
+                "tp=4 pp=1 dp=1 mb=1 ring t3mca",
+                "tp=8 pp=1 dp=1 mb=1 ring sequential",
+                "tp=8 pp=1 dp=1 mb=1 ring t3mca",
+            ]
+        );
+    }
+
+    #[test]
+    fn topology_axis_overrides_the_system_kind() {
+        let text =
+            "workload \"w\"\n[model]\nzoo = t-nlg\n[sweep]\ntopology = [ring, hierarchical]\n";
+        let p = plan(text, "system \"s\"\n[topology]\nkind = switch\n").expect("expands");
+        assert_eq!(p.points[0].topology, "ring");
+        assert_eq!(p.points[1].topology, "hierarchical");
+    }
+
+    #[test]
+    fn fingerprints_are_content_derived() {
+        let p1 = plan(BASE_W, "system \"s\"\n").expect("expands");
+        let p2 = plan(BASE_W, "system \"s\"\n").expect("expands");
+        assert_eq!(
+            p1.points[0].fingerprint(8),
+            p2.points[0].fingerprint(8),
+            "textually identical specs must hash equal"
+        );
+        assert_ne!(
+            p1.points[0].fingerprint(8),
+            p1.points[0].fingerprint(1),
+            "scale is part of the identity"
+        );
+        let faster = plan(BASE_W, "system \"s\"\n[link]\ngb_s = 300.0\n").expect("expands");
+        assert_ne!(p1.points[0].fingerprint(8), faster.points[0].fingerprint(8));
+    }
+
+    #[test]
+    fn gpu_cap_is_enforced() {
+        let text = "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 64\npp = 8\ndp = 8\n";
+        let err = plan(text, "system \"s\"\n").unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the cap of 1024"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn ep_appears_in_labels_only_when_on() {
+        let text = "workload \"w\"\n[model]\nzoo = t-nlg\n[parallelism]\ntp = 4\nep = 2\n";
+        let p = plan(text, "system \"s\"\n").expect("expands");
+        assert_eq!(p.points[0].label(), "tp=4 pp=1 dp=1 ep=2 mb=1 ring t3mca");
+    }
+}

@@ -1,0 +1,306 @@
+//! The typed system spec (`.t3s`): topology × link × memory-controller
+//! policy × engine mode.
+//!
+//! ```text
+//! system "dgx-ring"
+//!
+//! [topology]
+//! kind = ring             # ring | fully-connected | switch | torus | hierarchical
+//! inter_bw_div = 4        # hierarchical only: inter-node bandwidth divisor
+//! inter_lat_mult = 4      # hierarchical only: inter-node latency multiplier
+//!
+//! [link]
+//! gb_s = 150.0            # per-direction bandwidth (Table 1 default)
+//! latency_ns = 500.0      # one-way link latency
+//!
+//! [memory]
+//! policy = mca            # mca | round-robin (T3-fused arbitration)
+//!
+//! [engine]
+//! sim = fast-forward      # fast-forward | stepped
+//! ```
+//!
+//! Every key is optional: an empty spec is the paper's Table 1 system
+//! on a ring.
+
+use crate::parse::{self, RawEntry, SpecError, SpecKind, Value};
+use t3_sim::config::SystemConfig;
+use t3_sim::SimMode;
+
+/// Topology spellings a spec may name, in t3-topo reporting order.
+pub const TOPOLOGY_NAMES: [&str; 5] =
+    ["ring", "fully-connected", "switch", "torus", "hierarchical"];
+
+/// Validates a topology spelling (shared with workload sweep axes).
+pub fn check_topology(file: &str, line: usize, name: &str) -> Result<(), SpecError> {
+    if TOPOLOGY_NAMES.contains(&name) {
+        return Ok(());
+    }
+    Err(SpecError::at(
+        file,
+        line,
+        format!(
+            "invalid topology '{name}': expected one of {}",
+            TOPOLOGY_NAMES.join(", ")
+        ),
+    ))
+}
+
+/// Memory-controller arbitration for the fused T3 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McPolicy {
+    /// T3-MCA dynamic local/remote partitioning (the paper's design).
+    Mca,
+    /// Naive round-robin arbitration (the paper's "T3" ablation).
+    RoundRobin,
+}
+
+impl McPolicy {
+    /// The spec-file spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            McPolicy::Mca => "mca",
+            McPolicy::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// A parsed and validated system spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// The quoted name from the `system "..."` header.
+    pub name: String,
+    /// Topology kind (one of [`TOPOLOGY_NAMES`]).
+    pub topology: String,
+    /// Hierarchical fabrics: inter-node bandwidth = link / this.
+    pub inter_bw_div: u64,
+    /// Hierarchical fabrics: inter-node latency = link × this.
+    pub inter_lat_mult: u64,
+    /// Per-direction link bandwidth in GB/s.
+    pub link_gb_s: f64,
+    /// One-way link latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Memory-controller policy for fused execution.
+    pub policy: McPolicy,
+    /// Engine time-advancement mode.
+    pub sim: SimMode,
+}
+
+/// Reads a float-valued entry, accepting integer literals.
+fn get_f64(file: &str, e: &RawEntry) -> Result<f64, SpecError> {
+    match e.value {
+        Value::Float(v) => Ok(v),
+        Value::Int(v) => Ok(v as f64),
+        ref other => Err(SpecError::at(
+            file,
+            e.line,
+            format!("key '{}' needs a number, got {}", e.key, other.type_name()),
+        )),
+    }
+}
+
+/// Reads an identifier-valued entry.
+fn get_ident<'a>(file: &str, e: &'a RawEntry) -> Result<&'a str, SpecError> {
+    match &e.value {
+        Value::Ident(name) => Ok(name),
+        other => Err(SpecError::at(
+            file,
+            e.line,
+            format!(
+                "key '{}' needs an identifier, got {}",
+                e.key,
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+impl SystemSpec {
+    /// Parses and validates a system spec from `text`, labelling
+    /// diagnostics with `file`.
+    pub fn parse(file: &str, text: &str) -> Result<Self, SpecError> {
+        let raw = parse::parse(file, text)?;
+        if raw.kind != SpecKind::System {
+            return Err(SpecError::at(
+                file,
+                1,
+                "expected a system spec (header `system \"name\"`), found a workload spec",
+            ));
+        }
+        raw.check_sections(file, &["topology", "link", "memory", "engine"])?;
+
+        let paper = SystemConfig::paper_default();
+        let mut spec = SystemSpec {
+            name: raw.name.clone(),
+            topology: "ring".to_string(),
+            inter_bw_div: 4,
+            inter_lat_mult: 4,
+            link_gb_s: paper.link.link_gb_s,
+            latency_ns: paper.link.latency_ns,
+            policy: McPolicy::Mca,
+            sim: SimMode::default(),
+        };
+
+        if let Some(s) = raw.section("topology") {
+            s.check_keys(file, &["kind", "inter_bw_div", "inter_lat_mult"])?;
+            for e in &s.entries {
+                match e.key.as_str() {
+                    "kind" => {
+                        let name = get_ident(file, e)?;
+                        check_topology(file, e.line, name)?;
+                        spec.topology = name.to_string();
+                    }
+                    key => {
+                        let Value::Int(v) = e.value else {
+                            return Err(SpecError::at(
+                                file,
+                                e.line,
+                                format!(
+                                    "key '{key}' needs an integer, got {}",
+                                    e.value.type_name()
+                                ),
+                            ));
+                        };
+                        if !(1..=1024).contains(&v) {
+                            return Err(SpecError::at(
+                                file,
+                                e.line,
+                                format!("{key} must be between 1 and 1024, got {v}"),
+                            ));
+                        }
+                        if key == "inter_bw_div" {
+                            spec.inter_bw_div = v;
+                        } else {
+                            spec.inter_lat_mult = v;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = raw.section("link") {
+            s.check_keys(file, &["gb_s", "latency_ns"])?;
+            for e in &s.entries {
+                let v = get_f64(file, e)?;
+                if !v.is_finite() || v <= 0.0 || v > 1e6 {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!("{} must be a positive number up to 1e6, got {v}", e.key),
+                    ));
+                }
+                if e.key == "gb_s" {
+                    spec.link_gb_s = v;
+                } else {
+                    spec.latency_ns = v;
+                }
+            }
+        }
+        if let Some(s) = raw.section("memory") {
+            s.check_keys(file, &["policy"])?;
+            if let Some(e) = s.get("policy") {
+                spec.policy = match get_ident(file, e)? {
+                    "mca" => McPolicy::Mca,
+                    "round-robin" => McPolicy::RoundRobin,
+                    other => {
+                        return Err(SpecError::at(
+                            file,
+                            e.line,
+                            format!("invalid policy '{other}': expected one of mca, round-robin"),
+                        ))
+                    }
+                };
+            }
+        }
+        if let Some(s) = raw.section("engine") {
+            s.check_keys(file, &["sim"])?;
+            if let Some(e) = s.get("sim") {
+                spec.sim = match get_ident(file, e)? {
+                    "fast-forward" => SimMode::FastForward,
+                    "stepped" => SimMode::Stepped,
+                    other => {
+                        return Err(SpecError::at(
+                            file,
+                            e.line,
+                            format!("invalid sim '{other}': expected one of fast-forward, stepped"),
+                        ))
+                    }
+                };
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The paper's Table 1 system with this spec's link parameters and
+    /// the given GPU count.
+    pub fn system_config(&self, num_gpus: usize) -> SystemConfig {
+        let mut sys = SystemConfig::paper_default().with_num_gpus(num_gpus);
+        sys.link.link_gb_s = self.link_gb_s;
+        sys.link.latency_ns = self.latency_ns;
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_the_paper_system() {
+        let s = SystemSpec::parse("s.t3s", "system \"s\"\n").expect("parses");
+        assert_eq!(s.topology, "ring");
+        assert_eq!(s.policy, McPolicy::Mca);
+        assert_eq!(s.sim, SimMode::FastForward);
+        assert_eq!(s.link_gb_s, 150.0);
+        let sys = s.system_config(8);
+        assert_eq!(sys.num_gpus, 8);
+        assert_eq!(sys.link.latency_ns, 500.0);
+    }
+
+    #[test]
+    fn overrides_land_in_the_config() {
+        let text = "system \"s\"\n[topology]\nkind = hierarchical\ninter_bw_div = 2\n[link]\ngb_s = 500\nlatency_ns = 100.0\n[memory]\npolicy = round-robin\n[engine]\nsim = stepped\n";
+        let s = SystemSpec::parse("s.t3s", text).expect("parses");
+        assert_eq!(s.topology, "hierarchical");
+        assert_eq!(s.inter_bw_div, 2);
+        assert_eq!(s.inter_lat_mult, 4);
+        assert_eq!(s.policy, McPolicy::RoundRobin);
+        assert_eq!(s.sim, SimMode::Stepped);
+        let sys = s.system_config(16);
+        assert_eq!(sys.link.link_gb_s, 500.0);
+        assert_eq!(sys.link.latency_ns, 100.0);
+    }
+
+    #[test]
+    fn typed_errors_are_byte_exact() {
+        let err =
+            SystemSpec::parse("s.t3s", "system \"s\"\n[topology]\nkind = mesh\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "s.t3s:3: invalid topology 'mesh': expected one of ring, fully-connected, switch, torus, hierarchical"
+        );
+        let err = SystemSpec::parse("s.t3s", "system \"s\"\n[link]\ngb_s = -1.0\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "s.t3s:3: gb_s must be a positive number up to 1e6, got -1"
+        );
+        // An overflowing literal saturates to `inf`, which the lexer
+        // already refuses to classify as a number.
+        let err = SystemSpec::parse("s.t3s", "system \"s\"\n[link]\ngb_s = 1e999\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "s.t3s:3: key 'gb_s' needs a number, got an identifier"
+        );
+        let err =
+            SystemSpec::parse("s.t3s", "system \"s\"\n[memory]\npolicy = fifo\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "s.t3s:3: invalid policy 'fifo': expected one of mca, round-robin"
+        );
+    }
+
+    #[test]
+    fn workload_header_is_rejected() {
+        let err = SystemSpec::parse("s.t3s", "workload \"w\"\n").unwrap_err();
+        assert!(err.to_string().contains("expected a system spec"));
+    }
+}

@@ -1,0 +1,513 @@
+//! The typed workload spec (`.t3w`): model × parallelism degrees ×
+//! execution mode, plus the optional `[sweep]` block.
+//!
+//! ```text
+//! workload "gpt3-3d"
+//!
+//! [model]
+//! zoo = gpt3          # or: hidden = 12288, layers = 96
+//! seq_len = 512       # optional overrides of the zoo dims
+//! batch = 2
+//!
+//! [parallelism]
+//! tp = 8              # tensor-parallel degree (2..=64)
+//! pp = 1              # pipeline stages (1..=64)
+//! dp = 1              # data-parallel replicas (1..=64)
+//! ep = 1              # expert-parallel degree (1..=64)
+//! microbatches = 4
+//!
+//! [execution]
+//! mode = t3mca        # sequential | t3mca
+//!
+//! [sweep]             # list-valued axes, cross-producted in
+//! tp = [4, 8]         # declaration order (first axis outermost)
+//! mode = [sequential, t3mca]
+//! topology = [ring, hierarchical]
+//! ```
+
+use crate::parse::{self, RawEntry, RawSection, SpecError, SpecKind, Value};
+use t3_models::zoo::{self, ModelConfig};
+
+/// The execution mode of one sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// GEMM, then reduce-scatter, then all-gather, serialized.
+    Sequential,
+    /// T3: reduce-scatter fused into the GEMM (the memory-controller
+    /// policy comes from the system spec's `[memory] policy`).
+    T3Mca,
+}
+
+impl ExecMode {
+    /// The spec-file spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Sequential => "sequential",
+            ExecMode::T3Mca => "t3mca",
+        }
+    }
+
+    fn from_name(file: &str, line: usize, name: &str) -> Result<Self, SpecError> {
+        match name {
+            "sequential" => Ok(ExecMode::Sequential),
+            "t3mca" => Ok(ExecMode::T3Mca),
+            other => Err(SpecError::at(
+                file,
+                line,
+                format!("invalid mode '{other}': expected one of sequential, t3mca"),
+            )),
+        }
+    }
+}
+
+/// One sweep axis: the key it overrides and its candidate values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxis {
+    /// Which scalar this axis overrides (`tp`, `pp`, `dp`, `ep`,
+    /// `microbatches`, `batch`, `seq_len`, `mode`, or `topology`).
+    pub key: String,
+    /// The values, in declaration order.
+    pub values: Vec<Value>,
+    /// Source line of the axis (errors during expansion point here).
+    pub line: usize,
+}
+
+/// The `[model]` block, resolved lazily so `batch`/`seq_len` sweep
+/// axes can override per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSection {
+    /// Zoo model name, when given.
+    pub zoo: Option<String>,
+    /// Explicit hidden dimension, when given.
+    pub hidden: Option<u64>,
+    /// Explicit layer count, when given.
+    pub layers: Option<u64>,
+    /// Sequence-length override.
+    pub seq_len: Option<u64>,
+    /// Batch-size override.
+    pub batch: Option<u64>,
+}
+
+/// Scalar base values every sweep point starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasePoint {
+    /// Tensor-parallel degree.
+    pub tp: u64,
+    /// Pipeline stages.
+    pub pp: u64,
+    /// Data-parallel replicas.
+    pub dp: u64,
+    /// Expert-parallel degree.
+    pub ep: u64,
+    /// Micro-batches per training iteration.
+    pub microbatches: u64,
+    /// Execution mode.
+    pub mode: ExecMode,
+}
+
+/// A parsed and validated workload spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The quoted name from the `workload "..."` header.
+    pub name: String,
+    /// The `[model]` block.
+    pub model: ModelSection,
+    /// Scalar defaults from `[parallelism]` / `[execution]`.
+    pub base: BasePoint,
+    /// Sweep axes in declaration order (empty without `[sweep]`).
+    pub sweep: Vec<SweepAxis>,
+}
+
+/// Inclusive degree bounds shared by every parallelism axis.
+const MAX_DEGREE: u64 = 64;
+
+/// Reads one positive integer entry.
+fn get_u64(file: &str, e: &RawEntry) -> Result<u64, SpecError> {
+    match e.value {
+        Value::Int(v) => Ok(v),
+        ref other => Err(SpecError::at(
+            file,
+            e.line,
+            format!(
+                "key '{}' needs an integer, got {}",
+                e.key,
+                other.type_name()
+            ),
+        )),
+    }
+}
+
+/// Validates one parallelism degree: `tp` needs at least 2 devices
+/// (a 1-GPU "slice" has no collective), the rest at least 1.
+fn check_degree(file: &str, line: usize, key: &str, v: u64) -> Result<u64, SpecError> {
+    let min = if key == "tp" { 2 } else { 1 };
+    if v < min || v > MAX_DEGREE {
+        return Err(SpecError::at(
+            file,
+            line,
+            format!("{key} degree must be between {min} and {MAX_DEGREE}, got {v}"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Validates a micro-batch count.
+fn check_microbatches(file: &str, line: usize, v: u64) -> Result<u64, SpecError> {
+    if !(1..=1024).contains(&v) {
+        return Err(SpecError::at(
+            file,
+            line,
+            format!("microbatches must be between 1 and 1024, got {v}"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Validates a token dimension (`seq_len`, `batch`).
+fn check_tokens(file: &str, line: usize, key: &str, v: u64) -> Result<u64, SpecError> {
+    if !(1..=1 << 24).contains(&v) {
+        return Err(SpecError::at(
+            file,
+            line,
+            format!("{key} must be between 1 and {}, got {v}", 1u64 << 24),
+        ));
+    }
+    Ok(v)
+}
+
+impl WorkloadSpec {
+    /// Parses and validates a workload spec from `text`, labelling
+    /// diagnostics with `file`.
+    pub fn parse(file: &str, text: &str) -> Result<Self, SpecError> {
+        let raw = parse::parse(file, text)?;
+        if raw.kind != SpecKind::Workload {
+            return Err(SpecError::at(
+                file,
+                1,
+                "expected a workload spec (header `workload \"name\"`), found a system spec",
+            ));
+        }
+        raw.check_sections(file, &["model", "parallelism", "execution", "sweep"])?;
+
+        let model = match raw.section("model") {
+            None => {
+                return Err(SpecError::at(
+                    file,
+                    1,
+                    "workload spec needs a [model] section",
+                ))
+            }
+            Some(s) => parse_model(file, s)?,
+        };
+
+        let mut base = BasePoint {
+            tp: 8,
+            pp: 1,
+            dp: 1,
+            ep: 1,
+            microbatches: 1,
+            mode: ExecMode::T3Mca,
+        };
+        if let Some(s) = raw.section("parallelism") {
+            s.check_keys(file, &["tp", "pp", "dp", "ep", "microbatches"])?;
+            for e in &s.entries {
+                let v = get_u64(file, e)?;
+                match e.key.as_str() {
+                    "tp" => base.tp = check_degree(file, e.line, "tp", v)?,
+                    "pp" => base.pp = check_degree(file, e.line, "pp", v)?,
+                    "dp" => base.dp = check_degree(file, e.line, "dp", v)?,
+                    "ep" => base.ep = check_degree(file, e.line, "ep", v)?,
+                    _ => base.microbatches = check_microbatches(file, e.line, v)?,
+                }
+            }
+        }
+        if let Some(s) = raw.section("execution") {
+            s.check_keys(file, &["mode"])?;
+            if let Some(e) = s.get("mode") {
+                let Value::Ident(name) = &e.value else {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!(
+                            "key 'mode' needs an identifier, got {}",
+                            e.value.type_name()
+                        ),
+                    ));
+                };
+                base.mode = ExecMode::from_name(file, e.line, name)?;
+            }
+        }
+
+        let mut sweep = Vec::new();
+        if let Some(s) = raw.section("sweep") {
+            s.check_keys(
+                file,
+                &[
+                    "tp",
+                    "pp",
+                    "dp",
+                    "ep",
+                    "microbatches",
+                    "batch",
+                    "seq_len",
+                    "mode",
+                    "topology",
+                ],
+            )?;
+            for e in &s.entries {
+                let Value::List(values) = &e.value else {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!(
+                            "sweep axis '{}' needs a [list] of values, got {}",
+                            e.key,
+                            e.value.type_name()
+                        ),
+                    ));
+                };
+                if values.is_empty() {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!("sweep axis '{}' must list at least one value", e.key),
+                    ));
+                }
+                // Validate axis values eagerly so the error points at
+                // the axis line, not at some expanded point.
+                for v in values {
+                    match (e.key.as_str(), v) {
+                        ("mode", Value::Ident(name)) => {
+                            ExecMode::from_name(file, e.line, name)?;
+                        }
+                        ("topology", Value::Ident(name)) => {
+                            crate::system::check_topology(file, e.line, name)?;
+                        }
+                        ("mode" | "topology", other) => {
+                            return Err(SpecError::at(
+                                file,
+                                e.line,
+                                format!(
+                                    "sweep axis '{}' needs identifiers, got {}",
+                                    e.key,
+                                    other.type_name()
+                                ),
+                            ));
+                        }
+                        (key, Value::Int(n)) => {
+                            match key {
+                                "microbatches" => check_microbatches(file, e.line, *n)?,
+                                "batch" | "seq_len" => check_tokens(file, e.line, key, *n)?,
+                                _ => check_degree(file, e.line, key, *n)?,
+                            };
+                        }
+                        (key, other) => {
+                            return Err(SpecError::at(
+                                file,
+                                e.line,
+                                format!(
+                                    "sweep axis '{key}' needs integers, got {}",
+                                    other.type_name()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                sweep.push(SweepAxis {
+                    key: e.key.clone(),
+                    values: values.clone(),
+                    line: e.line,
+                });
+            }
+        }
+
+        Ok(WorkloadSpec {
+            name: raw.name,
+            model,
+            base,
+            sweep,
+        })
+    }
+
+    /// The base [`ModelConfig`] before any sweep override: the zoo
+    /// model (or custom dims) with `seq_len`/`batch` applied.
+    pub fn base_model(&self) -> ModelConfig {
+        let mut m = match &self.model.zoo {
+            Some(name) => zoo::by_name(name).expect("zoo name validated at parse time"),
+            None => {
+                let hidden = self
+                    .model
+                    .hidden
+                    .expect("validated: custom model has hidden");
+                let layers = self
+                    .model
+                    .layers
+                    .expect("validated: custom model has layers");
+                zoo::custom(hidden, layers)
+            }
+        };
+        if let Some(s) = self.model.seq_len {
+            m.seq_len = s;
+        }
+        if let Some(b) = self.model.batch {
+            m.batch = b;
+        }
+        m
+    }
+}
+
+/// Parses and validates the `[model]` block.
+fn parse_model(file: &str, s: &RawSection) -> Result<ModelSection, SpecError> {
+    s.check_keys(file, &["zoo", "hidden", "layers", "seq_len", "batch"])?;
+    let mut out = ModelSection {
+        zoo: None,
+        hidden: None,
+        layers: None,
+        seq_len: None,
+        batch: None,
+    };
+    for e in &s.entries {
+        match e.key.as_str() {
+            "zoo" => {
+                let Value::Ident(name) = &e.value else {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!("key 'zoo' needs an identifier, got {}", e.value.type_name()),
+                    ));
+                };
+                if zoo::by_name(name).is_none() {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!(
+                            "unknown zoo model '{name}': expected one of {}",
+                            zoo::NAMES.join(", ")
+                        ),
+                    ));
+                }
+                out.zoo = Some(name.clone());
+            }
+            "hidden" => {
+                let v = get_u64(file, e)?;
+                if !(64..=1 << 20).contains(&v) {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!("hidden must be between 64 and {}, got {v}", 1u64 << 20),
+                    ));
+                }
+                out.hidden = Some(v);
+            }
+            "layers" => {
+                let v = get_u64(file, e)?;
+                if !(1..=4096).contains(&v) {
+                    return Err(SpecError::at(
+                        file,
+                        e.line,
+                        format!("layers must be between 1 and 4096, got {v}"),
+                    ));
+                }
+                out.layers = Some(v);
+            }
+            key @ ("seq_len" | "batch") => {
+                let v = check_tokens(file, e.line, key, get_u64(file, e)?)?;
+                if key == "seq_len" {
+                    out.seq_len = Some(v);
+                } else {
+                    out.batch = Some(v);
+                }
+            }
+            _ => unreachable!("keys checked above"),
+        }
+    }
+    if out.zoo.is_none() && (out.hidden.is_none() || out.layers.is_none()) {
+        return Err(SpecError::at(
+            file,
+            s.line,
+            "[model] needs either `zoo = <name>` or both `hidden = <H>` and `layers = <L>`",
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "workload \"w\"\n[model]\nzoo = t-nlg\n";
+
+    #[test]
+    fn minimal_spec_gets_defaults() {
+        let w = WorkloadSpec::parse("m.t3w", MINIMAL).expect("parses");
+        assert_eq!(w.name, "w");
+        assert_eq!(w.base.tp, 8);
+        assert_eq!(w.base.mode, ExecMode::T3Mca);
+        assert!(w.sweep.is_empty());
+        assert_eq!(w.base_model().hidden, 4256);
+    }
+
+    #[test]
+    fn overrides_and_sweep_axes_parse() {
+        let text = "workload \"w\"\n[model]\nzoo = gpt3\nseq_len = 512\n[parallelism]\ntp = 4\npp = 2\nmicrobatches = 8\n[execution]\nmode = sequential\n[sweep]\ntp = [4, 8]\nmode = [sequential, t3mca]\n";
+        let w = WorkloadSpec::parse("m.t3w", text).expect("parses");
+        assert_eq!(w.base.tp, 4);
+        assert_eq!(w.base.pp, 2);
+        assert_eq!(w.base.microbatches, 8);
+        assert_eq!(w.base.mode, ExecMode::Sequential);
+        assert_eq!(w.sweep.len(), 2);
+        assert_eq!(w.sweep[0].key, "tp");
+        assert_eq!(w.base_model().seq_len, 512);
+        assert_eq!(w.base_model().tokens(), 512 * 2);
+    }
+
+    #[test]
+    fn custom_dims_build_a_model() {
+        let text =
+            "workload \"w\"\n[model]\nhidden = 1024\nlayers = 12\nseq_len = 256\nbatch = 4\n";
+        let w = WorkloadSpec::parse("m.t3w", text).expect("parses");
+        let m = w.base_model();
+        assert_eq!((m.hidden, m.layers, m.tokens()), (1024, 12, 1024));
+        assert!(m.approx_params > 0.0);
+    }
+
+    #[test]
+    fn typed_errors_are_byte_exact() {
+        let err =
+            WorkloadSpec::parse("m.t3w", "workload \"w\"\n[model]\nzoo = gpt9\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "m.t3w:3: unknown zoo model 'gpt9': expected one of mega-gpt2, t-nlg, gpt3, palm, mt-nlg, 1t, 10t"
+        );
+        let err = WorkloadSpec::parse(
+            "m.t3w",
+            "workload \"w\"\n[model]\nzoo = gpt3\n[parallelism]\ntp = 1\n",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "m.t3w:5: tp degree must be between 2 and 64, got 1"
+        );
+        let err = WorkloadSpec::parse(
+            "m.t3w",
+            "workload \"w\"\n[model]\nzoo = gpt3\n[sweep]\ntp = []\n",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "m.t3w:5: sweep axis 'tp' must list at least one value"
+        );
+        let err =
+            WorkloadSpec::parse("m.t3w", "workload \"w\"\n[model]\nhidden = 1024\n").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "m.t3w:2: [model] needs either `zoo = <name>` or both `hidden = <H>` and `layers = <L>`"
+        );
+    }
+
+    #[test]
+    fn system_header_is_rejected() {
+        let err = WorkloadSpec::parse("m.t3w", "system \"s\"\n").unwrap_err();
+        assert!(err.to_string().contains("expected a workload spec"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Parser robustness: every malformed fixture must produce exactly one
+//! stable `file:line` diagnostic, asserted byte-for-byte so error text
+//! cannot drift silently.
+
+use t3_spec::WorkloadSpec;
+
+/// Parse a fixture under `crates/spec/fixtures/` and return the rendered
+/// error string, panicking if the spec unexpectedly parses.
+fn fixture_error(name: &str, text: &str) -> String {
+    let file = format!("crates/spec/fixtures/{name}");
+    match WorkloadSpec::parse(&file, text) {
+        Ok(_) => panic!("fixture {name} parsed but should have failed"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn unknown_key_is_rejected_with_the_allowed_set() {
+    let err = fixture_error(
+        "unknown_key.t3w",
+        include_str!("../fixtures/unknown_key.t3w"),
+    );
+    assert_eq!(
+        err,
+        "crates/spec/fixtures/unknown_key.t3w:8: unknown key 'tensor' in [parallelism] \
+         (expected one of: tp, pp, dp, ep, microbatches)"
+    );
+}
+
+#[test]
+fn bad_enum_value_names_every_valid_mode() {
+    let err = fixture_error("bad_mode.t3w", include_str!("../fixtures/bad_mode.t3w"));
+    assert_eq!(
+        err,
+        "crates/spec/fixtures/bad_mode.t3w:8: invalid mode 'warp': \
+         expected one of sequential, t3mca"
+    );
+}
+
+#[test]
+fn empty_sweep_axis_is_rejected() {
+    let err = fixture_error("empty_axis.t3w", include_str!("../fixtures/empty_axis.t3w"));
+    assert_eq!(
+        err,
+        "crates/spec/fixtures/empty_axis.t3w:8: sweep axis 'tp' must list at least one value"
+    );
+}
+
+#[test]
+fn duplicate_section_points_at_the_first_definition() {
+    let err = fixture_error(
+        "dup_section.t3w",
+        include_str!("../fixtures/dup_section.t3w"),
+    );
+    assert_eq!(
+        err,
+        "crates/spec/fixtures/dup_section.t3w:7: duplicate section [model] \
+         (first defined at line 4)"
+    );
+}
+
+#[test]
+fn out_of_range_degree_reports_the_legal_range() {
+    let err = fixture_error("bad_degree.t3w", include_str!("../fixtures/bad_degree.t3w"));
+    assert_eq!(
+        err,
+        "crates/spec/fixtures/bad_degree.t3w:8: tp degree must be between 2 and 64, got 1"
+    );
+}

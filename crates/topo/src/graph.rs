@@ -209,6 +209,33 @@ impl Topology {
         b.finish()
     }
 
+    /// Builds the canned fabric named `label` over `n` GPUs — the
+    /// inverse of [`TopologyKind::label`], shared by the `figures
+    /// --topology` CLI and the t3-spec frontend. `torus` is a
+    /// `2 × n/2` torus; `hierarchical` is two `n/2`-GPU nodes whose
+    /// leader GPUs are joined by `inter_node` links (`intra` everywhere
+    /// else). Returns `None` for unknown labels, and for `torus` /
+    /// `hierarchical` when `n` is odd or below 4 (those shapes need
+    /// two even halves — callers degrade to `ring` or reject).
+    pub fn by_label(
+        label: &str,
+        n: usize,
+        intra: &LinkConfig,
+        inter_node: &LinkConfig,
+    ) -> Option<Self> {
+        let two_even_halves = n >= 4 && n.is_multiple_of(2);
+        Some(match label {
+            "ring" => Topology::ring(n, intra),
+            "fully-connected" => Topology::fully_connected(n, intra),
+            "switch" => Topology::switch(n, intra),
+            "torus" if two_even_halves => Topology::torus2d(2, n / 2, intra),
+            "hierarchical" if two_even_halves => {
+                Topology::hierarchical(2, n / 2, intra, inter_node)
+            }
+            _ => return None,
+        })
+    }
+
     /// Which canned fabric this is.
     pub fn kind(&self) -> TopologyKind {
         self.kind
@@ -415,6 +442,23 @@ mod tests {
 
     fn cfg() -> LinkConfig {
         SystemConfig::paper_default().link
+    }
+
+    #[test]
+    fn by_label_round_trips_every_kind() {
+        let link = cfg();
+        let mut slow = link.clone();
+        slow.link_gb_s /= 4.0;
+        for label in ["ring", "fully-connected", "switch", "torus", "hierarchical"] {
+            let t = Topology::by_label(label, 8, &link, &slow).expect("known label");
+            assert_eq!(t.kind().label(), label);
+            assert_eq!(t.num_gpus(), 8, "{label}");
+        }
+        assert!(Topology::by_label("mesh", 8, &link, &slow).is_none());
+        // Two-even-halves shapes reject odd and tiny GPU counts.
+        assert!(Topology::by_label("torus", 7, &link, &slow).is_none());
+        assert!(Topology::by_label("hierarchical", 2, &link, &slow).is_none());
+        assert!(Topology::by_label("ring", 2, &link, &slow).is_some());
     }
 
     #[test]

@@ -1,31 +1,52 @@
 //! The paper's T-NLG sublayer study (Figures 15 and 16) from the
-//! public API: all four tensor-sliced sublayers at TP = 8 and 16,
-//! under every evaluated configuration.
+//! public API, driven by the declarative spec frontend: the workload
+//! (model, TP degrees, modes) comes from `examples/specs/tnlg_tp.t3w`
+//! and the system (fabric, links, MC policy) from
+//! `examples/specs/ring.t3s`, expanded into points by `t3::spec`.
 //!
 //! ```text
 //! cargo run --release --example tnlg_sublayers [-- --fast]
 //! ```
 
 use t3::core::configs::Configuration;
-use t3::models::zoo;
 use t3::models::Sublayer;
-use t3::sim::config::SystemConfig;
 use t3::sim::{cycles_to_us, geomean};
+use t3::spec::{exec, sweep::SweepPlan, SystemSpec, WorkloadSpec};
+
+const WORKLOAD: &str = include_str!("specs/tnlg_tp.t3w");
+const SYSTEM: &str = include_str!("specs/ring.t3s");
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let model = zoo::t_nlg();
+    let token_divisor = if fast { 8 } else { 1 };
+    let workload =
+        WorkloadSpec::parse("examples/specs/tnlg_tp.t3w", WORKLOAD).expect("checked-in spec");
+    let system = SystemSpec::parse("examples/specs/ring.t3s", SYSTEM).expect("checked-in spec");
+    let plan =
+        SweepPlan::expand("examples/specs/tnlg_tp.t3w", &workload, &system).expect("in caps");
+
+    let model = workload.base_model();
     println!(
-        "{} (H={}, {} tokens){}",
+        "{} (H={}, {} tokens) on \"{}\"{}",
         model.name,
         model.hidden,
         model.tokens(),
+        plan.system,
         if fast { " [fast scale]" } else { "" }
     );
+
+    // The classic per-sublayer breakdown, at every TP degree the spec
+    // sweeps (deduplicated in enumeration order).
+    let mut tps: Vec<u64> = Vec::new();
+    for point in &plan.points {
+        if !tps.contains(&point.tp) {
+            tps.push(point.tp);
+        }
+    }
     let mut mca_speedups = Vec::new();
-    for tp in [8u64, 16] {
-        let system = SystemConfig::paper_default().with_num_gpus(tp as usize);
-        let clock = system.gpu.clock_ghz;
+    for &tp in &tps {
+        let sys = system.system_config(tp as usize);
+        let clock = sys.gpu.clock_ghz;
         println!("\nTP = {tp}");
         println!(
             "  {:<12} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
@@ -33,12 +54,10 @@ fn main() {
         );
         for sub in Sublayer::ALL {
             let mut shape = model.sublayer_gemm(sub, tp);
-            if fast {
-                shape.m /= 8;
-            }
-            let seq = Configuration::Sequential.run(&system, &shape);
-            let t3 = Configuration::T3.run(&system, &shape);
-            let mca = Configuration::T3Mca.run(&system, &shape);
+            shape.m /= token_divisor;
+            let seq = Configuration::Sequential.run(&sys, &shape);
+            let t3 = Configuration::T3.run(&sys, &shape);
+            let mca = Configuration::T3Mca.run(&sys, &shape);
             let total = seq.total_cycles as f64;
             mca_speedups.push(mca.speedup_over(&seq));
             println!(
@@ -57,4 +76,17 @@ fn main() {
         "\nT3-MCA geomean across sublayers: {:.2}x (paper band: ~1.3x geomean, 1.47x max)",
         geomean(&mca_speedups)
     );
+
+    // The same spec pair through the sweep executor: one priced
+    // iteration per point, then the fused-vs-sequential pairing.
+    print!("\n{}", exec::header_lines(&plan.workload, &plan.system));
+    let mut rows = Vec::new();
+    for point in &plan.points {
+        let out = exec::simulate_point(point, token_divisor);
+        print!("{}", exec::row_line(&out));
+        rows.push((point.label(), out.iter_cycles));
+    }
+    for line in exec::speedup_summary(&rows) {
+        println!("{line}");
+    }
 }

@@ -34,6 +34,11 @@
 //!   critical-path extraction (compute vs. exposed-collective vs.
 //!   DMA/fabric cycles, overlap fraction), per-collective records,
 //!   and the perf-trajectory regression gate over bench reports.
+//! * [`spec`] — the declarative workload/system frontend: `.t3w` /
+//!   `.t3s` spec parsing with `file:line` diagnostics, deterministic
+//!   3D-parallelism (TP×PP×DP×EP) sweep expansion with
+//!   content-derived cache fingerprints, and point execution over
+//!   the existing engines.
 //!
 //! # Quickstart
 //!
@@ -63,5 +68,6 @@ pub use t3_prof as prof;
 pub use t3_runtime as runtime;
 pub use t3_serve as serve;
 pub use t3_sim as sim;
+pub use t3_spec as spec;
 pub use t3_topo as topo;
 pub use t3_trace as trace;

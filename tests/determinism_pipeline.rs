@@ -256,6 +256,73 @@ fn merged_output_is_independent_of_worker_count() {
     assert!(!narrow.merged_stdout().is_empty());
 }
 
+/// Expands the checked-in example spec pair and runs it through the
+/// runtime scheduler, exactly as `figures sweep w.t3w s.t3s` does.
+fn sweep_run(workers: usize, cache: Option<CacheConfig>) -> RunSummary {
+    let plan = jobs::load_sweep_plan("examples/specs/tnlg_tp.t3w", "examples/specs/ring.t3s")
+        .expect("example specs expand");
+    let graph = jobs::figure_job_graph_with_sweep(
+        &["sweep".to_string()],
+        ExperimentScale::FAST,
+        None,
+        Some(&plan),
+    )
+    .expect("sweep graph builds");
+    t3_runtime::run(graph, &RunOptions { workers, cache })
+}
+
+#[test]
+fn spec_sweep_is_byte_identical_across_runs_and_widths() {
+    // The ISSUE's acceptance pin for the spec frontend: the expanded
+    // sweep's merged output must not depend on the run or the pool
+    // width, because point rows are emitted in spec enumeration order.
+    let first = sweep_run(1, None);
+    let again = sweep_run(1, None);
+    let wide = sweep_run(4, None);
+    assert!(first.ok() && again.ok() && wide.ok(), "sweep jobs succeed");
+    assert_eq!(
+        first.merged_stdout(),
+        again.merged_stdout(),
+        "sweep output drifted between runs"
+    );
+    assert_eq!(
+        first.merged_stdout(),
+        wide.merged_stdout(),
+        "sweep output must not depend on the pool width"
+    );
+    assert_eq!(first.total_sim_cycles(), wide.total_sim_cycles());
+    let text = first.merged_stdout();
+    assert!(text.contains("3D-parallelism sweep"), "header must render");
+    assert!(text.contains("t3mca"), "fused rows must render");
+}
+
+#[test]
+fn spec_sweep_cache_round_trip_replays_the_exact_bytes() {
+    let dir = format!("target/t3-cache-sweep-test-{}", std::process::id());
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold = sweep_run(2, Some(CacheConfig::at(&dir)));
+    let warm = sweep_run(2, Some(CacheConfig::at(&dir)));
+    let result = std::panic::catch_unwind(|| {
+        assert!(cold.ok() && warm.ok(), "sweep jobs must all succeed");
+        assert_eq!(cold.cache_hits, 0, "first run must miss everything");
+        assert_eq!(
+            warm.cache_misses, 0,
+            "spec content unchanged, so the rerun must hit on every job"
+        );
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(
+            cold.merged_stdout(),
+            warm.merged_stdout(),
+            "cache-warm sweep must replay the exact bytes of the live run"
+        );
+        assert_eq!(cold.total_sim_cycles(), warm.total_sim_cycles());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
 #[test]
 fn cache_round_trip_preserves_bytes_and_cycles() {
     // A per-process scratch cache under target/ so concurrent test

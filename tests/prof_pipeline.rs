@@ -147,8 +147,8 @@ total: 14 collectives, 7626752 bytes, 5200 exposed cycles
 /// band fails it.
 #[test]
 fn bench_baseline_gates_regressions() {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_9.json");
-    let text = std::fs::read_to_string(&path).expect("BENCH_9.json is checked in");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_10.json");
+    let text = std::fs::read_to_string(&path).expect("BENCH_10.json is checked in");
     let baseline = check::parse_report(&text).expect("baseline parses");
     assert!(!baseline.is_empty());
     assert!(
